@@ -1,0 +1,53 @@
+"""Ablation A4 — guard-band re-insertion.
+
+The paper's scheme runs with zero margin on the characterised delays
+(footnote 2: operand and environmental worst cases are folded into the
+characterisation).  This ablation sweeps an explicit safety margin on top
+of the LUT prediction — the knob a deployment would use against
+uncharacterised variation (the paper's conclusion suggests online LUT
+updates instead).
+"""
+
+from conftest import publish
+
+from repro.clocking.policies import InstructionLutPolicy
+from repro.flow.evaluate import average_speedup_percent, evaluate_suite
+from repro.utils.tables import format_table
+from repro.workloads.suite import benchmark_suite
+
+MARGINS = (0.0, 2.0, 5.0, 10.0, 15.0, 20.0)
+
+
+def _sweep(design, lut):
+    programs = benchmark_suite()
+    return {
+        margin: evaluate_suite(
+            programs, design, lambda: InstructionLutPolicy(lut),
+            margin_percent=margin, check_safety=False,
+        )
+        for margin in MARGINS
+    }
+
+
+def test_ablation_margin(benchmark, design, lut):
+    results = benchmark(_sweep, design, lut)
+
+    speedups = {
+        margin: average_speedup_percent(results[margin])
+        for margin in MARGINS
+    }
+    rows = [
+        (f"{margin:.0f} %", f"{speedups[margin]:+.1f} %")
+        for margin in MARGINS
+    ]
+    table = format_table(
+        ["Safety margin", "Avg. speedup"], rows,
+        title="A4 — guard-band re-insertion vs. remaining speedup",
+    )
+    publish("ablation_margin", table)
+
+    ordered = [speedups[margin] for margin in MARGINS]
+    assert ordered == sorted(ordered, reverse=True)
+    assert speedups[0.0] > 35.0
+    # even a 10 % guard band retains a useful gain
+    assert speedups[10.0] > 20.0

@@ -1,0 +1,58 @@
+"""Ablation A3 — EX-only simplified monitor (paper Sec. IV-A).
+
+The paper observes that because EX (and the EX-driven instruction-memory
+address path) limits essentially every significant cycle, the clock
+controller can monitor *only* the execute stage.  This ablation measures
+the cost of that simplification against full 6-stage monitoring.
+"""
+
+from conftest import publish
+
+from repro.clocking.policies import ExOnlyLutPolicy, InstructionLutPolicy
+from repro.flow.evaluate import (
+    average_frequency_mhz,
+    average_speedup_percent,
+    evaluate_suite,
+)
+from repro.flow.reporting import render_policy_comparison
+from repro.workloads.suite import benchmark_suite
+
+
+def _run_both(design, lut):
+    programs = benchmark_suite()
+    return {
+        "full-monitor": evaluate_suite(
+            programs, design, lambda: InstructionLutPolicy(lut),
+            check_safety=False,
+        ),
+        "ex-only": evaluate_suite(
+            programs, design, lambda: ExOnlyLutPolicy(lut),
+            check_safety=True,
+        ),
+    }
+
+
+def test_ablation_exonly_monitor(benchmark, design, lut):
+    results = benchmark(_run_both, design, lut)
+
+    full = average_speedup_percent(results["full-monitor"])
+    ex_only = average_speedup_percent(results["ex-only"])
+    cost = full - ex_only
+
+    table = render_policy_comparison(
+        results,
+        title="A3 — full 6-stage monitor vs. EX-only monitor [MHz]",
+    )
+    note = (
+        f"\nfull monitor: {full:+.1f} % avg, EX-only: {ex_only:+.1f} % avg"
+        f" (simplification costs {cost:.1f} points)\n"
+        "paper Sec. IV-A: monitoring only the execute stage 'can"
+        " significantly simplify the clock adjustment control module'."
+    )
+    publish("ablation_monitor", table + note)
+
+    # the simplified monitor stays safe and close to the full monitor
+    for result in results["ex-only"]:
+        assert result.is_safe, result.program_name
+    assert 0.0 <= cost < 5.0
+    assert average_frequency_mhz(results["ex-only"]) > 600.0

@@ -1,0 +1,53 @@
+"""Extension E1 — approximate computing by over-scaling (paper Sec. IV-A).
+
+The paper notes that the multiplier's ~300 ps data-dependent spread "could
+be further leveraged by approximate computing techniques ... allowing a
+violation of the timing requirements of certain paths".  This bench sweeps
+over-scaling factors below the safe LUT period and reports violation rates
+and the error statistics of the affected results.
+"""
+
+from conftest import publish
+
+from repro.approx.violations import overscaling_sweep
+from repro.utils.tables import format_table
+from repro.workloads import get_kernel
+
+FACTORS = (1.0, 0.97, 0.94, 0.91, 0.88, 0.85)
+
+
+def test_ext_approximate_overscaling(benchmark, design, lut):
+    program = get_kernel("matmult").program()   # multiply-heavy workload
+    reports = benchmark(
+        overscaling_sweep, program, design, lut, list(FACTORS)
+    )
+
+    rows = []
+    for report in reports:
+        rows.append((
+            f"x{report.overscale_factor:.2f}",
+            f"{100 * report.violation_rate:.2f} %",
+            len(report.approx_results),
+            f"{report.mean_corrupted_bits:.1f}",
+            f"{report.mean_relative_error:.3f}",
+            f"{report.total_time_ps / 1e3:.1f}",
+        ))
+    table = format_table(
+        ["Over-scaling", "Violating cycles", "Approx. results",
+         "Mean corrupted bits", "Mean rel. error", "Run time [ns]"],
+        rows,
+        title="E1 — approximate over-scaling on matmult (beyond-safe clocking)",
+    )
+    note = (
+        "\nat x1.00 the paper's scheme is error-free; shrinking the period\n"
+        "first violates the deepest data-dependent paths (the multiplier),\n"
+        "turning exact results into approximate ones — Sec. IV-A's outlook."
+    )
+    publish("ext_approximate", table + note)
+
+    assert reports[0].violation_cycles == 0
+    rates = [report.violation_rate for report in reports]
+    assert rates == sorted(rates)
+    assert rates[-1] > 0.0
+    deep = reports[-1]
+    assert any("l.mul" in cls for cls in deep.violations_by_class)

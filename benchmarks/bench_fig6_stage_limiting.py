@@ -1,0 +1,53 @@
+"""Fig. 6 — which pipeline stage limits each cycle.
+
+Regenerates the pie-chart shares: the execute stage holds the limiting
+endpoint in ~93 % of cycles, the address stage (instruction-memory
+endpoints) in ~7 %, every other stage below 1 %.
+"""
+
+import numpy as np
+from conftest import publish
+
+from repro.flow.experiment import ExperimentReport
+from repro.paperdata import STAGE_LIMITING_SHARES
+from repro.sim.trace import Stage
+from repro.utils.tables import format_table
+
+
+def _shares(characterization):
+    hand_runs = [
+        run for run in characterization.runs
+        if not run.program_name.startswith("chargen")
+    ]
+    limiting = np.concatenate(
+        [run.dta.limiting_stage for run in hand_runs]
+    )
+    return {
+        stage: float((limiting == stage.value).sum()) / len(limiting)
+        for stage in Stage
+    }
+
+
+def test_fig6_stage_limiting(benchmark, characterization):
+    shares = benchmark(_shares, characterization)
+
+    report = ExperimentReport("Fig. 6", "Limiting-stage shares")
+    rows = []
+    for stage in Stage:
+        paper = STAGE_LIMITING_SHARES[stage.name] * 100.0
+        measured = shares[stage] * 100.0
+        rows.append((stage.name, f"{measured:.1f} %", f"{paper:.1f} %"))
+        if paper > 0:
+            report.add(f"{stage.name} share", paper, measured, unit=" %")
+    table = format_table(
+        ["Stage", "Measured", "Paper"], rows,
+        title="Fig. 6 — fraction of cycles limited by each stage",
+    )
+    publish("fig6_stage_limiting", report.render() + "\n\n" + table)
+
+    dominant = max(shares, key=lambda stage: shares[stage])
+    assert dominant == Stage.EX
+    assert shares[Stage.EX] > 0.80
+    assert 0.02 < shares[Stage.ADR] < 0.20
+    for stage in (Stage.FE, Stage.DC, Stage.WB):
+        assert shares[stage] < 0.01

@@ -1,0 +1,74 @@
+"""Sec. IV-B — voltage-frequency scaling at iso-throughput.
+
+Regenerates the power numbers: the ~70 mV supply reduction enabled by the
+dynamic-clocking speedup, the 13.7 -> 11.0 µW/MHz improvement and the 24 %
+energy-efficiency gain.
+"""
+
+from conftest import publish
+
+from repro.flow.evaluate import average_frequency_mhz
+from repro.flow.experiment import ExperimentReport
+from repro.paperdata import (
+    CONVENTIONAL_UW_PER_MHZ,
+    DYNAMIC_FREQUENCY_MHZ,
+    DYNAMIC_SCALED_UW_PER_MHZ,
+    ENERGY_EFFICIENCY_GAIN_PERCENT,
+    STATIC_FREQUENCY_MHZ,
+    VOLTAGE_REDUCTION_V,
+)
+from repro.power.vfs import scale_voltage_iso_throughput
+from repro.utils.tables import format_table
+
+
+def test_power_voltage_scaling(benchmark, suite_results):
+    measured_frequency = average_frequency_mhz(suite_results)
+    result = benchmark(
+        scale_voltage_iso_throughput,
+        measured_frequency, STATIC_FREQUENCY_MHZ,
+    )
+    paper_input = scale_voltage_iso_throughput(
+        DYNAMIC_FREQUENCY_MHZ, STATIC_FREQUENCY_MHZ
+    )
+
+    report = ExperimentReport(
+        "Sec. IV-B", "Voltage scaling at iso-throughput"
+    )
+    report.add("voltage reduction", VOLTAGE_REDUCTION_V * 1000.0,
+               result.voltage_reduction_v * 1000.0, unit=" mV")
+    report.add("baseline efficiency", CONVENTIONAL_UW_PER_MHZ,
+               result.baseline_uw_per_mhz, unit=" uW/MHz")
+    report.add("scaled efficiency", DYNAMIC_SCALED_UW_PER_MHZ,
+               result.scaled_uw_per_mhz, unit=" uW/MHz")
+    report.add("efficiency gain", ENERGY_EFFICIENCY_GAIN_PERCENT,
+               result.efficiency_gain_percent, unit=" %")
+    report.note(f"driven by our measured suite average "
+                f"{measured_frequency:.0f} MHz")
+    report.note(
+        "with the paper's own 680 MHz input: "
+        + paper_input.summary()
+    )
+
+    table = format_table(
+        ["Input", "V_dd [V]", "dV [mV]", "uW/MHz", "Gain [%]"],
+        [
+            ("measured avg", f"{result.scaled_voltage:.3f}",
+             f"{1000 * result.voltage_reduction_v:.0f}",
+             f"{result.scaled_uw_per_mhz:.2f}",
+             f"{result.efficiency_gain_percent:.1f}"),
+            ("paper 680 MHz", f"{paper_input.scaled_voltage:.3f}",
+             f"{1000 * paper_input.voltage_reduction_v:.0f}",
+             f"{paper_input.scaled_uw_per_mhz:.2f}",
+             f"{paper_input.efficiency_gain_percent:.1f}"),
+        ],
+        title="Sec. IV-B — iso-throughput voltage scaling",
+    )
+    publish("power_voltage_scaling", report.render() + "\n\n" + table)
+
+    assert abs(
+        paper_input.scaled_uw_per_mhz - DYNAMIC_SCALED_UW_PER_MHZ
+    ) < 0.4
+    assert abs(
+        paper_input.voltage_reduction_v - VOLTAGE_REDUCTION_V
+    ) < 0.012
+    assert result.voltage_reduction_v >= paper_input.voltage_reduction_v

@@ -1,0 +1,62 @@
+"""Shared fixtures and report plumbing for the bench harnesses.
+
+Every bench regenerates one table or figure of the paper and prints the
+paper value next to the measured one.  Rendered reports are also written to
+``benchmarks/reports/`` so the artefacts survive the run.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.flow.characterize import characterize
+from repro.timing.design import build_design
+from repro.timing.profiles import DesignVariant
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def design():
+    return build_design(DesignVariant.CRITICAL_RANGE)
+
+
+@pytest.fixture(scope="session")
+def conventional_design():
+    return build_design(DesignVariant.CONVENTIONAL)
+
+
+@pytest.fixture(scope="session")
+def characterization(design):
+    return characterize(design)
+
+
+@pytest.fixture(scope="session")
+def lut(characterization):
+    return characterization.lut
+
+
+@pytest.fixture(scope="session")
+def conventional_characterization(conventional_design):
+    return characterize(conventional_design)
+
+
+@pytest.fixture(scope="session")
+def suite_results(design, lut):
+    """Instruction-LUT evaluation of the full benchmark suite (Fig. 8)."""
+    from repro.clocking.policies import InstructionLutPolicy
+    from repro.flow.evaluate import evaluate_suite
+    from repro.workloads.suite import benchmark_suite
+
+    return evaluate_suite(
+        benchmark_suite(), design, lambda: InstructionLutPolicy(lut),
+        check_safety=False,
+    )
+
+
+def publish(name, text):
+    """Print a report and persist it under benchmarks/reports/."""
+    print()
+    print(text)
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / f"{name}.txt").write_text(text + "\n")

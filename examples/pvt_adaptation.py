@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Online LUT adaptation under PVT drift (the paper's Sec. V outlook).
+
+The characterised delay LUT is only valid at the conditions it was
+extracted at.  When temperature swings, the supply droops and the chip
+ages, all delays drift — and the paper suggests handling this "by
+(online-)updating of the used delay prediction table".  This example runs
+a kernel in a drifting environment under three schemes and shows that
+online updating keeps both the safety of a worst-case guard band and most
+of the nominal speed.
+
+Run:  python examples/pvt_adaptation.py
+"""
+
+from repro.adapt.environment import EnvironmentModel
+from repro.adapt.online import compare_schemes
+from repro.core import DynamicClockAdjustment
+from repro.workloads import get_kernel
+
+
+def main():
+    print("characterising the core at nominal conditions ...")
+    dca = DynamicClockAdjustment()
+    program = get_kernel("crc32").program()
+
+    environment = EnvironmentModel()
+    print(f"\nenvironment: ±{100 * environment.temperature_amplitude:.0f} % "
+          f"thermal swing, {100 * environment.droop_amplitude:.0f} % supply "
+          f"droops, {100 * environment.aging_total:.0f} % aging ramp")
+
+    results = compare_schemes(program, dca.design, dca.lut, environment)
+
+    print("\n        scheme | f_eff [MHz] | violations | LUT updates")
+    for scheme in ("fixed-none", "fixed-guard", "online"):
+        result = results[scheme]
+        print(f"{scheme:>14} | {result.effective_frequency_mhz:11.1f} |"
+              f" {result.violations:10d} | {result.lut_updates:11d}")
+
+    online = results["online"]
+    guard = results["fixed-guard"]
+    recovered = (
+        online.effective_frequency_mhz / guard.effective_frequency_mhz - 1
+    ) * 100
+    print(f"\nmax drift during the run: {online.max_drift_seen:.3f}x")
+    print(f"online updating is error-free and {recovered:.1f} % faster than "
+          f"the static worst-case guard band.")
+    print("without any guard band the nominal LUT violates timing "
+          f"{results['fixed-none'].violations} times — the scheme the "
+          "paper's conclusion warns against.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs ``bdist_wheel`` for PEP 660
+editable installs; offline environments without ``wheel`` can fall back to
+the legacy path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,86 @@
+"""Slow delay-drift model: temperature, supply droop and aging.
+
+All combinational delays of the core are multiplied by a common
+time-varying factor (to first order, PVT variations scale the whole
+design's delays together — the same assumption that underlies the paper's
+voltage-scaling argument):
+
+    drift(t) = 1 + A_temp * sin(2*pi*t/P_temp + phase)
+                 + A_droop * droop(t)          (occasional supply droops)
+                 + A_age * t / t_total         (monotonic aging)
+
+The characterisation is taken at drift = 1.0 (nominal conditions); at run
+time the excited delays are ``drift(t)`` times larger or smaller, which is
+exactly the situation the paper's conclusion targets.
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.rng import hash_to_unit_float
+
+
+@dataclass(frozen=True)
+class EnvironmentModel:
+    """Deterministic delay-drift profile over a run.
+
+    Attributes
+    ----------
+    temperature_amplitude:
+        Peak relative delay swing from temperature (e.g. 0.04 = ±4 %).
+    temperature_period_cycles:
+        Thermal time constant, in clock cycles (slow: tens of thousands).
+    droop_amplitude:
+        Additional delay during a supply droop event.
+    droop_every_cycles / droop_length_cycles:
+        Droop cadence and duration.
+    aging_total:
+        Total monotonic delay increase accumulated by ``horizon_cycles``.
+    horizon_cycles:
+        Reference horizon for the aging ramp.
+    seed:
+        Phase seed (deterministic).
+    """
+
+    temperature_amplitude: float = 0.04
+    temperature_period_cycles: int = 6_000
+    droop_amplitude: float = 0.03
+    droop_every_cycles: int = 5_000
+    droop_length_cycles: int = 1_200
+    aging_total: float = 0.02
+    horizon_cycles: int = 20_000
+    seed: int = 1
+
+    def drift(self, cycle):
+        """Delay multiplier at a given cycle (1.0 = characterised corner)."""
+        phase = 2.0 * math.pi * hash_to_unit_float("env-phase", self.seed)
+        temperature = self.temperature_amplitude * math.sin(
+            2.0 * math.pi * cycle / self.temperature_period_cycles + phase
+        )
+        droop = 0.0
+        if self.droop_amplitude > 0 and self.droop_every_cycles > 0:
+            position = cycle % self.droop_every_cycles
+            if position < self.droop_length_cycles:
+                # raised-cosine droop pulse
+                droop = self.droop_amplitude * 0.5 * (
+                    1.0 - math.cos(
+                        2.0 * math.pi * position / self.droop_length_cycles
+                    )
+                )
+        aging = self.aging_total * min(cycle / self.horizon_cycles, 1.0)
+        return 1.0 + temperature + droop + aging
+
+    def max_drift(self, num_cycles):
+        """Upper bound on drift over a run (for static guard-band sizing)."""
+        return (
+            1.0
+            + self.temperature_amplitude
+            + self.droop_amplitude
+            + self.aging_total * min(num_cycles / self.horizon_cycles, 1.0)
+        )
+
+    @classmethod
+    def nominal(cls):
+        """No drift: reproduces the paper's fixed-corner evaluation."""
+        return cls(temperature_amplitude=0.0, droop_amplitude=0.0,
+                   aging_total=0.0)

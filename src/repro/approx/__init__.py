@@ -1,0 +1,20 @@
+"""Extension E1: approximate computing by over-scaling (paper Sec. IV-A).
+
+The paper observes that the data-dependent delay spread of ``l.mul`` could
+be exploited by *approximate computing*: clocking faster than the safe
+per-instruction bound occasionally violates the multiplier's longest
+excited paths and produces approximate results.  This package models that
+regime: given an over-scaling factor below 1.0 on the LUT periods, it
+counts which cycles violate timing and models the resulting bit errors on
+the affected results.
+"""
+
+from repro.approx.violations import OverscalingReport, evaluate_overscaling
+from repro.approx.errors import approximate_value, error_magnitude_bits
+
+__all__ = [
+    "evaluate_overscaling",
+    "OverscalingReport",
+    "approximate_value",
+    "error_magnitude_bits",
+]

@@ -1,0 +1,56 @@
+"""Timing-violation error model.
+
+When a path is clocked below its excited delay, the endpoint captures a
+stale or partially-propagated value.  The longest paths of an arithmetic
+unit end at the *most significant* result bits (carry/partial-product
+accumulation), so the deeper the violation, the more high-order bits are
+corrupted — which is why the paper frames this as *approximate* rather
+than catastrophic for error-tolerant workloads.
+
+Model: a violation of ``overshoot`` picoseconds on a path with ``spread``
+picoseconds of data-dependent depth corrupts the top
+``ceil(32 * overshoot / spread)`` bits of the captured value (bounded to
+32); the corrupted bits take deterministic pseudo-random values derived
+from the operands, so runs are reproducible.
+"""
+
+import math
+
+from repro.utils.bitops import mask, to_unsigned32
+from repro.utils.rng import hash_to_unit_float
+
+
+def error_magnitude_bits(overshoot_ps, spread_ps):
+    """Number of corrupted high-order result bits for a given overshoot."""
+    if overshoot_ps <= 0:
+        return 0
+    if spread_ps <= 0:
+        return 32
+    return min(32, int(math.ceil(32.0 * overshoot_ps / spread_ps)))
+
+
+def approximate_value(exact_value, corrupted_bits, salt=0):
+    """Corrupt the top ``corrupted_bits`` bits of a 32-bit value.
+
+    The corruption is deterministic in ``(exact_value, salt)`` so that the
+    same violation reproduces the same wrong answer (as real silicon with
+    fixed operands and a fixed clock does).
+    """
+    exact_value = to_unsigned32(exact_value)
+    if corrupted_bits <= 0:
+        return exact_value
+    corrupted_bits = min(32, corrupted_bits)
+    keep = 32 - corrupted_bits
+    noise = int(
+        hash_to_unit_float("approx", exact_value, salt) * (1 << corrupted_bits)
+    )
+    return to_unsigned32((noise << keep) | (exact_value & mask(keep)))
+
+
+def relative_error(exact_value, approx_val):
+    """Relative magnitude error of an approximate result."""
+    exact_value = to_unsigned32(exact_value)
+    approx_val = to_unsigned32(approx_val)
+    if exact_value == 0:
+        return float(approx_val != 0)
+    return abs(approx_val - exact_value) / exact_value

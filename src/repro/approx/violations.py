@@ -1,0 +1,148 @@
+"""Over-scaling evaluation: run faster than safe, count what breaks.
+
+``evaluate_overscaling`` applies ``overscale_factor < 1.0`` to the periods
+of an instruction-LUT policy, replays the ground-truth excitation model,
+and reports which cycles violated timing, in which stage groups, and the
+error statistics of the affected EX-stage results (the multiplier being
+the prime candidate, per the paper's discussion).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.approx.errors import (
+    approximate_value,
+    error_magnitude_bits,
+    relative_error,
+)
+from repro.clocking.policies import InstructionLutPolicy
+from repro.sim.pipeline import PipelineSimulator
+from repro.sim.trace import Stage
+
+
+@dataclass
+class ApproximateResult:
+    """One corrupted EX result."""
+
+    cycle: int
+    mnemonic: str
+    exact_value: int
+    approx_value: int
+    corrupted_bits: int
+
+    @property
+    def relative_error(self):
+        return relative_error(self.exact_value, self.approx_value)
+
+
+@dataclass
+class OverscalingReport:
+    """Outcome of one over-scaled run."""
+
+    program_name: str
+    overscale_factor: float
+    num_cycles: int
+    total_time_ps: float
+    violation_cycles: int = 0
+    violations_by_stage: dict = field(default_factory=dict)
+    violations_by_class: dict = field(default_factory=dict)
+    approx_results: list = field(default_factory=list)
+
+    @property
+    def violation_rate(self):
+        return self.violation_cycles / self.num_cycles if self.num_cycles else 0.0
+
+    @property
+    def mean_relative_error(self):
+        if not self.approx_results:
+            return 0.0
+        return sum(r.relative_error for r in self.approx_results) / len(
+            self.approx_results
+        )
+
+    @property
+    def mean_corrupted_bits(self):
+        if not self.approx_results:
+            return 0.0
+        return sum(r.corrupted_bits for r in self.approx_results) / len(
+            self.approx_results
+        )
+
+    def summary(self):
+        return (
+            f"{self.program_name} @ x{self.overscale_factor:.2f}: "
+            f"{self.violation_cycles}/{self.num_cycles} violating cycles "
+            f"({100 * self.violation_rate:.2f} %), "
+            f"{len(self.approx_results)} approximate results, "
+            f"mean corrupted bits {self.mean_corrupted_bits:.1f}"
+        )
+
+
+def evaluate_overscaling(program, design, lut, overscale_factor,
+                         max_cycles=2_000_000):
+    """Run a program with LUT periods scaled by ``overscale_factor``.
+
+    A factor of 1.0 reproduces the paper's error-free operation; smaller
+    factors trade accuracy for speed.  Functional execution is unchanged
+    (the architectural model stays exact); errors are accounted on the
+    side, which is sufficient for error-rate/error-magnitude statistics.
+    """
+    if not 0.0 < overscale_factor <= 1.0:
+        raise ValueError("overscale_factor must be in (0, 1]")
+
+    simulator = PipelineSimulator(program)
+    trace = simulator.run(max_cycles=max_cycles)
+    policy = InstructionLutPolicy(lut)
+    excitation = design.excitation
+
+    report = OverscalingReport(
+        program_name=program.name,
+        overscale_factor=overscale_factor,
+        num_cycles=trace.num_cycles,
+        total_time_ps=0.0,
+    )
+    for record in trace.records:
+        period = policy.period_for(record) * overscale_factor
+        report.total_time_ps += period
+        cycle_violated = False
+        for stage in Stage:
+            excited = excitation.group_delay(record, stage)
+            overshoot = excited.delay_ps - period
+            if overshoot <= 1e-9:
+                continue
+            cycle_violated = True
+            report.violations_by_stage[stage.name] = (
+                report.violations_by_stage.get(stage.name, 0) + 1
+            )
+            report.violations_by_class[excited.driver_class] = (
+                report.violations_by_class.get(excited.driver_class, 0) + 1
+            )
+            if stage == Stage.EX and record.ex_operands is not None:
+                view = record.view(Stage.EX)
+                spec = design.profile.ex_spec(view.timing_class)
+                bits = error_magnitude_bits(overshoot, spec.spread_ps)
+                a, b = record.ex_operands
+                exact = (a * b) & 0xFFFFFFFF   # representative result
+                report.approx_results.append(
+                    ApproximateResult(
+                        cycle=record.cycle,
+                        mnemonic=view.mnemonic,
+                        exact_value=exact,
+                        approx_value=approximate_value(
+                            exact, bits, salt=record.cycle
+                        ),
+                        corrupted_bits=bits,
+                    )
+                )
+        if cycle_violated:
+            report.violation_cycles += 1
+    return report
+
+
+def overscaling_sweep(program, design, lut, factors=None):
+    """Sweep over-scaling factors; returns a list of reports."""
+    if factors is None:
+        factors = [1.0, 0.97, 0.94, 0.91, 0.88, 0.85]
+    return [
+        evaluate_overscaling(program, design, lut, factor)
+        for factor in factors
+    ]

@@ -1,0 +1,23 @@
+"""Two-pass assembler, disassembler and program image container.
+
+Benchmarks and characterisation kernels are written in OR1K assembly text
+(the paper compiles C with the OpenRISC GCC toolchain; we substitute
+hand-written assembly with equivalent instruction mixes, see DESIGN.md).
+The assembler produces a :class:`~repro.asm.program.Program` image that the
+simulator loads; the disassembler regenerates text from encoded words, and
+is used to build the program traces of the characterisation flow.
+"""
+
+from repro.asm.assembler import AssemblerError, assemble
+from repro.asm.builder import ProgramBuilder
+from repro.asm.disassembler import disassemble, disassemble_program
+from repro.asm.program import Program
+
+__all__ = [
+    "assemble",
+    "AssemblerError",
+    "disassemble",
+    "disassemble_program",
+    "Program",
+    "ProgramBuilder",
+]

@@ -1,0 +1,51 @@
+"""Disassembler: 32-bit words back to canonical assembly text.
+
+Used by the characterisation flow to produce the disassembled program trace
+(the ``.das`` file of the paper's flow, Fig. 2) and by debugging listings.
+``disassemble_program`` output is round-trippable: reassembling it yields
+the identical word image (branch targets are emitted as absolute addresses
+and address gaps as ``.org`` directives).
+"""
+
+from repro.isa.encoding import EncodingError, decode
+from repro.isa.opcodes import Format
+
+
+def disassemble(word, address=None):
+    """Disassemble one word; returns text like ``l.addi r3,r4,-12``.
+
+    For pc-relative control transfers, if ``address`` is given the operand
+    is rendered as the absolute target (which is also what the assembler
+    accepts), otherwise as the raw word offset.
+    """
+    instruction = decode(word)
+    if address is not None and instruction.spec.fmt in (
+        Format.J, Format.BRANCH
+    ):
+        target = (address + (instruction.imm << 2)) & 0xFFFFFFFF
+        return f"{instruction.mnemonic} {target:#010x}"
+    return instruction.to_assembly()
+
+
+def disassemble_program(program, with_addresses=True):
+    """Disassemble every word of a program into a listing string.
+
+    With ``with_addresses=False`` the listing is valid assembler input that
+    reassembles to the same image.
+    """
+    lines = []
+    previous = None
+    for address in sorted(program.words):
+        word = program.words[address]
+        if not with_addresses and (previous is None or address != previous + 4):
+            lines.append(f".org {address:#x}")
+        previous = address
+        try:
+            text = disassemble(word, address)
+        except EncodingError:
+            text = f".word {word:#010x}"
+        if with_addresses:
+            lines.append(f"{address:08x}:  {text}")
+        else:
+            lines.append(text)
+    return "\n".join(lines)

@@ -1,0 +1,219 @@
+"""Command-line interface.
+
+Exposes the main flows as subcommands::
+
+    python -m repro kernels                    # list bundled workloads
+    python -m repro asm program.s              # assemble + listing
+    python -m repro run crc32                  # functional + cycle run
+    python -m repro sta [--variant ...]        # static timing analysis
+    python -m repro characterize -o lut.json   # full characterisation
+    python -m repro evaluate crc32 --policy instruction [--lut lut.json]
+    python -m repro table2 [--lut lut.json]    # Table II view of a LUT
+
+Programs may be given as a bundled kernel name or a path to an assembly
+file.
+"""
+
+import argparse
+import pathlib
+import sys
+
+from repro.asm import assemble, disassemble_program
+from repro.dta.lut import DelayLUT
+from repro.flow.characterize import characterize
+from repro.flow.evaluate import evaluate_program
+from repro.sim.iss import FunctionalSimulator
+from repro.sim.pipeline import PipelineSimulator
+from repro.timing.design import build_design
+from repro.timing.profiles import DesignVariant
+from repro.timing.sta import run_sta
+from repro.timing.wall import wall_profile
+from repro.utils.units import ps_to_mhz
+from repro.workloads import all_kernels, get_kernel
+
+
+def _load_program(spec):
+    """Resolve a program argument: bundled kernel name or .s/.asm path."""
+    path = pathlib.Path(spec)
+    if path.suffix in (".s", ".asm") or path.exists():
+        return assemble(path.read_text(), name=path.stem)
+    return get_kernel(spec).program()
+
+
+def _build(args):
+    return build_design(DesignVariant(args.variant), voltage=args.voltage)
+
+
+def _add_design_arguments(parser):
+    parser.add_argument(
+        "--variant", default="critical_range",
+        choices=[variant.value for variant in DesignVariant],
+        help="implementation variant (default: critical_range)",
+    )
+    parser.add_argument(
+        "--voltage", type=float, default=0.70,
+        help="supply voltage in volts (default: 0.70)",
+    )
+
+
+def cmd_kernels(args):
+    print(f"{'name':14s} {'category':8s} description")
+    for kernel in all_kernels():
+        print(f"{kernel.name:14s} {kernel.category:8s} {kernel.description}")
+    return 0
+
+
+def cmd_asm(args):
+    program = _load_program(args.program)
+    print(f"# {program.name}: {program.size_words} words, "
+          f"entry {program.entry:#x}")
+    print(disassemble_program(program))
+    return 0
+
+
+def cmd_run(args):
+    program = _load_program(args.program)
+    iss = FunctionalSimulator(program)
+    iss.run()
+    pipe = PipelineSimulator(program)
+    pipe.run()
+    if iss.state.regs != pipe.state.regs:
+        print("ERROR: ISS and pipeline disagree", file=sys.stderr)
+        return 1
+    print(f"{program.name}: {iss.state.instret} instructions, "
+          f"{pipe.trace.num_cycles} cycles (CPI {pipe.trace.cpi:.3f})")
+    print(f"r11 = {iss.state.regs[11]} ({iss.state.regs[11]:#010x})")
+    if args.regs:
+        for index in range(0, 32, 4):
+            print("  " + "  ".join(
+                f"r{r:<2d}={iss.state.regs[r]:#010x}"
+                for r in range(index, index + 4)
+            ))
+    return 0
+
+
+def cmd_sta(args):
+    design = _build(args)
+    report = run_sta(design.netlist)
+    print(report.summary())
+    print(wall_profile(design.netlist).summary())
+    print(f"clock bound: {report.critical_delay_ps:.0f} ps = "
+          f"{ps_to_mhz(report.critical_delay_ps):.1f} MHz "
+          f"@ {args.voltage:.2f} V")
+    return 0
+
+
+def cmd_characterize(args):
+    design = _build(args)
+    print(f"characterising {design.name} ...", file=sys.stderr)
+    result = characterize(design, keep_runs=False)
+    text = result.lut.to_json()
+    if args.output:
+        pathlib.Path(args.output).write_text(text)
+        print(f"wrote {args.output} ({result.total_cycles} cycles, "
+              f"{len(result.lut.classes())} classes)")
+    else:
+        print(text)
+    return 0
+
+
+def _load_lut(args, design):
+    if args.lut:
+        return DelayLUT.from_json(pathlib.Path(args.lut).read_text())
+    print("no --lut given: characterising on the fly ...", file=sys.stderr)
+    return characterize(design, keep_runs=False).lut
+
+
+def cmd_evaluate(args):
+    from repro.core import DcaConfig, DynamicClockAdjustment
+    from repro.flow.characterize import CharacterizationResult
+
+    design = _build(args)
+    lut = _load_lut(args, design)
+    dca = DynamicClockAdjustment(
+        config=DcaConfig(
+            variant=design.variant, voltage=args.voltage,
+            policy=args.policy, generator=args.generator,
+            margin_percent=args.margin,
+        ),
+        characterization=CharacterizationResult(design=design, lut=lut),
+    )
+    result = dca.evaluate(_load_program(args.program))
+    print(result.summary())
+    if not result.is_safe:
+        worst = max(result.violations, key=lambda v: v.overshoot_ps)
+        print(f"WORST VIOLATION: cycle {worst.cycle} stage "
+              f"{worst.stage.name} overshoot {worst.overshoot_ps:.1f} ps")
+        return 1
+    return 0
+
+
+def cmd_table2(args):
+    design = _build(args)
+    lut = _load_lut(args, design)
+    print(lut.render())
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Instruction-based dynamic clock adjustment "
+                    "(DATE 2015 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sub = subparsers.add_parser("kernels", help="list bundled workloads")
+    sub.set_defaults(func=cmd_kernels)
+
+    sub = subparsers.add_parser("asm", help="assemble and list a program")
+    sub.add_argument("program", help="kernel name or assembly file")
+    sub.set_defaults(func=cmd_asm)
+
+    sub = subparsers.add_parser("run", help="run a program functionally "
+                                            "and cycle-accurately")
+    sub.add_argument("program")
+    sub.add_argument("--regs", action="store_true",
+                     help="dump the full register file")
+    sub.set_defaults(func=cmd_run)
+
+    sub = subparsers.add_parser("sta", help="static timing analysis")
+    _add_design_arguments(sub)
+    sub.set_defaults(func=cmd_sta)
+
+    sub = subparsers.add_parser("characterize",
+                                help="extract the delay LUT")
+    _add_design_arguments(sub)
+    sub.add_argument("-o", "--output", help="write the LUT as JSON")
+    sub.set_defaults(func=cmd_characterize)
+
+    sub = subparsers.add_parser("evaluate",
+                                help="evaluate a program under a policy")
+    sub.add_argument("program")
+    _add_design_arguments(sub)
+    sub.add_argument("--policy", default="instruction",
+                     choices=["instruction", "ex-only", "two-class",
+                              "genie", "static"])
+    sub.add_argument("--generator", default="ideal",
+                     choices=["ideal", "ring", "pll"])
+    sub.add_argument("--margin", type=float, default=0.0,
+                     help="safety margin in percent")
+    sub.add_argument("--lut", help="reuse a LUT JSON file")
+    sub.set_defaults(func=cmd_evaluate)
+
+    sub = subparsers.add_parser("table2", help="render a LUT (Table II)")
+    _add_design_arguments(sub)
+    sub.add_argument("--lut", help="LUT JSON file")
+    sub.set_defaults(func=cmd_table2)
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

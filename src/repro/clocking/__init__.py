@@ -1,0 +1,41 @@
+"""Cycle-by-cycle adjustable clocking (paper Fig. 1).
+
+- :mod:`repro.clocking.generator` — models of the tunable clock generator
+  the paper references ([9]-[11]): an ideal continuously-tunable source, a
+  ring-oscillator with discrete taps, and a multi-PLL mux;
+- :mod:`repro.clocking.policies` — clock-period prediction policies: the
+  paper's per-instruction LUT monitor, the simplified EX-only monitor
+  (Sec. IV-A), a two-class baseline in the spirit of
+  application-adaptive guard-banding [8], the genie-aided oracle and the
+  static baseline;
+- :mod:`repro.clocking.controller` — combines a policy with a generator
+  and an optional safety margin into the per-cycle period decision.
+"""
+
+from repro.clocking.controller import ClockAdjustmentController
+from repro.clocking.generator import (
+    ClockGeneratorError,
+    IdealClockGenerator,
+    MultiPLLClockGenerator,
+    TunableRingOscillator,
+)
+from repro.clocking.policies import (
+    ExOnlyLutPolicy,
+    GeniePolicy,
+    InstructionLutPolicy,
+    StaticClockPolicy,
+    TwoClassPolicy,
+)
+
+__all__ = [
+    "ClockAdjustmentController",
+    "IdealClockGenerator",
+    "TunableRingOscillator",
+    "MultiPLLClockGenerator",
+    "ClockGeneratorError",
+    "StaticClockPolicy",
+    "InstructionLutPolicy",
+    "ExOnlyLutPolicy",
+    "TwoClassPolicy",
+    "GeniePolicy",
+]

@@ -1,0 +1,77 @@
+"""The cycle-by-cycle clock adjustment controller (paper Fig. 1).
+
+Combines a prediction policy with a clock-generator model and an optional
+safety margin.  The controller is the hardware block the paper proposes:
+per cycle it reads the LUT delays of the in-flight instructions, forms the
+maximum, and retunes the clock generator.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ControllerStats:
+    """Aggregates of one evaluation run."""
+
+    cycles: int = 0
+    total_time_ps: float = 0.0
+    switches: int = 0
+    min_period_ps: float = float("inf")
+    max_period_ps: float = 0.0
+    _last_period: float = field(default=None, repr=False)
+
+    def record(self, period_ps):
+        self.cycles += 1
+        self.total_time_ps += period_ps
+        self.min_period_ps = min(self.min_period_ps, period_ps)
+        self.max_period_ps = max(self.max_period_ps, period_ps)
+        if self._last_period is not None and period_ps != self._last_period:
+            self.switches += 1
+        self._last_period = period_ps
+
+    @property
+    def average_period_ps(self):
+        if self.cycles == 0:
+            raise ValueError("no cycles recorded")
+        return self.total_time_ps / self.cycles
+
+    @property
+    def switch_rate(self):
+        """Fraction of cycles with a period change (CG activity metric)."""
+        if self.cycles <= 1:
+            return 0.0
+        return self.switches / (self.cycles - 1)
+
+
+class ClockAdjustmentController:
+    """Per-cycle period decision = quantize(policy period × (1 + margin)).
+
+    Parameters
+    ----------
+    policy:
+        A prediction policy (``period_for(record)``).
+    generator:
+        Clock-generator model; ``None`` means ideal (continuous).
+    margin_percent:
+        Extra guard band re-inserted on top of the prediction (ablation
+        A4); the paper's scheme runs at 0.
+    """
+
+    def __init__(self, policy, generator=None, margin_percent=0.0):
+        if margin_percent < 0:
+            raise ValueError("margin cannot be negative")
+        self.policy = policy
+        self.generator = generator
+        self.margin = 1.0 + margin_percent / 100.0
+        self.stats = ControllerStats()
+
+    def period_for(self, record):
+        """Decide the clock period for one cycle and record it."""
+        period = self.policy.period_for(record) * self.margin
+        if self.generator is not None:
+            period = self.generator.quantize_up(period)
+        self.stats.record(period)
+        return period
+
+    def reset(self):
+        self.stats = ControllerStats()

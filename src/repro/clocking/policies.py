@@ -1,0 +1,142 @@
+"""Clock-period prediction policies.
+
+A policy maps one pipeline :class:`~repro.sim.trace.CycleRecord` to the
+clock period it requests for that cycle.  All policies are *predictive*:
+they use only information available in the cycle itself (which decoded
+instructions are in flight), never measured outcomes — except the genie
+oracle, which exists to compute the paper's theoretical upper bound.
+"""
+
+from repro.dta.extraction import attribute_cycle
+from repro.sim.trace import Stage
+from repro.timing.profiles import BUBBLE_CLASS
+
+
+class StaticClockPolicy:
+    """Conventional synchronous clocking at the STA period (Eq. 1)."""
+
+    name = "static"
+
+    def __init__(self, period_ps):
+        if period_ps <= 0:
+            raise ValueError(f"invalid static period {period_ps}")
+        self.period_ps = period_ps
+
+    def period_for(self, record):
+        return self.period_ps
+
+
+class InstructionLutPolicy:
+    """The paper's technique (Fig. 1, Eq. 2): monitor the instruction in
+    every pipeline stage and take the maximum of their LUT delays."""
+
+    name = "instruction-lut"
+
+    def __init__(self, lut):
+        self.lut = lut
+
+    def period_for(self, record):
+        classes = attribute_cycle(record)
+        return max(
+            self.lut.entry(classes[stage], stage) for stage in Stage
+        )
+
+
+class ExOnlyLutPolicy:
+    """Simplified monitor (paper Sec. IV-A): track only the EX-stage
+    instruction, with fixed floors guaranteeing the other stage groups.
+
+    The EX occupant also determines the ADR group in our microarchitecture
+    (next-pc logic), so monitoring EX covers the two groups the paper finds
+    limiting in 100 % of the significant cycles; FE/DC/CTRL/WB are covered
+    by a static floor — the worst characterised entry of each group.
+    """
+
+    name = "ex-only-lut"
+
+    def __init__(self, lut):
+        self.lut = lut
+        self.floor_ps = self._static_floor()
+
+    def _static_floor(self):
+        floor = 0.0
+        floor_stages = (Stage.FE, Stage.DC, Stage.CTRL, Stage.WB)
+        for cls in list(self.lut.classes()) + [BUBBLE_CLASS]:
+            if not self.lut.is_characterized(cls):
+                continue   # never predicted for these stages anyway
+            for stage in floor_stages:
+                floor = max(floor, self.lut.entry(cls, stage))
+        return floor if floor > 0 else self.lut.static_period_ps
+
+    def period_for(self, record):
+        ex_cls = attribute_cycle(record)[Stage.EX]
+        return max(
+            self.lut.entry(ex_cls, Stage.EX),
+            self.lut.entry(ex_cls, Stage.ADR),
+            self.floor_ps,
+        )
+
+
+class TwoClassPolicy:
+    """Two-speed baseline in the spirit of application-adaptive
+    guard-banding [8]: instructions are split into a *slow* and a *fast*
+    class and the clock toggles between just two periods.
+
+    By default the slow set contains the multiply/divide classes plus
+    everything that fell back to static characterisation.
+    """
+
+    name = "two-class"
+
+    DEFAULT_SLOW = ("l.mul(i)", "l.div")
+
+    def __init__(self, lut, slow_classes=None):
+        self.lut = lut
+        if slow_classes is None:
+            slow_classes = self.DEFAULT_SLOW
+        self.slow_classes = set(slow_classes)
+        self.slow_period_ps = lut.static_period_ps
+        self.fast_period_ps = self._fast_period()
+
+    def _fast_period(self):
+        """Worst LUT entry over every fast, characterised class and every
+        stage — the fast period must be safe for anything non-slow."""
+        worst = 0.0
+        for cls in list(self.lut.classes()) + [BUBBLE_CLASS]:
+            if cls in self.slow_classes:
+                continue
+            if not self.lut.is_characterized(cls):
+                # uncharacterised classes force the slow period at runtime
+                continue
+            for stage in Stage:
+                worst = max(worst, self.lut.entry(cls, stage))
+        return worst if worst > 0 else self.lut.static_period_ps
+
+    def _is_slow(self, cls):
+        return (
+            cls in self.slow_classes
+            or not self.lut.is_characterized(cls)
+        )
+
+    def period_for(self, record):
+        classes = attribute_cycle(record)
+        if any(self._is_slow(classes[stage]) for stage in Stage):
+            return self.slow_period_ps
+        return self.fast_period_ps
+
+
+class GeniePolicy:
+    """A-posteriori oracle: per-cycle minimum safe period (Sec. IV-A).
+
+    Uses the excitation model's measured delays, i.e. knowledge a real
+    predictive controller cannot have.  Only used to compute the
+    theoretical upper bound on the gains (the paper's 50 %).
+    """
+
+    name = "genie"
+
+    def __init__(self, excitation):
+        self.excitation = excitation
+
+    def period_for(self, record):
+        return self.excitation.cycle_max(record)

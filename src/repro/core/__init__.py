@@ -1,0 +1,12 @@
+"""The paper's primary contribution, packaged as one top-level API.
+
+:class:`~repro.core.dca.DynamicClockAdjustment` ties the whole stack
+together: build/characterise a design, then evaluate programs under
+instruction-based dynamic clock adjustment (or any of the baseline
+policies) and derive speed and energy numbers.
+"""
+
+from repro.core.dca import DynamicClockAdjustment
+from repro.core.config import DcaConfig
+
+__all__ = ["DynamicClockAdjustment", "DcaConfig"]

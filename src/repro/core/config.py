@@ -1,0 +1,59 @@
+"""Configuration of a DynamicClockAdjustment instance."""
+
+from dataclasses import dataclass
+
+from repro.timing.profiles import DesignVariant
+
+
+@dataclass
+class DcaConfig:
+    """Knobs of the end-to-end technique.
+
+    Attributes
+    ----------
+    variant:
+        Design implementation flavour; the paper's technique requires the
+        ``CRITICAL_RANGE`` variant for good gains (Sec. II-B.1).
+    voltage:
+        Supply voltage of the evaluation (paper: 0.70 V).
+    policy:
+        ``"instruction"`` (the paper's technique), ``"ex-only"``
+        (simplified monitor, Sec. IV-A), ``"two-class"`` (guard-banding
+        baseline [8]), ``"genie"`` (oracle bound) or ``"static"``.
+    generator:
+        ``"ideal"``, ``"ring"`` or ``"pll"`` clock-generator model.
+    margin_percent:
+        Extra guard band on predicted periods.
+    min_occurrences:
+        Characterisation occurrence threshold for the static fallback.
+    check_safety:
+        Replay ground-truth delays during evaluation and record violations.
+    seed:
+        Root seed of the synthetic netlist.
+    """
+
+    variant: DesignVariant = DesignVariant.CRITICAL_RANGE
+    voltage: float = 0.70
+    policy: str = "instruction"
+    generator: str = "ideal"
+    margin_percent: float = 0.0
+    min_occurrences: int = 30
+    check_safety: bool = True
+    seed: int = None
+
+    POLICIES = ("instruction", "ex-only", "two-class", "genie", "static")
+    GENERATORS = ("ideal", "ring", "pll")
+
+    def validate(self):
+        if self.policy not in self.POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; choose from {self.POLICIES}"
+            )
+        if self.generator not in self.GENERATORS:
+            raise ValueError(
+                f"unknown generator {self.generator!r}; "
+                f"choose from {self.GENERATORS}"
+            )
+        if self.margin_percent < 0:
+            raise ValueError("margin_percent cannot be negative")
+        return self

@@ -1,0 +1,132 @@
+"""Top-level API: instruction-based dynamic clock adjustment.
+
+Typical use::
+
+    from repro.core import DynamicClockAdjustment
+    from repro.workloads import get_kernel
+
+    dca = DynamicClockAdjustment()          # build + characterise @ 0.70 V
+    result = dca.evaluate(get_kernel("crc32").program())
+    print(result.summary())                 # speedup over static clocking
+
+The instance owns the design (timing model + netlist), the characterised
+delay LUT and the policy/generator configuration.
+"""
+
+from repro.clocking.generator import (
+    IdealClockGenerator,
+    MultiPLLClockGenerator,
+    TunableRingOscillator,
+)
+from repro.clocking.policies import (
+    ExOnlyLutPolicy,
+    GeniePolicy,
+    InstructionLutPolicy,
+    StaticClockPolicy,
+    TwoClassPolicy,
+)
+from repro.core.config import DcaConfig
+from repro.flow.characterize import characterize
+from repro.flow.evaluate import evaluate_program, evaluate_suite
+from repro.timing.design import build_design
+from repro.utils.units import ps_to_mhz
+
+
+class DynamicClockAdjustment:
+    """Characterised core with instruction-based clock adjustment.
+
+    Parameters
+    ----------
+    config:
+        :class:`~repro.core.config.DcaConfig`; defaults reproduce the
+        paper's setup (critical-range design, 0.70 V, per-instruction LUT,
+        ideal clock generator).
+    characterization:
+        Optional pre-computed
+        :class:`~repro.flow.characterize.CharacterizationResult` to reuse
+        (characterisation is the expensive step).
+    """
+
+    def __init__(self, config=None, characterization=None, programs=None):
+        self.config = (config or DcaConfig()).validate()
+        self.design = build_design(
+            self.config.variant, voltage=self.config.voltage,
+            seed=self.config.seed,
+        )
+        if characterization is None:
+            characterization = characterize(
+                self.design, programs=programs,
+                min_occurrences=self.config.min_occurrences,
+            )
+        self.characterization = characterization
+        self.lut = characterization.lut
+
+    # -- component factories -----------------------------------------------
+
+    def make_policy(self, name=None):
+        name = name or self.config.policy
+        if name == "instruction":
+            return InstructionLutPolicy(self.lut)
+        if name == "ex-only":
+            return ExOnlyLutPolicy(self.lut)
+        if name == "two-class":
+            return TwoClassPolicy(self.lut)
+        if name == "genie":
+            return GeniePolicy(self.design.excitation)
+        if name == "static":
+            return StaticClockPolicy(self.design.static_period_ps)
+        raise ValueError(f"unknown policy {name!r}")
+
+    def make_generator(self, name=None):
+        name = name or self.config.generator
+        if name == "ideal":
+            return IdealClockGenerator()
+        if name == "ring":
+            return TunableRingOscillator()
+        if name == "pll":
+            return MultiPLLClockGenerator()
+        raise ValueError(f"unknown generator {name!r}")
+
+    # -- evaluation ----------------------------------------------------------
+
+    @property
+    def static_frequency_mhz(self):
+        """Conventional (STA-limited) clock frequency."""
+        return ps_to_mhz(self.design.static_period_ps)
+
+    def evaluate(self, program, policy=None, generator=None,
+                 margin_percent=None, check_safety=None):
+        """Evaluate one program; returns an EvaluationResult."""
+        return evaluate_program(
+            program,
+            self.design,
+            self.make_policy(policy),
+            generator=self.make_generator(generator),
+            margin_percent=(
+                self.config.margin_percent
+                if margin_percent is None else margin_percent
+            ),
+            check_safety=(
+                self.config.check_safety
+                if check_safety is None else check_safety
+            ),
+        )
+
+    def evaluate_suite(self, programs, policy=None, generator=None,
+                       check_safety=None):
+        """Evaluate a list of programs under one policy."""
+        return evaluate_suite(
+            programs,
+            self.design,
+            lambda: self.make_policy(policy),
+            generator=self.make_generator(generator),
+            margin_percent=self.config.margin_percent,
+            check_safety=(
+                self.config.check_safety
+                if check_safety is None else check_safety
+            ),
+        )
+
+    def lut_table(self, classes=None):
+        """Table II-style rendering of the characterised LUT."""
+        return self.lut.render(classes=classes)

@@ -1,0 +1,36 @@
+"""Dynamic timing analysis (paper Sec. II-B.2).
+
+The flow mirrors the paper's tooling chain:
+
+1. :mod:`repro.dta.gatesim` — "gate-level simulation": runs a program on
+   the cycle-accurate pipeline while sampling the excitation model, and
+   emits an endpoint event log (last data-input event vs. next clock edge
+   per sequential element per cycle, like the paper's Modelsim/TSSI flow);
+2. :mod:`repro.dta.analyzer` — the DTA tool: recovers per-endpoint dynamic
+   delays from the event log (accounting for per-endpoint clock skew and
+   setup), groups endpoints into pipeline-stage path groups, and computes
+   per-cycle per-stage maxima, the genie-aided bound and limiting-stage
+   statistics (Figs. 5 and 6);
+3. :mod:`repro.dta.extraction` — per-instruction worst-case extraction:
+   attributes stage delays to the driving instruction's timing class and
+   produces the delay-prediction LUT (Table II), with the static-timing
+   fallback for under-characterised instructions;
+4. :mod:`repro.dta.histograms` — Fig. 5 / Fig. 7 histogram builders.
+"""
+
+from repro.dta.analyzer import DtaResult, analyze_event_log
+from repro.dta.events import EndpointEvent, EventLog
+from repro.dta.extraction import extract_lut
+from repro.dta.gatesim import GateLevelSimulator, GateSimResult
+from repro.dta.lut import DelayLUT
+
+__all__ = [
+    "EndpointEvent",
+    "EventLog",
+    "GateLevelSimulator",
+    "GateSimResult",
+    "DtaResult",
+    "analyze_event_log",
+    "extract_lut",
+    "DelayLUT",
+]

@@ -1,0 +1,114 @@
+"""The dynamic timing analysis tool (paper's Perl DTA, Sec. II-B.2).
+
+Consumes an endpoint event log and recovers, without access to the timing
+model that produced it:
+
+- the dynamic delay of each endpoint in each cycle, from the difference
+  between its next clock edge and its last data event (the per-endpoint
+  comparison makes clock skew cancel, as the paper emphasises);
+- per-cycle, per-stage-group worst delays ``d_s[t]`` after grouping
+  endpoints using the pipeline specification;
+- the per-cycle overall worst delay (the genie-aided minimum safe period),
+  its distribution (Fig. 5) and the time-average lower bound on T_avg;
+- which stage limits each cycle (Fig. 6).
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.trace import Stage
+from repro.utils.stats import Histogram
+
+
+@dataclass
+class DtaResult:
+    """Per-cycle dynamic timing data recovered from an event log."""
+
+    sim_period_ps: float
+    num_cycles: int
+    #: stage -> numpy array of per-cycle worst delays (ps).
+    stage_delays: dict = field(default_factory=dict)
+    #: per-cycle overall worst delay (ps).
+    cycle_max: np.ndarray = None
+    #: per-cycle limiting stage (Stage value indices).
+    limiting_stage: np.ndarray = None
+
+    # -- Fig. 5 statistics ----------------------------------------------------
+
+    @property
+    def mean_cycle_delay_ps(self):
+        """Optimistic lower bound on the average clock period (genie)."""
+        return float(self.cycle_max.mean())
+
+    @property
+    def max_cycle_delay_ps(self):
+        return float(self.cycle_max.max())
+
+    def genie_speedup_percent(self, static_period_ps):
+        """Theoretical speedup of perfect per-cycle adjustment (Sec. IV-A)."""
+        return (static_period_ps / self.mean_cycle_delay_ps - 1.0) * 100.0
+
+    def delay_histogram(self, num_bins=40, low=0.0, high=None):
+        """Histogram of per-cycle worst delays (paper Fig. 5)."""
+        if high is None:
+            high = float(np.ceil(self.max_cycle_delay_ps / 100.0) * 100.0)
+        histogram = Histogram(low=low, high=high, num_bins=num_bins)
+        histogram.extend(self.cycle_max.tolist())
+        return histogram
+
+    # -- Fig. 6 statistics ----------------------------------------------------
+
+    def limiting_stage_shares(self):
+        """Fraction of cycles in which each stage holds the worst endpoint."""
+        shares = {}
+        for stage in Stage:
+            shares[stage] = float(
+                (self.limiting_stage == stage.value).sum() / self.num_cycles
+            )
+        return shares
+
+    def dominant_stage(self):
+        shares = self.limiting_stage_shares()
+        return max(shares, key=lambda stage: shares[stage])
+
+
+def analyze_event_log(event_log):
+    """Run the DTA over an event log; returns a :class:`DtaResult`.
+
+    The grouping of endpoints into pipeline stages comes from the event
+    log's endpoint metadata (the paper's "pipeline specification" input).
+    """
+    event_log.validate()
+    num_cycles = event_log.num_cycles
+    if num_cycles <= 0:
+        raise ValueError("event log contains no cycles")
+
+    period = event_log.sim_period_ps
+    stage_delays = {
+        stage: np.zeros(num_cycles, dtype=float) for stage in Stage
+    }
+
+    for event in event_log.events:
+        setup = event_log.endpoint_setup(event.endpoint)
+        stage_name = event_log.endpoint_stage(event.endpoint)
+        stage = Stage[stage_name]
+        # slack observed at the endpoint; skew cancels because both
+        # timestamps are taken at the same element
+        slack = event.t_clock_ps - event.t_data_ps - setup
+        delay = period - slack
+        row = stage_delays[stage]
+        if delay > row[event.cycle]:
+            row[event.cycle] = delay
+
+    matrix = np.stack([stage_delays[stage] for stage in Stage])
+    cycle_max = matrix.max(axis=0)
+    limiting = matrix.argmax(axis=0)
+
+    return DtaResult(
+        sim_period_ps=period,
+        num_cycles=num_cycles,
+        stage_delays=stage_delays,
+        cycle_max=cycle_max,
+        limiting_stage=limiting,
+    )

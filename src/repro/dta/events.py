@@ -1,0 +1,70 @@
+"""Endpoint event log — the interface between simulation and analysis.
+
+The paper's gate-level simulation monitors the data and clock inputs of
+every flip-flop and memory macro and writes an event log; the DTA tool then
+relates, per cycle and per endpoint, the *last data event* to the *next
+active clock edge at that same endpoint* (clock skew therefore cancels per
+endpoint, which is why the paper stresses the individual comparison).
+
+We reproduce that interface faithfully: the event log stores absolute
+timestamps, and the analyzer recovers delays without access to the timing
+model that produced them.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class EndpointEvent:
+    """Last data-input event and next clock edge of one endpoint, one cycle.
+
+    Times are absolute picoseconds from simulation start.
+    """
+
+    cycle: int
+    endpoint: str
+    t_data_ps: float
+    t_clock_ps: float
+
+
+@dataclass
+class EventLog:
+    """Event stream plus the metadata the DTA needs to interpret it."""
+
+    sim_period_ps: float                     # "low" gate-sim clock period
+    num_cycles: int = 0
+    events: list = field(default_factory=list)
+    #: endpoint name -> (stage name, setup_ps); from the netlist/SDF.
+    endpoint_meta: dict = field(default_factory=dict)
+
+    def add(self, event):
+        self.events.append(event)
+
+    def register_endpoint(self, name, stage_name, setup_ps):
+        self.endpoint_meta[name] = (stage_name, setup_ps)
+
+    @property
+    def num_events(self):
+        return len(self.events)
+
+    def endpoint_stage(self, name):
+        return self.endpoint_meta[name][0]
+
+    def endpoint_setup(self, name):
+        return self.endpoint_meta[name][1]
+
+    def validate(self):
+        """Sanity checks: every event's endpoint registered, times ordered."""
+        for event in self.events:
+            if event.endpoint not in self.endpoint_meta:
+                raise ValueError(
+                    f"event references unregistered endpoint "
+                    f"{event.endpoint!r}"
+                )
+            if event.t_clock_ps < event.t_data_ps:
+                raise ValueError(
+                    f"endpoint {event.endpoint!r} cycle {event.cycle}: "
+                    f"clock edge before data event (timing violation in "
+                    f"the characterisation run — sim period too fast)"
+                )
+        return True

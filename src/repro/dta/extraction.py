@@ -1,0 +1,139 @@
+"""Per-instruction worst-case delay extraction (paper's Matlab step).
+
+Combines the DTA per-cycle stage delays with the pipeline trace: every
+stage-group delay in every cycle is attributed to the timing class of the
+instruction *driving* that group in that cycle (the same driver mapping the
+excitation model and the clock controller use — see
+:func:`repro.timing.excitation.driver_view`), and per-class maxima across
+all occurrences become the delay-prediction LUT entries:
+
+    d_I^s = max over t where class(driver_s(t)) == I of d_s[t]
+
+Classes observed fewer than ``min_occurrences`` times in EX keep the static
+worst-case period (Sec. IV-A: "Instructions where no accurate maximum delay
+characterization could be performed ... are represented ... with the
+worst-case clock period timings from static timing analysis").
+"""
+
+from repro.dta.lut import DelayLUT
+from repro.sim.trace import Stage
+from repro.timing.excitation import driver_view
+from repro.timing.profiles import BUBBLE_CLASS
+
+#: Default threshold for trusting a class's characterisation.
+DEFAULT_MIN_OCCURRENCES = 30
+
+
+def attribute_cycle(record):
+    """Driver timing class of every stage group in one cycle."""
+    classes = {}
+    for stage in Stage:
+        view = driver_view(record, stage)
+        classes[stage] = (
+            view.timing_class if view.timing_class is not None
+            else BUBBLE_CLASS
+        )
+    return classes
+
+
+def extract_lut(dta_result, trace, static_period_ps,
+                min_occurrences=DEFAULT_MIN_OCCURRENCES, source=""):
+    """Build the :class:`DelayLUT` from one characterisation run.
+
+    Parameters
+    ----------
+    dta_result:
+        Output of :func:`repro.dta.analyzer.analyze_event_log`.
+    trace:
+        The pipeline trace of the same run (provides the attribution).
+    static_period_ps:
+        Fallback period for under-characterised classes.
+    min_occurrences:
+        Minimum EX-stage observations to trust a class's entries.
+    """
+    if dta_result.num_cycles != trace.num_cycles:
+        raise ValueError(
+            f"DTA covers {dta_result.num_cycles} cycles but the trace has "
+            f"{trace.num_cycles}"
+        )
+
+    entries = {}
+    ex_counts = {}
+    for record in trace.records:
+        classes = attribute_cycle(record)
+        for stage in Stage:
+            cls = classes[stage]
+            delay = float(dta_result.stage_delays[stage][record.cycle])
+            row = entries.setdefault(cls, {})
+            if delay > row.get(stage, 0.0):
+                row[stage] = delay
+        ex_cls = classes[Stage.EX]
+        ex_counts[ex_cls] = ex_counts.get(ex_cls, 0) + 1
+
+    characterized = {
+        cls for cls, count in ex_counts.items() if count >= min_occurrences
+    }
+    # Bubbles are ubiquitous; they are characterised whenever seen at all.
+    if BUBBLE_CLASS in ex_counts:
+        characterized.add(BUBBLE_CLASS)
+
+    # complete rows: a class must have an entry for every stage group
+    for cls, row in entries.items():
+        for stage in Stage:
+            row.setdefault(stage, static_period_ps)
+
+    return DelayLUT(
+        static_period_ps=static_period_ps,
+        entries=entries,
+        occurrences=ex_counts,
+        characterized=characterized,
+        min_occurrences=min_occurrences,
+        source=source,
+    )
+
+
+def merge_luts(luts):
+    """Merge LUTs from several characterisation runs (max per entry).
+
+    The paper characterises with a mix of hand-written kernels and
+    semi-random programs; merging their per-run LUTs is equivalent to
+    extracting from the concatenated trace.
+    """
+    if not luts:
+        raise ValueError("need at least one LUT to merge")
+    static = max(lut.static_period_ps for lut in luts)
+    min_occ = max(lut.min_occurrences for lut in luts)
+    merged_entries = {}
+    merged_counts = {}
+    for lut in luts:
+        for cls, row in lut.entries.items():
+            target = merged_entries.setdefault(cls, {})
+            for stage, delay in row.items():
+                # static-period fillers must not mask measured entries
+                if delay >= lut.static_period_ps and stage not in target:
+                    target[stage] = delay
+                elif delay < lut.static_period_ps:
+                    measured = target.get(stage)
+                    if (
+                        measured is None
+                        or measured >= lut.static_period_ps
+                        or delay > measured
+                    ):
+                        target[stage] = delay
+        for cls, count in lut.occurrences.items():
+            merged_counts[cls] = merged_counts.get(cls, 0) + count
+
+    characterized = {
+        cls for cls, count in merged_counts.items() if count >= min_occ
+    }
+    if BUBBLE_CLASS in merged_counts:
+        characterized.add(BUBBLE_CLASS)
+    sources = "+".join(sorted({lut.source for lut in luts if lut.source}))
+    return DelayLUT(
+        static_period_ps=static,
+        entries=merged_entries,
+        occurrences=merged_counts,
+        characterized=characterized,
+        min_occurrences=min_occ,
+        source=sources,
+    )

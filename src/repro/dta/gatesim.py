@@ -1,0 +1,124 @@
+"""Gate-level simulation substitute: pipeline run + excitation sampling.
+
+The paper runs the placed-and-routed netlist in Modelsim at a "low" clock
+frequency and records an event log of all endpoint data/clock activity.
+Here the cycle-accurate pipeline provides the per-cycle stage occupancy,
+and the excitation model provides the worst data-arrival delay of each
+endpoint group; the result is serialised into exactly the event-log shape
+the analyzer consumes.
+
+Each stage group materialises events on its (few) representative endpoints:
+the worst endpoint of the group carries the excited delay; the others trail
+at fixed fractions, exercising the analyzer's per-endpoint max reduction.
+"""
+
+from dataclasses import dataclass
+
+from repro.dta.events import EndpointEvent, EventLog
+from repro.sim.pipeline import PipelineSimulator
+from repro.sim.trace import Stage
+
+#: Data-arrival fractions of the non-worst endpoints in each group.
+_TRAILING_FRACTIONS = (1.0, 0.86, 0.67)
+
+#: Default gate-sim clock period margin above the STA period.
+_SIM_PERIOD_MARGIN = 1.10
+
+
+@dataclass
+class GateSimResult:
+    """Output bundle of one characterisation run."""
+
+    program_name: str
+    event_log: EventLog
+    trace: object                    # PipelineTrace
+    design: object                   # ProcessorDesign
+    num_cycles: int
+
+    @property
+    def pc_trace(self):
+        """Program-counter trace of retired instructions (paper's .das input)."""
+        return [pc for pc, _ in self.trace.retired]
+
+
+class GateLevelSimulator:
+    """Runs a program against a design and produces the event log.
+
+    Parameters
+    ----------
+    program:
+        Assembled program.
+    design:
+        :class:`~repro.timing.design.ProcessorDesign`.
+    sim_period_ps:
+        Gate-sim clock period; defaults to 10 % above the STA period (the
+        characterisation must itself be timing-safe).
+    max_cycles:
+        Safety bound for the pipeline run.
+    """
+
+    def __init__(self, program, design, sim_period_ps=None,
+                 max_cycles=2_000_000):
+        self.program = program
+        self.design = design
+        if sim_period_ps is None:
+            sim_period_ps = design.static_period_ps * _SIM_PERIOD_MARGIN
+        if sim_period_ps < design.static_period_ps:
+            raise ValueError(
+                "gate-level simulation must run at or below the STA "
+                f"frequency: period {sim_period_ps} ps < "
+                f"{design.static_period_ps} ps"
+            )
+        self.sim_period_ps = sim_period_ps
+        self.max_cycles = max_cycles
+
+    def run(self):
+        """Simulate and emit the event log."""
+        simulator = PipelineSimulator(self.program)
+        trace = simulator.run(max_cycles=self.max_cycles)
+
+        log = EventLog(sim_period_ps=self.sim_period_ps)
+        endpoints_by_stage = {}
+        for stage in Stage:
+            stage_endpoints = self.design.netlist.endpoints_for(stage)
+            endpoints_by_stage[stage] = stage_endpoints
+            for endpoint in stage_endpoints:
+                log.register_endpoint(
+                    endpoint.name, stage.name, endpoint.setup_ps
+                )
+
+        excitation = self.design.excitation
+        period = self.sim_period_ps
+        for record in trace.records:
+            t0 = record.cycle * period
+            for stage in Stage:
+                excited = excitation.group_delay(record, stage)
+                for endpoint, fraction in zip(
+                    endpoints_by_stage[stage], _TRAILING_FRACTIONS
+                ):
+                    delay = excited.delay_ps * fraction
+                    # data must arrive `setup` before the (skewed) edge for
+                    # a path of this delay: D = arrival - t0 + setup - skew
+                    t_data = t0 + delay - endpoint.setup_ps + endpoint.skew_ps
+                    t_clock = t0 + period + endpoint.skew_ps
+                    log.add(
+                        EndpointEvent(
+                            cycle=record.cycle,
+                            endpoint=endpoint.name,
+                            t_data_ps=round(t_data, 3),
+                            t_clock_ps=round(t_clock, 3),
+                        )
+                    )
+        log.num_cycles = trace.num_cycles
+        return GateSimResult(
+            program_name=self.program.name,
+            event_log=log,
+            trace=trace,
+            design=self.design,
+            num_cycles=trace.num_cycles,
+        )
+
+
+def run_gatesim(program, design, sim_period_ps=None):
+    """Convenience wrapper for one characterisation run."""
+    return GateLevelSimulator(program, design, sim_period_ps).run()

@@ -1,0 +1,52 @@
+"""Histogram builders for the paper's Fig. 5 and Fig. 7."""
+
+import numpy as np
+
+from repro.dta.extraction import attribute_cycle
+from repro.sim.trace import Stage
+from repro.utils.stats import Histogram
+
+
+def fig5_histogram(dta_result, num_bins=40, high=None):
+    """Histogram of per-cycle dynamic maximum delay over all stages.
+
+    This is the paper's Fig. 5; its mean is the genie-aided bound on the
+    average clock period.
+    """
+    return dta_result.delay_histogram(num_bins=num_bins, high=high)
+
+
+def class_stage_delays(dta_result, trace, timing_class):
+    """Per-stage delay samples attributed to one timing class.
+
+    For every cycle in which ``timing_class`` drives a stage group, collect
+    that group's measured delay.  This reproduces the per-stage
+    distributions of Fig. 7 (shown there for ``l.mul``).
+    """
+    samples = {stage: [] for stage in Stage}
+    for record in trace.records:
+        classes = attribute_cycle(record)
+        for stage in Stage:
+            if classes[stage] == timing_class:
+                samples[stage].append(
+                    float(dta_result.stage_delays[stage][record.cycle])
+                )
+    return samples
+
+
+def fig7_histograms(dta_result, trace, timing_class="l.mul(i)",
+                    num_bins=25, high=None):
+    """Per-stage delay histograms for one instruction class (Fig. 7)."""
+    samples = class_stage_delays(dta_result, trace, timing_class)
+    if high is None:
+        peak = max(
+            (max(values) for values in samples.values() if values),
+            default=dta_result.sim_period_ps,
+        )
+        high = float(np.ceil(peak / 100.0) * 100.0)
+    histograms = {}
+    for stage, values in samples.items():
+        histogram = Histogram(low=0.0, high=high, num_bins=num_bins)
+        histogram.extend(values)
+        histograms[stage] = histogram
+    return histograms

@@ -1,0 +1,130 @@
+"""The delay-prediction lookup table (paper Fig. 1 / Table II).
+
+One row per instruction timing class (plus the bubble pseudo-class), one
+entry per pipeline stage group: the worst dynamic delay the class was
+observed to excite in that group during characterisation.  Classes with too
+few observations fall back to the static clock period (paper Sec. IV-A),
+which is always safe.
+"""
+
+import json
+from dataclasses import dataclass, field
+
+from repro.sim.trace import Stage
+from repro.timing.profiles import BUBBLE_CLASS
+from repro.utils.tables import format_table
+
+
+@dataclass
+class DelayLUT:
+    """Per-class, per-stage delay prediction table."""
+
+    static_period_ps: float
+    #: class -> {Stage -> delay_ps}; missing entries fall back to static.
+    entries: dict = field(default_factory=dict)
+    #: class -> number of EX-stage observations during characterisation.
+    occurrences: dict = field(default_factory=dict)
+    #: classes with enough observations to trust their entries.
+    characterized: set = field(default_factory=set)
+    min_occurrences: int = 0
+    source: str = ""
+
+    def classes(self):
+        return sorted(self.entries)
+
+    def is_characterized(self, cls):
+        return cls in self.characterized
+
+    def entry(self, cls, stage):
+        """Predicted worst delay of ``cls`` in ``stage`` (ps).
+
+        Falls back to the static period for unknown or under-characterised
+        classes — the always-safe choice.
+        """
+        if cls not in self.characterized:
+            return self.static_period_ps
+        row = self.entries.get(cls)
+        if row is None or stage not in row:
+            return self.static_period_ps
+        return row[stage]
+
+    def row(self, cls):
+        return {stage: self.entry(cls, stage) for stage in Stage}
+
+    def class_max(self, cls):
+        """Worst entry of a class across stages (Table II 'Max. delay')."""
+        return max(self.row(cls).values())
+
+    def limiting_stage(self, cls):
+        """Stage of the class's worst entry (Table II 'Stage')."""
+        row = self.row(cls)
+        return max(row, key=lambda stage: row[stage])
+
+    @property
+    def bubble_period_ps(self):
+        """Period bound applied for bubbles (flushed/stalled slots)."""
+        return self.class_max(BUBBLE_CLASS)
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_json(self):
+        payload = {
+            "static_period_ps": self.static_period_ps,
+            "min_occurrences": self.min_occurrences,
+            "source": self.source,
+            "characterized": sorted(self.characterized),
+            "occurrences": dict(self.occurrences),
+            "entries": {
+                cls: {stage.name: delay for stage, delay in row.items()}
+                for cls, row in self.entries.items()
+            },
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text):
+        payload = json.loads(text)
+        lut = cls(
+            static_period_ps=payload["static_period_ps"],
+            min_occurrences=payload.get("min_occurrences", 0),
+            source=payload.get("source", ""),
+        )
+        lut.characterized = set(payload.get("characterized", []))
+        lut.occurrences = {
+            key: int(value)
+            for key, value in payload.get("occurrences", {}).items()
+        }
+        lut.entries = {
+            cls_name: {
+                Stage[stage_name]: float(delay)
+                for stage_name, delay in row.items()
+            }
+            for cls_name, row in payload.get("entries", {}).items()
+        }
+        return lut
+
+    # -- reporting -------------------------------------------------------------
+
+    def render(self, classes=None, title="Delay-prediction LUT [ps]"):
+        """Table II-style rendering (one row per class, max + stage)."""
+        if classes is None:
+            classes = self.classes()
+        rows = []
+        for cls in classes:
+            if cls not in self.entries:
+                continue
+            row = self.row(cls)
+            rows.append((
+                cls,
+                f"{self.class_max(cls):.0f}",
+                self.limiting_stage(cls).name,
+                "yes" if cls in self.characterized else "static-fallback",
+                self.occurrences.get(cls, 0),
+                " ".join(f"{row[stage]:.0f}" for stage in Stage),
+            ))
+        return format_table(
+            ["Instruction", "Max delay", "Stage", "Characterized", "Occur.",
+             "ADR FE DC EX CTRL WB"],
+            rows,
+            title=title,
+        )

@@ -1,0 +1,98 @@
+"""Characterisation flow: programs → event logs → DTA → delay LUT.
+
+Mirrors the paper's Fig. 2 right half: gate-level simulation of
+characterisation programs, dynamic timing analysis of the resulting event
+logs, per-instruction extraction and LUT merge.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.dta.analyzer import analyze_event_log
+from repro.dta.extraction import DEFAULT_MIN_OCCURRENCES, extract_lut, merge_luts
+from repro.dta.gatesim import GateLevelSimulator
+from repro.workloads.suite import characterization_suite
+
+
+@dataclass
+class CharacterizationRun:
+    """One program's gate-sim + DTA artefacts (kept for the figure benches)."""
+
+    program_name: str
+    num_cycles: int
+    dta: object           # DtaResult
+    trace: object         # PipelineTrace
+    lut: object           # per-run DelayLUT
+
+
+@dataclass
+class CharacterizationResult:
+    """Merged characterisation of one design."""
+
+    design: object
+    lut: object                       # merged DelayLUT
+    runs: list = field(default_factory=list)
+    total_cycles: int = 0
+
+    @property
+    def num_runs(self):
+        return len(self.runs)
+
+    def run_named(self, program_name):
+        for run in self.runs:
+            if run.program_name == program_name:
+                return run
+        raise KeyError(f"no characterisation run named {program_name!r}")
+
+
+def characterize(design, programs=None, min_occurrences=DEFAULT_MIN_OCCURRENCES,
+                 sim_period_ps=None, keep_runs=True):
+    """Characterise a design and return its merged delay LUT.
+
+    Parameters
+    ----------
+    design:
+        :class:`~repro.timing.design.ProcessorDesign`.
+    programs:
+        Characterisation programs; defaults to the standard suite (directed
+        semi-random generators + hand kernels, paper Sec. II-B.2).
+    min_occurrences:
+        Extraction threshold below which a class falls back to the static
+        period.
+    sim_period_ps:
+        Gate-sim clock period (defaults to 10 % above STA).
+    keep_runs:
+        Keep per-run DTA artefacts (needed by the histogram benches).
+    """
+    if programs is None:
+        programs = characterization_suite()
+
+    runs = []
+    luts = []
+    total_cycles = 0
+    for program in programs:
+        gatesim = GateLevelSimulator(program, design,
+                                     sim_period_ps=sim_period_ps)
+        result = gatesim.run()
+        dta = analyze_event_log(result.event_log)
+        lut = extract_lut(
+            dta, result.trace, design.static_period_ps,
+            min_occurrences=min_occurrences, source=program.name,
+        )
+        luts.append(lut)
+        total_cycles += result.num_cycles
+        if keep_runs:
+            runs.append(
+                CharacterizationRun(
+                    program_name=program.name,
+                    num_cycles=result.num_cycles,
+                    dta=dta,
+                    trace=result.trace,
+                    lut=lut,
+                )
+            )
+
+    merged = merge_luts(luts)
+    merged.source = f"{len(programs)} programs / {total_cycles} cycles"
+    return CharacterizationResult(
+        design=design, lut=merged, runs=runs, total_cycles=total_cycles
+    )

@@ -1,0 +1,67 @@
+"""Experiment records shared by the bench harnesses.
+
+Each bench regenerates one table or figure of the paper; the records here
+standardise how a measured value is compared to the published one so
+EXPERIMENTS.md and the bench output stay consistent.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.utils.tables import format_table
+
+
+@dataclass
+class Comparison:
+    """One (paper value, measured value) pair."""
+
+    name: str
+    paper: float
+    measured: float
+    unit: str = ""
+
+    @property
+    def deviation_percent(self):
+        if self.paper == 0:
+            return float("nan")
+        return (self.measured - self.paper) / abs(self.paper) * 100.0
+
+    def row(self):
+        return (
+            self.name,
+            f"{self.paper:.2f}{self.unit}",
+            f"{self.measured:.2f}{self.unit}",
+            f"{self.deviation_percent:+.1f}%",
+        )
+
+
+@dataclass
+class ExperimentReport:
+    """A bench's full paper-vs-measured comparison."""
+
+    experiment_id: str
+    title: str
+    comparisons: list = field(default_factory=list)
+    notes: list = field(default_factory=list)
+
+    def add(self, name, paper, measured, unit=""):
+        self.comparisons.append(
+            Comparison(name=name, paper=paper, measured=measured, unit=unit)
+        )
+
+    def note(self, text):
+        self.notes.append(text)
+
+    def render(self):
+        table = format_table(
+            ["Metric", "Paper", "Measured", "Deviation"],
+            [c.row() for c in self.comparisons],
+            title=f"{self.experiment_id}: {self.title}",
+        )
+        if self.notes:
+            table += "\n" + "\n".join(f"  note: {n}" for n in self.notes)
+        return table
+
+    def max_abs_deviation_percent(self):
+        return max(
+            abs(c.deviation_percent) for c in self.comparisons
+        )

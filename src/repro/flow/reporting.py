@@ -1,0 +1,52 @@
+"""Report rendering helpers for evaluation sweeps."""
+
+from repro.utils.tables import format_table
+from repro.utils.units import ps_to_mhz
+
+
+def render_suite_results(results, static_period_ps, title="Evaluation"):
+    """Fig. 8-style table: per benchmark, conventional vs. dynamic."""
+    static_mhz = ps_to_mhz(static_period_ps)
+    rows = []
+    for result in sorted(results, key=lambda r: r.program_name):
+        rows.append((
+            result.program_name,
+            f"{static_mhz:.0f}",
+            f"{result.effective_frequency_mhz:.0f}",
+            f"{result.speedup_percent:+.1f}%",
+            f"{result.average_period_ps:.0f}",
+            len(result.violations),
+        ))
+    return format_table(
+        ["Benchmark", "Conv. [MHz]", "Dynamic [MHz]", "Speedup",
+         "T_avg [ps]", "Violations"],
+        rows,
+        title=title,
+        aligns=["<", ">", ">", ">", ">", ">"],
+    )
+
+
+def render_policy_comparison(results_by_policy, title="Policy comparison"):
+    """Rows = benchmarks, columns = policies (effective MHz)."""
+    policies = sorted(results_by_policy)
+    benchmarks = sorted(
+        {r.program_name for results in results_by_policy.values()
+         for r in results}
+    )
+    lookup = {
+        (policy, r.program_name): r
+        for policy, results in results_by_policy.items()
+        for r in results
+    }
+    rows = []
+    for benchmark in benchmarks:
+        row = [benchmark]
+        for policy in policies:
+            result = lookup.get((policy, benchmark))
+            row.append(
+                f"{result.effective_frequency_mhz:.0f}" if result else "-"
+            )
+        rows.append(tuple(row))
+    return format_table(
+        ["Benchmark"] + [str(p) for p in policies], rows, title=title
+    )

@@ -1,0 +1,46 @@
+"""OpenRISC 1000 (ORBIS32 subset) instruction set.
+
+This package provides the ISA substrate for the reproduction: register
+definitions, instruction specifications with their real 32-bit encodings,
+an encoder/decoder pair, executable semantics, and the mapping from
+mnemonics to the *timing classes* used by the delay-prediction LUT of the
+paper (e.g. ``l.add`` and ``l.addi`` share the class ``l.add(i)``).
+"""
+
+from repro.isa.classes import timing_class, all_timing_classes
+from repro.isa.encoding import decode, encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    Format,
+    InstructionKind,
+    InstructionSpec,
+    SPECS,
+    spec_for,
+)
+from repro.isa.registers import (
+    REG_COUNT,
+    REG_LINK,
+    REG_SP,
+    REG_ZERO,
+    parse_register,
+    register_name,
+)
+
+__all__ = [
+    "Instruction",
+    "Format",
+    "InstructionKind",
+    "InstructionSpec",
+    "SPECS",
+    "spec_for",
+    "encode",
+    "decode",
+    "timing_class",
+    "all_timing_classes",
+    "REG_COUNT",
+    "REG_ZERO",
+    "REG_SP",
+    "REG_LINK",
+    "parse_register",
+    "register_name",
+]

@@ -1,0 +1,45 @@
+"""Timing classes: the granularity of the delay-prediction LUT.
+
+The paper characterises worst-case dynamic delay per *instruction type* and
+pipeline stage (Table II lists entries such as ``l.add(i)`` covering both the
+register and the immediate form, because both excite the same adder paths).
+This module owns the mnemonic → class mapping and the canonical ordering used
+in reports.
+"""
+
+from repro.isa.opcodes import SPECS
+
+
+def timing_class(mnemonic):
+    """Timing class of a mnemonic, e.g. ``timing_class('l.addi') == 'l.add(i)'``."""
+    return SPECS[mnemonic].timing_class
+
+
+def all_timing_classes():
+    """Sorted list of every timing class in the implemented subset."""
+    return sorted({spec.timing_class for spec in SPECS.values()})
+
+
+def mnemonics_in_class(cls):
+    """All mnemonics that share the timing class ``cls``."""
+    members = sorted(
+        spec.mnemonic for spec in SPECS.values() if spec.timing_class == cls
+    )
+    if not members:
+        raise KeyError(f"unknown timing class: {cls!r}")
+    return members
+
+
+#: Classes reported in the paper's Table I / Table II, in paper order.
+PAPER_TABLE_CLASSES = [
+    "l.add(i)",
+    "l.and(i)",
+    "l.bf",
+    "l.j",
+    "l.lwz",
+    "l.mul(i)",
+    "l.nop",
+    "l.sll(i)",
+    "l.sw",
+    "l.xor(i)",
+]

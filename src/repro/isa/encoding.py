@@ -1,0 +1,250 @@
+"""Binary encoder/decoder for the implemented ORBIS32 subset.
+
+The bit layouts follow the OpenRISC 1000 architecture manual.  ``encode`` and
+``decode`` are exact inverses for every representable instruction, which the
+test suite verifies exhaustively (per mnemonic) and with property-based
+random operands.
+"""
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import SPECS, Format
+from repro.utils.bitops import bits, mask, sign_extend
+
+
+class EncodingError(ValueError):
+    """Raised for out-of-range operands or undecodable words."""
+
+
+def _check_reg(name, value):
+    if not 0 <= value < 32:
+        raise EncodingError(f"{name} out of range: {value}")
+    return value
+
+
+def _encode_imm(value, width, signed):
+    limit = 1 << (width - 1)
+    if signed:
+        if not -limit <= value < limit:
+            raise EncodingError(
+                f"signed immediate {value} does not fit in {width} bits"
+            )
+    else:
+        if not 0 <= value < (1 << width):
+            raise EncodingError(
+                f"unsigned immediate {value} does not fit in {width} bits"
+            )
+    return value & mask(width)
+
+
+def encode(instruction):
+    """Encode an :class:`Instruction` into its 32-bit word."""
+    spec = instruction.spec
+    fmt = spec.fmt
+    major = spec.major << 26
+    rd = instruction.rd
+    ra = instruction.ra
+    rb = instruction.rb
+    imm = instruction.imm
+
+    if fmt in (Format.J, Format.BRANCH):
+        return major | _encode_imm(imm, 26, signed=True)
+    if fmt == Format.JR:
+        _check_reg("rb", rb)
+        return major | (rb << 11)
+    if fmt == Format.NOP:
+        return major | (0x01 << 24) | _encode_imm(imm, 16, signed=False)
+    if fmt == Format.MOVHI:
+        _check_reg("rd", rd)
+        return major | (rd << 21) | _encode_imm(imm, 16, signed=False)
+    if fmt == Format.LOAD or fmt == Format.ALU_IMM:
+        _check_reg("rd", rd)
+        _check_reg("ra", ra)
+        word = major | (rd << 21) | (ra << 16)
+        return word | _encode_imm(imm, 16, signed=spec.signed_imm)
+    if fmt == Format.STORE:
+        _check_reg("ra", ra)
+        _check_reg("rb", rb)
+        imm16 = _encode_imm(imm, 16, signed=True)
+        return (
+            major
+            | (bits(imm16, 15, 11) << 21)
+            | (ra << 16)
+            | (rb << 11)
+            | bits(imm16, 10, 0)
+        )
+    if fmt == Format.SHIFT_IMM:
+        _check_reg("rd", rd)
+        _check_reg("ra", ra)
+        shift_type = spec.secondary["shift_type"]
+        amount = _encode_imm(imm, 6, signed=False)
+        return major | (rd << 21) | (ra << 16) | (shift_type << 6) | amount
+    if fmt == Format.SETFLAG_IMM:
+        _check_reg("ra", ra)
+        cond = spec.secondary["cond"]
+        word = major | (cond << 21) | (ra << 16)
+        return word | _encode_imm(imm, 16, signed=spec.signed_imm)
+    if fmt == Format.SETFLAG_REG:
+        _check_reg("ra", ra)
+        _check_reg("rb", rb)
+        cond = spec.secondary["cond"]
+        return major | (cond << 21) | (ra << 16) | (rb << 11)
+    if fmt == Format.ALU_REG:
+        _check_reg("rd", rd)
+        _check_reg("ra", ra)
+        if spec.reads_rb:
+            _check_reg("rb", rb)
+        else:
+            rb = 0
+        op4 = spec.secondary["op4"]
+        sec = spec.secondary.get("sec", 0)
+        shift_type = spec.secondary.get("shift_type", 0)
+        return (
+            major
+            | (rd << 21)
+            | (ra << 16)
+            | (rb << 11)
+            | (sec << 8)
+            | (shift_type << 6)
+            | op4
+        )
+    raise AssertionError(f"unhandled format {fmt}")
+
+
+# -- decoding ----------------------------------------------------------------
+
+#: major opcode -> mnemonic, for formats fully determined by the major.
+_SIMPLE_MAJORS = {}
+#: (op4, sec) -> mnemonic, for 0x38 sub-ops without a shift_type field.
+_ALU_REG_OPS = {}
+#: (op4, shift_type) -> mnemonic, for 0x38 sub-ops keyed on shift_type.
+_ALU_REG_SHIFT_OPS = {}
+#: cond -> mnemonic, for 0x2F / 0x39.
+_SF_IMM_CONDS = {}
+_SF_REG_CONDS = {}
+#: shift_type -> mnemonic, for 0x2E.
+_SHIFT_IMM_OPS = {}
+
+for _spec in SPECS.values():
+    if _spec.fmt == Format.ALU_REG:
+        op4 = _spec.secondary["op4"]
+        if op4 in (0x8, 0xC):
+            _ALU_REG_SHIFT_OPS[(op4, _spec.secondary["shift_type"])] = (
+                _spec.mnemonic
+            )
+        else:
+            _ALU_REG_OPS[(op4, _spec.secondary.get("sec", 0))] = _spec.mnemonic
+    elif _spec.fmt == Format.SETFLAG_IMM:
+        _SF_IMM_CONDS[_spec.secondary["cond"]] = _spec.mnemonic
+    elif _spec.fmt == Format.SETFLAG_REG:
+        _SF_REG_CONDS[_spec.secondary["cond"]] = _spec.mnemonic
+    elif _spec.fmt == Format.SHIFT_IMM:
+        _SHIFT_IMM_OPS[_spec.secondary["shift_type"]] = _spec.mnemonic
+    else:
+        if _spec.major in _SIMPLE_MAJORS:
+            raise AssertionError(
+                f"major opcode collision: {_spec.major:#x} already used by "
+                f"{_SIMPLE_MAJORS[_spec.major]}"
+            )
+        _SIMPLE_MAJORS[_spec.major] = _spec.mnemonic
+
+
+def decode(word):
+    """Decode a 32-bit word into an :class:`Instruction`.
+
+    Raises :class:`EncodingError` for words outside the implemented subset.
+    """
+    if not 0 <= word < (1 << 32):
+        raise EncodingError(f"not a 32-bit word: {word:#x}")
+    major = bits(word, 31, 26)
+
+    if major == 0x38:
+        return _decode_alu_reg(word)
+    if major == 0x2F:
+        return _decode_setflag(word, _SF_IMM_CONDS, immediate=True)
+    if major == 0x39:
+        return _decode_setflag(word, _SF_REG_CONDS, immediate=False)
+    if major == 0x2E:
+        shift_type = bits(word, 7, 6)
+        mnemonic = _SHIFT_IMM_OPS.get(shift_type)
+        if mnemonic is None:
+            raise EncodingError(
+                f"unknown shift type {shift_type} in {word:#010x}"
+            )
+        return Instruction(
+            mnemonic,
+            rd=bits(word, 25, 21),
+            ra=bits(word, 20, 16),
+            imm=bits(word, 5, 0),
+        )
+
+    mnemonic = _SIMPLE_MAJORS.get(major)
+    if mnemonic is None:
+        raise EncodingError(f"unknown major opcode {major:#x} in {word:#010x}")
+    spec = SPECS[mnemonic]
+    fmt = spec.fmt
+
+    if fmt in (Format.J, Format.BRANCH):
+        return Instruction(mnemonic, imm=sign_extend(bits(word, 25, 0), 26))
+    if fmt == Format.JR:
+        return Instruction(mnemonic, rb=bits(word, 15, 11))
+    if fmt == Format.NOP:
+        return Instruction(mnemonic, imm=bits(word, 15, 0))
+    if fmt == Format.MOVHI:
+        return Instruction(
+            mnemonic, rd=bits(word, 25, 21), imm=bits(word, 15, 0)
+        )
+    if fmt in (Format.LOAD, Format.ALU_IMM):
+        imm = bits(word, 15, 0)
+        if spec.signed_imm:
+            imm = sign_extend(imm, 16)
+        return Instruction(
+            mnemonic, rd=bits(word, 25, 21), ra=bits(word, 20, 16), imm=imm
+        )
+    if fmt == Format.STORE:
+        imm16 = (bits(word, 25, 21) << 11) | bits(word, 10, 0)
+        return Instruction(
+            mnemonic,
+            ra=bits(word, 20, 16),
+            rb=bits(word, 15, 11),
+            imm=sign_extend(imm16, 16),
+        )
+    raise AssertionError(f"unhandled format {fmt}")
+
+
+def _decode_alu_reg(word):
+    op4 = bits(word, 3, 0)
+    sec = bits(word, 9, 8)
+    shift_type = bits(word, 7, 6)
+    if op4 in (0x8, 0xC):
+        mnemonic = _ALU_REG_SHIFT_OPS.get((op4, shift_type))
+    else:
+        mnemonic = _ALU_REG_OPS.get((op4, sec))
+    if mnemonic is None:
+        raise EncodingError(
+            f"unknown ALU sub-opcode op4={op4:#x} sec={sec:#x} "
+            f"shift_type={shift_type:#x} in {word:#010x}"
+        )
+    return Instruction(
+        mnemonic,
+        rd=bits(word, 25, 21),
+        ra=bits(word, 20, 16),
+        rb=bits(word, 15, 11),
+    )
+
+
+def _decode_setflag(word, cond_table, immediate):
+    cond = bits(word, 25, 21)
+    mnemonic = cond_table.get(cond)
+    if mnemonic is None:
+        raise EncodingError(
+            f"unknown set-flag condition {cond:#x} in {word:#010x}"
+        )
+    spec = SPECS[mnemonic]
+    if immediate:
+        imm = bits(word, 15, 0)
+        if spec.signed_imm:
+            imm = sign_extend(imm, 16)
+        return Instruction(mnemonic, ra=bits(word, 20, 16), imm=imm)
+    return Instruction(
+        mnemonic, ra=bits(word, 20, 16), rb=bits(word, 15, 11)
+    )

@@ -1,0 +1,131 @@
+"""The :class:`Instruction` container used throughout the stack.
+
+An ``Instruction`` is a decoded, operand-carrying instance of a mnemonic.
+The assembler produces them, the encoder serialises them to 32-bit words,
+the pipeline executes them, and the DTA/clocking layers key their delay
+lookups on ``instruction.timing_class``.
+"""
+
+from dataclasses import dataclass
+
+from repro.isa.classes import timing_class as _timing_class
+from repro.isa.opcodes import Format, InstructionKind, spec_for
+from repro.isa.registers import register_name
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded OR1K instruction.
+
+    Operand fields that a format does not use stay at their defaults and are
+    ignored by the encoder.  ``imm`` is stored as a signed Python integer for
+    sign-extended immediates and as an unsigned value for zero-extended ones
+    (matching the assembler's view).
+    """
+
+    mnemonic: str
+    rd: int = 0
+    ra: int = 0
+    rb: int = 0
+    imm: int = 0
+
+    @property
+    def spec(self):
+        return spec_for(self.mnemonic)
+
+    @property
+    def kind(self):
+        return self.spec.kind
+
+    @property
+    def timing_class(self):
+        return _timing_class(self.mnemonic)
+
+    @property
+    def is_control(self):
+        return self.spec.is_control
+
+    @property
+    def has_delay_slot(self):
+        return self.spec.has_delay_slot
+
+    def source_registers(self):
+        """Registers read by this instruction (for hazard detection)."""
+        spec = self.spec
+        sources = []
+        if spec.reads_ra:
+            sources.append(self.ra)
+        if spec.reads_rb:
+            sources.append(self.rb)
+        # l.cmov additionally reads rD's old value only in real HW when the
+        # flag selects it; conservatively treat both operands as sources
+        # (they are already in the list via ra/rb).
+        return sources
+
+    def destination_register(self):
+        """Register written by this instruction, or ``None``."""
+        if self.spec.writes_rd:
+            return self.rd
+        return None
+
+    # -- printing -----------------------------------------------------------
+
+    def __str__(self):
+        return self.to_assembly()
+
+    def to_assembly(self):
+        """Render canonical assembly text, e.g. ``l.addi r3,r4,-12``."""
+        spec = self.spec
+        fmt = spec.fmt
+        if fmt in (Format.J, Format.BRANCH):
+            return f"{self.mnemonic} {self.imm}"
+        if fmt == Format.JR:
+            return f"{self.mnemonic} {register_name(self.rb)}"
+        if fmt == Format.NOP:
+            if self.imm:
+                return f"{self.mnemonic} {self.imm:#x}"
+            return self.mnemonic
+        if fmt == Format.MOVHI:
+            return f"{self.mnemonic} {register_name(self.rd)},{self.imm:#x}"
+        if fmt == Format.LOAD:
+            return (
+                f"{self.mnemonic} {register_name(self.rd)},"
+                f"{self.imm}({register_name(self.ra)})"
+            )
+        if fmt == Format.STORE:
+            return (
+                f"{self.mnemonic} {self.imm}({register_name(self.ra)}),"
+                f"{register_name(self.rb)}"
+            )
+        if fmt in (Format.ALU_IMM, Format.SHIFT_IMM):
+            return (
+                f"{self.mnemonic} {register_name(self.rd)},"
+                f"{register_name(self.ra)},{self.imm}"
+            )
+        if fmt == Format.SETFLAG_IMM:
+            return f"{self.mnemonic} {register_name(self.ra)},{self.imm}"
+        if fmt == Format.SETFLAG_REG:
+            return (
+                f"{self.mnemonic} {register_name(self.ra)},"
+                f"{register_name(self.rb)}"
+            )
+        if fmt == Format.ALU_REG:
+            if not self.spec.reads_rb:
+                return (
+                    f"{self.mnemonic} {register_name(self.rd)},"
+                    f"{register_name(self.ra)}"
+                )
+            return (
+                f"{self.mnemonic} {register_name(self.rd)},"
+                f"{register_name(self.ra)},{register_name(self.rb)}"
+            )
+        raise AssertionError(f"unhandled format {fmt}")
+
+
+#: Canonical no-operation instruction, used for pipeline bubbles.
+NOP = Instruction("l.nop")
+
+
+def is_memory_kind(instruction):
+    """True if the instruction accesses data memory."""
+    return instruction.kind in (InstructionKind.LOAD, InstructionKind.STORE)

@@ -1,0 +1,47 @@
+"""OR1K general-purpose register file definitions.
+
+The OR1K architecture has 32 GPRs.  ``r0`` is hard-wired to zero by software
+convention (the mor1kx core treats writes to ``r0`` as no-ops when the
+``rf_wb`` guard is enabled; our simulator does the same).  A handful of ABI
+aliases from the OpenRISC ELF psABI are accepted by the assembler.
+"""
+
+REG_COUNT = 32
+
+#: Hard-wired zero register (by convention; enforced by the simulator).
+REG_ZERO = 0
+#: Stack pointer.
+REG_SP = 1
+#: Frame pointer.
+REG_FP = 2
+#: Return-value register.
+REG_RV = 11
+#: Link register written by ``l.jal`` / ``l.jalr``.
+REG_LINK = 9
+
+ABI_ALIASES = {
+    "zero": REG_ZERO,
+    "sp": REG_SP,
+    "fp": REG_FP,
+    "lr": REG_LINK,
+    "rv": REG_RV,
+}
+
+
+def register_name(index):
+    """Canonical name (``r0`` .. ``r31``) for a register index."""
+    if not 0 <= index < REG_COUNT:
+        raise ValueError(f"register index out of range: {index}")
+    return f"r{index}"
+
+
+def parse_register(text):
+    """Parse a register name (``r5``, ``R5`` or an ABI alias) to its index."""
+    name = text.strip().lower()
+    if name in ABI_ALIASES:
+        return ABI_ALIASES[name]
+    if name.startswith("r") and name[1:].isdigit():
+        index = int(name[1:])
+        if 0 <= index < REG_COUNT:
+            return index
+    raise ValueError(f"not a valid register name: {text!r}")

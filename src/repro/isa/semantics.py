@@ -1,0 +1,278 @@
+"""Executable semantics of the implemented ORBIS32 subset.
+
+The semantics are written as pure functions over operand values so that the
+functional ISS and the cycle-accurate pipeline share one implementation:
+
+- :func:`compute` evaluates everything that happens in the execute stage
+  (ALU result, effective address, comparison flag, branch decision);
+- :func:`load_extract` applies the width/extension rules of the load family
+  to data returned by the memory;
+- store data/width selection is part of :func:`compute`'s result.
+
+All register values are stored as unsigned 32-bit Python ints.
+"""
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import InstructionKind
+from repro.utils.bitops import (
+    mask,
+    rotate_right32,
+    sign_extend,
+    to_signed32,
+    to_unsigned32,
+)
+
+
+class SemanticsError(ValueError):
+    """Raised for semantically invalid execution (e.g. misaligned access)."""
+
+
+@dataclass
+class ComputeResult:
+    """Outcome of the execute-stage computation of one instruction.
+
+    Attributes
+    ----------
+    value:
+        Result to write back to ``rd`` (``None`` if no register result or if
+        it comes from memory).
+    flag:
+        New SR flag value (``None`` if unchanged).
+    carry:
+        New SR carry value (``None`` if unchanged).
+    mem_addr / mem_size:
+        Effective address and access width in bytes for loads/stores.
+    store_value:
+        Value (already truncated to width) for stores.
+    branch_taken / branch_target:
+        Control-transfer decision; ``branch_taken`` is ``None`` for
+        non-control instructions.
+    link_value:
+        Return address written to the link register by ``l.jal``/``l.jalr``.
+    """
+
+    value: int = None
+    flag: bool = None
+    carry: bool = None
+    mem_addr: int = None
+    mem_size: int = 0
+    store_value: int = None
+    branch_taken: bool = None
+    branch_target: int = None
+    link_value: int = None
+
+
+_LOAD_SIZES = {
+    "l.lwz": 4, "l.lbz": 1, "l.lbs": 1, "l.lhz": 2, "l.lhs": 2,
+}
+_STORE_SIZES = {"l.sw": 4, "l.sb": 1, "l.sh": 2}
+
+#: Size of one instruction and of the branch-delay-slot offset, in bytes.
+INSTRUCTION_BYTES = 4
+
+
+def compute(instruction, a, b, flag, carry, pc):
+    """Evaluate ``instruction`` with operand values ``a`` (rA) and ``b`` (rB).
+
+    ``flag`` and ``carry`` are the current SR bits; ``pc`` is the address of
+    the instruction itself (used for pc-relative control transfers and link
+    values).  Immediates are taken from the instruction; for immediate forms
+    the ``b`` argument is ignored.
+    """
+    mnemonic = instruction.mnemonic
+    spec = instruction.spec
+    kind = spec.kind
+    imm = instruction.imm
+
+    if kind == InstructionKind.NOP:
+        return ComputeResult()
+
+    if kind == InstructionKind.ALU:
+        return _compute_alu(mnemonic, a, b, imm, flag, carry)
+    if kind == InstructionKind.SHIFT:
+        return _compute_shift(mnemonic, a, b, imm)
+    if kind == InstructionKind.MUL:
+        return _compute_mul(mnemonic, a, b, imm)
+    if kind == InstructionKind.DIV:
+        return _compute_div(mnemonic, a, b)
+    if kind == InstructionKind.MOVE:
+        return _compute_move(mnemonic, a, imm, flag, b)
+    if kind == InstructionKind.SETFLAG:
+        rhs = b if instruction.spec.fmt.name == "SETFLAG_REG" else imm
+        return ComputeResult(flag=_compare(mnemonic, a, rhs))
+    if kind == InstructionKind.LOAD:
+        addr = to_unsigned32(a + imm)
+        size = _LOAD_SIZES[mnemonic]
+        _check_alignment(addr, size)
+        return ComputeResult(mem_addr=addr, mem_size=size)
+    if kind == InstructionKind.STORE:
+        addr = to_unsigned32(a + imm)
+        size = _STORE_SIZES[mnemonic]
+        _check_alignment(addr, size)
+        return ComputeResult(
+            mem_addr=addr, mem_size=size, store_value=b & mask(8 * size)
+        )
+    if kind == InstructionKind.JUMP:
+        target = to_unsigned32(pc + (imm << 2))
+        link = None
+        if mnemonic == "l.jal":
+            link = to_unsigned32(pc + 2 * INSTRUCTION_BYTES)
+        return ComputeResult(
+            branch_taken=True, branch_target=target, link_value=link
+        )
+    if kind == InstructionKind.JUMP_REG:
+        _check_alignment(b, 4)
+        link = None
+        if mnemonic == "l.jalr":
+            link = to_unsigned32(pc + 2 * INSTRUCTION_BYTES)
+        return ComputeResult(
+            branch_taken=True, branch_target=to_unsigned32(b), link_value=link
+        )
+    if kind == InstructionKind.BRANCH:
+        taken = flag if mnemonic == "l.bf" else not flag
+        target = to_unsigned32(pc + (imm << 2))
+        return ComputeResult(branch_taken=taken, branch_target=target)
+    raise AssertionError(f"unhandled kind {kind}")
+
+
+def _compute_alu(mnemonic, a, b, imm, flag, carry):
+    if mnemonic == "l.addi":
+        b = imm
+    elif mnemonic == "l.andi":
+        b = imm & 0xFFFF
+    elif mnemonic == "l.ori":
+        b = imm & 0xFFFF
+    elif mnemonic == "l.xori":
+        b = sign_extend(imm, 16)
+
+    if mnemonic in ("l.add", "l.addi"):
+        total = to_unsigned32(a) + to_unsigned32(b)
+        return ComputeResult(
+            value=to_unsigned32(total), carry=total > mask(32)
+        )
+    if mnemonic == "l.addc":
+        total = to_unsigned32(a) + to_unsigned32(b) + (1 if carry else 0)
+        return ComputeResult(
+            value=to_unsigned32(total), carry=total > mask(32)
+        )
+    if mnemonic == "l.sub":
+        total = to_unsigned32(a) - to_unsigned32(b)
+        return ComputeResult(value=to_unsigned32(total), carry=total < 0)
+    if mnemonic in ("l.and", "l.andi"):
+        return ComputeResult(value=to_unsigned32(a & b))
+    if mnemonic in ("l.or", "l.ori"):
+        return ComputeResult(value=to_unsigned32(a | b))
+    if mnemonic in ("l.xor", "l.xori"):
+        return ComputeResult(value=to_unsigned32(a ^ b))
+    if mnemonic == "l.cmov":
+        return ComputeResult(value=to_unsigned32(a if flag else b))
+    raise AssertionError(f"unhandled ALU mnemonic {mnemonic}")
+
+
+def _compute_shift(mnemonic, a, b, imm):
+    amount = (imm if mnemonic.endswith("i") else b) & 0x1F
+    a = to_unsigned32(a)
+    if mnemonic in ("l.sll", "l.slli"):
+        return ComputeResult(value=to_unsigned32(a << amount))
+    if mnemonic in ("l.srl", "l.srli"):
+        return ComputeResult(value=a >> amount)
+    if mnemonic in ("l.sra", "l.srai"):
+        return ComputeResult(value=to_unsigned32(to_signed32(a) >> amount))
+    if mnemonic in ("l.ror", "l.rori"):
+        return ComputeResult(value=rotate_right32(a, amount))
+    raise AssertionError(f"unhandled shift mnemonic {mnemonic}")
+
+
+def _compute_mul(mnemonic, a, b, imm):
+    if mnemonic == "l.muli":
+        b = imm
+    if mnemonic == "l.mulu":
+        product = to_unsigned32(a) * to_unsigned32(b)
+    else:
+        product = to_signed32(a) * to_signed32(b)
+    return ComputeResult(value=to_unsigned32(product))
+
+
+def _compute_div(mnemonic, a, b):
+    # Division by zero does not trap in our configuration (no exception
+    # unit); the quotient is architecturally undefined and we define it as
+    # all-ones, which is what the mor1kx serial divider produces.
+    if to_unsigned32(b) == 0:
+        return ComputeResult(value=mask(32))
+    if mnemonic == "l.divu":
+        return ComputeResult(value=to_unsigned32(a) // to_unsigned32(b))
+    quotient = abs(to_signed32(a)) // abs(to_signed32(b))
+    if (to_signed32(a) < 0) != (to_signed32(b) < 0):
+        quotient = -quotient
+    return ComputeResult(value=to_unsigned32(quotient))
+
+
+def _compute_move(mnemonic, a, imm, flag, b):
+    if mnemonic == "l.movhi":
+        return ComputeResult(value=to_unsigned32((imm & 0xFFFF) << 16))
+    if mnemonic == "l.exths":
+        return ComputeResult(value=to_unsigned32(sign_extend(a, 16)))
+    if mnemonic == "l.extbs":
+        return ComputeResult(value=to_unsigned32(sign_extend(a, 8)))
+    if mnemonic == "l.exthz":
+        return ComputeResult(value=a & 0xFFFF)
+    if mnemonic == "l.extbz":
+        return ComputeResult(value=a & 0xFF)
+    if mnemonic == "l.ff1":
+        a = to_unsigned32(a)
+        if a == 0:
+            return ComputeResult(value=0)
+        return ComputeResult(value=(a & -a).bit_length())
+    raise AssertionError(f"unhandled move mnemonic {mnemonic}")
+
+
+def _compare(mnemonic, a, rhs):
+    # mnemonic is e.g. "l.sfgts" / "l.sfgtsi" -> base "gts"
+    base = mnemonic.replace("l.sf", "")
+    if base.endswith("i"):
+        base = base[:-1]
+    signed = base.endswith("s") or base in ("eq", "ne")
+    if signed:
+        lhs, val = to_signed32(a), to_signed32(rhs)
+    else:
+        lhs, val = to_unsigned32(a), to_unsigned32(rhs)
+    if base == "eq":
+        return lhs == val
+    if base == "ne":
+        return lhs != val
+    if base in ("gtu", "gts"):
+        return lhs > val
+    if base in ("geu", "ges"):
+        return lhs >= val
+    if base in ("ltu", "lts"):
+        return lhs < val
+    if base in ("leu", "les"):
+        return lhs <= val
+    raise AssertionError(f"unhandled comparison {mnemonic}")
+
+
+def load_extract(mnemonic, raw):
+    """Apply width/extension rules to raw little-pattern memory data.
+
+    ``raw`` is the unsigned value of the loaded bytes (1, 2 or 4 bytes wide,
+    already assembled by the memory model).
+    """
+    if mnemonic == "l.lwz":
+        return to_unsigned32(raw)
+    if mnemonic == "l.lbz":
+        return raw & 0xFF
+    if mnemonic == "l.lbs":
+        return to_unsigned32(sign_extend(raw, 8))
+    if mnemonic == "l.lhz":
+        return raw & 0xFFFF
+    if mnemonic == "l.lhs":
+        return to_unsigned32(sign_extend(raw, 16))
+    raise AssertionError(f"not a load mnemonic: {mnemonic}")
+
+
+def _check_alignment(addr, size):
+    if size > 1 and addr % size != 0:
+        raise SemanticsError(
+            f"misaligned {size}-byte access at {addr:#010x}"
+        )

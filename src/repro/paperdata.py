@@ -1,0 +1,89 @@
+"""Published numbers from the paper, used by benches and EXPERIMENTS.md.
+
+Single source of truth so every bench harness compares its measurement
+against the same reference values.  All delays in picoseconds, frequencies
+in MHz, voltages in volts, power in microwatts.
+"""
+
+#: Operating point of the paper's evaluation (28 nm FDSOI).
+SUPPLY_VOLTAGE = 0.70
+
+#: Static-timing-analysis clock period of the optimised design (Fig. 5).
+STATIC_PERIOD_PS = 2026.0
+
+#: Effective clock frequency at the static limit (Fig. 8, "conventional").
+STATIC_FREQUENCY_MHZ = 494.0
+
+#: Mean per-cycle dynamic maximum delay with genie-aided adjustment (Fig. 5).
+GENIE_MEAN_PERIOD_PS = 1334.0
+
+#: Theoretical average speedup with perfect per-cycle adjustment (Sec. IV-A).
+GENIE_SPEEDUP_PERCENT = 50.0
+
+#: Average effective frequency with instruction-based adjustment (Fig. 8).
+DYNAMIC_FREQUENCY_MHZ = 680.0
+
+#: Average speedup of instruction-based adjustment (abstract, Sec. IV-B).
+DYNAMIC_SPEEDUP_PERCENT = 38.0
+
+#: Speed given up relative to the genie bound (Sec. IV-B).
+GIVE_UP_PERCENT = 12.0
+
+#: Fraction of cycles whose limiting endpoint lies in each stage (Fig. 6).
+STAGE_LIMITING_SHARES = {
+    "ADR": 0.07,
+    "FE": 0.00,
+    "DC": 0.00,
+    "EX": 0.93,
+    "CTRL": 0.00,
+    "WB": 0.00,
+}
+
+#: Table II — dynamic instruction delay worst cases (ps) and limiting stage.
+TABLE2_INSTRUCTION_DELAYS = {
+    "l.add(i)": (1467.0, "EX"),
+    "l.and(i)": (1482.0, "EX"),
+    "l.bf": (1470.0, "EX"),
+    "l.j": (1172.0, "ADR"),
+    "l.lwz": (1391.0, "EX"),
+    "l.mul(i)": (1899.0, "EX"),
+    "l.sll(i)": (1270.0, "EX"),
+    "l.xor(i)": (1514.0, "EX"),
+}
+
+#: Table I — effect of critical-range optimisation on dynamic worst-case
+#: delays (factor = optimised / conventional).
+TABLE1_CRITICAL_RANGE_FACTORS = {
+    "l.add(i)": 0.92,
+    "l.bf": 0.78,
+    "l.j": 0.74,
+    "l.lwz": 0.85,
+    "l.mul(i)": 1.10,
+    "l.nop": 0.78,
+    "l.sw": 0.85,
+}
+
+#: Static period increase caused by the critical-range constraints (Sec. III-A).
+CRITICAL_RANGE_STATIC_PENALTY_PERCENT = 9.0
+
+#: Area/power overhead range of the critical-range optimisation (Sec. III-A).
+CRITICAL_RANGE_OVERHEAD_PERCENT = (5.0, 13.0)
+
+#: Data-dependent delay spread of l.mul in EX (Sec. IV-A, Fig. 7).
+LMUL_EX_SPREAD_PS = 300.0
+
+#: Gate-level characterisation run length (Sec. IV-A, Table II caption).
+CHARACTERIZATION_CYCLES = 14_000
+
+#: Voltage-frequency scaling results (Sec. IV-B).
+VOLTAGE_REDUCTION_V = 0.070
+ENERGY_EFFICIENCY_GAIN_PERCENT = 24.0
+CONVENTIONAL_UW_PER_MHZ = 13.7
+DYNAMIC_SCALED_UW_PER_MHZ = 11.0
+
+
+def within(value, reference, tolerance_percent):
+    """True if ``value`` is within ``tolerance_percent`` of ``reference``."""
+    if reference == 0:
+        return abs(value) <= tolerance_percent / 100.0
+    return abs(value - reference) <= abs(reference) * tolerance_percent / 100.0

@@ -1,0 +1,27 @@
+"""Whole-program energy metrics."""
+
+from repro.power.model import PowerModel
+
+
+def program_energy_pj(evaluation_result, voltage, power_model=None):
+    """Energy of one evaluated program run, in picojoules.
+
+    ``evaluation_result`` is a
+    :class:`~repro.flow.evaluate.EvaluationResult`; its total run time and
+    effective frequency, combined with the power model at ``voltage``,
+    give the energy of the run.
+    """
+    model = power_model if power_model is not None else PowerModel()
+    power_uw = model.total_power_uw(
+        voltage, evaluation_result.effective_frequency_mhz
+    )
+    # µW * ps = 1e-6 J/s * 1e-12 s = 1e-18 J = 1e-6 pJ
+    return power_uw * evaluation_result.total_time_ps * 1e-6
+
+
+def energy_per_instruction_pj(evaluation_result, voltage, power_model=None):
+    """Average energy per retired instruction, in picojoules."""
+    total = program_energy_pj(evaluation_result, voltage, power_model)
+    if evaluation_result.num_retired == 0:
+        raise ValueError("no retired instructions")
+    return total / evaluation_result.num_retired

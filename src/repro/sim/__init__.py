@@ -1,0 +1,35 @@
+"""Cycle-accurate model of the customised mor1kx-style OpenRISC core.
+
+The paper's case study is the mor1kx *cappuccino* 6-stage in-order pipeline
+(Fig. 4): Address, Fetch, Decode, Execute, Mem/Control, Writeback, with
+tightly-coupled single-cycle SRAMs for instructions and data, full operand
+forwarding, a one-cycle load-use interlock, a single-cycle 32x32 multiplier
+and branch delay slots.
+
+Two execution models are provided:
+
+- :class:`~repro.sim.iss.FunctionalSimulator` — a fast architectural ISS used
+  as the golden reference;
+- :class:`~repro.sim.pipeline.PipelineSimulator` — the cycle-accurate 6-stage
+  model whose per-cycle stage occupancy (which instruction is in flight in
+  each stage, ``I_s[t]`` in the paper) feeds the dynamic timing analysis and
+  the clock-adjustment controller.
+"""
+
+from repro.sim.iss import FunctionalSimulator, SimulationError
+from repro.sim.memory import Memory
+from repro.sim.pipeline import PipelineSimulator
+from repro.sim.state import ArchState
+from repro.sim.trace import CycleRecord, PIPELINE_STAGES, PipelineTrace, Stage
+
+__all__ = [
+    "ArchState",
+    "Memory",
+    "FunctionalSimulator",
+    "PipelineSimulator",
+    "SimulationError",
+    "PipelineTrace",
+    "CycleRecord",
+    "Stage",
+    "PIPELINE_STAGES",
+]

@@ -1,0 +1,160 @@
+"""Functional (architectural) instruction-set simulator.
+
+Executes one instruction per step with correct OR1K delay-slot behaviour.
+This is the golden reference model: the cycle-accurate pipeline must retire
+exactly the same architectural state, which the test suite checks by
+co-simulation on every workload.
+
+Halt convention: ``l.nop 0x1`` stops the simulation (the mor1kx simulation
+environment uses the same idiom).
+"""
+
+from repro.isa.encoding import decode
+from repro.isa.opcodes import InstructionKind
+from repro.isa.registers import REG_LINK
+from repro.isa.semantics import compute, load_extract
+from repro.sim.memory import Memory
+from repro.sim.state import ArchState
+
+#: ``l.nop`` immediate that terminates simulation.
+HALT_NOP_CODE = 0x1
+
+#: Hard cap on executed instructions, to catch runaway programs in tests.
+DEFAULT_MAX_STEPS = 20_000_000
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid execution (bad fetch, control in delay slot...)."""
+
+
+class FunctionalSimulator:
+    """Architectural ISS over a program image.
+
+    Parameters
+    ----------
+    program:
+        :class:`~repro.asm.program.Program` to execute.
+    memory:
+        Optional pre-populated data memory; by default the program image is
+        loaded into a fresh memory (unified address space, like the paper's
+        tightly-coupled instruction/data SRAM pair mapped in one space).
+    """
+
+    def __init__(self, program, memory=None):
+        self.program = program
+        self.memory = memory if memory is not None else Memory("dmem")
+        if memory is None:
+            program.load_into(self.memory)
+        self.state = ArchState(entry=program.entry)
+        self.halted = False
+        self.retired = []            # (pc, Instruction) in retirement order
+        self._decode_cache = {}
+        self._pending_target = None  # branch target to apply after the slot
+        self._in_delay_slot = False
+
+    # -- fetch ----------------------------------------------------------------
+
+    def fetch(self, address):
+        if address % 4:
+            raise SimulationError(f"misaligned fetch at {address:#010x}")
+        cached = self._decode_cache.get(address)
+        if cached is not None:
+            return cached
+        if address in self.program.instructions:
+            instruction = self.program.instructions[address]
+        else:
+            word = self.memory.load_word(address)
+            try:
+                instruction = decode(word)
+            except Exception as err:
+                raise SimulationError(
+                    f"cannot decode word {word:#010x} at {address:#010x}: {err}"
+                ) from err
+        self._decode_cache[address] = instruction
+        return instruction
+
+    # -- execution --------------------------------------------------------------
+
+    def step(self):
+        """Execute one instruction; returns the retired Instruction."""
+        if self.halted:
+            raise SimulationError("simulator is halted")
+        state = self.state
+        pc = state.pc
+        instruction = self.fetch(pc)
+
+        if self._in_delay_slot and instruction.is_control:
+            raise SimulationError(
+                f"control-transfer instruction in delay slot at {pc:#010x}"
+            )
+
+        a = state.read_reg(instruction.ra)
+        b = state.read_reg(instruction.rb)
+        result = compute(instruction, a, b, state.flag, state.carry, pc)
+        self._apply(instruction, result)
+        self.retired.append((pc, instruction))
+        state.instret += 1
+
+        if (
+            instruction.mnemonic == "l.nop"
+            and instruction.imm == HALT_NOP_CODE
+        ):
+            self.halted = True
+            return instruction
+
+        # -- program counter update with delay-slot semantics ---------------
+        if self._in_delay_slot:
+            state.pc = self._pending_target
+            self._pending_target = None
+            self._in_delay_slot = False
+        elif instruction.is_control and result.branch_taken:
+            self._pending_target = result.branch_target
+            self._in_delay_slot = True
+            state.pc = pc + 4
+        else:
+            state.pc = pc + 4
+        return instruction
+
+    def _apply(self, instruction, result):
+        state = self.state
+        kind = instruction.kind
+        if kind == InstructionKind.LOAD:
+            raw = self.memory.load(result.mem_addr, result.mem_size)
+            state.write_reg(
+                instruction.rd, load_extract(instruction.mnemonic, raw)
+            )
+        elif kind == InstructionKind.STORE:
+            self.memory.store(result.mem_addr, result.store_value,
+                              result.mem_size)
+        elif result.value is not None:
+            state.write_reg(instruction.rd, result.value)
+        if result.link_value is not None:
+            state.write_reg(REG_LINK, result.link_value)
+        if result.flag is not None:
+            state.flag = result.flag
+        if result.carry is not None:
+            state.carry = result.carry
+
+    def run(self, max_steps=DEFAULT_MAX_STEPS):
+        """Run until halt; returns the number of retired instructions."""
+        steps = 0
+        while not self.halted:
+            if steps >= max_steps:
+                raise SimulationError(
+                    f"exceeded {max_steps} steps without halting "
+                    f"(pc={self.state.pc:#010x})"
+                )
+            self.step()
+            steps += 1
+        return steps
+
+    def retired_trace(self):
+        """The program trace L[t] as a list of Instructions."""
+        return [instruction for _, instruction in self.retired]
+
+
+def run_program(program, max_steps=DEFAULT_MAX_STEPS):
+    """Convenience helper: run a program functionally, return the simulator."""
+    simulator = FunctionalSimulator(program)
+    simulator.run(max_steps=max_steps)
+    return simulator

@@ -1,0 +1,81 @@
+"""Tightly-coupled SRAM model.
+
+The customised core uses fast single-cycle SRAM macros for both instruction
+and data memory (paper §III-A).  Functionally this is a flat, big-endian,
+byte-addressable store; timing is handled by the timing model, which treats
+the SRAM macros as path endpoints like any flip-flop.
+"""
+
+from repro.utils.bitops import mask
+
+_PAGE_BITS = 12
+_PAGE_SIZE = 1 << _PAGE_BITS
+
+
+class MemoryError_(ValueError):
+    """Raised for invalid accesses (bad size, address range)."""
+
+
+class Memory:
+    """Sparse big-endian byte-addressable memory."""
+
+    def __init__(self, name="mem"):
+        self.name = name
+        self._pages = {}
+
+    def _page(self, address):
+        index = address >> _PAGE_BITS
+        page = self._pages.get(index)
+        if page is None:
+            page = bytearray(_PAGE_SIZE)
+            self._pages[index] = page
+        return page
+
+    def load(self, address, size):
+        """Read ``size`` bytes (1, 2 or 4) big-endian; unwritten bytes are 0."""
+        self._check(address, size)
+        value = 0
+        for offset in range(size):
+            byte_addr = address + offset
+            page = self._pages.get(byte_addr >> _PAGE_BITS)
+            byte = page[byte_addr & (_PAGE_SIZE - 1)] if page else 0
+            value = (value << 8) | byte
+        return value
+
+    def store(self, address, value, size):
+        """Write the low ``size`` bytes of ``value`` big-endian."""
+        self._check(address, size)
+        value &= mask(8 * size)
+        for offset in range(size):
+            byte = (value >> (8 * (size - 1 - offset))) & 0xFF
+            byte_addr = address + offset
+            self._page(byte_addr)[byte_addr & (_PAGE_SIZE - 1)] = byte
+
+    @staticmethod
+    def _check(address, size):
+        if size not in (1, 2, 4):
+            raise MemoryError_(f"unsupported access size {size}")
+        if address < 0 or address + size > (1 << 32):
+            raise MemoryError_(f"address out of range: {address:#x}")
+
+    def load_word(self, address):
+        return self.load(address, 4)
+
+    def store_word(self, address, value):
+        self.store(address, value, 4)
+
+    def words(self):
+        """Iterate (address, word) over all word-aligned non-zero words."""
+        for index in sorted(self._pages):
+            page = self._pages[index]
+            base = index << _PAGE_BITS
+            for offset in range(0, _PAGE_SIZE, 4):
+                chunk = page[offset:offset + 4]
+                if any(chunk):
+                    yield base + offset, int.from_bytes(chunk, "big")
+
+    def copy(self):
+        """Deep copy (used to snapshot initial images for repeated runs)."""
+        clone = Memory(self.name)
+        clone._pages = {k: bytearray(v) for k, v in self._pages.items()}
+        return clone

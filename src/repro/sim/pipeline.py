@@ -1,0 +1,363 @@
+"""Cycle-accurate 6-stage in-order pipeline (customised mor1kx, paper Fig. 4).
+
+Microarchitecture specification (this is *our* documented core; the paper's
+clocking technique only depends on the per-cycle stage occupancy, which this
+model produces faithfully for the events below):
+
+- Stages: ``ADR`` (next-pc computation, instruction-memory address
+  presentation), ``FE`` (instruction SRAM read), ``DC`` (decode + register
+  read), ``EX`` (ALU / shifter / single-cycle multiplier, data-memory
+  request issue, control-transfer resolution), ``CTRL`` (data-memory
+  response, store commit), ``WB`` (register-file writeback).
+- Tightly-coupled single-cycle SRAMs for instructions and data.
+- Full forwarding: results of ALU-class instructions are visible to the
+  immediately following instruction (modelled by committing register writes
+  at the end of the producer's EX cycle — consumers read at EX entry).
+- Loads produce their value at the end of CTRL; a dependent instruction
+  directly after a load stalls for exactly one cycle (load-use interlock).
+- Control transfers resolve in EX.  OR1K delay-slot semantics: the next
+  sequential instruction always executes.  On a taken transfer the redirect
+  reaches the instruction-memory address register within the same cycle, so
+  exactly one wrong-path word (the one being read in FE) is squashed:
+  a taken jump/branch costs one bubble.
+- ``l.div``/``l.divu`` occupy EX for ``div_latency`` cycles (serial divider),
+  stalling the front end.
+- Halt convention: ``l.nop 0x1`` terminates the run when it retires.
+"""
+
+from dataclasses import dataclass
+
+from repro.isa.encoding import EncodingError, decode
+from repro.isa.opcodes import InstructionKind
+from repro.isa.registers import REG_LINK
+from repro.isa.semantics import compute, load_extract
+from repro.sim.iss import HALT_NOP_CODE, SimulationError
+from repro.sim.memory import Memory
+from repro.sim.state import ArchState
+from repro.sim.trace import (
+    BUBBLE_VIEW,
+    CycleRecord,
+    PipelineTrace,
+    Stage,
+    StageView,
+)
+
+#: Default serial-divider latency in cycles.
+DEFAULT_DIV_LATENCY = 32
+
+#: Hard cap on simulated cycles.
+DEFAULT_MAX_CYCLES = 50_000_000
+
+
+@dataclass
+class _Slot:
+    """One pipeline-register slot (mutable working state)."""
+
+    instruction: object = None   # Instruction or None for a bubble
+    pc: int = None
+    seq: int = None
+    a: int = None                # EX operand values
+    b: int = None
+    result: object = None        # ComputeResult, filled in EX
+    div_remaining: int = -1      # -1 -> divide not started
+    held: bool = False
+
+    @property
+    def is_bubble(self):
+        return self.instruction is None
+
+    def view(self):
+        if self.instruction is None:
+            return BUBBLE_VIEW
+        return StageView(
+            mnemonic=self.instruction.mnemonic,
+            timing_class=self.instruction.timing_class,
+            pc=self.pc,
+            seq=self.seq,
+            held=self.held,
+        )
+
+
+def _bubble():
+    return _Slot()
+
+
+class PipelineSimulator:
+    """Cycle-accurate simulator producing a :class:`PipelineTrace`.
+
+    Parameters
+    ----------
+    program:
+        Assembled :class:`~repro.asm.program.Program`.
+    div_latency:
+        EX occupancy of serial divides, in cycles (>= 1).
+    memory:
+        Optional pre-initialised memory (defaults to the program image).
+    """
+
+    def __init__(self, program, div_latency=DEFAULT_DIV_LATENCY, memory=None):
+        if div_latency < 1:
+            raise ValueError("div_latency must be at least 1 cycle")
+        self.program = program
+        self.memory = memory if memory is not None else Memory("mem")
+        if memory is None:
+            program.load_into(self.memory)
+        self.state = ArchState(entry=program.entry)
+        self.div_latency = div_latency
+        self.halted = False
+        self.cycle = 0
+        self.trace = PipelineTrace(program_name=program.name)
+
+        self._fetch_pc = program.entry
+        self._slots = {stage: _bubble() for stage in Stage}
+        self._seq = 0
+        self._halt_in_flight = False
+        self._draining = False        # halt has executed; EX is inert
+        self._decode_cache = {}
+        self._in_delay_slot = False   # next EX instruction is a delay slot
+
+    # ------------------------------------------------------------------ fetch
+
+    def _decode_at(self, address, word):
+        cached = self._decode_cache.get(address)
+        if cached is not None:
+            return cached
+        if address in self.program.instructions:
+            instruction = self.program.instructions[address]
+        else:
+            instruction = decode(word)   # may raise EncodingError
+        self._decode_cache[address] = instruction
+        return instruction
+
+    def _fetch_slot(self):
+        """Create the ADR-stage slot for the current fetch address."""
+        address = self._fetch_pc
+        if address % 4:
+            raise SimulationError(f"misaligned fetch at {address:#010x}")
+        word = self.memory.load_word(address)
+        slot = _Slot(pc=address, seq=self._seq)
+        self._seq += 1
+        try:
+            slot.instruction = self._decode_at(address, word)
+        except EncodingError as err:
+            if not self._halt_in_flight:
+                raise SimulationError(
+                    f"cannot decode fetched word {word:#010x} at "
+                    f"{address:#010x}: {err}"
+                ) from err
+            # Wrong-path fetch beyond the halt: treat as a bubble.
+            slot.instruction = None
+        else:
+            if (
+                slot.instruction.mnemonic == "l.nop"
+                and slot.instruction.imm == HALT_NOP_CODE
+            ):
+                self._halt_in_flight = True
+        self._fetch_pc = address + 4
+        return slot
+
+    # ------------------------------------------------------------------ step
+
+    def step(self):
+        """Advance the pipeline by one clock cycle; returns the CycleRecord."""
+        if self.halted:
+            raise SimulationError("pipeline is halted")
+        slots = self._slots
+        for slot in slots.values():
+            slot.held = False
+
+        # -- stall conditions, evaluated on the current (pre-advance) state
+        ex_slot = slots[Stage.EX]
+        div_busy = (
+            ex_slot.instruction is not None
+            and ex_slot.instruction.kind == InstructionKind.DIV
+            and ex_slot.div_remaining != 0
+        )
+        load_use = not div_busy and self._load_use_interlock()
+        front_stall = div_busy or load_use
+
+        # -- advance pipeline registers (oldest first)
+        slots[Stage.WB] = slots[Stage.CTRL]
+        if div_busy:
+            slots[Stage.CTRL] = _bubble()
+            slots[Stage.EX].held = True
+        else:
+            slots[Stage.CTRL] = slots[Stage.EX]
+            if load_use:
+                slots[Stage.EX] = _bubble()
+            else:
+                slots[Stage.EX] = slots[Stage.DC]
+                slots[Stage.DC] = slots[Stage.FE]
+                slots[Stage.FE] = slots[Stage.ADR]
+                slots[Stage.ADR] = None   # filled after EX processing
+        if front_stall:
+            for stage in (Stage.ADR, Stage.FE, Stage.DC):
+                slots[stage].held = True
+
+        # -- stage actions, oldest to youngest
+        self._process_ctrl(slots[Stage.CTRL])
+        redirect = self._process_ex(slots[Stage.EX])
+
+        # -- fill the address stage (sees this cycle's redirect)
+        if slots[Stage.ADR] is None:
+            slots[Stage.ADR] = self._fetch_slot()
+
+        # -- record the cycle
+        ex_now = slots[Stage.EX]
+        record = CycleRecord(
+            cycle=self.cycle,
+            slots=tuple(slots[stage].view() for stage in Stage),
+            ex_operands=(
+                (ex_now.a, ex_now.b) if ex_now.instruction is not None
+                else None
+            ),
+            redirect=redirect,
+            stall=front_stall,
+        )
+        self.trace.append(record)
+        self.cycle += 1
+
+        # -- retire the writeback-stage instruction at the end of its cycle
+        self._retire(slots[Stage.WB])
+        slots[Stage.WB] = _bubble()
+        return record
+
+    def _load_use_interlock(self):
+        """True when the DC instruction needs the result of a load in EX."""
+        consumer = self._slots[Stage.DC].instruction
+        producer = self._slots[Stage.EX].instruction
+        if consumer is None or producer is None:
+            return False
+        if producer.kind != InstructionKind.LOAD:
+            return False
+        dest = producer.destination_register()
+        if dest is None or dest == 0:
+            return False
+        return dest in consumer.source_registers()
+
+    def _process_ex(self, slot):
+        """Execute-stage actions; returns True if fetch was redirected."""
+        instruction = slot.instruction
+        if instruction is None:
+            return False
+        if self._draining:
+            # instructions younger than the halt never commit; they drain
+            # through the back of the pipeline without architectural effect
+            return False
+        state = self.state
+
+        if instruction.kind == InstructionKind.DIV:
+            if slot.div_remaining < 0:
+                # first EX cycle of the divide: read operands, start counting
+                slot.a = state.read_reg(instruction.ra)
+                slot.b = state.read_reg(instruction.rb)
+                slot.result = compute(
+                    instruction, slot.a, slot.b, state.flag, state.carry,
+                    slot.pc,
+                )
+                slot.div_remaining = self.div_latency - 1
+            else:
+                slot.div_remaining -= 1
+            if slot.div_remaining == 0:
+                state.write_reg(instruction.rd, slot.result.value)
+            self._consume_delay_slot_marker(instruction, slot)
+            return False
+
+        slot.a = state.read_reg(instruction.ra)
+        rb_value = state.read_reg(instruction.rb)
+        result = compute(
+            instruction, slot.a, rb_value, state.flag, state.carry, slot.pc
+        )
+        slot.result = result
+        # the recorded b operand is the *effective* datapath input: the
+        # operand mux selects the immediate for immediate forms, and that
+        # is what drives the excitation model
+        if instruction.spec.reads_rb:
+            slot.b = rb_value
+        else:
+            slot.b = instruction.imm & 0xFFFFFFFF
+
+        if (
+            instruction.mnemonic == "l.nop"
+            and instruction.imm == HALT_NOP_CODE
+        ):
+            self._draining = True
+        if (
+            result.value is not None
+            and instruction.kind != InstructionKind.LOAD
+        ):
+            state.write_reg(instruction.rd, result.value)
+        if result.link_value is not None:
+            state.write_reg(REG_LINK, result.link_value)
+        if result.flag is not None:
+            state.flag = result.flag
+        if result.carry is not None:
+            state.carry = result.carry
+
+        if instruction.is_control:
+            if self._in_delay_slot:
+                raise SimulationError(
+                    f"control transfer in delay slot at {slot.pc:#010x}"
+                )
+            if result.branch_taken:
+                # Redirect: the target address is presented to the
+                # instruction memory within this cycle; squash the single
+                # wrong-path word currently being read in FE.  The delay
+                # slot (in DC) proceeds.
+                self._fetch_pc = result.branch_target
+                self._slots[Stage.FE] = _bubble()
+                self._in_delay_slot = True
+                return True
+            return False
+        self._consume_delay_slot_marker(instruction, slot)
+        return False
+
+    def _consume_delay_slot_marker(self, instruction, slot):
+        if self._in_delay_slot and slot.div_remaining <= 0:
+            self._in_delay_slot = False
+
+    def _process_ctrl(self, slot):
+        instruction = slot.instruction
+        if instruction is None or slot.result is None:
+            return
+        result = slot.result
+        if instruction.kind == InstructionKind.LOAD:
+            raw = self.memory.load(result.mem_addr, result.mem_size)
+            self.state.write_reg(
+                instruction.rd, load_extract(instruction.mnemonic, raw)
+            )
+        elif instruction.kind == InstructionKind.STORE:
+            self.memory.store(result.mem_addr, result.store_value,
+                              result.mem_size)
+
+    def _retire(self, slot):
+        if slot.instruction is None:
+            return
+        self.trace.retired.append((slot.pc, slot.instruction))
+        self.state.instret += 1
+        if (
+            slot.instruction.mnemonic == "l.nop"
+            and slot.instruction.imm == HALT_NOP_CODE
+        ):
+            self.halted = True
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, max_cycles=DEFAULT_MAX_CYCLES):
+        """Run to the halt instruction; returns the trace."""
+        while not self.halted:
+            if self.cycle >= max_cycles:
+                raise SimulationError(
+                    f"exceeded {max_cycles} cycles without halting "
+                    f"(pc={self._fetch_pc:#010x})"
+                )
+            self.step()
+        return self.trace
+
+
+def run_pipeline(program, div_latency=DEFAULT_DIV_LATENCY,
+                 max_cycles=DEFAULT_MAX_CYCLES):
+    """Convenience helper: run a program on the pipeline, return the simulator."""
+    simulator = PipelineSimulator(program, div_latency=div_latency)
+    simulator.run(max_cycles=max_cycles)
+    return simulator

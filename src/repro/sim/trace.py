@@ -1,0 +1,154 @@
+"""Per-cycle pipeline occupancy trace.
+
+The dynamic timing analysis and the clock-adjustment controller both consume
+the same information: *which instruction is in flight in which pipeline
+stage in every cycle* (``I_s[t]`` in the paper's Eq. 2).  The pipeline
+simulator records one :class:`CycleRecord` per cycle with six stage views.
+
+Stage-occupancy conventions (documented here once, relied on everywhere):
+
+- ``ADR`` holds the *fetch address* presented to the instruction memory in
+  this cycle.  Its instruction identity is the to-be-fetched word; the
+  *timing* of the ADR path group is driven by the next-pc logic, i.e. by
+  the instruction in ``EX`` (redirect) or the sequential increment — see
+  :mod:`repro.dta.grouping` for the driver-stage mapping.
+- A slot of ``None`` is a bubble (flushed or interlocked slot).
+- ``held`` marks stages that did not capture new data this cycle (stall):
+  their endpoints see no input events, so their dynamic delay is the
+  minimal hold delay.
+"""
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Stage(enum.IntEnum):
+    """The six pipeline stages of the customised mor1kx core (paper Fig. 4)."""
+
+    ADR = 0
+    FE = 1
+    DC = 2
+    EX = 3
+    CTRL = 4
+    WB = 5
+
+
+#: Stages in pipeline order.
+PIPELINE_STAGES = tuple(Stage)
+
+#: Paper-style short names, used in reports and figures.
+STAGE_NAMES = {
+    Stage.ADR: "ADR",
+    Stage.FE: "FE",
+    Stage.DC: "DC",
+    Stage.EX: "EX",
+    Stage.CTRL: "CTRL",
+    Stage.WB: "WB",
+}
+
+
+@dataclass(frozen=True)
+class StageView:
+    """What occupies one pipeline stage in one cycle.
+
+    ``seq`` is the unique program-order sequence number of the instruction
+    (used to group all cycles belonging to one dynamic occurrence), ``held``
+    is True when the stage kept its previous content due to a stall.
+    """
+
+    mnemonic: str = None     # None -> bubble
+    timing_class: str = None
+    pc: int = None
+    seq: int = None
+    held: bool = False
+
+    @property
+    def is_bubble(self):
+        return self.mnemonic is None
+
+
+#: Reusable bubble view.
+BUBBLE_VIEW = StageView()
+
+
+@dataclass
+class CycleRecord:
+    """Snapshot of one clock cycle.
+
+    Attributes
+    ----------
+    cycle:
+        Cycle index, starting at 0.
+    slots:
+        Tuple of six :class:`StageView`, indexed by :class:`Stage`.
+    ex_operands:
+        ``(a, b)`` operand values of the EX-stage instruction (``None`` for
+        bubbles); used by the data-dependent excitation model.
+    redirect:
+        True if the EX instruction redirected the fetch this cycle.
+    stall:
+        True if the front-end (ADR/FE/DC) was held this cycle.
+    """
+
+    cycle: int
+    slots: tuple
+    ex_operands: tuple = None
+    redirect: bool = False
+    stall: bool = False
+
+    def view(self, stage):
+        return self.slots[stage]
+
+    def mnemonic(self, stage):
+        return self.slots[stage].mnemonic
+
+
+@dataclass
+class PipelineTrace:
+    """Complete record of one pipeline run."""
+
+    program_name: str
+    records: list = field(default_factory=list)
+    retired: list = field(default_factory=list)   # (pc, Instruction)
+
+    def append(self, record):
+        self.records.append(record)
+
+    @property
+    def num_cycles(self):
+        return len(self.records)
+
+    @property
+    def num_retired(self):
+        return len(self.retired)
+
+    @property
+    def cpi(self):
+        if not self.retired:
+            raise ValueError("no retired instructions")
+        return self.num_cycles / self.num_retired
+
+    def retired_trace(self):
+        """The architectural program trace L[t]."""
+        return [instruction for _, instruction in self.retired]
+
+    def stage_utilization(self):
+        """Fraction of non-bubble cycles per stage (diagnostics)."""
+        if not self.records:
+            return {stage: 0.0 for stage in Stage}
+        totals = {stage: 0 for stage in Stage}
+        for record in self.records:
+            for stage in Stage:
+                if not record.slots[stage].is_bubble:
+                    totals[stage] += 1
+        return {
+            stage: totals[stage] / len(self.records) for stage in Stage
+        }
+
+    def class_mix(self):
+        """Timing-class frequency of the retired stream (for reports)."""
+        counts = {}
+        for instruction in self.retired_trace():
+            cls = instruction.timing_class
+            counts[cls] = counts.get(cls, 0) + 1
+        return counts

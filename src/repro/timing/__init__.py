@@ -1,0 +1,41 @@
+"""Synthetic post-layout timing model of the customised OpenRISC core.
+
+The paper extracts dynamic timing from a placed-and-routed 28 nm FDSOI
+netlist with SDF back-annotation.  Without a PDK, this package provides a
+*calibrated synthetic substitute* with the same interfaces and statistics
+(see DESIGN.md, substitution table):
+
+- :mod:`repro.timing.profiles` — per (instruction class, pipeline stage)
+  dynamic delay caps and data-dependent spreads for the two design variants
+  (*conventional* vs. *critical-range optimised*), calibrated against the
+  paper's Table I / Table II / Fig. 5 numbers;
+- :mod:`repro.timing.excitation` — the value-dependent path excitation
+  model: which delay is actually exercised in a given cycle;
+- :mod:`repro.timing.netlist` — synthetic path populations per stage and
+  class, used for static timing analysis and the Fig. 3 timing profile;
+- :mod:`repro.timing.library` — voltage-dependent delay scaling
+  (alpha-power law) and the characterised operating points;
+- :mod:`repro.timing.design` — ties everything together in a
+  :class:`~repro.timing.design.ProcessorDesign`.
+"""
+
+from repro.timing.design import DesignVariant, ProcessorDesign, build_design
+from repro.timing.excitation import ExcitationModel
+from repro.timing.library import CellLibrary, delay_scale_factor
+from repro.timing.netlist import SyntheticNetlist
+from repro.timing.profiles import DelayProfile, load_profile
+from repro.timing.sta import StaticTimingReport, run_sta
+
+__all__ = [
+    "DesignVariant",
+    "ProcessorDesign",
+    "build_design",
+    "ExcitationModel",
+    "CellLibrary",
+    "delay_scale_factor",
+    "SyntheticNetlist",
+    "DelayProfile",
+    "load_profile",
+    "StaticTimingReport",
+    "run_sta",
+]

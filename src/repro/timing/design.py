@@ -1,0 +1,71 @@
+"""Processor design bundle: profile + netlist + library + excitation.
+
+A :class:`ProcessorDesign` is what the downstream flows consume: the
+characterisation flow runs gate-level simulation against its excitation
+model, the evaluation flow checks safety against the same model, and the
+benches query its STA period and overheads.
+"""
+
+from dataclasses import dataclass
+
+from repro.timing.excitation import ExcitationModel
+from repro.timing.library import CellLibrary, REFERENCE_VOLTAGE
+from repro.timing.netlist import SyntheticNetlist
+from repro.timing.profiles import DelayProfile, DesignVariant, load_profile
+from repro.timing.sta import minimum_period
+
+
+@dataclass
+class ProcessorDesign:
+    """One implemented variant of the core at one operating point."""
+
+    variant: DesignVariant
+    profile: DelayProfile
+    netlist: SyntheticNetlist
+    library: CellLibrary
+    excitation: ExcitationModel
+
+    @property
+    def name(self):
+        return f"or1k-{self.variant.value}@{self.library.voltage:.2f}V"
+
+    @property
+    def static_period_ps(self):
+        """STA clock-period bound at this operating point (T_static)."""
+        return self.library.scale_delay(self.profile.static_period_ps)
+
+    @property
+    def sta_period_from_netlist_ps(self):
+        """The same bound, derived from the path population (must agree)."""
+        return self.library.scale_delay(minimum_period(self.netlist))
+
+    def at_voltage(self, voltage):
+        """The same design characterised at another supply voltage."""
+        return build_design(self.variant, voltage=voltage)
+
+
+def build_design(variant=DesignVariant.CRITICAL_RANGE,
+                 voltage=REFERENCE_VOLTAGE, seed=None):
+    """Construct a :class:`ProcessorDesign`.
+
+    Parameters
+    ----------
+    variant:
+        ``DesignVariant.CRITICAL_RANGE`` (the paper's optimised core) or
+        ``DesignVariant.CONVENTIONAL``.
+    voltage:
+        Supply voltage; delays scale by the alpha-power law.
+    seed:
+        Root seed for the synthetic path population.
+    """
+    if isinstance(variant, str):
+        variant = DesignVariant(variant)
+    profile = load_profile(variant)
+    library = CellLibrary.at(voltage)
+    return ProcessorDesign(
+        variant=variant,
+        profile=profile,
+        netlist=SyntheticNetlist(profile, seed=seed),
+        library=library,
+        excitation=ExcitationModel(profile, library=library),
+    )

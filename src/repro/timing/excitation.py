@@ -1,0 +1,214 @@
+"""Value-dependent path excitation model.
+
+This module answers the question the paper answers with SDF-annotated
+gate-level simulation: *given what is in flight in each pipeline stage in
+this cycle, what is the worst data-arrival delay in each endpoint group?*
+
+Model (documented simplifications, cf. DESIGN.md):
+
+- **EX group** delays are strongly instruction- and operand-dependent:
+  ``delay = max - spread * (1 - criticality)`` where ``criticality`` is 1.0
+  for the class's worst-case operand pattern (e.g. all-ones multiplier
+  inputs exercising the full carry tree) and otherwise a deterministic
+  value hash in ``[0, 0.97]``.  The same operands at the same program
+  location always excite the same paths, as in real hardware.
+- **ADR group** (next-pc logic into the instruction-memory address
+  register) has two fixed path depths: the sequential increment and the
+  redirect path from EX, excited by taken control transfers.  The group is
+  *driven* by the EX-stage instruction (see :func:`driver_view`).
+- **FE/DC/CTRL/WB groups** are modelled with fixed per-class worst-case
+  delays: their logic cones are shallow and data dependence is second
+  order.  (This collapses the paper's Fig. 7 non-EX histograms to spikes;
+  the EX distributions — where the paper's analysis lives — are preserved.)
+- Stages holding **bubbles** have a fixed small delay; **held** stages
+  (stall, inputs stable) see no input events and get the hold delay.
+
+The model guarantees ``excited delay <= profile.stage_spec(...).max_ps``
+for every cycle, which is the physical invariant the predictive clocking
+scheme relies on.
+"""
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import SPECS, InstructionKind
+from repro.sim.trace import Stage
+from repro.timing.library import reference_library
+from repro.timing.profiles import BUBBLE_CLASS
+from repro.utils.bitops import WORD_MASK
+from repro.utils.rng import hash_to_unit_float
+
+#: Criticality ceiling of non-worst-pattern operands: worst-case patterns
+#: are strictly the maximum, so a characterisation that covers them bounds
+#: every delay the evaluation can encounter.
+HASH_CRITICALITY_CEILING = 0.97
+
+
+@dataclass(frozen=True)
+class ExcitedDelay:
+    """Sampled worst data arrival of one endpoint group in one cycle."""
+
+    delay_ps: float
+    driver_class: str          # timing class, or BUBBLE_CLASS
+    stage: Stage
+    redirect: bool = False
+    held: bool = False
+
+
+def driver_view(record, stage):
+    """The stage view whose instruction *drives* the endpoint group.
+
+    All groups are driven by their own occupant except ``ADR``: the next-pc
+    logic (sequential increment or branch-target redirect) is controlled by
+    the EX-stage instruction, so the ADR group's delay — and its LUT
+    attribution — keys on the EX occupant.  This mapping is shared by the
+    DTA extraction and the clock controller, which makes the prediction
+    consistent with the measurement (see DESIGN.md).
+    """
+    if stage == Stage.ADR:
+        return record.view(Stage.EX)
+    return record.view(stage)
+
+
+def _kind_of_mnemonic(mnemonic):
+    return SPECS[mnemonic].kind
+
+
+def is_worst_pattern(mnemonic, a, b, taken=False):
+    """True when the operands excite the class's longest path.
+
+    The directed characterisation generator emits these patterns for every
+    class so that the extracted LUT converges to the true worst case
+    (paper Sec. II-B: "directed semi-random test generation").
+    """
+    kind = _kind_of_mnemonic(mnemonic)
+    if kind == InstructionKind.NOP:
+        return True   # constant datapath activity
+    if kind in (InstructionKind.JUMP, InstructionKind.JUMP_REG):
+        return True   # always-taken transfers exercise the full target path
+    if kind == InstructionKind.BRANCH:
+        return taken
+    if kind in (InstructionKind.ALU, InstructionKind.SETFLAG,
+                InstructionKind.MUL):
+        return a == WORD_MASK and b == WORD_MASK
+    if kind == InstructionKind.DIV:
+        return a == WORD_MASK and b == 1
+    if kind == InstructionKind.SHIFT:
+        return a == WORD_MASK
+    if kind in (InstructionKind.LOAD, InstructionKind.STORE):
+        return (a & 0xFFFF_FFF0) == 0xFFFF_FFF0
+    if kind == InstructionKind.MOVE:
+        if mnemonic == "l.movhi":
+            return b == 0xFFFF       # effective b operand is the immediate
+        return a == WORD_MASK
+    raise AssertionError(f"unhandled kind {kind}")
+
+
+def ex_criticality(mnemonic, a, b, pc, taken=False):
+    """Criticality in [0, 1] of the EX-stage excitation for these operands."""
+    if a is None or b is None:
+        a, b = 0, 0
+    if is_worst_pattern(mnemonic, a, b, taken=taken):
+        return 1.0
+    return HASH_CRITICALITY_CEILING * hash_to_unit_float(
+        "ex", mnemonic, a, b, pc
+    )
+
+
+class ExcitationModel:
+    """Samples excited endpoint-group delays for pipeline cycle records.
+
+    Parameters
+    ----------
+    profile:
+        Ground-truth :class:`~repro.timing.profiles.DelayProfile`.
+    library:
+        Operating point; delays are scaled from the 0.70 V reference.
+    """
+
+    def __init__(self, profile, library=None):
+        self.profile = profile
+        self.library = library if library is not None else reference_library()
+
+    def _scale(self, delay_ps):
+        return round(self.library.scale_delay(delay_ps), 3)
+
+    def group_delay(self, record, stage):
+        """Excited delay of one endpoint group in one cycle."""
+        view = driver_view(record, stage)
+
+        if stage == Stage.ADR:
+            return self._adr_delay(record, view)
+        if view.is_bubble:
+            return ExcitedDelay(
+                delay_ps=self._scale(self.profile.bubble_delays[stage]),
+                driver_class=BUBBLE_CLASS,
+                stage=stage,
+            )
+        if view.held:
+            return ExcitedDelay(
+                delay_ps=self._scale(self.profile.hold_delay_ps),
+                driver_class=view.timing_class,
+                stage=stage,
+                held=True,
+            )
+        if stage == Stage.EX:
+            return self._ex_delay(record, view)
+
+        spec = self.profile.stage_spec(view.timing_class, stage)
+        return ExcitedDelay(
+            delay_ps=self._scale(spec.max_ps),
+            driver_class=view.timing_class,
+            stage=stage,
+        )
+
+    def _adr_delay(self, record, ex_view):
+        """ADR group: driven by the EX occupant (redirect) or the sequential
+        increment.  A held front end re-presents a stable address."""
+        if record.stall:
+            driver = (
+                ex_view.timing_class
+                if not ex_view.is_bubble else BUBBLE_CLASS
+            )
+            return ExcitedDelay(
+                delay_ps=self._scale(self.profile.hold_delay_ps),
+                driver_class=driver,
+                stage=Stage.ADR,
+                held=True,
+            )
+        if ex_view.is_bubble:
+            return ExcitedDelay(
+                delay_ps=self._scale(self.profile.adr_seq.max_ps),
+                driver_class=BUBBLE_CLASS,
+                stage=Stage.ADR,
+            )
+        spec = self.profile.adr_spec(ex_view.timing_class, record.redirect)
+        return ExcitedDelay(
+            delay_ps=self._scale(spec.max_ps),
+            driver_class=ex_view.timing_class,
+            stage=Stage.ADR,
+            redirect=record.redirect,
+        )
+
+    def _ex_delay(self, record, view):
+        spec = self.profile.ex_spec(view.timing_class)
+        a, b = record.ex_operands if record.ex_operands else (0, 0)
+        crit = ex_criticality(
+            view.mnemonic, a, b, view.pc, taken=record.redirect
+        )
+        delay = spec.max_ps - spec.spread_ps * (1.0 - crit)
+        return ExcitedDelay(
+            delay_ps=self._scale(delay),
+            driver_class=view.timing_class,
+            stage=Stage.EX,
+        )
+
+    def cycle_delays(self, record):
+        """Excited delay of every endpoint group in this cycle."""
+        return {stage: self.group_delay(record, stage) for stage in Stage}
+
+    def cycle_max(self, record):
+        """The genie-aided minimum safe period for this cycle (Eq. 2 with
+        perfect knowledge): the max excited delay across all groups."""
+        return max(
+            self.group_delay(record, stage).delay_ps for stage in Stage
+        )

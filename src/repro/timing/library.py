@@ -1,0 +1,95 @@
+"""Voltage-dependent cell library model (28 nm FDSOI flavoured).
+
+The paper evaluates at 0.70 V using fully characterised libraries for
+multiple operating points (0.6 V, 0.7 V, ...).  We model delay-vs-voltage
+with the alpha-power law
+
+    t_d(V)  ∝  V / (V - V_th)^alpha
+
+normalised to the reference voltage 0.70 V, with ``V_th`` and ``alpha``
+calibrated so that the iso-throughput voltage-scaling experiment lands at
+the paper's ~70 mV reduction (Sec. IV-B).  All delays elsewhere in the
+package are stored at the reference voltage and multiplied by
+:func:`delay_scale_factor` when another operating point is requested.
+"""
+
+from dataclasses import dataclass
+
+#: Reference (characterisation) supply voltage.
+REFERENCE_VOLTAGE = 0.70
+
+#: Alpha-power-law parameters, calibrated (see module docstring).
+VTH_VOLTS = 0.45
+ALPHA = 1.25
+
+#: Library characterisation grid available "on disk" (paper Fig. 2 mentions
+#: 0.6 V, 0.7 V, ... libraries including SRAM macros).
+CHARACTERIZED_VOLTAGES = (0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.90)
+
+#: Flip-flop setup time used by the DTA slack accounting, in ps.
+SETUP_TIME_PS = 25.0
+
+#: Maximum magnitude of per-endpoint clock skew (useful skew), in ps.
+MAX_CLOCK_SKEW_PS = 30.0
+
+
+class LibraryError(ValueError):
+    """Raised for unsupported operating points."""
+
+
+def _alpha_power(voltage):
+    if voltage <= VTH_VOLTS:
+        raise LibraryError(
+            f"supply voltage {voltage:.3f} V is at or below Vth "
+            f"({VTH_VOLTS:.2f} V); no characterised library exists there"
+        )
+    return voltage / (voltage - VTH_VOLTS) ** ALPHA
+
+
+def delay_scale_factor(voltage):
+    """Delay multiplier at ``voltage`` relative to the 0.70 V reference.
+
+    >>> round(delay_scale_factor(0.70), 3)
+    1.0
+    """
+    return _alpha_power(voltage) / _alpha_power(REFERENCE_VOLTAGE)
+
+
+@dataclass(frozen=True)
+class CellLibrary:
+    """One characterised operating point.
+
+    Attributes
+    ----------
+    voltage:
+        Supply voltage in volts.
+    delay_scale:
+        Delay multiplier relative to the reference library.
+    setup_ps / max_skew_ps:
+        Endpoint setup time and useful-skew bound at this corner (scaled
+        with delay).
+    """
+
+    voltage: float
+    delay_scale: float
+    setup_ps: float
+    max_skew_ps: float
+
+    @classmethod
+    def at(cls, voltage):
+        scale = delay_scale_factor(voltage)
+        return cls(
+            voltage=voltage,
+            delay_scale=scale,
+            setup_ps=SETUP_TIME_PS * scale,
+            max_skew_ps=MAX_CLOCK_SKEW_PS * scale,
+        )
+
+    def scale_delay(self, delay_ps_at_reference):
+        """Scale a reference-voltage delay to this operating point."""
+        return delay_ps_at_reference * self.delay_scale
+
+
+def reference_library():
+    """The 0.70 V library the paper's evaluation uses."""
+    return CellLibrary.at(REFERENCE_VOLTAGE)

@@ -1,0 +1,217 @@
+"""Synthetic post-layout path population.
+
+The dynamic behaviour of the core is modelled by
+:mod:`repro.timing.excitation`; this module models the *static* view the
+EDA flow sees: a population of combinational paths per pipeline stage and
+instruction class, with endpoint setup times and useful clock skew.  It is
+what static timing analysis (:mod:`repro.timing.sta`), the timing-wall
+profile of Fig. 3 (:mod:`repro.timing.wall`) and the SDF-lite serialisation
+(:mod:`repro.timing.sdf`) operate on.
+
+Construction invariants (checked by tests):
+
+- for every (class, stage) group, the longest generated path is slightly
+  *above* the dynamic worst case of the profile (static analysis is
+  pessimistic: it cannot know that the topological worst case is not
+  dynamically excitable — the core premise of the paper);
+- the overall longest path equals the profile's STA period exactly (it
+  belongs to the multiplier's EX cone);
+- conventional-variant path delays bunch near the critical path (the
+  "timing wall"), critical-range paths are pulled down.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.trace import Stage
+from repro.timing.library import MAX_CLOCK_SKEW_PS, SETUP_TIME_PS
+from repro.timing.profiles import DesignVariant
+from repro.utils.rng import RngStream
+from repro.utils.stats import Histogram
+
+#: Topological margin of the longest path of a group above the dynamic
+#: worst case (STA pessimism for non-critical cones).
+TOPOLOGICAL_MARGIN = 1.03
+
+#: Number of generated paths per (stage, class) group.
+PATHS_PER_GROUP = 40
+#: Paths in class-independent groups (fetch, writeback...).
+PATHS_PER_SHARED_GROUP = 160
+
+#: Endpoints per stage group used for event-log generation.
+ENDPOINTS_PER_GROUP = 3
+
+
+@dataclass(frozen=True)
+class TimingPath:
+    """One combinational path (startpoint cone collapsed)."""
+
+    name: str
+    stage: Stage
+    timing_class: str        # class whose activity can excite the path
+    delay_ps: float          # topological delay incl. endpoint setup
+    endpoint: str
+
+
+@dataclass(frozen=True)
+class EndpointInfo:
+    """A sequential element (flip-flop or SRAM pin) closing paths."""
+
+    name: str
+    stage: Stage
+    setup_ps: float
+    skew_ps: float           # useful clock skew at the endpoint
+
+
+class SyntheticNetlist:
+    """Path population generated from a :class:`DelayProfile`."""
+
+    def __init__(self, profile, seed=None):
+        self.profile = profile
+        self.variant = profile.variant
+        rng = RngStream(
+            f"netlist/{profile.variant.value}",
+            root_seed=seed if seed is not None else 0x0DA7E2015,
+        )
+        self.paths = []
+        self.endpoints = []
+        self._generate_endpoints(rng)
+        self._generate_paths(rng)
+
+    # -- construction -------------------------------------------------------
+
+    def _generate_endpoints(self, rng):
+        for stage in Stage:
+            for index in range(ENDPOINTS_PER_GROUP):
+                name = f"{stage.name.lower()}_reg_{index}"
+                skew = rng.uniform(-MAX_CLOCK_SKEW_PS, MAX_CLOCK_SKEW_PS)
+                self.endpoints.append(
+                    EndpointInfo(
+                        name=name,
+                        stage=stage,
+                        setup_ps=SETUP_TIME_PS,
+                        skew_ps=round(skew, 2),
+                    )
+                )
+
+    def _population_shape(self):
+        """Beta-distribution parameters of path-delay spread below the max.
+
+        A conventional flow lets sub-critical paths drift up toward the
+        clock constraint (delay recovered into area/power), producing a
+        wall: mass near 1.0.  Critical-range optimisation pushes paths
+        down: mass well below 1.0.  (Paper Fig. 3.)
+        """
+        if self.variant == DesignVariant.CONVENTIONAL:
+            return 6.0, 1.6
+        return 2.0, 4.5
+
+    def _generate_paths(self, rng):
+        alpha, beta = self._population_shape()
+        endpoint_names = {
+            stage: [e.name for e in self.endpoints if e.stage == stage]
+            for stage in Stage
+        }
+
+        def emit(stage, cls, group_max, count, stream):
+            fractions = stream.sample_array("beta", count, a=alpha, b=beta)
+            # topological pessimism above the dynamic worst case, but no
+            # group may exceed the design's STA period
+            top = min(
+                group_max * TOPOLOGICAL_MARGIN,
+                self.profile.static_period_ps * 0.999,
+            )
+            for index, fraction in enumerate(fractions):
+                delay = max(top * float(fraction), 40.0)
+                endpoint = endpoint_names[stage][index % len(
+                    endpoint_names[stage])]
+                self.paths.append(
+                    TimingPath(
+                        name=f"{stage.name.lower()}/{cls}/p{index}",
+                        stage=stage,
+                        timing_class=cls,
+                        delay_ps=round(delay, 2),
+                        endpoint=endpoint,
+                    )
+                )
+            # the topological worst path of the group
+            self.paths.append(
+                TimingPath(
+                    name=f"{stage.name.lower()}/{cls}/worst",
+                    stage=stage,
+                    timing_class=cls,
+                    delay_ps=round(top, 2),
+                    endpoint=endpoint_names[stage][0],
+                )
+            )
+
+        profile = self.profile
+        for cls in profile.classes():
+            stream = rng.child(f"ex/{cls}")
+            emit(Stage.EX, cls, profile.ex_spec(cls).max_ps,
+                 PATHS_PER_GROUP, stream)
+            emit(Stage.DC, cls, profile.dc_spec(cls).max_ps,
+                 PATHS_PER_GROUP // 4, rng.child(f"dc/{cls}"))
+            emit(Stage.CTRL, cls, profile.ctrl_spec(cls).max_ps,
+                 PATHS_PER_GROUP // 4, rng.child(f"ctrl/{cls}"))
+            emit(Stage.WB, cls, profile.wb_spec(cls).max_ps,
+                 PATHS_PER_GROUP // 8, rng.child(f"wb/{cls}"))
+        emit(Stage.FE, "shared", profile.fe.max_ps,
+             PATHS_PER_SHARED_GROUP, rng.child("fe"))
+        emit(Stage.ADR, "shared", profile.adr_seq.max_ps,
+             PATHS_PER_SHARED_GROUP // 2, rng.child("adr_seq"))
+        emit(Stage.ADR, "redirect", profile.adr_redirect.max_ps,
+             PATHS_PER_SHARED_GROUP // 2, rng.child("adr_redirect"))
+
+        # The design's true critical path: the multiplier cone in EX.  Its
+        # topological delay IS the STA period; dynamically it is capped at
+        # the profile's l.mul worst case (operand conditions assumed by STA
+        # never materialise at runtime — the paper's premise).
+        self.paths.append(
+            TimingPath(
+                name="ex/l.mul(i)/critical",
+                stage=Stage.EX,
+                timing_class="l.mul(i)",
+                delay_ps=profile.static_period_ps,
+                endpoint=endpoint_names[Stage.EX][0],
+            )
+        )
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def num_paths(self):
+        return len(self.paths)
+
+    def delays(self, stage=None):
+        """All path delays, optionally restricted to one stage group."""
+        return [
+            p.delay_ps for p in self.paths
+            if stage is None or p.stage == stage
+        ]
+
+    def max_delay(self, stage=None):
+        return max(self.delays(stage))
+
+    def group_max(self, stage, timing_class):
+        delays = [
+            p.delay_ps for p in self.paths
+            if p.stage == stage and p.timing_class == timing_class
+        ]
+        if not delays:
+            raise KeyError(
+                f"no paths for class {timing_class!r} in stage {stage.name}"
+            )
+        return max(delays)
+
+    def endpoints_for(self, stage):
+        return [e for e in self.endpoints if e.stage == stage]
+
+    def delay_histogram(self, num_bins=40, low=0.0, high=None):
+        """Path-count histogram over delay (paper Fig. 3)."""
+        if high is None:
+            high = float(np.ceil(self.max_delay() / 100.0)) * 100.0
+        histogram = Histogram(low=low, high=high, num_bins=num_bins)
+        histogram.extend(self.delays())
+        return histogram

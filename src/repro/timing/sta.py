@@ -1,0 +1,93 @@
+"""Static timing analysis over the synthetic netlist.
+
+Conventional STA establishes the clock period from the worst topological
+path under worst-case assumptions (paper Eq. 1).  This module reproduces
+that step: given a netlist and a candidate period it reports worst
+negative slack, the critical path, and per-stage worst paths.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.sim.trace import Stage
+
+
+@dataclass
+class PathSlack:
+    path_name: str
+    stage: Stage
+    delay_ps: float
+    slack_ps: float
+
+
+@dataclass
+class StaticTimingReport:
+    """Result of one STA run."""
+
+    period_ps: float
+    critical_path: str
+    critical_delay_ps: float
+    worst_slack_ps: float
+    stage_worst: dict = field(default_factory=dict)   # Stage -> PathSlack
+    num_violations: int = 0
+
+    @property
+    def meets_timing(self):
+        return self.worst_slack_ps >= 0.0
+
+    def summary(self):
+        lines = [
+            f"STA @ period {self.period_ps:.0f} ps: "
+            f"WNS {self.worst_slack_ps:+.1f} ps, "
+            f"{self.num_violations} violating path(s)",
+            f"critical path: {self.critical_path} "
+            f"({self.critical_delay_ps:.0f} ps)",
+        ]
+        for stage in Stage:
+            worst = self.stage_worst.get(stage)
+            if worst is not None:
+                lines.append(
+                    f"  {stage.name:>4}: {worst.delay_ps:7.1f} ps  "
+                    f"slack {worst.slack_ps:+7.1f} ps  ({worst.path_name})"
+                )
+        return "\n".join(lines)
+
+
+def run_sta(netlist, period_ps=None):
+    """Run STA; with ``period_ps=None`` the minimum feasible period is used.
+
+    Returns a :class:`StaticTimingReport`.  ``report.critical_delay_ps`` is
+    the design's STA clock-period bound (T_static in the paper).
+    """
+    critical = max(netlist.paths, key=lambda p: p.delay_ps)
+    if period_ps is None:
+        period_ps = critical.delay_ps
+
+    stage_worst = {}
+    num_violations = 0
+    worst_slack = float("inf")
+    for path in netlist.paths:
+        slack = period_ps - path.delay_ps
+        if slack < 0:
+            num_violations += 1
+        worst_slack = min(worst_slack, slack)
+        current = stage_worst.get(path.stage)
+        if current is None or path.delay_ps > current.delay_ps:
+            stage_worst[path.stage] = PathSlack(
+                path_name=path.name,
+                stage=path.stage,
+                delay_ps=path.delay_ps,
+                slack_ps=slack,
+            )
+    return StaticTimingReport(
+        period_ps=period_ps,
+        critical_path=critical.name,
+        critical_delay_ps=critical.delay_ps,
+        worst_slack_ps=worst_slack,
+        stage_worst=stage_worst,
+        num_violations=num_violations,
+    )
+
+
+def minimum_period(netlist):
+    """The STA lower bound on the clock period (Eq. 1)."""
+    return max(p.delay_ps for p in netlist.paths)

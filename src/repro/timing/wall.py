@@ -1,0 +1,63 @@
+"""Timing-wall metrics (paper Fig. 3 and Sec. II-B.1).
+
+A conventionally implemented, well-balanced pipeline concentrates path
+delays just below the clock constraint ("timing wall"): the design meets
+STA but leaves no dynamic slack for instruction-dependent clock
+adjustment.  Critical-range optimisation pulls sub-critical paths down.
+These metrics quantify the difference between the two variants.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class WallProfile:
+    """Shape statistics of a path-delay population."""
+
+    variant: str
+    num_paths: int
+    max_delay_ps: float
+    mean_delay_ps: float
+    median_delay_ps: float
+    #: Fraction of paths within 10 % of the critical path ("the wall").
+    near_critical_fraction: float
+    #: Fraction of paths below 70 % of the critical path ("short paths").
+    short_fraction: float
+
+    def summary(self):
+        return (
+            f"{self.variant:>14}: {self.num_paths} paths, "
+            f"max {self.max_delay_ps:.0f} ps, "
+            f"median {self.median_delay_ps:.0f} ps, "
+            f"near-critical {100 * self.near_critical_fraction:.1f} %, "
+            f"short {100 * self.short_fraction:.1f} %"
+        )
+
+
+def wall_profile(netlist):
+    """Compute :class:`WallProfile` statistics for a netlist."""
+    delays = np.asarray(netlist.delays(), dtype=float)
+    if delays.size == 0:
+        raise ValueError("netlist has no paths")
+    critical = float(delays.max())
+    return WallProfile(
+        variant=netlist.variant.value,
+        num_paths=int(delays.size),
+        max_delay_ps=critical,
+        mean_delay_ps=float(delays.mean()),
+        median_delay_ps=float(np.median(delays)),
+        near_critical_fraction=float(
+            (delays >= 0.9 * critical).sum() / delays.size
+        ),
+        short_fraction=float((delays < 0.7 * critical).sum() / delays.size),
+    )
+
+
+def compare_walls(conventional_netlist, optimized_netlist):
+    """Fig. 3 comparison: the optimised variant must have a weaker wall and
+    more short paths than the conventional one.  Returns both profiles."""
+    conventional = wall_profile(conventional_netlist)
+    optimized = wall_profile(optimized_netlist)
+    return conventional, optimized

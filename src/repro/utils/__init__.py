@@ -1,0 +1,38 @@
+"""Shared utilities: bit manipulation, deterministic RNG streams, statistics,
+ASCII tables and physical-unit conversions.
+
+These helpers are deliberately dependency-light; everything above them in the
+stack (ISA, pipeline, timing model, DTA) builds on this module.
+"""
+
+from repro.utils.bitops import (
+    bit,
+    bits,
+    mask,
+    popcount,
+    sign_extend,
+    to_signed32,
+    to_unsigned32,
+)
+from repro.utils.rng import RngStream, derive_seed
+from repro.utils.stats import Histogram, Summary, summarize
+from repro.utils.tables import format_table
+from repro.utils.units import mhz_to_ps, ps_to_mhz
+
+__all__ = [
+    "bit",
+    "bits",
+    "mask",
+    "popcount",
+    "sign_extend",
+    "to_signed32",
+    "to_unsigned32",
+    "RngStream",
+    "derive_seed",
+    "Histogram",
+    "Summary",
+    "summarize",
+    "format_table",
+    "mhz_to_ps",
+    "ps_to_mhz",
+]

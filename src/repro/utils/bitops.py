@@ -1,0 +1,86 @@
+"""Bit-level helpers used by the ISA encoder/decoder and the semantics.
+
+All values are plain Python integers.  Architectural registers are 32-bit;
+helpers are provided to move between the unsigned representation used for
+storage (0 .. 2**32-1) and the signed interpretation used by arithmetic and
+comparison instructions.
+"""
+
+WORD_BITS = 32
+WORD_MASK = (1 << WORD_BITS) - 1
+
+
+def mask(width):
+    """Return a bit mask of ``width`` ones: ``mask(3) == 0b111``."""
+    if width < 0:
+        raise ValueError(f"mask width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bit(value, index):
+    """Return bit ``index`` of ``value`` (0 or 1)."""
+    return (value >> index) & 1
+
+
+def bits(value, high, low):
+    """Return the inclusive bit field ``value[high:low]``.
+
+    Mirrors the Verilog slice notation used in the OR1K architecture manual:
+    ``bits(word, 31, 26)`` extracts the 6-bit major opcode.
+    """
+    if high < low:
+        raise ValueError(f"bit range high={high} < low={low}")
+    return (value >> low) & mask(high - low + 1)
+
+
+def sign_extend(value, width):
+    """Sign-extend a ``width``-bit value to a Python int.
+
+    >>> sign_extend(0xFFFF, 16)
+    -1
+    >>> sign_extend(0x7FFF, 16)
+    32767
+    """
+    if width <= 0:
+        raise ValueError(f"sign_extend width must be positive, got {width}")
+    value &= mask(width)
+    sign_bit = 1 << (width - 1)
+    return (value ^ sign_bit) - sign_bit
+
+
+def to_signed32(value):
+    """Interpret the low 32 bits of ``value`` as a signed integer."""
+    return sign_extend(value, WORD_BITS)
+
+
+def to_unsigned32(value):
+    """Truncate ``value`` to its unsigned 32-bit representation."""
+    return value & WORD_MASK
+
+
+def popcount(value):
+    """Number of set bits in ``value`` (must be non-negative)."""
+    if value < 0:
+        raise ValueError("popcount requires a non-negative value")
+    return bin(value).count("1")
+
+
+def rotate_right32(value, amount):
+    """Rotate a 32-bit value right by ``amount`` (mod 32)."""
+    value = to_unsigned32(value)
+    amount %= WORD_BITS
+    if amount == 0:
+        return value
+    return to_unsigned32((value >> amount) | (value << (WORD_BITS - amount)))
+
+
+def align_down(value, alignment):
+    """Round ``value`` down to a multiple of ``alignment`` (a power of two)."""
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return value & ~(alignment - 1)
+
+
+def is_aligned(value, alignment):
+    """True if ``value`` is a multiple of power-of-two ``alignment``."""
+    return align_down(value, alignment) == value

@@ -1,0 +1,91 @@
+"""Deterministic random-number streams.
+
+Every stochastic element of the reproduction (synthetic path populations,
+data-dependent delay jitter, random program generation) draws from a named
+:class:`RngStream`.  Streams are derived from a root seed and a string name,
+so two independent subsystems never share or perturb each other's sequence,
+and every experiment is exactly reproducible from its configuration.
+"""
+
+import hashlib
+
+import numpy as np
+
+#: Root seed used across the project unless an experiment overrides it.
+DEFAULT_SEED = 0x0DA7E2015
+
+
+def derive_seed(root_seed, name):
+    """Derive a child seed from ``root_seed`` and a stream ``name``.
+
+    Uses SHA-256 so that the mapping is stable across Python versions and
+    platforms (unlike ``hash()``).
+    """
+    digest = hashlib.sha256(f"{root_seed:#x}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class RngStream:
+    """A named, seeded random stream backed by ``numpy.random.Generator``.
+
+    Parameters
+    ----------
+    name:
+        Identifier of the stream; two streams with different names derived
+        from the same root seed are statistically independent.
+    root_seed:
+        Root seed of the experiment.
+    """
+
+    def __init__(self, name, root_seed=DEFAULT_SEED):
+        self.name = name
+        self.root_seed = root_seed
+        self.seed = derive_seed(root_seed, name)
+        self._gen = np.random.Generator(np.random.PCG64(self.seed))
+
+    def child(self, suffix):
+        """Derive an independent sub-stream, e.g. per benchmark or stage."""
+        return RngStream(f"{self.name}/{suffix}", self.root_seed)
+
+    # -- thin wrappers over numpy.random.Generator -------------------------
+
+    def uniform(self, low=0.0, high=1.0):
+        return float(self._gen.uniform(low, high))
+
+    def normal(self, loc=0.0, scale=1.0):
+        return float(self._gen.normal(loc, scale))
+
+    def triangular(self, left, mode, right):
+        return float(self._gen.triangular(left, mode, right))
+
+    def beta(self, a, b):
+        return float(self._gen.beta(a, b))
+
+    def integers(self, low, high):
+        """Uniform integer in ``[low, high)``."""
+        return int(self._gen.integers(low, high))
+
+    def choice(self, seq, p=None):
+        index = int(self._gen.choice(len(seq), p=p))
+        return seq[index]
+
+    def shuffle(self, items):
+        """Shuffle a list in place."""
+        self._gen.shuffle(items)
+
+    def sample_array(self, distribution, size, **kwargs):
+        """Draw ``size`` samples from a named numpy distribution."""
+        fn = getattr(self._gen, distribution)
+        return fn(size=size, **kwargs)
+
+
+def hash_to_unit_float(*parts):
+    """Map arbitrary hashable parts to a deterministic float in [0, 1).
+
+    Used for *value-dependent* pseudo-randomness: the same operands always
+    excite the same paths, which is what real hardware does.  This is pure
+    (no stream state), unlike :class:`RngStream`.
+    """
+    text = "|".join(str(p) for p in parts)
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little") / float(1 << 64)

@@ -1,0 +1,136 @@
+"""Histogram and summary statistics used by the DTA reports and benches."""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Summary:
+    """Five-number-style summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+
+    def as_dict(self):
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+
+def summarize(samples):
+    """Compute a :class:`Summary` over an iterable of numbers."""
+    arr = np.asarray(list(samples), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        p50=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        p99=float(np.percentile(arr, 99)),
+    )
+
+
+@dataclass
+class Histogram:
+    """A fixed-bin histogram over a numeric range.
+
+    The DTA tool uses histograms of per-cycle maximum delays (paper Fig. 5)
+    and per-stage instruction delays (paper Fig. 7).
+    """
+
+    low: float
+    high: float
+    num_bins: int
+    counts: list = field(default_factory=list)
+    underflow: int = 0
+    overflow: int = 0
+
+    def __post_init__(self):
+        if self.high <= self.low:
+            raise ValueError("histogram range must have high > low")
+        if self.num_bins <= 0:
+            raise ValueError("histogram needs at least one bin")
+        if not self.counts:
+            self.counts = [0] * self.num_bins
+
+    @property
+    def bin_width(self):
+        return (self.high - self.low) / self.num_bins
+
+    def bin_index(self, value):
+        """Bin index for ``value``; -1 for underflow, num_bins for overflow."""
+        if value < self.low:
+            return -1
+        if value >= self.high:
+            return self.num_bins
+        return int((value - self.low) / self.bin_width)
+
+    def add(self, value, weight=1):
+        index = self.bin_index(value)
+        if index < 0:
+            self.underflow += weight
+        elif index >= self.num_bins:
+            self.overflow += weight
+        else:
+            self.counts[index] += weight
+
+    def extend(self, values):
+        for value in values:
+            self.add(value)
+
+    @property
+    def total(self):
+        return sum(self.counts) + self.underflow + self.overflow
+
+    def bin_centers(self):
+        width = self.bin_width
+        return [self.low + (i + 0.5) * width for i in range(self.num_bins)]
+
+    def bin_edges(self):
+        width = self.bin_width
+        return [self.low + i * width for i in range(self.num_bins + 1)]
+
+    def mean(self):
+        """Approximate mean from bin centers (ignores under/overflow)."""
+        inside = sum(self.counts)
+        if inside == 0:
+            raise ValueError("histogram is empty")
+        return (
+            sum(c * x for c, x in zip(self.counts, self.bin_centers())) / inside
+        )
+
+    def mode_center(self):
+        """Center of the most populated bin."""
+        index = max(range(self.num_bins), key=lambda i: self.counts[i])
+        return self.bin_centers()[index]
+
+    def render(self, width=50, label="delay [ps]"):
+        """Render a text histogram (one row per bin) for bench output."""
+        peak = max(self.counts) if any(self.counts) else 1
+        lines = [f"{label:>12} | count"]
+        for center, count in zip(self.bin_centers(), self.counts):
+            bar = "#" * int(round(width * count / peak)) if peak else ""
+            lines.append(f"{center:12.1f} | {count:6d} {bar}")
+        if self.underflow:
+            lines.append(f"   underflow | {self.underflow:6d}")
+        if self.overflow:
+            lines.append(f"    overflow | {self.overflow:6d}")
+        return "\n".join(lines)

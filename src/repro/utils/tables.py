@@ -1,0 +1,52 @@
+"""Plain-text table rendering for bench harnesses and reports."""
+
+
+def format_table(headers, rows, title=None, aligns=None):
+    """Render a list of rows as an aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row tuples; cells are converted with ``str``.
+    title:
+        Optional title line printed above the table.
+    aligns:
+        Optional per-column alignment: ``"<"`` (default) or ``">"``.
+    """
+    str_rows = [[_cell(c) for c in row] for row in rows]
+    headers = [str(h) for h in headers]
+    num_cols = len(headers)
+    for row in str_rows:
+        if len(row) != num_cols:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {num_cols}: {row}"
+            )
+    if aligns is None:
+        aligns = ["<"] * num_cols
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows
+        else len(headers[i])
+        for i in range(num_cols)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(
+        " | ".join(f"{headers[i]:{aligns[i]}{widths[i]}}" for i in range(num_cols))
+    )
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(
+            " | ".join(f"{row[i]:{aligns[i]}{widths[i]}}" for i in range(num_cols))
+        )
+    return "\n".join(lines)
+
+
+def _cell(value):
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,49 @@
+"""Physical-unit conversions.
+
+Conventions across the project:
+
+- delays / clock periods: **picoseconds** (float)
+- frequencies: **MHz** (float)
+- voltages: **volts** (float)
+- power: **microwatts** (float)
+- energy: **picojoules** (float)
+"""
+
+PS_PER_SECOND = 1e12
+MHZ_PER_HZ = 1e-6
+
+
+def ps_to_mhz(period_ps):
+    """Convert a clock period in picoseconds to a frequency in MHz.
+
+    >>> round(ps_to_mhz(2026.0), 1)
+    493.6
+    """
+    if period_ps <= 0:
+        raise ValueError(f"period must be positive, got {period_ps}")
+    return PS_PER_SECOND / period_ps * MHZ_PER_HZ
+
+
+def mhz_to_ps(freq_mhz):
+    """Convert a frequency in MHz to a clock period in picoseconds."""
+    if freq_mhz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_mhz}")
+    return PS_PER_SECOND / (freq_mhz / MHZ_PER_HZ)
+
+
+def uw_per_mhz(power_uw, freq_mhz):
+    """Energy-efficiency metric used in the paper: µW per MHz."""
+    if freq_mhz <= 0:
+        raise ValueError(f"frequency must be positive, got {freq_mhz}")
+    return power_uw / freq_mhz
+
+
+def speedup_percent(baseline_period_ps, improved_period_ps):
+    """Speedup of a shorter average period over a baseline, in percent.
+
+    ``speedup_percent(2026, 1334)`` is about 51.9 — the paper's ~50 % genie
+    bound (they round the ratio of mean delays).
+    """
+    if improved_period_ps <= 0:
+        raise ValueError("improved period must be positive")
+    return (baseline_period_ps / improved_period_ps - 1.0) * 100.0

@@ -1,0 +1,34 @@
+"""Benchmark and characterisation workloads.
+
+The paper evaluates with CoreMark and BEEBS compiled by the OpenRISC GCC
+toolchain.  Without that toolchain we provide hand-written OR1K assembly
+kernels with the same instruction-mix characteristics (see DESIGN.md):
+
+- :mod:`repro.workloads.kernels` — BEEBS-style single kernels (CRC, matrix
+  multiply, sorts, searches, FIR, sieve, state machine, ...), each with a
+  pure-Python golden reference checked by the test suite;
+- :mod:`repro.workloads.coremark` — a CoreMark-style composite combining
+  list processing, matrix work, a state machine and CRC;
+- :mod:`repro.workloads.randomgen` — the directed semi-random program
+  generator used for characterisation (paper Fig. 2), which guarantees
+  worst-case operand patterns for every timing class;
+- :mod:`repro.workloads.suite` — named suites used by the benches.
+"""
+
+from repro.workloads.kernels import Kernel, all_kernels, get_kernel
+from repro.workloads.randomgen import generate_characterization_program
+from repro.workloads.suite import (
+    benchmark_suite,
+    characterization_suite,
+    suite_names,
+)
+
+__all__ = [
+    "Kernel",
+    "all_kernels",
+    "get_kernel",
+    "generate_characterization_program",
+    "benchmark_suite",
+    "characterization_suite",
+    "suite_names",
+]

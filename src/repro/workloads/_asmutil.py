@@ -1,0 +1,20 @@
+"""Shared helpers for authoring kernels."""
+
+
+def pack_words_be(data):
+    """Pack a byte sequence into big-endian 32-bit words (zero padded)."""
+    padded = bytes(data) + b"\x00" * (-len(data) % 4)
+    return [
+        int.from_bytes(padded[i:i + 4], "big")
+        for i in range(0, len(padded), 4)
+    ]
+
+
+def words_directive(values, per_line=8):
+    """Render a list of integers as ``.word`` directives."""
+    lines = []
+    for start in range(0, len(values), per_line):
+        chunk = values[start:start + per_line]
+        rendered = ", ".join(f"{v & 0xFFFFFFFF:#x}" for v in chunk)
+        lines.append(f"    .word {rendered}")
+    return "\n".join(lines)

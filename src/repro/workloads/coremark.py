@@ -1,0 +1,211 @@
+"""CoreMark-style composite workload.
+
+CoreMark combines linked-list processing, matrix operations, a state
+machine and CRC validation in one binary.  This module provides an
+equivalent single-program composite: four phases chained in one address
+space, each updating a running CRC-16 of its result, exactly as CoreMark
+folds each phase's output into its final checksum.
+"""
+
+from repro.asm import assemble
+from repro.workloads._asmutil import pack_words_be, words_directive
+from repro.workloads.kernels import Kernel, register
+from repro.workloads.kernels.crc import crc16_reference
+from repro.workloads.kernels.statemachine import statemachine_reference
+
+_LIST_LEN = 16
+#: Linked list nodes: (value, next-index) with a scrambled permutation.
+_LIST_ORDER = [(5 * i + 3) % _LIST_LEN for i in range(_LIST_LEN)]
+_LIST_VALUES = [((i * 2749) % 1000) + 1 for i in range(_LIST_LEN)]
+
+_MAT_N = 4
+_MAT = [((i * 31 + 17) % 91) + 1 for i in range(_MAT_N * _MAT_N)]
+
+_FSM_INPUT = bytes((149 * i + 31) & 0xFF for i in range(48))
+
+
+def _list_walk_reference():
+    """Sum of value * position while walking the scrambled list."""
+    total = 0
+    index = 0
+    for position in range(_LIST_LEN):
+        total = (total + _LIST_VALUES[index] * (position + 1)) & 0xFFFFFFFF
+        index = _LIST_ORDER[index]
+    return total
+
+
+def _matrix_reference():
+    """Sum of A*A (matrix product) entries, mod 2^32."""
+    total = 0
+    for i in range(_MAT_N):
+        for j in range(_MAT_N):
+            acc = 0
+            for k in range(_MAT_N):
+                acc = (acc + _MAT[i * _MAT_N + k] * _MAT[k * _MAT_N + j]) \
+                    & 0xFFFFFFFF
+            total = (total + acc) & 0xFFFFFFFF
+    return total
+
+
+def coremark_reference():
+    """Final checksum: CRC-16 folded over the three phase results."""
+    phase_results = [
+        _list_walk_reference(),
+        _matrix_reference(),
+        statemachine_reference(_FSM_INPUT),
+    ]
+    payload = b"".join(value.to_bytes(4, "big") for value in phase_results)
+    return crc16_reference(payload)
+
+
+_SOURCE = f"""
+# coremark-like composite: list walk + matrix multiply + FSM + CRC-16 fold
+start:
+    # ---- phase 1: scrambled linked-list walk -------------------------
+    l.movhi r2, hi(list_values)
+    l.ori   r2, r2, lo(list_values)
+    l.movhi r3, hi(list_next)
+    l.ori   r3, r3, lo(list_next)
+    l.addi  r4, r0, 0              # current index
+    l.addi  r5, r0, 1              # position weight
+    l.addi  r11, r0, 0             # phase checksum
+list_loop:
+    l.slli  r6, r4, 2
+    l.add   r7, r6, r2
+    l.lwz   r8, 0(r7)              # value
+    l.mul   r9, r8, r5
+    l.add   r11, r11, r9
+    l.add   r7, r6, r3
+    l.addi  r5, r5, 1
+    l.sflesi r5, {_LIST_LEN}
+    l.bf    list_loop
+    l.lwz   r4, 0(r7)              # delay slot: fetch next index
+    l.movhi r13, hi(results)
+    l.ori   r13, r13, lo(results)
+    l.sw    0(r13), r11
+    # ---- phase 2: {_MAT_N}x{_MAT_N} matrix product A*A ----------------
+    l.movhi r2, hi(matrix)
+    l.ori   r2, r2, lo(matrix)
+    l.addi  r11, r0, 0
+    l.addi  r5, r0, 0              # i
+mat_i:
+    l.addi  r6, r0, 0              # j
+mat_j:
+    l.addi  r8, r0, 0              # acc
+    l.addi  r7, r0, 0              # k
+    l.slli  r9, r5, {4 if _MAT_N == 4 else 2}          # i * N * 4
+    l.add   r9, r9, r2             # &A[i][0]
+    l.slli  r10, r6, 2
+    l.add   r10, r10, r2           # &A[0][j]
+mat_k:
+    l.lwz   r12, 0(r9)             # loads scheduled ahead of the multiply
+    l.lwz   r14, 0(r10)
+    l.addi  r7, r7, 1
+    l.mul   r15, r12, r14
+    l.addi  r10, r10, {_MAT_N * 4}
+    l.add   r8, r8, r15
+    l.sfltsi r7, {_MAT_N}
+    l.bf    mat_k
+    l.addi  r9, r9, 4              # delay slot: next A element
+    l.add   r11, r11, r8
+    l.addi  r6, r6, 1
+    l.sfltsi r6, {_MAT_N}
+    l.bf    mat_j
+    l.nop
+    l.addi  r5, r5, 1
+    l.sfltsi r5, {_MAT_N}
+    l.bf    mat_i
+    l.nop
+    l.sw    4(r13), r11
+    # ---- phase 3: state machine --------------------------------------
+    l.movhi r2, hi(fsm_input)
+    l.ori   r2, r2, lo(fsm_input)
+    l.addi  r3, r0, {len(_FSM_INPUT)}
+    l.addi  r4, r0, 0              # state
+    l.addi  r11, r0, 0
+    l.lbz   r5, 0(r2)              # software-pipelined first byte
+fsm_loop:
+    l.sfltui r5, 64
+    l.bnf   fsm_c2
+    l.sfltui r5, 128               # delay slot: pre-compute next test
+    l.j     fsm_apply
+    l.addi  r4, r4, 1
+fsm_c2:
+    l.bnf   fsm_c3
+    l.sfltui r5, 192               # delay slot: pre-compute next test
+    l.j     fsm_apply
+    l.addi  r4, r4, 2
+fsm_c3:
+    l.bnf   fsm_c4
+    l.nop
+    l.j     fsm_apply
+    l.xori  r4, r4, 1
+fsm_c4:
+    l.addi  r4, r0, 0
+fsm_apply:
+    l.andi  r4, r4, 3
+    l.add   r11, r11, r4
+    l.addi  r2, r2, 1
+    l.addi  r3, r3, -1
+    l.sfgtsi r3, 0
+    l.bf    fsm_loop
+    l.lbz   r5, 0(r2)              # delay slot: fetch next byte
+    l.sw    8(r13), r11
+    # ---- phase 4: CRC-16 fold over the three phase results -----------
+    l.or    r2, r13, r13           # byte pointer over results[0..11]
+    l.addi  r3, r0, 12
+    l.addi  r4, r0, 0              # crc
+    l.movhi r5, hi(0xa001)
+    l.ori   r5, r5, lo(0xa001)
+crc_byte:
+    l.lbz   r6, 0(r2)
+    l.xor   r4, r4, r6
+    l.addi  r7, r0, 8
+crc_bit:
+    l.andi  r8, r4, 1
+    l.sub   r9, r0, r8             # mask = -(crc & 1)
+    l.and   r10, r5, r9            # poly & mask
+    l.srli  r4, r4, 1
+    l.xor   r4, r4, r10
+    l.addi  r7, r7, -1
+    l.sfgtsi r7, 0
+    l.bf    crc_bit
+    l.nop
+    l.addi  r3, r3, -1
+    l.sfgtsi r3, 0
+    l.bf    crc_byte
+    l.addi  r2, r2, 1              # delay slot: next byte
+    l.andi  r11, r4, 0xffff
+    l.nop   0x1
+    l.nop
+    l.nop
+.data
+list_values:
+{words_directive(_LIST_VALUES)}
+list_next:
+{words_directive(_LIST_ORDER)}
+matrix:
+{words_directive(_MAT)}
+fsm_input:
+{words_directive(pack_words_be(_FSM_INPUT))}
+results:
+    .space 16
+"""
+
+
+def coremark_kernel():
+    """The composite as a Kernel (registered as ``coremark``)."""
+    return _COREMARK
+
+
+_COREMARK = register(Kernel(
+    name="coremark",
+    source=_SOURCE,
+    expected_regs={11: coremark_reference()},
+    description="CoreMark-like composite (list + matrix + FSM + CRC)",
+    category="mixed",
+))
+
+
+def coremark_program():
+    return assemble(_SOURCE, name="coremark")

@@ -1,0 +1,109 @@
+"""CRC kernels (BEEBS ``crc32`` flavour): shift/xor/logic heavy.
+
+The eight bit-steps per byte are fully unrolled with the branchless mask
+idiom a compiler emits at -O3 (``mask = -(crc & 1); crc = (crc >> 1) ^
+(poly & mask)``), so the steady state is almost pure logic/shift work —
+the lightest multiplier usage of the suite.
+"""
+
+from repro.workloads._asmutil import pack_words_be, words_directive
+from repro.workloads.kernels import Kernel, register
+
+_CRC32_POLY = 0xEDB88320
+_CRC16_POLY = 0xA001
+
+#: Input message (64 bytes of text-like data).
+_MESSAGE = bytes(
+    (37 * i + 11) & 0xFF for i in range(64)
+)
+
+
+def crc32_reference(data):
+    """Bitwise CRC-32 (reflected, poly 0xEDB88320)."""
+    crc = 0xFFFFFFFF
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ _CRC32_POLY
+            else:
+                crc >>= 1
+    return crc ^ 0xFFFFFFFF
+
+
+def crc16_reference(data):
+    """Bitwise CRC-16/ARC (poly 0xA001)."""
+    crc = 0
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ _CRC16_POLY
+            else:
+                crc >>= 1
+    return crc
+
+
+_BIT_STEP = """\
+    l.andi  r8, r4, 1
+    l.sub   r9, r0, r8                  # mask = -(crc & 1)
+    l.and   r10, r5, r9                 # poly & mask
+    l.srli  r4, r4, 1
+    l.xor   r4, r4, r10
+"""
+
+
+def _crc_body(poly, init_lines, final_lines):
+    return f"""
+start:
+    l.movhi r2, hi(data)
+    l.ori   r2, r2, lo(data)
+    l.addi  r3, r0, {len(_MESSAGE)}     # remaining bytes
+{init_lines}
+    l.movhi r5, hi({poly:#x})
+    l.ori   r5, r5, lo({poly:#x})
+byte_loop:
+    l.lbz   r6, 0(r2)
+    l.xor   r4, r4, r6
+{_BIT_STEP * 8}
+    l.addi  r3, r3, -1
+    l.sfgtsi r3, 0
+    l.bf    byte_loop
+    l.addi  r2, r2, 1                   # delay slot: advance byte pointer
+{final_lines}
+    l.nop   0x1
+    l.nop
+    l.nop
+.data
+data:
+{words_directive(pack_words_be(_MESSAGE))}
+"""
+
+
+_CRC32_SOURCE = "# crc32: unrolled branchless CRC-32" + _crc_body(
+    _CRC32_POLY,
+    "    l.movhi r4, 0xffff\n    l.ori   r4, r4, 0xffff",
+    "    l.xori  r11, r4, -1                 # final inversion",
+)
+
+_CRC16_SOURCE = "# crc16: unrolled branchless CRC-16/ARC" + _crc_body(
+    _CRC16_POLY,
+    "    l.addi  r4, r0, 0",
+    "    l.andi  r11, r4, 0xffff",
+)
+
+register(Kernel(
+    name="crc32",
+    source=_CRC32_SOURCE,
+    expected_regs={11: crc32_reference(_MESSAGE)},
+    description="Unrolled branchless CRC-32 over a 64-byte message",
+    category="alu",
+))
+
+register(Kernel(
+    name="crc16",
+    source=_CRC16_SOURCE,
+    expected_regs={11: crc16_reference(_MESSAGE)},
+    description="Unrolled branchless CRC-16/ARC over a 64-byte message",
+    category="alu",
+))

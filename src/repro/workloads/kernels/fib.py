@@ -1,0 +1,45 @@
+"""Fibonacci kernel (BEEBS ``fibcall`` flavour): adder-dominated.
+
+The loop-closing branch carries the second move in its delay slot, so the
+steady-state loop has no wasted issue slots.
+"""
+
+from repro.workloads.kernels import Kernel, register
+
+_N = 40
+
+
+def fib_reference(n):
+    if n % 2:
+        raise ValueError("kernel unrolls two steps per iteration; n must be even")
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, (a + b) & 0xFFFFFFFF
+    return a
+
+
+_SOURCE = f"""
+# fib: iterative Fibonacci({_N}) (mod 2^32)
+start:
+    l.addi  r3, r0, 0          # a
+    l.addi  r4, r0, 1          # b
+    l.addi  r5, r0, {_N}       # iterations
+loop:
+    l.add   r3, r3, r4         # two reference steps per iteration:
+    l.addi  r5, r5, -2         #   a += b ; b += a
+    l.sfgtsi r5, 0
+    l.bf    loop
+    l.add   r4, r4, r3         # delay slot: b += a
+    l.or    r11, r3, r3
+    l.nop   0x1
+    l.nop
+    l.nop
+"""
+
+register(Kernel(
+    name="fib",
+    source=_SOURCE,
+    expected_regs={11: fib_reference(_N)},
+    description=f"Iterative Fibonacci({_N})",
+    category="alu",
+))

@@ -1,0 +1,74 @@
+"""GCD kernel: exercises the serial divider (multi-cycle EX occupancy).
+
+Euclid's algorithm with explicit division/remainder
+(``r = a - (a / b) * b``) so the 32-cycle serial divider — and the
+pipeline stalls it causes — appear in a benchmark, not only in the
+characterisation programs.
+"""
+
+from repro.workloads._asmutil import words_directive
+from repro.workloads.kernels import Kernel, register
+
+_PAIRS = [
+    (2 * 3 * 5 * 7 * 11, 3 * 5 * 13),
+    (987654, 123456),
+    (1071, 462),
+    (270, 192),
+    (1 << 20, 48),
+    (99991, 7),          # coprime
+    (240, 46),
+    (600851, 6857),
+]
+
+
+def gcd_reference(pairs):
+    total = 0
+    for a, b in pairs:
+        while b:
+            a, b = b, a % b
+        total = (total + a) & 0xFFFFFFFF
+    return total
+
+
+_SOURCE = f"""
+# gcd: Euclid with explicit divide/multiply/subtract remainder
+start:
+    l.movhi r2, hi(pairs)
+    l.ori   r2, r2, lo(pairs)
+    l.addi  r3, r0, {len(_PAIRS)}
+    l.addi  r11, r0, 0
+pair_loop:
+    l.lwz   r4, 0(r2)              # a
+    l.lwz   r5, 4(r2)              # b
+gcd_loop:
+    l.sfeqi r5, 0
+    l.bf    pair_done
+    l.nop
+    l.divu  r6, r4, r5             # q = a / b  (serial divider)
+    l.mul   r7, r6, r5             # q * b
+    l.sub   r7, r4, r7             # r = a - q*b
+    l.or    r4, r5, r5             # a = b
+    l.j     gcd_loop
+    l.or    r5, r7, r7             # delay slot: b = r
+pair_done:
+    l.add   r11, r11, r4
+    l.addi  r2, r2, 8
+    l.addi  r3, r3, -1
+    l.sfgtsi r3, 0
+    l.bf    pair_loop
+    l.nop
+    l.nop   0x1
+    l.nop
+    l.nop
+.data
+pairs:
+{words_directive([v for pair in _PAIRS for v in pair])}
+"""
+
+register(Kernel(
+    name="gcd",
+    source=_SOURCE,
+    expected_regs={11: gcd_reference(_PAIRS)},
+    description=f"Euclid's GCD over {len(_PAIRS)} pairs (serial divider)",
+    category="mul",
+))

@@ -1,0 +1,75 @@
+"""Histogram kernel: byte loads with data-dependent indexed word updates.
+
+A read-modify-write pattern (load byte -> compute bin address -> load
+counter -> increment -> store) that stresses the load-use interlock and
+the data-memory paths in both directions.
+"""
+
+from repro.workloads._asmutil import pack_words_be, words_directive
+from repro.workloads.kernels import Kernel, register
+
+_DATA = bytes((i * i * 31 + 7 * i + 3) & 0xFF for i in range(96))
+_NUM_BINS = 16
+
+
+def histogram_reference(data, num_bins):
+    """Weighted checksum of the bin counts: sum(count[i] * (i+1))."""
+    bins = [0] * num_bins
+    for byte in data:
+        bins[byte % num_bins] += 1
+    checksum = 0
+    for index, count in enumerate(bins):
+        checksum = (checksum + count * (index + 1)) & 0xFFFFFFFF
+    return checksum
+
+
+_SOURCE = f"""
+# histogram: bin {len(_DATA)} bytes into {_NUM_BINS} word counters
+start:
+    l.movhi r2, hi(data)
+    l.ori   r2, r2, lo(data)
+    l.movhi r3, hi(bins)
+    l.ori   r3, r3, lo(bins)
+    l.addi  r4, r0, {len(_DATA)}
+bin_loop:
+    l.lbz   r5, 0(r2)
+    l.andi  r5, r5, {_NUM_BINS - 1}    # bin index (power-of-two bins)
+    l.slli  r5, r5, 2
+    l.add   r5, r5, r3                 # &bins[index]
+    l.lwz   r6, 0(r5)
+    l.addi  r4, r4, -1                 # scheduled between load and use
+    l.addi  r6, r6, 1
+    l.sw    0(r5), r6
+    l.sfgtsi r4, 0
+    l.bf    bin_loop
+    l.addi  r2, r2, 1                  # delay slot: next byte
+    # weighted checksum of the bins
+    l.addi  r4, r0, {_NUM_BINS}
+    l.addi  r7, r0, 1                  # weight
+    l.addi  r11, r0, 0
+sum_loop:
+    l.lwz   r6, 0(r3)
+    l.mul   r8, r6, r7
+    l.add   r11, r11, r8
+    l.addi  r7, r7, 1
+    l.addi  r4, r4, -1
+    l.sfgtsi r4, 0
+    l.bf    sum_loop
+    l.addi  r3, r3, 4                  # delay slot
+    l.nop   0x1
+    l.nop
+    l.nop
+.data
+data:
+{words_directive(pack_words_be(_DATA))}
+bins:
+    .space {_NUM_BINS * 4}
+"""
+
+register(Kernel(
+    name="histogram",
+    source=_SOURCE,
+    expected_regs={11: histogram_reference(_DATA, _NUM_BINS)},
+    description=f"Byte histogram into {_NUM_BINS} bins",
+    category="memory",
+))

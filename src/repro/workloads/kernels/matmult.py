@@ -1,0 +1,104 @@
+"""Integer matrix multiply (BEEBS ``matmult-int`` flavour): multiplier heavy.
+
+The inner product loop keeps ``l.mul`` in the execute stage for a large
+fraction of cycles, so this kernel sees the *smallest* speedup from
+instruction-based clock adjustment — the multiplier's 1899 ps worst case is
+close to the static limit.
+"""
+
+from repro.workloads._asmutil import words_directive
+from repro.workloads.kernels import Kernel, register
+
+_N = 6
+
+
+def _matrix(seed):
+    values = []
+    state = seed
+    for _ in range(_N * _N):
+        state = (1103515245 * state + 12345) & 0x7FFFFFFF
+        values.append(state % 2000)
+    return values
+
+
+_MAT_A = _matrix(7)
+_MAT_B = _matrix(23)
+
+
+def matmult_reference(a, b, n):
+    """C = A x B (row major, mod 2^32); returns the checksum of C."""
+    checksum = 0
+    for i in range(n):
+        for j in range(n):
+            acc = 0
+            for k in range(n):
+                acc = (acc + a[i * n + k] * b[k * n + j]) & 0xFFFFFFFF
+            checksum = (checksum + acc) & 0xFFFFFFFF
+    return checksum
+
+
+_SOURCE = f"""
+# matmult: {_N}x{_N} integer matrix multiply with result checksum
+start:
+    l.movhi r2, hi(mat_a)
+    l.ori   r2, r2, lo(mat_a)
+    l.movhi r3, hi(mat_b)
+    l.ori   r3, r3, lo(mat_b)
+    l.movhi r4, hi(mat_c)
+    l.ori   r4, r4, lo(mat_c)
+    l.addi  r11, r0, 0
+    l.addi  r5, r0, 0            # i
+i_loop:
+    l.addi  r6, r0, 0            # j
+j_loop:
+    l.addi  r8, r0, 0            # acc
+    l.addi  r7, r0, 0            # k
+    l.slli  r9, r5, 4            # i*16
+    l.slli  r10, r5, 3           # i*8
+    l.add   r9, r9, r10          # i*24 = i * {_N} * 4
+    l.add   r9, r9, r2           # &A[i][0]
+    l.slli  r10, r6, 2
+    l.add   r10, r10, r3         # &B[0][j]
+k_loop:
+    l.lwz   r12, 0(r9)           # 2x unrolled inner product,
+    l.lwz   r13, 0(r10)          # loads scheduled ahead of multiplies
+    l.lwz   r15, 4(r9)
+    l.mul   r14, r12, r13
+    l.lwz   r16, {_N * 4}(r10)
+    l.add   r8, r8, r14
+    l.mul   r14, r15, r16
+    l.add   r8, r8, r14
+    l.addi  r10, r10, {_N * 8}
+    l.addi  r7, r7, 2
+    l.sfltsi r7, {_N}
+    l.bf    k_loop
+    l.addi  r9, r9, 8            # delay slot: next A pair
+    l.sw    0(r4), r8
+    l.add   r11, r11, r8
+    l.addi  r6, r6, 1
+    l.sfltsi r6, {_N}
+    l.bf    j_loop
+    l.addi  r4, r4, 4            # delay slot: next C element
+    l.addi  r5, r5, 1
+    l.sfltsi r5, {_N}
+    l.bf    i_loop
+    l.nop
+    l.nop   0x1
+    l.nop
+    l.nop
+.data
+mat_a:
+{words_directive(_MAT_A)}
+mat_b:
+{words_directive(_MAT_B)}
+mat_c:
+    .space {_N * _N * 4}
+"""
+
+register(Kernel(
+    name="matmult",
+    source=_SOURCE,
+    expected_regs={11: matmult_reference(_MAT_A, _MAT_B, _N)},
+    description=f"{_N}x{_N} integer matrix multiply",
+    category="mul",
+))

@@ -1,0 +1,125 @@
+"""Memory-streaming kernels: word copy and halfword swap."""
+
+from repro.workloads._asmutil import words_directive
+from repro.workloads.kernels import Kernel, register
+
+_COPY_LEN = 48
+_COPY_DATA = [((0xDEAD0000 ^ (i * 2654435761)) & 0xFFFFFFFF)
+              for i in range(_COPY_LEN)]
+
+_SWAP_LEN = 24
+_SWAP_DATA = [((i * 40503 + 1) * 65537) & 0xFFFFFFFF for i in range(_SWAP_LEN)]
+
+
+def memcpy_checksum_reference(data):
+    total = 0
+    for value in data:
+        total = (total + value) & 0xFFFFFFFF
+    return total
+
+
+def halfswap_checksum_reference(data):
+    total = 0
+    for value in data:
+        swapped = ((value & 0xFFFF) << 16) | (value >> 16)
+        total = (total ^ swapped) & 0xFFFFFFFF
+    return total
+
+
+_MEMCPY_SOURCE = f"""
+# memcpy: copy {_COPY_LEN} words, then checksum the destination
+start:
+    l.movhi r2, hi(src)
+    l.ori   r2, r2, lo(src)
+    l.movhi r3, hi(dst)
+    l.ori   r3, r3, lo(dst)
+    l.addi  r4, r0, {_COPY_LEN}
+copy_loop:
+    l.lwz   r5, 0(r2)            # 4x unrolled copy, loads scheduled
+    l.lwz   r6, 4(r2)            # ahead of their stores (no load-use)
+    l.lwz   r7, 8(r2)
+    l.lwz   r8, 12(r2)
+    l.sw    0(r3), r5
+    l.sw    4(r3), r6
+    l.sw    8(r3), r7
+    l.sw    12(r3), r8
+    l.addi  r2, r2, 16
+    l.addi  r4, r4, -4
+    l.sfgtsi r4, 0
+    l.bf    copy_loop
+    l.addi  r3, r3, 16           # delay slot: advance destination
+    # checksum the copy
+    l.movhi r3, hi(dst)
+    l.ori   r3, r3, lo(dst)
+    l.addi  r4, r0, {_COPY_LEN}
+    l.addi  r11, r0, 0
+sum_loop:
+    l.lwz   r5, 0(r3)            # 4x unrolled reduction, loads paired
+    l.lwz   r6, 4(r3)
+    l.add   r11, r11, r5
+    l.add   r11, r11, r6
+    l.lwz   r7, 8(r3)
+    l.lwz   r8, 12(r3)
+    l.add   r11, r11, r7
+    l.add   r11, r11, r8
+    l.addi  r4, r4, -4
+    l.sfgtsi r4, 0
+    l.bf    sum_loop
+    l.addi  r3, r3, 16           # delay slot
+    l.nop   0x1
+    l.nop
+    l.nop
+.data
+src:
+{words_directive(_COPY_DATA)}
+dst:
+    .space {_COPY_LEN * 4}
+"""
+
+_HALFSWAP_SOURCE = f"""
+# halfswap: swap half-words of {_SWAP_LEN} words in place, xor checksum
+start:
+    l.movhi r2, hi(data)
+    l.ori   r2, r2, lo(data)
+    l.addi  r4, r0, {_SWAP_LEN}
+    l.addi  r11, r0, 0
+loop:
+    l.lwz   r5, 0(r2)            # 2x unrolled, loads hoisted
+    l.lwz   r8, 4(r2)
+    l.slli  r6, r5, 16
+    l.srli  r7, r5, 16
+    l.or    r6, r6, r7
+    l.sw    0(r2), r6
+    l.xor   r11, r11, r6
+    l.slli  r9, r8, 16
+    l.srli  r10, r8, 16
+    l.or    r9, r9, r10
+    l.sw    4(r2), r9
+    l.xor   r11, r11, r9
+    l.addi  r4, r4, -2
+    l.sfgtsi r4, 0
+    l.bf    loop
+    l.addi  r2, r2, 8            # delay slot
+    l.nop   0x1
+    l.nop
+    l.nop
+.data
+data:
+{words_directive(_SWAP_DATA)}
+"""
+
+register(Kernel(
+    name="memcpy",
+    source=_MEMCPY_SOURCE,
+    expected_regs={11: memcpy_checksum_reference(_COPY_DATA)},
+    description=f"Copy and checksum {_COPY_LEN} words",
+    category="memory",
+))
+
+register(Kernel(
+    name="halfswap",
+    source=_HALFSWAP_SOURCE,
+    expected_regs={11: halfswap_checksum_reference(_SWAP_DATA)},
+    description=f"In-place half-word swap of {_SWAP_LEN} words",
+    category="memory",
+))

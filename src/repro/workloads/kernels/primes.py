@@ -1,0 +1,73 @@
+"""Sieve of Eratosthenes (BEEBS ``prime`` flavour): byte stores + branches."""
+
+from repro.workloads.kernels import Kernel, register
+
+_LIMIT = 127            # sieve range [2, _LIMIT]
+_SQRT_LIMIT = 11        # largest p with p*p <= _LIMIT
+
+
+def primes_reference(limit):
+    flags = [False] * (limit + 1)
+    count = 0
+    for p in range(2, limit + 1):
+        if not flags[p]:
+            count += 1
+            for multiple in range(p * p, limit + 1, p):
+                flags[multiple] = True
+    return count
+
+
+_SOURCE = f"""
+# primes: sieve of Eratosthenes over [2, {_LIMIT}]
+start:
+    l.movhi r2, hi(flags)
+    l.ori   r2, r2, lo(flags)
+    l.addi  r3, r0, 2              # p
+    l.add   r4, r2, r3             # &flags[p], software pipelined
+outer:
+    l.lbz   r5, 0(r4)
+    l.sfnei r5, 0
+    l.bf    next_p                 # already marked composite
+    l.mul   r6, r3, r3             # delay slot: first multiple p*p
+mark_loop:
+    l.sfgtsi r6, {_LIMIT}
+    l.bf    next_p
+    l.add   r7, r2, r6             # delay slot: &flags[multiple]
+    l.addi  r8, r0, 1
+    l.sb    0(r7), r8
+    l.j     mark_loop
+    l.add   r6, r6, r3             # delay slot: next multiple
+next_p:
+    l.addi  r3, r3, 1
+    l.sflesi r3, {_SQRT_LIMIT}
+    l.bf    outer
+    l.add   r4, r2, r3             # delay slot: next flags address
+    # count unmarked entries in [2, {_LIMIT}]
+    l.addi  r3, r0, 2
+    l.addi  r11, r0, 0
+    l.add   r4, r2, r3
+count_loop:
+    l.lbz   r5, 0(r4)
+    l.sfnei r5, 0
+    l.bf    not_prime
+    l.addi  r3, r3, 1              # delay slot: advance on both paths
+    l.addi  r11, r11, 1
+not_prime:
+    l.sflesi r3, {_LIMIT}
+    l.bf    count_loop
+    l.add   r4, r2, r3             # delay slot: next flags address
+    l.nop   0x1
+    l.nop
+    l.nop
+.data
+flags:
+    .space {_LIMIT + 1}
+"""
+
+register(Kernel(
+    name="primes",
+    source=_SOURCE,
+    expected_regs={11: primes_reference(_LIMIT)},
+    description=f"Prime sieve over [2, {_LIMIT}]",
+    category="control",
+))

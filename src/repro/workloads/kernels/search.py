@@ -1,0 +1,144 @@
+"""Search kernels: binary search and naive substring search.
+
+Delay slots carry the next comparison or the next pointer update, the way
+the OpenRISC GCC port schedules them.
+"""
+
+from repro.workloads._asmutil import pack_words_be, words_directive
+from repro.workloads.kernels import Kernel, register
+
+_TABLE = sorted({(i * i * 7 + 3 * i) % 4096 for i in range(80)})[:32]
+_KEYS = [_TABLE[3], 5, _TABLE[17], _TABLE[0], 4095, _TABLE[31],
+         _TABLE[8], 1, _TABLE[25], 2047, _TABLE[12], _TABLE[29],
+         9, _TABLE[20], _TABLE[5], 4000]
+
+
+def binarysearch_reference(table, keys):
+    """Replicates the kernel's loop exactly: sum of (mid+1) for hits."""
+    total = 0
+    for key in keys:
+        lo, hi = 0, len(table)
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            if table[mid] == key:
+                total = (total + mid + 1) & 0xFFFFFFFF
+                break
+            if table[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+    return total
+
+
+_PATTERN = b"ORK"
+_TEXT = (
+    b"THE ORK WORKS IN AN ORKISH WAY; FORKS AND ORKS NETWORK, "
+    b"BUT NO ORC."
+)
+
+
+def strsearch_reference(text, pattern):
+    count = 0
+    for i in range(len(text) - len(pattern) + 1):
+        if text[i:i + len(pattern)] == pattern:
+            count += 1
+    return count
+
+
+_BINSEARCH_SOURCE = f"""
+# binarysearch: {len(_KEYS)} probes into a {len(_TABLE)}-entry sorted table
+start:
+    l.movhi r2, hi(table)
+    l.ori   r2, r2, lo(table)
+    l.movhi r3, hi(keys)
+    l.ori   r3, r3, lo(keys)
+    l.addi  r4, r0, {len(_KEYS)}
+    l.addi  r11, r0, 0
+key_loop:
+    l.lwz   r5, 0(r3)
+    l.addi  r6, r0, 0                 # lo
+    l.addi  r7, r0, {len(_TABLE)}     # hi (exclusive)
+search_loop:
+    l.sfltu r6, r7
+    l.bnf   not_found
+    l.add   r8, r6, r7                # delay slot: lo + hi (stale on exit)
+    l.srli  r8, r8, 1                 # mid
+    l.slli  r9, r8, 2
+    l.add   r9, r9, r2
+    l.lwz   r10, 0(r9)
+    l.sfeq  r10, r5
+    l.bf    found
+    l.sfltu r10, r5                   # delay slot: prepare direction test
+    l.bnf   go_left
+    l.nop
+    l.j     search_loop
+    l.addi  r6, r8, 1                 # delay slot: lo = mid + 1
+go_left:
+    l.j     search_loop
+    l.or    r7, r8, r8                # delay slot: hi = mid
+found:
+    l.addi  r8, r8, 1
+    l.add   r11, r11, r8
+not_found:
+    l.addi  r4, r4, -1
+    l.sfgtsi r4, 0
+    l.bf    key_loop
+    l.addi  r3, r3, 4                 # delay slot: next key
+    l.nop   0x1
+    l.nop
+    l.nop
+.data
+table:
+{words_directive(_TABLE)}
+keys:
+{words_directive(_KEYS)}
+"""
+
+_STRSEARCH_SOURCE = f"""
+# strsearch: count occurrences of a {len(_PATTERN)}-byte pattern
+start:
+    l.movhi r2, hi(text)
+    l.ori   r2, r2, lo(text)
+    l.addi  r4, r0, 0                  # position i
+    l.addi  r11, r0, 0                 # match count
+    l.or    r5, r2, r2                 # &text[0]
+pos_loop:
+    l.lbz   r6, 0(r5)
+    l.sfeqi r6, {_PATTERN[0]}
+    l.bnf   next
+    l.lbz   r7, 1(r5)                  # delay slot: speculative load
+    l.sfeqi r7, {_PATTERN[1]}
+    l.bnf   next
+    l.lbz   r8, 2(r5)                  # delay slot: speculative load
+    l.sfeqi r8, {_PATTERN[2]}
+    l.bnf   next
+    l.nop
+    l.addi  r11, r11, 1
+next:
+    l.addi  r4, r4, 1
+    l.sflesi r4, {len(_TEXT) - len(_PATTERN)}
+    l.bf    pos_loop
+    l.add   r5, r2, r4                 # delay slot: next position pointer
+    l.nop   0x1
+    l.nop
+    l.nop
+.data
+text:
+{words_directive(pack_words_be(_TEXT))}
+"""
+
+register(Kernel(
+    name="binarysearch",
+    source=_BINSEARCH_SOURCE,
+    expected_regs={11: binarysearch_reference(_TABLE, _KEYS)},
+    description="Binary search probes into a sorted table",
+    category="control",
+))
+
+register(Kernel(
+    name="strsearch",
+    source=_STRSEARCH_SOURCE,
+    expected_regs={11: strsearch_reference(_TEXT, _PATTERN)},
+    description="Naive substring search over a text buffer",
+    category="control",
+))

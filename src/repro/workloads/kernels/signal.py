@@ -1,0 +1,123 @@
+"""Signal-processing kernels: dot product and FIR filter (multiplier mix)."""
+
+from repro.workloads._asmutil import words_directive
+from repro.workloads.kernels import Kernel, register
+
+_VEC_LEN = 32
+_VEC_A = [((3 * i + 7) * 97) % 8191 for i in range(_VEC_LEN)]
+_VEC_B = [((5 * i + 1) * 131) % 8191 for i in range(_VEC_LEN)]
+
+_FIR_TAPS = [3, -5, 12, 27, 27, 12, -5, 3]
+_FIR_SAMPLES = [((11 * i) % 257) - 128 for i in range(40)]
+
+
+def dotprod_reference(a, b):
+    total = 0
+    for x, y in zip(a, b):
+        total = (total + x * y) & 0xFFFFFFFF
+    return total
+
+
+def fir_reference(samples, taps):
+    """Checksum of the filtered output for n in [len(taps)-1, len(samples))."""
+    checksum = 0
+    for n in range(len(taps) - 1, len(samples)):
+        acc = 0
+        for k, tap in enumerate(taps):
+            acc = (acc + tap * samples[n - k]) & 0xFFFFFFFF
+        checksum = (checksum + acc) & 0xFFFFFFFF
+    return checksum
+
+
+_DOTPROD_SOURCE = f"""
+# dotprod: {_VEC_LEN}-element integer dot product
+start:
+    l.movhi r2, hi(vec_a)
+    l.ori   r2, r2, lo(vec_a)
+    l.movhi r3, hi(vec_b)
+    l.ori   r3, r3, lo(vec_b)
+    l.addi  r4, r0, {_VEC_LEN}
+    l.addi  r11, r0, 0
+loop:
+    l.lwz   r5, 0(r2)            # 2x unrolled, loads scheduled early
+    l.lwz   r6, 0(r3)
+    l.lwz   r8, 4(r2)
+    l.mul   r7, r5, r6
+    l.lwz   r9, 4(r3)
+    l.add   r11, r11, r7
+    l.mul   r7, r8, r9
+    l.add   r11, r11, r7
+    l.addi  r2, r2, 8
+    l.addi  r4, r4, -2
+    l.sfgtsi r4, 0
+    l.bf    loop
+    l.addi  r3, r3, 8            # delay slot: advance second vector
+    l.nop   0x1
+    l.nop
+    l.nop
+.data
+vec_a:
+{words_directive(_VEC_A)}
+vec_b:
+{words_directive(_VEC_B)}
+"""
+
+_FIR_SOURCE = f"""
+# fir: {len(_FIR_TAPS)}-tap FIR over {len(_FIR_SAMPLES)} samples
+start:
+    l.movhi r2, hi(samples)
+    l.ori   r2, r2, lo(samples)
+    l.movhi r3, hi(taps)
+    l.ori   r3, r3, lo(taps)
+    l.addi  r4, r0, {len(_FIR_TAPS) - 1}   # n
+    l.addi  r11, r0, 0
+n_loop:
+    l.addi  r6, r0, 0                      # acc
+    l.slli  r7, r4, 2
+    l.add   r7, r7, r2                     # x cursor: &x[n], walks down
+    l.or    r9, r3, r3                     # h cursor: &h[0], walks up
+    l.addi  r5, r0, {len(_FIR_TAPS)}       # taps remaining
+k_loop:
+    l.lwz   r8, 0(r7)                      # 2x unrolled tap pairs,
+    l.lwz   r10, 0(r9)                     # loads scheduled early
+    l.lwz   r13, -4(r7)
+    l.mul   r12, r8, r10
+    l.lwz   r14, 4(r9)
+    l.add   r6, r6, r12
+    l.mul   r12, r13, r14
+    l.add   r6, r6, r12
+    l.addi  r7, r7, -8
+    l.addi  r5, r5, -2
+    l.sfgtsi r5, 0
+    l.bf    k_loop
+    l.addi  r9, r9, 8                      # delay slot: next tap pair
+    l.add   r11, r11, r6
+    l.addi  r4, r4, 1
+    l.sfltsi r4, {len(_FIR_SAMPLES)}
+    l.bf    n_loop
+    l.nop
+    l.nop   0x1
+    l.nop
+    l.nop
+.data
+samples:
+{words_directive([s & 0xFFFFFFFF for s in _FIR_SAMPLES])}
+taps:
+{words_directive([t & 0xFFFFFFFF for t in _FIR_TAPS])}
+"""
+
+register(Kernel(
+    name="dotprod",
+    source=_DOTPROD_SOURCE,
+    expected_regs={11: dotprod_reference(_VEC_A, _VEC_B)},
+    description=f"{_VEC_LEN}-element integer dot product",
+    category="mul",
+))
+
+register(Kernel(
+    name="fir",
+    source=_FIR_SOURCE,
+    expected_regs={11: fir_reference(_FIR_SAMPLES, _FIR_TAPS)},
+    description=f"{len(_FIR_TAPS)}-tap FIR filter",
+    category="mul",
+))

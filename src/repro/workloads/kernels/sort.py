@@ -1,0 +1,154 @@
+"""Sorting kernels (BEEBS ``bubblesort``/``insertsort``): memory + branches.
+
+The bubble sort uses the branchless compare-and-swap a compiler emits with
+conditional moves (``l.cmov``); the insertion sort keeps its data-dependent
+inner branch (shift loop) with filled delay slots.
+"""
+
+from repro.workloads._asmutil import words_directive
+from repro.workloads.kernels import Kernel, register
+
+_N_BUBBLE = 24
+_N_INSERT = 20
+
+
+def _unsorted(count, seed):
+    values = []
+    state = seed
+    for _ in range(count):
+        state = (1103515245 * state + 12345) & 0x7FFFFFFF
+        values.append(state % 100_000)
+    return values
+
+
+_BUBBLE_DATA = _unsorted(_N_BUBBLE, 3)
+_INSERT_DATA = _unsorted(_N_INSERT, 17)
+
+
+def bubblesort_checksum_reference(values):
+    """Weighted checksum sum(sorted[i] * (i+1)) mod 2^32."""
+    ordered = sorted(values)
+    checksum = 0
+    for index, value in enumerate(ordered):
+        checksum = (checksum + value * (index + 1)) & 0xFFFFFFFF
+    return checksum
+
+
+def insertsort_checksum_reference(values):
+    """Order-sensitive checksum acc = acc*2 + sorted[i] mod 2^32."""
+    checksum = 0
+    for value in sorted(values):
+        checksum = ((checksum << 1) + value) & 0xFFFFFFFF
+    return checksum
+
+
+_BUBBLE_SOURCE = f"""
+# bubblesort: {_N_BUBBLE} words, cmov-based compare-and-swap passes
+start:
+    l.addi  r3, r0, {_N_BUBBLE - 1}     # passes
+pass_loop:
+    l.movhi r2, hi(data)
+    l.ori   r2, r2, lo(data)
+    l.addi  r5, r0, {_N_BUBBLE - 1}     # comparisons per pass
+cmp_loop:
+    l.lwz   r6, 0(r2)
+    l.lwz   r7, 4(r2)
+    l.addi  r5, r5, -1                  # scheduled between load and use
+    l.sfgts r6, r7
+    l.cmov  r8, r7, r6                  # min(a, b)
+    l.cmov  r9, r6, r7                  # max(a, b)
+    l.sw    0(r2), r8
+    l.sw    4(r2), r9
+    l.sfgtsi r5, 0
+    l.bf    cmp_loop
+    l.addi  r2, r2, 4                   # delay slot: next pair
+    l.addi  r3, r3, -1
+    l.sfgtsi r3, 0
+    l.bf    pass_loop
+    l.nop
+    # weighted checksum of the sorted array
+    l.movhi r2, hi(data)
+    l.ori   r2, r2, lo(data)
+    l.addi  r5, r0, {_N_BUBBLE}
+    l.addi  r8, r0, 1
+    l.addi  r11, r0, 0
+sum_loop:
+    l.lwz   r6, 0(r2)
+    l.mul   r7, r6, r8
+    l.add   r11, r11, r7
+    l.addi  r8, r8, 1
+    l.addi  r5, r5, -1
+    l.sfgtsi r5, 0
+    l.bf    sum_loop
+    l.addi  r2, r2, 4                   # delay slot
+    l.nop   0x1
+    l.nop
+    l.nop
+.data
+data:
+{words_directive(_BUBBLE_DATA)}
+"""
+
+_INSERT_SOURCE = f"""
+# insertsort: {_N_INSERT} words, shift-based insertion, rolling checksum
+start:
+    l.movhi r2, hi(data)
+    l.ori   r2, r2, lo(data)
+    l.addi  r3, r0, 1                   # i
+    l.slli  r4, r3, 2                   # software-pipelined &data[i] offset
+outer:
+    l.add   r4, r4, r2                  # &data[i]
+    l.lwz   r5, 0(r4)                   # key
+    l.or    r6, r4, r4                  # insertion cursor
+inner:
+    l.sfeq  r6, r2                      # reached the base?
+    l.bf    place
+    l.lwz   r7, -4(r6)                  # delay slot: stale read is harmless
+    l.sfgts r7, r5
+    l.bnf   place
+    l.nop
+    l.sw    0(r6), r7                   # shift element right
+    l.j     inner
+    l.addi  r6, r6, -4                  # delay slot: move cursor left
+place:
+    l.sw    0(r6), r5
+    l.addi  r3, r3, 1
+    l.sfltsi r3, {_N_INSERT}
+    l.bf    outer
+    l.slli  r4, r3, 2                   # delay slot: next offset
+    # rolling checksum acc = acc*2 + data[i]
+    l.movhi r2, hi(data)
+    l.ori   r2, r2, lo(data)
+    l.addi  r5, r0, {_N_INSERT}
+    l.addi  r11, r0, 0
+sum_loop:
+    l.lwz   r6, 0(r2)
+    l.slli  r11, r11, 1
+    l.add   r11, r11, r6
+    l.addi  r5, r5, -1
+    l.sfgtsi r5, 0
+    l.bf    sum_loop
+    l.addi  r2, r2, 4                   # delay slot
+    l.nop   0x1
+    l.nop
+    l.nop
+.data
+data:
+{words_directive(_INSERT_DATA)}
+"""
+
+register(Kernel(
+    name="bubblesort",
+    source=_BUBBLE_SOURCE,
+    expected_regs={11: bubblesort_checksum_reference(_BUBBLE_DATA)},
+    description=f"Bubble sort of {_N_BUBBLE} words (cmov swaps)",
+    category="memory",
+))
+
+register(Kernel(
+    name="insertsort",
+    source=_INSERT_SOURCE,
+    expected_regs={11: insertsort_checksum_reference(_INSERT_DATA)},
+    description=f"Insertion sort of {_N_INSERT} words",
+    category="memory",
+))

@@ -1,0 +1,82 @@
+"""State machine kernel (CoreMark's core_state flavour): compare/branch mix.
+
+The branch delay slots pre-compute the next range test (flag writes in
+delay slots are architecturally clean: the branch decision was made on the
+previous flag), which is exactly how a delay-slot-aware compiler chains
+comparison ladders.
+"""
+
+from repro.workloads._asmutil import pack_words_be, words_directive
+from repro.workloads.kernels import Kernel, register
+
+_INPUT = bytes((53 * i * i + 19 * i + 7) & 0xFF for i in range(64))
+
+
+def statemachine_reference(data):
+    """Replicates the kernel's transition rules exactly."""
+    state = 0
+    total = 0
+    for byte in data:
+        if byte < 64:
+            state += 1
+        elif byte < 128:
+            state += 2
+        elif byte < 192:
+            state ^= 1
+        else:
+            state = 0
+        state &= 3
+        total = (total + state) & 0xFFFFFFFF
+    return total
+
+
+_SOURCE = f"""
+# statemachine: 4-state FSM over {len(_INPUT)} input bytes
+start:
+    l.movhi r2, hi(input)
+    l.ori   r2, r2, lo(input)
+    l.addi  r3, r0, {len(_INPUT)}
+    l.addi  r4, r0, 0            # state
+    l.addi  r11, r0, 0
+    l.lbz   r5, 0(r2)            # software-pipelined first byte
+loop:
+    l.sfltui r5, 64
+    l.bnf   c2
+    l.sfltui r5, 128             # delay slot: pre-compute next range test
+    l.j     apply
+    l.addi  r4, r4, 1            # delay slot: state += 1
+c2:
+    l.bnf   c3
+    l.sfltui r5, 192             # delay slot: pre-compute next range test
+    l.j     apply
+    l.addi  r4, r4, 2            # delay slot: state += 2
+c3:
+    l.bnf   c4
+    l.nop
+    l.j     apply
+    l.xori  r4, r4, 1            # delay slot: state ^= 1
+c4:
+    l.addi  r4, r0, 0            # reset state
+apply:
+    l.andi  r4, r4, 3
+    l.add   r11, r11, r4
+    l.addi  r2, r2, 1
+    l.addi  r3, r3, -1
+    l.sfgtsi r3, 0
+    l.bf    loop
+    l.lbz   r5, 0(r2)            # delay slot: fetch next byte
+    l.nop   0x1
+    l.nop
+    l.nop
+.data
+input:
+{words_directive(pack_words_be(_INPUT))}
+"""
+
+register(Kernel(
+    name="statemachine",
+    source=_SOURCE,
+    expected_regs={11: statemachine_reference(_INPUT)},
+    description="4-state FSM over a 64-byte input",
+    category="control",
+))

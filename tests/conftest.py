@@ -1,0 +1,39 @@
+"""Shared fixtures.
+
+Characterisation is the expensive step (gate-level simulation of the full
+characterisation suite), so one result is shared session-wide; tests must
+treat it as read-only.
+"""
+
+import pytest
+
+from repro.flow.characterize import characterize
+from repro.timing.design import build_design
+from repro.timing.profiles import DesignVariant
+
+
+@pytest.fixture(scope="session")
+def design():
+    """The critical-range design at 0.70 V (the paper's configuration)."""
+    return build_design(DesignVariant.CRITICAL_RANGE)
+
+
+@pytest.fixture(scope="session")
+def conventional_design():
+    return build_design(DesignVariant.CONVENTIONAL)
+
+
+@pytest.fixture(scope="session")
+def characterization(design):
+    """Full characterisation of the critical-range design."""
+    return characterize(design)
+
+
+@pytest.fixture(scope="session")
+def lut(characterization):
+    return characterization.lut
+
+
+@pytest.fixture(scope="session")
+def conventional_characterization(conventional_design):
+    return characterize(conventional_design)

@@ -1,0 +1,137 @@
+"""Unit and property tests for repro.utils.bitops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import (
+    align_down,
+    bit,
+    bits,
+    is_aligned,
+    mask,
+    popcount,
+    rotate_right32,
+    sign_extend,
+    to_signed32,
+    to_unsigned32,
+)
+
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestMask:
+    def test_small_masks(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(3) == 0b111
+        assert mask(32) == 0xFFFFFFFF
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestBitExtraction:
+    def test_bit(self):
+        assert bit(0b1010, 1) == 1
+        assert bit(0b1010, 0) == 0
+        assert bit(1 << 31, 31) == 1
+
+    def test_bits_opcode_field(self):
+        word = 0x9C641234   # l.addi r3, r4, 0x1234
+        assert bits(word, 31, 26) == 0x27
+        assert bits(word, 25, 21) == 3
+        assert bits(word, 20, 16) == 4
+        assert bits(word, 15, 0) == 0x1234
+
+    def test_bits_single(self):
+        assert bits(0x80000000, 31, 31) == 1
+
+    def test_bits_reversed_range_rejected(self):
+        with pytest.raises(ValueError):
+            bits(0, 0, 5)
+
+
+class TestSignExtend:
+    def test_known_values(self):
+        assert sign_extend(0xFFFF, 16) == -1
+        assert sign_extend(0x8000, 16) == -32768
+        assert sign_extend(0x7FFF, 16) == 32767
+        assert sign_extend(0xFF, 8) == -1
+        assert sign_extend(0x7F, 8) == 127
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            sign_extend(0, 0)
+
+    @given(st.integers(min_value=-(2 ** 15), max_value=2 ** 15 - 1))
+    def test_roundtrip_16(self, value):
+        assert sign_extend(value & 0xFFFF, 16) == value
+
+    @given(st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1))
+    def test_roundtrip_32(self, value):
+        assert to_signed32(to_unsigned32(value)) == value
+
+
+class TestConversions:
+    @given(u32)
+    def test_unsigned_fixpoint(self, value):
+        assert to_unsigned32(value) == value
+
+    @given(u32)
+    def test_signed_unsigned_involution(self, value):
+        assert to_unsigned32(to_signed32(value)) == value
+
+    def test_truncation(self):
+        assert to_unsigned32(1 << 32) == 0
+        assert to_unsigned32((1 << 32) + 5) == 5
+
+
+class TestPopcount:
+    def test_values(self):
+        assert popcount(0) == 0
+        assert popcount(0xFFFFFFFF) == 32
+        assert popcount(0b1011) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    @given(u32, u32)
+    def test_disjoint_additivity(self, a, b):
+        assert popcount(a & ~b & 0xFFFFFFFF) + popcount(a & b) == popcount(a)
+
+
+class TestRotate:
+    def test_identity(self):
+        assert rotate_right32(0x12345678, 0) == 0x12345678
+        assert rotate_right32(0x12345678, 32) == 0x12345678
+
+    def test_known(self):
+        assert rotate_right32(0x1, 1) == 0x80000000
+        assert rotate_right32(0x80000001, 1) == 0xC0000000
+
+    @given(u32, st.integers(min_value=0, max_value=64))
+    def test_popcount_invariant(self, value, amount):
+        assert popcount(rotate_right32(value, amount)) == popcount(value)
+
+    @given(u32, st.integers(min_value=0, max_value=31))
+    def test_full_rotation_roundtrip(self, value, amount):
+        once = rotate_right32(value, amount)
+        assert rotate_right32(once, 32 - amount) == value
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert align_down(13, 4) == 12
+        assert align_down(16, 4) == 16
+        assert align_down(0, 8) == 0
+
+    def test_is_aligned(self):
+        assert is_aligned(16, 4)
+        assert not is_aligned(18, 4)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            align_down(8, 3)

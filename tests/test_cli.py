@@ -1,0 +1,70 @@
+"""CLI tests (argument parsing and end-to-end subcommands)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["sta"])
+        assert args.variant == "critical_range"
+        assert args.voltage == 0.70
+
+    def test_evaluate_options(self):
+        args = build_parser().parse_args(
+            ["evaluate", "crc32", "--policy", "genie", "--margin", "5"]
+        )
+        assert args.policy == "genie"
+        assert args.margin == 5.0
+
+
+class TestCommands:
+    def test_kernels(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "crc32" in out and "matmult" in out
+
+    def test_asm_kernel(self, capsys):
+        assert main(["asm", "fib"]) == 0
+        out = capsys.readouterr().out
+        assert "l.addi" in out
+
+    def test_asm_file(self, tmp_path, capsys):
+        source = tmp_path / "prog.s"
+        source.write_text("l.addi r1, r0, 7\nl.nop 0x1\n")
+        assert main(["asm", str(source)]) == 0
+        assert "l.addi r1,r0,7" in capsys.readouterr().out
+
+    def test_run_kernel(self, capsys):
+        assert main(["run", "fib", "--regs"]) == 0
+        out = capsys.readouterr().out
+        assert "CPI" in out and "r11" in out
+
+    def test_sta(self, capsys):
+        assert main(["sta"]) == 0
+        out = capsys.readouterr().out
+        assert "2026" in out
+
+    def test_sta_conventional(self, capsys):
+        assert main(["sta", "--variant", "conventional"]) == 0
+        assert "1859" in capsys.readouterr().out
+
+    def test_characterize_and_evaluate_roundtrip(self, tmp_path, capsys):
+        lut_path = tmp_path / "lut.json"
+        assert main(["characterize", "-o", str(lut_path)]) == 0
+        payload = json.loads(lut_path.read_text())
+        assert "entries" in payload
+
+        assert main(["evaluate", "fib", "--lut", str(lut_path)]) == 0
+        out = capsys.readouterr().out
+        assert "violations 0" in out
+
+        assert main(["table2", "--lut", str(lut_path)]) == 0
+        assert "1899" in capsys.readouterr().out

@@ -1,0 +1,158 @@
+"""DTA tests: event-log analysis, skew handling, gatesim, histograms."""
+
+import numpy as np
+import pytest
+
+from repro.asm import assemble
+from repro.dta.analyzer import analyze_event_log
+from repro.dta.events import EndpointEvent, EventLog
+from repro.dta.gatesim import GateLevelSimulator, run_gatesim
+from repro.dta.histograms import class_stage_delays, fig5_histogram, fig7_histograms
+from repro.sim.trace import Stage
+
+
+def _hand_log(period=2000.0, cycles=3):
+    """A synthetic event log with known delays."""
+    log = EventLog(sim_period_ps=period, num_cycles=cycles)
+    log.register_endpoint("ex_reg_0", "EX", 25.0)
+    log.register_endpoint("dc_reg_0", "DC", 25.0)
+    return log
+
+
+def _add_event(log, cycle, endpoint, delay, skew=0.0):
+    t0 = cycle * log.sim_period_ps
+    setup = log.endpoint_setup(endpoint)
+    log.add(EndpointEvent(
+        cycle=cycle,
+        endpoint=endpoint,
+        t_data_ps=t0 + delay - setup + skew,
+        t_clock_ps=t0 + log.sim_period_ps + skew,
+    ))
+
+
+class TestAnalyzer:
+    def test_recovers_known_delay(self):
+        log = _hand_log()
+        _add_event(log, 0, "ex_reg_0", 1500.0)
+        _add_event(log, 1, "ex_reg_0", 900.0)
+        _add_event(log, 2, "ex_reg_0", 1200.0)
+        result = analyze_event_log(log)
+        assert result.stage_delays[Stage.EX].tolist() == [
+            1500.0, 900.0, 1200.0
+        ]
+
+    def test_clock_skew_cancels(self):
+        """Delays must be recovered exactly despite per-endpoint skew."""
+        log = _hand_log()
+        _add_event(log, 0, "ex_reg_0", 1400.0, skew=+30.0)
+        _add_event(log, 1, "ex_reg_0", 1400.0, skew=-30.0)
+        _add_event(log, 2, "ex_reg_0", 1400.0, skew=0.0)
+        result = analyze_event_log(log)
+        assert np.allclose(result.stage_delays[Stage.EX], 1400.0)
+
+    def test_max_per_group_per_cycle(self):
+        log = _hand_log(cycles=1)
+        log.register_endpoint("ex_reg_1", "EX", 25.0)
+        _add_event(log, 0, "ex_reg_0", 1000.0)
+        _add_event(log, 0, "ex_reg_1", 1600.0)
+        result = analyze_event_log(log)
+        assert result.stage_delays[Stage.EX][0] == 1600.0
+
+    def test_limiting_stage(self):
+        log = _hand_log(cycles=2)
+        _add_event(log, 0, "ex_reg_0", 1500.0)
+        _add_event(log, 0, "dc_reg_0", 900.0)
+        _add_event(log, 1, "ex_reg_0", 700.0)
+        _add_event(log, 1, "dc_reg_0", 1100.0)
+        result = analyze_event_log(log)
+        assert result.limiting_stage[0] == Stage.EX.value
+        assert result.limiting_stage[1] == Stage.DC.value
+        shares = result.limiting_stage_shares()
+        assert shares[Stage.EX] == 0.5
+        assert shares[Stage.DC] == 0.5
+
+    def test_mean_and_speedup(self):
+        log = _hand_log(cycles=2)
+        _add_event(log, 0, "ex_reg_0", 1000.0)
+        _add_event(log, 1, "ex_reg_0", 2000.0)
+        result = analyze_event_log(log)
+        assert result.mean_cycle_delay_ps == 1500.0
+        assert result.genie_speedup_percent(3000.0) == pytest.approx(100.0)
+
+    def test_unregistered_endpoint_rejected(self):
+        log = _hand_log(cycles=1)
+        log.add(EndpointEvent(0, "ghost", 0.0, 100.0))
+        with pytest.raises(ValueError, match="unregistered"):
+            analyze_event_log(log)
+
+    def test_timing_violation_in_log_rejected(self):
+        log = _hand_log(cycles=1)
+        log.add(EndpointEvent(0, "ex_reg_0", t_data_ps=500.0,
+                              t_clock_ps=400.0))
+        with pytest.raises(ValueError, match="violation"):
+            analyze_event_log(log)
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_event_log(EventLog(sim_period_ps=2000.0, num_cycles=0))
+
+
+PROGRAM = assemble(
+    "start:\n"
+    "    l.addi r1, r0, 10\n"
+    "loop:\n"
+    "    l.mul  r2, r1, r1\n"
+    "    l.addi r1, r1, -1\n"
+    "    l.sfgtsi r1, 0\n"
+    "    l.bf   loop\n"
+    "    l.nop\n"
+    "    l.nop  0x1\n"
+    "    l.nop\n"
+    "    l.nop\n",
+    name="dta-mini",
+)
+
+
+class TestGateSim:
+    def test_produces_consistent_log(self, design):
+        result = run_gatesim(PROGRAM, design)
+        log = result.event_log
+        assert log.num_cycles == result.trace.num_cycles
+        assert log.num_events == log.num_cycles * 6 * 3
+        log.validate()
+
+    def test_sim_period_must_be_safe(self, design):
+        with pytest.raises(ValueError, match="STA"):
+            GateLevelSimulator(PROGRAM, design, sim_period_ps=1000.0)
+
+    def test_analysis_bounded_by_profile(self, design):
+        result = run_gatesim(PROGRAM, design)
+        dta = analyze_event_log(result.event_log)
+        assert dta.max_cycle_delay_ps <= design.static_period_ps
+        assert dta.mean_cycle_delay_ps < design.static_period_ps
+        # the mul worst case bounds everything in this program
+        assert dta.max_cycle_delay_ps <= 1899.0 + 1e-6
+
+    def test_pc_trace_available(self, design):
+        result = run_gatesim(PROGRAM, design)
+        assert result.pc_trace[0] == 0
+        assert len(result.pc_trace) == result.trace.num_retired
+
+
+class TestHistograms:
+    def test_fig5_histogram_totals(self, design):
+        result = run_gatesim(PROGRAM, design)
+        dta = analyze_event_log(result.event_log)
+        histogram = fig5_histogram(dta)
+        assert histogram.total == dta.num_cycles
+
+    def test_fig7_mul_ex_delays_high(self, design):
+        result = run_gatesim(PROGRAM, design)
+        dta = analyze_event_log(result.event_log)
+        samples = class_stage_delays(dta, result.trace, "l.mul(i)")
+        assert samples[Stage.EX], "mul must appear in EX"
+        assert max(samples[Stage.EX]) > 1500.0
+        # non-EX stages are significantly lower (paper Fig. 7)
+        assert max(samples[Stage.DC]) < max(samples[Stage.EX])
+        histograms = fig7_histograms(dta, result.trace, "l.mul(i)")
+        assert set(histograms) == set(Stage)

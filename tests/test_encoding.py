@@ -1,0 +1,176 @@
+"""Encoder/decoder tests: exact round trips and error handling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.encoding import EncodingError, decode, encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import SPECS, Format
+
+regs = st.integers(min_value=0, max_value=31)
+imm16s = st.integers(min_value=-32768, max_value=32767)
+imm16u = st.integers(min_value=0, max_value=65535)
+imm26s = st.integers(min_value=-(2 ** 25), max_value=2 ** 25 - 1)
+shift_amounts = st.integers(min_value=0, max_value=31)
+
+
+def _sample_instruction(mnemonic, rd=5, ra=6, rb=7, imm=12):
+    """A representative valid instruction for any mnemonic."""
+    spec = SPECS[mnemonic]
+    fmt = spec.fmt
+    if fmt in (Format.J, Format.BRANCH):
+        return Instruction(mnemonic, imm=imm)
+    if fmt == Format.JR:
+        return Instruction(mnemonic, rb=rb)
+    if fmt == Format.NOP:
+        return Instruction(mnemonic, imm=abs(imm))
+    if fmt == Format.MOVHI:
+        return Instruction(mnemonic, rd=rd, imm=abs(imm))
+    if fmt == Format.SHIFT_IMM:
+        return Instruction(mnemonic, rd=rd, ra=ra, imm=abs(imm) % 32)
+    if fmt in (Format.LOAD, Format.ALU_IMM):
+        value = imm if spec.signed_imm else abs(imm)
+        return Instruction(mnemonic, rd=rd, ra=ra, imm=value)
+    if fmt == Format.STORE:
+        return Instruction(mnemonic, ra=ra, rb=rb, imm=imm)
+    if fmt == Format.SETFLAG_IMM:
+        value = imm if spec.signed_imm else abs(imm)
+        return Instruction(mnemonic, ra=ra, imm=value)
+    if fmt == Format.SETFLAG_REG:
+        return Instruction(mnemonic, ra=ra, rb=rb)
+    if fmt == Format.ALU_REG:
+        if spec.reads_rb:
+            return Instruction(mnemonic, rd=rd, ra=ra, rb=rb)
+        return Instruction(mnemonic, rd=rd, ra=ra)
+    raise AssertionError(fmt)
+
+
+class TestRoundTripAllMnemonics:
+    @pytest.mark.parametrize("mnemonic", sorted(SPECS))
+    def test_roundtrip(self, mnemonic):
+        instruction = _sample_instruction(mnemonic)
+        word = encode(instruction)
+        assert 0 <= word < (1 << 32)
+        assert decode(word) == instruction
+
+
+class TestKnownEncodings:
+    """Spot checks against the OR1K architecture manual bit layouts."""
+
+    def test_l_addi(self):
+        word = encode(Instruction("l.addi", rd=3, ra=4, imm=0x1234))
+        assert word == (0x27 << 26) | (3 << 21) | (4 << 16) | 0x1234
+
+    def test_l_addi_negative(self):
+        word = encode(Instruction("l.addi", rd=1, ra=2, imm=-1))
+        assert word & 0xFFFF == 0xFFFF
+
+    def test_l_j(self):
+        word = encode(Instruction("l.j", imm=-4))
+        assert word >> 26 == 0x00
+        assert word & 0x3FFFFFF == 0x3FFFFFC
+
+    def test_l_sw_split_immediate(self):
+        word = encode(Instruction("l.sw", ra=2, rb=3, imm=0x1234))
+        # store immediate splits: imm[15:11] in bits 25-21, imm[10:0] low
+        assert (word >> 21) & 0x1F == 0x1234 >> 11
+        assert word & 0x7FF == 0x1234 & 0x7FF
+        assert (word >> 16) & 0x1F == 2
+        assert (word >> 11) & 0x1F == 3
+
+    def test_l_nop_marker(self):
+        word = encode(Instruction("l.nop", imm=1))
+        assert word == (0x05 << 26) | (0x01 << 24) | 1
+
+    def test_l_mul_subopcode(self):
+        word = encode(Instruction("l.mul", rd=1, ra=2, rb=3))
+        assert word >> 26 == 0x38
+        assert word & 0xF == 0x6
+        assert (word >> 8) & 0x3 == 0x3
+
+    def test_shift_types_distinct(self):
+        words = {
+            encode(Instruction(m, rd=1, ra=2, imm=5))
+            for m in ("l.slli", "l.srli", "l.srai", "l.rori")
+        }
+        assert len(words) == 4
+
+
+class TestOperandValidation:
+    def test_register_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("l.add", rd=32, ra=0, rb=0))
+
+    def test_signed_immediate_overflow(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("l.addi", rd=1, ra=1, imm=40000))
+        with pytest.raises(EncodingError):
+            encode(Instruction("l.addi", rd=1, ra=1, imm=-40000))
+
+    def test_unsigned_immediate_overflow(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("l.andi", rd=1, ra=1, imm=-1))
+        with pytest.raises(EncodingError):
+            encode(Instruction("l.andi", rd=1, ra=1, imm=0x10000))
+
+    def test_branch_offset_overflow(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("l.j", imm=1 << 25))
+
+    def test_shift_amount_overflow(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("l.slli", rd=1, ra=1, imm=64))
+
+
+class TestDecodeErrors:
+    def test_unknown_major(self):
+        with pytest.raises(EncodingError):
+            decode(0x3F << 26)
+
+    def test_unknown_alu_subop(self):
+        with pytest.raises(EncodingError):
+            decode((0x38 << 26) | 0x7)
+
+    def test_unknown_setflag_condition(self):
+        with pytest.raises(EncodingError):
+            decode((0x39 << 26) | (0x1F << 21))
+
+    def test_not_a_word(self):
+        with pytest.raises(EncodingError):
+            decode(1 << 32)
+        with pytest.raises(EncodingError):
+            decode(-1)
+
+
+class TestPropertyRoundTrips:
+    @given(rd=regs, ra=regs, imm=imm16s)
+    def test_addi(self, rd, ra, imm):
+        instruction = Instruction("l.addi", rd=rd, ra=ra, imm=imm)
+        assert decode(encode(instruction)) == instruction
+
+    @given(rd=regs, ra=regs, imm=imm16u)
+    def test_andi(self, rd, ra, imm):
+        instruction = Instruction("l.andi", rd=rd, ra=ra, imm=imm)
+        assert decode(encode(instruction)) == instruction
+
+    @given(ra=regs, rb=regs, imm=imm16s)
+    def test_store(self, ra, rb, imm):
+        instruction = Instruction("l.sw", ra=ra, rb=rb, imm=imm)
+        assert decode(encode(instruction)) == instruction
+
+    @given(imm=imm26s)
+    def test_jump(self, imm):
+        instruction = Instruction("l.j", imm=imm)
+        assert decode(encode(instruction)) == instruction
+
+    @given(rd=regs, ra=regs, rb=regs)
+    def test_alu_reg(self, rd, ra, rb):
+        for mnemonic in ("l.add", "l.xor", "l.mul", "l.sll", "l.cmov"):
+            instruction = Instruction(mnemonic, rd=rd, ra=ra, rb=rb)
+            assert decode(encode(instruction)) == instruction
+
+    @given(rd=regs, ra=regs, amount=shift_amounts)
+    def test_shift_imm(self, rd, ra, amount):
+        instruction = Instruction("l.srai", rd=rd, ra=ra, imm=amount)
+        assert decode(encode(instruction)) == instruction

@@ -1,0 +1,175 @@
+"""Evaluation-flow tests, including the central safety invariant."""
+
+import pytest
+
+from repro.clocking.generator import TunableRingOscillator
+from repro.clocking.policies import (
+    ExOnlyLutPolicy,
+    GeniePolicy,
+    InstructionLutPolicy,
+    StaticClockPolicy,
+    TwoClassPolicy,
+)
+from repro.flow.evaluate import (
+    average_frequency_mhz,
+    average_speedup_percent,
+    evaluate_program,
+    evaluate_suite,
+)
+from repro.flow.reporting import render_policy_comparison, render_suite_results
+from repro.workloads import get_kernel
+
+EVAL_KERNELS = ("crc32", "matmult", "statemachine", "memcpy")
+
+
+class TestSafetyInvariant:
+    """Frequency-over-scaling WITHOUT timing errors (the paper's core
+    claim): the predictive LUT period covers every excited path."""
+
+    @pytest.mark.parametrize("name", EVAL_KERNELS)
+    def test_instruction_policy_is_safe(self, design, lut, name):
+        result = evaluate_program(
+            get_kernel(name).program(), design, InstructionLutPolicy(lut)
+        )
+        assert result.is_safe, result.violations[:3]
+
+    @pytest.mark.parametrize("name", EVAL_KERNELS)
+    def test_ex_only_policy_is_safe(self, design, lut, name):
+        result = evaluate_program(
+            get_kernel(name).program(), design, ExOnlyLutPolicy(lut)
+        )
+        assert result.is_safe
+
+    def test_two_class_policy_is_safe(self, design, lut):
+        result = evaluate_program(
+            get_kernel("matmult").program(), design, TwoClassPolicy(lut)
+        )
+        assert result.is_safe
+
+    def test_static_policy_is_safe(self, design):
+        result = evaluate_program(
+            get_kernel("crc32").program(), design,
+            StaticClockPolicy(design.static_period_ps),
+        )
+        assert result.is_safe
+        assert result.speedup_percent == pytest.approx(0.0, abs=1e-9)
+
+    def test_quantized_generator_is_safe(self, design, lut):
+        result = evaluate_program(
+            get_kernel("crc32").program(), design,
+            InstructionLutPolicy(lut),
+            generator=TunableRingOscillator(),
+        )
+        assert result.is_safe
+
+    def test_overscaled_static_is_unsafe(self, design):
+        """Sanity check of the checker itself: clocking the static design
+        20 % too fast must produce violations."""
+        result = evaluate_program(
+            get_kernel("matmult").program(), design,
+            StaticClockPolicy(design.static_period_ps * 0.80),
+        )
+        assert not result.is_safe
+        worst = max(v.overshoot_ps for v in result.violations)
+        assert worst > 0
+
+
+class TestPerformanceOrdering:
+    def test_policy_ordering(self, design, lut):
+        """genie >= instruction >= ex-only >= two-class >= static, in
+        effective frequency."""
+        program = get_kernel("statemachine").program()
+        freq = {}
+        for name, policy in [
+            ("genie", GeniePolicy(design.excitation)),
+            ("instruction", InstructionLutPolicy(lut)),
+            ("ex-only", ExOnlyLutPolicy(lut)),
+            ("two-class", TwoClassPolicy(lut)),
+            ("static", StaticClockPolicy(design.static_period_ps)),
+        ]:
+            freq[name] = evaluate_program(
+                program, design, policy, check_safety=False
+            ).effective_frequency_mhz
+        assert freq["genie"] >= freq["instruction"] >= freq["ex-only"]
+        assert freq["ex-only"] >= freq["two-class"] >= freq["static"]
+
+    def test_quantization_costs_speed(self, design, lut):
+        program = get_kernel("crc32").program()
+        ideal = evaluate_program(
+            program, design, InstructionLutPolicy(lut), check_safety=False
+        )
+        quantized = evaluate_program(
+            program, design, InstructionLutPolicy(lut),
+            generator=TunableRingOscillator(step_ps=100.0),
+            check_safety=False,
+        )
+        assert (
+            quantized.effective_frequency_mhz
+            <= ideal.effective_frequency_mhz
+        )
+
+    def test_margin_costs_speed(self, design, lut):
+        program = get_kernel("crc32").program()
+        base = evaluate_program(
+            program, design, InstructionLutPolicy(lut), check_safety=False
+        )
+        guarded = evaluate_program(
+            program, design, InstructionLutPolicy(lut),
+            margin_percent=10.0, check_safety=False,
+        )
+        assert guarded.average_period_ps == pytest.approx(
+            base.average_period_ps * 1.10, rel=1e-6
+        )
+
+
+class TestResultAccounting:
+    def test_time_is_sum_of_periods(self, design, lut):
+        result = evaluate_program(
+            get_kernel("fib").program(), design, InstructionLutPolicy(lut),
+            check_safety=False,
+        )
+        assert result.total_time_ps == pytest.approx(
+            result.average_period_ps * result.num_cycles
+        )
+        assert result.min_period_ps <= result.average_period_ps
+        assert result.average_period_ps <= result.max_period_ps
+
+    def test_speedup_definition(self, design, lut):
+        result = evaluate_program(
+            get_kernel("fib").program(), design, InstructionLutPolicy(lut),
+            check_safety=False,
+        )
+        expected = (
+            design.static_period_ps / result.average_period_ps - 1.0
+        ) * 100.0
+        assert result.speedup_percent == pytest.approx(expected)
+
+    def test_summary_text(self, design, lut):
+        result = evaluate_program(
+            get_kernel("fib").program(), design, InstructionLutPolicy(lut),
+            check_safety=False,
+        )
+        assert "fib" in result.summary()
+
+    def test_suite_helpers(self, design, lut):
+        programs = [get_kernel(n).program() for n in ("fib", "crc16")]
+        results = evaluate_suite(
+            programs, design, lambda: InstructionLutPolicy(lut),
+            check_safety=False,
+        )
+        assert len(results) == 2
+        assert average_speedup_percent(results) > 0
+        assert average_frequency_mhz(results) > 494.0
+        with pytest.raises(ValueError):
+            average_speedup_percent([])
+
+    def test_reporting_renders(self, design, lut):
+        programs = [get_kernel(n).program() for n in ("fib", "crc16")]
+        results = evaluate_suite(
+            programs, design, lambda: InstructionLutPolicy(lut),
+            check_safety=False,
+        )
+        table = render_suite_results(results, design.static_period_ps)
+        assert "fib" in table and "Speedup" in table
+        comparison = render_policy_comparison({"lut": results})
+        assert "crc16" in comparison

@@ -1,0 +1,115 @@
+"""Consistency tests over the instruction specification table."""
+
+import pytest
+
+from repro.isa.classes import (
+    PAPER_TABLE_CLASSES,
+    all_timing_classes,
+    mnemonics_in_class,
+    timing_class,
+)
+from repro.isa.opcodes import SPECS, Format, InstructionKind, spec_for
+from repro.isa.registers import (
+    REG_COUNT,
+    parse_register,
+    register_name,
+)
+
+
+class TestRegisters:
+    def test_names_roundtrip(self):
+        for index in range(REG_COUNT):
+            assert parse_register(register_name(index)) == index
+
+    def test_aliases(self):
+        assert parse_register("sp") == 1
+        assert parse_register("lr") == 9
+        assert parse_register("zero") == 0
+
+    def test_case_insensitive(self):
+        assert parse_register("R7") == 7
+
+    def test_invalid_rejected(self):
+        for bad in ("r32", "x1", "", "r-1", "r1x"):
+            with pytest.raises(ValueError):
+                parse_register(bad)
+        with pytest.raises(ValueError):
+            register_name(32)
+
+
+class TestSpecTable:
+    def test_all_mnemonics_prefixed(self):
+        assert all(m.startswith("l.") for m in SPECS)
+
+    def test_spec_lookup_error_message(self):
+        with pytest.raises(KeyError, match="l.bogus"):
+            spec_for("l.bogus")
+
+    def test_control_instructions_have_delay_slots(self):
+        for spec in SPECS.values():
+            assert spec.is_control == spec.has_delay_slot
+
+    def test_loads_write_rd_and_read_ra(self):
+        for spec in SPECS.values():
+            if spec.kind == InstructionKind.LOAD:
+                assert spec.writes_rd and spec.reads_ra and not spec.reads_rb
+
+    def test_stores_read_both_and_write_nothing(self):
+        for spec in SPECS.values():
+            if spec.kind == InstructionKind.STORE:
+                assert spec.reads_ra and spec.reads_rb
+                assert not spec.writes_rd
+
+    def test_setflag_writes_flag_only(self):
+        for spec in SPECS.values():
+            if spec.kind == InstructionKind.SETFLAG:
+                assert spec.writes_flag
+                assert not spec.writes_rd
+
+    def test_branches_read_flag(self):
+        assert spec_for("l.bf").reads_flag
+        assert spec_for("l.bnf").reads_flag
+        assert spec_for("l.cmov").reads_flag
+        assert not spec_for("l.add").reads_flag
+
+    def test_unique_encodings(self):
+        """No two mnemonics may share a complete encoding key."""
+        keys = set()
+        for spec in SPECS.values():
+            key = (spec.major, spec.fmt,
+                   tuple(sorted(spec.secondary.items())))
+            assert key not in keys, f"duplicate encoding for {spec.mnemonic}"
+            keys.add(key)
+
+    def test_immediate_signedness(self):
+        assert spec_for("l.addi").signed_imm
+        assert not spec_for("l.andi").signed_imm
+        assert not spec_for("l.ori").signed_imm
+        assert spec_for("l.xori").signed_imm
+
+    def test_jr_fmt(self):
+        assert spec_for("l.jr").fmt == Format.JR
+        assert spec_for("l.jr").reads_rb
+
+
+class TestTimingClasses:
+    def test_register_and_immediate_forms_share_classes(self):
+        assert timing_class("l.add") == timing_class("l.addi") == "l.add(i)"
+        assert timing_class("l.and") == timing_class("l.andi")
+        assert timing_class("l.mul") == timing_class("l.muli")
+        assert timing_class("l.sll") == timing_class("l.slli")
+
+    def test_paper_classes_exist(self):
+        available = set(all_timing_classes())
+        for cls in PAPER_TABLE_CLASSES:
+            assert cls in available, cls
+
+    def test_mnemonics_in_class(self):
+        assert "l.add" in mnemonics_in_class("l.add(i)")
+        assert "l.addi" in mnemonics_in_class("l.add(i)")
+        with pytest.raises(KeyError):
+            mnemonics_in_class("no-such-class")
+
+    def test_every_mnemonic_has_a_class(self):
+        for mnemonic in SPECS:
+            assert timing_class(mnemonic)

@@ -1,0 +1,133 @@
+"""Functional ISS tests: sequencing, delay slots, halting, errors."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.sim.iss import FunctionalSimulator, SimulationError, run_program
+
+
+def run_source(source, **kwargs):
+    return run_program(assemble(source), **kwargs)
+
+
+class TestSequencing:
+    def test_straight_line(self):
+        simulator = run_source(
+            "l.addi r1, r0, 5\n"
+            "l.addi r2, r1, 6\n"
+            "l.nop 0x1\n"
+        )
+        assert simulator.state.regs[1] == 5
+        assert simulator.state.regs[2] == 11
+        assert simulator.state.instret == 3
+
+    def test_r0_stays_zero(self):
+        simulator = run_source("l.addi r0, r0, 7\nl.nop 0x1\n")
+        assert simulator.state.regs[0] == 0
+
+    def test_memory_readback(self):
+        simulator = run_source(
+            "l.addi r1, r0, 0x40\n"
+            "l.addi r2, r0, 99\n"
+            "l.sw   0(r1), r2\n"
+            "l.lwz  r3, 0(r1)\n"
+            "l.nop  0x1\n"
+        )
+        assert simulator.state.regs[3] == 99
+
+
+class TestDelaySlots:
+    def test_taken_branch_executes_slot(self):
+        simulator = run_source(
+            "    l.sfeq r0, r0\n"       # flag := 1
+            "    l.bf   target\n"
+            "    l.addi r1, r0, 11\n"   # delay slot must execute
+            "    l.addi r2, r0, 22\n"   # skipped
+            "target:\n"
+            "    l.addi r3, r0, 33\n"
+            "    l.nop  0x1\n"
+        )
+        assert simulator.state.regs[1] == 11
+        assert simulator.state.regs[2] == 0
+        assert simulator.state.regs[3] == 33
+
+    def test_not_taken_branch_falls_through(self):
+        simulator = run_source(
+            "    l.sfne r0, r0\n"       # flag := 0
+            "    l.bf   away\n"
+            "    l.addi r1, r0, 1\n"
+            "    l.addi r2, r0, 2\n"
+            "    l.nop  0x1\n"
+            "away:\n"
+            "    l.nop  0x1\n"
+        )
+        assert simulator.state.regs[1] == 1
+        assert simulator.state.regs[2] == 2
+
+    def test_jal_sets_link_past_slot(self):
+        simulator = run_source(
+            "    l.jal sub\n"
+            "    l.nop\n"
+            "    l.addi r1, r0, 1\n"    # return lands here (pc 8)
+            "    l.nop 0x1\n"
+            "sub:\n"
+            "    l.jr  r9\n"
+            "    l.addi r2, r0, 2\n"    # delay slot of the return
+        )
+        assert simulator.state.regs[9] == 8
+        assert simulator.state.regs[1] == 1
+        assert simulator.state.regs[2] == 2
+
+    def test_control_in_delay_slot_rejected(self):
+        with pytest.raises(SimulationError, match="delay slot"):
+            run_source(
+                "    l.j a\n"
+                "    l.j b\n"
+                "a:\n    l.nop 0x1\n"
+                "b:\n    l.nop 0x1\n"
+            )
+
+    def test_loop_iteration_count(self):
+        simulator = run_source(
+            "    l.addi r1, r0, 5\n"
+            "    l.addi r2, r0, 0\n"
+            "loop:\n"
+            "    l.addi r2, r2, 1\n"
+            "    l.addi r1, r1, -1\n"
+            "    l.sfgtsi r1, 0\n"
+            "    l.bf  loop\n"
+            "    l.nop\n"
+            "    l.nop 0x1\n"
+        )
+        assert simulator.state.regs[2] == 5
+
+
+class TestHaltAndErrors:
+    def test_halt_stops_execution(self):
+        simulator = run_source("l.nop 0x1\nl.addi r1, r0, 1\n")
+        assert simulator.halted
+        assert simulator.state.regs[1] == 0
+
+    def test_step_after_halt_rejected(self):
+        simulator = run_source("l.nop 0x1\n")
+        with pytest.raises(SimulationError, match="halted"):
+            simulator.step()
+
+    def test_runaway_guard(self):
+        program = assemble("spin:\n l.j spin\n l.nop\n")
+        simulator = FunctionalSimulator(program)
+        with pytest.raises(SimulationError, match="exceeded"):
+            simulator.run(max_steps=100)
+
+    def test_undecodable_fetch_rejected(self):
+        program = assemble(".word 0xFFFFFFFF\n")
+        simulator = FunctionalSimulator(program)
+        with pytest.raises(SimulationError, match="decode"):
+            simulator.step()
+
+    def test_retired_trace_order(self):
+        simulator = run_source(
+            "l.addi r1, r0, 1\nl.addi r2, r0, 2\nl.nop 0x1\n"
+        )
+        mnemonics = [i.mnemonic for i in simulator.retired_trace()]
+        assert mnemonics == ["l.addi", "l.addi", "l.nop"]

@@ -1,0 +1,95 @@
+"""Memory model tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.memory import Memory, MemoryError_
+
+addresses = st.integers(min_value=0, max_value=0xFFFF_FFF0)
+
+
+class TestBasicAccess:
+    def test_default_zero(self):
+        assert Memory().load(0x1234, 4) == 0
+
+    def test_word_roundtrip(self):
+        memory = Memory()
+        memory.store(0x100, 0xDEADBEEF, 4)
+        assert memory.load(0x100, 4) == 0xDEADBEEF
+
+    def test_big_endian_byte_order(self):
+        memory = Memory()
+        memory.store(0x100, 0x11223344, 4)
+        assert memory.load(0x100, 1) == 0x11
+        assert memory.load(0x101, 1) == 0x22
+        assert memory.load(0x102, 2) == 0x3344
+
+    def test_halfword(self):
+        memory = Memory()
+        memory.store(0x10, 0xABCD, 2)
+        assert memory.load(0x10, 2) == 0xABCD
+        assert memory.load(0x10, 1) == 0xAB
+
+    def test_store_truncates(self):
+        memory = Memory()
+        memory.store(0, 0x1FF, 1)
+        assert memory.load(0, 1) == 0xFF
+
+    def test_cross_page_access(self):
+        memory = Memory()
+        memory.store(0xFFE, 0xA1B2C3D4, 4)   # spans the 4 KiB page boundary
+        assert memory.load(0xFFE, 4) == 0xA1B2C3D4
+        assert memory.load(0x1000, 1) == 0xC3
+
+    def test_high_addresses(self):
+        memory = Memory()
+        memory.store(0xFFFF_FFF0, 0x12345678, 4)
+        assert memory.load(0xFFFF_FFF0, 4) == 0x12345678
+
+
+class TestValidation:
+    def test_bad_size(self):
+        with pytest.raises(MemoryError_):
+            Memory().load(0, 3)
+
+    def test_out_of_range(self):
+        with pytest.raises(MemoryError_):
+            Memory().load(0xFFFF_FFFE, 4)
+        with pytest.raises(MemoryError_):
+            Memory().store(-4, 0, 4)
+
+
+class TestCopyAndIteration:
+    def test_copy_is_independent(self):
+        memory = Memory()
+        memory.store(0, 42, 4)
+        clone = memory.copy()
+        clone.store(0, 7, 4)
+        assert memory.load(0, 4) == 42
+        assert clone.load(0, 4) == 7
+
+    def test_words_iterator(self):
+        memory = Memory()
+        memory.store_word(0x10, 1)
+        memory.store_word(0x2000, 2)
+        words = dict(memory.words())
+        assert words == {0x10: 1, 0x2000: 2}
+
+
+class TestProperties:
+    @given(addr=addresses, value=st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_word_roundtrip_property(self, addr, value):
+        memory = Memory()
+        memory.store(addr, value, 4)
+        assert memory.load(addr, 4) == value
+
+    @given(addr=addresses,
+           values=st.lists(st.integers(min_value=0, max_value=255),
+                           min_size=4, max_size=4))
+    def test_bytes_compose_word(self, addr, values):
+        memory = Memory()
+        for offset, byte in enumerate(values):
+            memory.store(addr + offset, byte, 1)
+        expected = int.from_bytes(bytes(values), "big")
+        assert memory.load(addr, 4) == expected

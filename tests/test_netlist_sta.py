@@ -1,0 +1,132 @@
+"""Synthetic netlist, STA, timing-wall and SDF tests."""
+
+import pytest
+
+from repro.isa.classes import all_timing_classes
+from repro.sim.trace import Stage
+from repro.timing.netlist import SyntheticNetlist
+from repro.timing.profiles import DesignVariant, load_profile
+from repro.timing.sdf import SdfError, parse_sdf, write_sdf
+from repro.timing.sta import minimum_period, run_sta
+from repro.timing.wall import compare_walls, wall_profile
+
+
+@pytest.fixture(scope="module")
+def optimized_netlist():
+    return SyntheticNetlist(load_profile(DesignVariant.CRITICAL_RANGE))
+
+
+@pytest.fixture(scope="module")
+def conventional_netlist():
+    return SyntheticNetlist(load_profile(DesignVariant.CONVENTIONAL))
+
+
+class TestNetlistConstruction:
+    def test_sta_equals_profile_static(self, optimized_netlist,
+                                       conventional_netlist):
+        assert minimum_period(optimized_netlist) == 2026.0
+        assert minimum_period(conventional_netlist) == pytest.approx(1859.0)
+
+    def test_critical_path_is_multiplier(self, optimized_netlist):
+        critical = max(optimized_netlist.paths, key=lambda p: p.delay_ps)
+        assert critical.stage == Stage.EX
+        assert critical.timing_class == "l.mul(i)"
+
+    def test_group_max_above_dynamic_worst(self, optimized_netlist):
+        """STA pessimism: topological max exceeds the dynamic worst case."""
+        profile = optimized_netlist.profile
+        for cls in all_timing_classes():
+            group_max = optimized_netlist.group_max(Stage.EX, cls)
+            assert group_max >= profile.ex_spec(cls).max_ps
+
+    def test_deterministic_generation(self):
+        profile = load_profile(DesignVariant.CRITICAL_RANGE)
+        a = SyntheticNetlist(profile, seed=5)
+        b = SyntheticNetlist(profile, seed=5)
+        assert [p.delay_ps for p in a.paths] == [p.delay_ps for p in b.paths]
+
+    def test_seed_changes_population(self):
+        profile = load_profile(DesignVariant.CRITICAL_RANGE)
+        a = SyntheticNetlist(profile, seed=5)
+        b = SyntheticNetlist(profile, seed=6)
+        assert [p.delay_ps for p in a.paths] != [p.delay_ps for p in b.paths]
+
+    def test_endpoints_per_stage(self, optimized_netlist):
+        for stage in Stage:
+            endpoints = optimized_netlist.endpoints_for(stage)
+            assert len(endpoints) == 3
+            for endpoint in endpoints:
+                assert abs(endpoint.skew_ps) <= 30.0
+                assert endpoint.setup_ps > 0
+
+    def test_unknown_group_rejected(self, optimized_netlist):
+        with pytest.raises(KeyError):
+            optimized_netlist.group_max(Stage.EX, "no-such-class")
+
+
+class TestSta:
+    def test_meets_timing_at_sta_period(self, optimized_netlist):
+        report = run_sta(optimized_netlist)
+        assert report.meets_timing
+        assert report.num_violations == 0
+        assert report.critical_delay_ps == 2026.0
+
+    def test_violations_below_sta_period(self, optimized_netlist):
+        report = run_sta(optimized_netlist, period_ps=1500.0)
+        assert not report.meets_timing
+        assert report.num_violations > 0
+        assert report.worst_slack_ps == pytest.approx(1500.0 - 2026.0)
+
+    def test_stage_worst_covers_all_stages(self, optimized_netlist):
+        report = run_sta(optimized_netlist)
+        assert set(report.stage_worst) == set(Stage)
+
+    def test_summary_renders(self, optimized_netlist):
+        text = run_sta(optimized_netlist).summary()
+        assert "WNS" in text and "EX" in text
+
+
+class TestTimingWall:
+    def test_conventional_has_wall(self, conventional_netlist,
+                                   optimized_netlist):
+        conventional, optimized = compare_walls(
+            conventional_netlist, optimized_netlist
+        )
+        # Fig. 3: the conventional flow bunches paths near the clock
+        # constraint; critical-range optimisation pushes them down
+        assert (
+            conventional.near_critical_fraction
+            > 5 * optimized.near_critical_fraction
+        )
+        assert optimized.short_fraction > conventional.short_fraction
+        assert optimized.median_delay_ps < conventional.median_delay_ps
+
+    def test_summary_text(self, optimized_netlist):
+        assert "paths" in wall_profile(optimized_netlist).summary()
+
+
+class TestSdf:
+    def test_roundtrip(self, optimized_netlist):
+        text = write_sdf(optimized_netlist)
+        paths, endpoints = parse_sdf(text)
+        assert len(paths) == optimized_netlist.num_paths
+        assert len(endpoints) == len(optimized_netlist.endpoints)
+        original = {(p.name, p.delay_ps) for p in optimized_netlist.paths}
+        parsed = {(p.name, p.delay_ps) for p in paths}
+        assert original == parsed
+
+    def test_endpoint_metadata_roundtrip(self, optimized_netlist):
+        text = write_sdf(optimized_netlist)
+        _, endpoints = parse_sdf(text)
+        original = {
+            (e.name, e.stage, round(e.skew_ps, 2))
+            for e in optimized_netlist.endpoints
+        }
+        parsed = {(e.name, e.stage, e.skew_ps) for e in endpoints}
+        assert original == parsed
+
+    def test_malformed_rejected(self):
+        with pytest.raises(SdfError):
+            parse_sdf("not sdf at all")
+        with pytest.raises(SdfError):
+            parse_sdf("(DELAYFILE (SDFVERSION))")

@@ -1,0 +1,83 @@
+"""Tests for deterministic RNG streams and the value hash."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.rng import RngStream, derive_seed, hash_to_unit_float
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+
+    def test_name_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_root_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+class TestRngStream:
+    def test_same_name_same_sequence(self):
+        a = RngStream("x", root_seed=7)
+        b = RngStream("x", root_seed=7)
+        assert [a.uniform() for _ in range(5)] == [
+            b.uniform() for _ in range(5)
+        ]
+
+    def test_different_names_differ(self):
+        a = RngStream("x", root_seed=7)
+        b = RngStream("y", root_seed=7)
+        assert [a.uniform() for _ in range(5)] != [
+            b.uniform() for _ in range(5)
+        ]
+
+    def test_child_streams_independent(self):
+        parent = RngStream("p", root_seed=7)
+        child = parent.child("c")
+        before = parent.uniform()
+        # drawing from the child must not perturb the parent
+        parent2 = RngStream("p", root_seed=7)
+        parent2.child("c")
+        assert before == parent2.uniform()
+        assert child.name == "p/c"
+
+    def test_integers_range(self):
+        stream = RngStream("ints")
+        for _ in range(100):
+            value = stream.integers(3, 9)
+            assert 3 <= value < 9
+
+    def test_choice_weights(self):
+        stream = RngStream("choice")
+        values = [stream.choice(["a", "b"], p=[1.0, 0.0]) for _ in range(20)]
+        assert set(values) == {"a"}
+
+    def test_shuffle_permutation(self):
+        stream = RngStream("shuffle")
+        items = list(range(20))
+        shuffled = list(items)
+        stream.shuffle(shuffled)
+        assert sorted(shuffled) == items
+
+
+class TestHashToUnitFloat:
+    def test_range_and_determinism(self):
+        value = hash_to_unit_float("a", 1, 2)
+        assert 0.0 <= value < 1.0
+        assert value == hash_to_unit_float("a", 1, 2)
+
+    def test_sensitivity(self):
+        assert hash_to_unit_float("a", 1) != hash_to_unit_float("a", 2)
+
+    @given(st.integers(), st.integers())
+    def test_always_in_unit_interval(self, a, b):
+        value = hash_to_unit_float(a, b)
+        assert 0.0 <= value < 1.0
+
+    def test_rough_uniformity(self):
+        samples = [hash_to_unit_float("u", i) for i in range(2000)]
+        mean = sum(samples) / len(samples)
+        assert 0.45 < mean < 0.55
+        low = sum(1 for s in samples if s < 0.5)
+        assert 900 < low < 1100

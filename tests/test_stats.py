@@ -1,0 +1,89 @@
+"""Tests for histograms and summary statistics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.stats import Histogram, summarize
+
+
+class TestSummarize:
+    def test_basic(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.p50 == pytest.approx(2.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_dict_keys(self):
+        summary = summarize([1.0])
+        assert set(summary.as_dict()) == {
+            "count", "mean", "std", "min", "max", "p50", "p95", "p99",
+        }
+
+
+class TestHistogram:
+    def test_binning(self):
+        histogram = Histogram(low=0.0, high=10.0, num_bins=10)
+        histogram.add(0.5)
+        histogram.add(9.99)
+        histogram.add(5.0)
+        assert histogram.counts[0] == 1
+        assert histogram.counts[9] == 1
+        assert histogram.counts[5] == 1
+        assert histogram.total == 3
+
+    def test_under_overflow(self):
+        histogram = Histogram(low=0.0, high=10.0, num_bins=5)
+        histogram.add(-1.0)
+        histogram.add(10.0)    # high edge is exclusive
+        histogram.add(25.0)
+        assert histogram.underflow == 1
+        assert histogram.overflow == 2
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(low=1.0, high=1.0, num_bins=4)
+        with pytest.raises(ValueError):
+            Histogram(low=0.0, high=1.0, num_bins=0)
+
+    def test_mean_approximation(self):
+        histogram = Histogram(low=0.0, high=100.0, num_bins=100)
+        histogram.extend([10.0] * 50 + [90.0] * 50)
+        assert histogram.mean() == pytest.approx(50.0, abs=1.0)
+
+    def test_mode_center(self):
+        histogram = Histogram(low=0.0, high=10.0, num_bins=10)
+        histogram.extend([4.2, 4.4, 4.8, 1.0])
+        assert histogram.mode_center() == pytest.approx(4.5)
+
+    def test_mean_of_empty_rejected(self):
+        histogram = Histogram(low=0.0, high=10.0, num_bins=10)
+        with pytest.raises(ValueError):
+            histogram.mean()
+
+    def test_render_contains_counts(self):
+        histogram = Histogram(low=0.0, high=10.0, num_bins=2)
+        histogram.extend([1.0, 6.0, 7.0])
+        text = histogram.render()
+        assert "2" in text and "#" in text
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=99.9), min_size=1,
+                    max_size=200))
+    def test_total_matches_input(self, values):
+        histogram = Histogram(low=0.0, high=100.0, num_bins=17)
+        histogram.extend(values)
+        assert histogram.total == len(values)
+
+    @given(st.floats(min_value=0.0, max_value=99.99))
+    def test_bin_index_bounds(self, value):
+        histogram = Histogram(low=0.0, high=100.0, num_bins=13)
+        index = histogram.bin_index(value)
+        assert 0 <= index < 13
+        edges = histogram.bin_edges()
+        assert edges[index] <= value < edges[index + 1] + 1e-9

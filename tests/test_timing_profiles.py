@@ -1,0 +1,158 @@
+"""Delay-profile tests: coverage, paper anchors, variant derivation."""
+
+import pytest
+
+from repro.isa.classes import all_timing_classes
+from repro.paperdata import (
+    TABLE1_CRITICAL_RANGE_FACTORS,
+    TABLE2_INSTRUCTION_DELAYS,
+)
+from repro.sim.trace import Stage
+from repro.timing.profiles import (
+    BUBBLE_CLASS,
+    DelayProfile,
+    DesignVariant,
+    load_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def optimized():
+    return load_profile(DesignVariant.CRITICAL_RANGE)
+
+
+@pytest.fixture(scope="module")
+def conventional():
+    return load_profile(DesignVariant.CONVENTIONAL)
+
+
+class TestCoverage:
+    def test_every_timing_class_has_ex_entry(self, optimized, conventional):
+        for cls in all_timing_classes():
+            assert optimized.ex_spec(cls).max_ps > 0
+            assert conventional.ex_spec(cls).max_ps > 0
+
+    def test_every_class_has_all_stage_specs(self, optimized):
+        for cls in all_timing_classes():
+            for stage in Stage:
+                spec = optimized.stage_spec(cls, stage)
+                assert spec.max_ps > 0
+
+    def test_bubble_delays_for_all_stages(self, optimized):
+        for stage in Stage:
+            assert stage in optimized.bubble_delays
+
+
+class TestPhysicalInvariants:
+    def test_dynamic_below_static(self, optimized, conventional):
+        for profile in (optimized, conventional):
+            for cls in all_timing_classes():
+                assert profile.class_row_max(cls) < profile.static_period_ps
+
+    def test_spread_below_max(self, optimized):
+        for cls in all_timing_classes():
+            spec = optimized.ex_spec(cls)
+            assert 0 <= spec.spread_ps < spec.max_ps
+
+    def test_redirect_longer_than_sequential(self, optimized):
+        assert optimized.adr_redirect.max_ps > optimized.adr_seq.max_ps
+
+    def test_dc_below_adr_seq(self, optimized):
+        # weak-EX cycles must be attributed to the instruction memory
+        assert optimized.dc["default"].max_ps < optimized.adr_seq.max_ps
+
+    def test_hold_delay_small(self, optimized):
+        assert optimized.hold_delay_ps < optimized.adr_seq.max_ps / 2
+
+
+class TestPaperAnchors:
+    def test_static_periods(self, optimized, conventional):
+        assert optimized.static_period_ps == 2026.0
+        assert conventional.static_period_ps == pytest.approx(1859.0)
+        ratio = optimized.static_period_ps / conventional.static_period_ps
+        assert ratio == pytest.approx(1.09, abs=0.002)
+
+    @pytest.mark.parametrize("cls,expected", [
+        (cls, values) for cls, values in TABLE2_INSTRUCTION_DELAYS.items()
+    ])
+    def test_table2_values(self, optimized, cls, expected):
+        delay, stage_name = expected
+        assert optimized.class_row_max(cls) == pytest.approx(delay)
+        assert optimized.class_limiting_stage(cls).name == stage_name
+
+    @pytest.mark.parametrize("cls,factor", [
+        (cls, f) for cls, f in TABLE1_CRITICAL_RANGE_FACTORS.items()
+    ])
+    def test_table1_factors(self, optimized, conventional, cls, factor):
+        measured = (
+            optimized.class_row_max(cls) / conventional.class_row_max(cls)
+        )
+        assert measured == pytest.approx(factor, abs=0.03)
+
+    def test_lmul_spread_near_300ps(self, optimized):
+        assert optimized.ex_spec("l.mul(i)").spread_ps == pytest.approx(
+            300.0, abs=20.0
+        )
+
+
+class TestVariantDerivation:
+    def test_mul_is_worse_in_optimized(self, optimized, conventional):
+        """Critical-range optimisation makes only the multiplier slower."""
+        assert (
+            optimized.ex_spec("l.mul(i)").max_ps
+            > conventional.ex_spec("l.mul(i)").max_ps
+        )
+
+    def test_most_classes_improve(self, optimized, conventional):
+        improved = sum(
+            1 for cls in all_timing_classes()
+            if optimized.class_row_max(cls) < conventional.class_row_max(cls)
+        )
+        assert improved >= len(all_timing_classes()) - 2
+
+    def test_conventional_capped_below_static(self, conventional):
+        for cls in all_timing_classes():
+            assert (
+                conventional.class_row_max(cls)
+                <= conventional.static_period_ps * 0.996
+            )
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            load_profile("bogus")
+
+
+class TestLookupHelpers:
+    def test_ctrl_categories(self, optimized):
+        assert (
+            optimized.ctrl_spec("l.lwz").max_ps
+            > optimized.ctrl_spec("l.add(i)").max_ps
+        )
+        assert (
+            optimized.ctrl_spec("l.sw").max_ps
+            > optimized.ctrl_spec("l.nop").max_ps
+        )
+
+    def test_wb_write_vs_nowrite(self, optimized):
+        assert (
+            optimized.wb_spec("l.add(i)").max_ps
+            > optimized.wb_spec("l.sw").max_ps
+        )
+
+    def test_adr_spec_redirect_only_for_control(self, optimized):
+        assert optimized.adr_spec("l.j", True).max_ps == \
+            optimized.adr_redirect.max_ps
+        assert optimized.adr_spec("l.add(i)", True).max_ps == \
+            optimized.adr_seq.max_ps
+        assert optimized.adr_spec("l.j", False).max_ps == \
+            optimized.adr_seq.max_ps
+
+    def test_unknown_stage_rejected(self, optimized):
+        with pytest.raises(KeyError):
+            optimized.stage_spec("l.add(i)", "EX")
+
+    def test_bubble_class_constant(self):
+        assert BUBBLE_CLASS == "<bubble>"
+
+    def test_profile_is_dataclass_instance(self, optimized):
+        assert isinstance(optimized, DelayProfile)

@@ -1,0 +1,65 @@
+"""Tests for unit conversions and table rendering."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.tables import format_table
+from repro.utils.units import (
+    mhz_to_ps,
+    ps_to_mhz,
+    speedup_percent,
+    uw_per_mhz,
+)
+
+
+class TestUnits:
+    def test_paper_static_point(self):
+        # 2026 ps is the paper's 494 MHz static limit
+        assert ps_to_mhz(2026.0) == pytest.approx(493.6, abs=0.1)
+
+    def test_paper_dynamic_point(self):
+        assert mhz_to_ps(680.0) == pytest.approx(1470.6, abs=0.1)
+
+    @given(st.floats(min_value=1.0, max_value=1e7))
+    def test_roundtrip(self, period):
+        assert mhz_to_ps(ps_to_mhz(period)) == pytest.approx(period)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ps_to_mhz(0.0)
+        with pytest.raises(ValueError):
+            mhz_to_ps(-1.0)
+        with pytest.raises(ValueError):
+            uw_per_mhz(10.0, 0.0)
+
+    def test_speedup_percent_paper_genie(self):
+        assert speedup_percent(2026.0, 1334.0) == pytest.approx(51.9, abs=0.1)
+
+    def test_uw_per_mhz(self):
+        assert uw_per_mhz(6767.8, 494.0) == pytest.approx(13.7, abs=0.01)
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(
+            ["name", "value"],
+            [("a", 1), ("long-name", 22)],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long-name" in text
+        assert "22" in text
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [(1.23456,)])
+        assert "1.23" in text
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [("only-one",)])
+
+    def test_empty_rows_ok(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text

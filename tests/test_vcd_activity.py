@@ -1,0 +1,85 @@
+"""VCD-lite writer and switching-activity tests."""
+
+import pytest
+
+from repro.dta.vcd import count_value_changes, write_vcd
+from repro.power.activity import (
+    activity_scaled_power_uw,
+    analyze_activity,
+)
+from repro.power.model import PowerModel
+from repro.sim.pipeline import PipelineSimulator
+from repro.workloads import get_kernel
+
+
+def run_trace(name):
+    pipe = PipelineSimulator(get_kernel(name).program())
+    pipe.run()
+    return pipe.trace
+
+
+class TestVcd:
+    def test_structure(self):
+        text = write_vcd(run_trace("fib"))
+        assert text.startswith("$date")
+        assert "$enddefinitions $end" in text
+        assert "$var wire 32 A ex_operand_a $end" in text
+        assert "#0" in text
+
+    def test_timestamps_cover_all_cycles(self):
+        trace = run_trace("fib")
+        text = write_vcd(trace)
+        last_time = (trace.num_cycles - 1) * 2 + 1
+        assert f"#{last_time}" in text
+
+    def test_changes_only_on_change(self):
+        """Value lines must only appear when a signal toggles."""
+        trace = run_trace("fib")
+        text = write_vcd(trace)
+        changes = count_value_changes(text)
+        # upper bound: every signal changing every cycle
+        assert changes < trace.num_cycles * 11
+        # lower bound: the clock alone toggles twice per cycle
+        assert changes >= trace.num_cycles * 2
+
+    def test_redirect_strobe_present(self):
+        text = write_vcd(run_trace("statemachine"))
+        assert "1r" in text and "0r" in text
+
+
+class TestActivity:
+    def test_report_fields(self):
+        report = analyze_activity(run_trace("crc32"))
+        assert report.num_cycles > 0
+        assert report.mean_operand_toggles > 0
+        assert 0 <= report.control_rate <= 1
+        assert 0 <= report.multiplier_rate <= 1
+        assert report.activity_factor > 0
+        assert "activity" in report.summary()
+
+    def test_mul_heavy_has_higher_mul_rate(self):
+        matmult = analyze_activity(run_trace("matmult"))
+        crc = analyze_activity(run_trace("crc32"))
+        assert matmult.multiplier_rate > crc.multiplier_rate
+
+    def test_suite_factors_near_unity(self):
+        factors = [
+            analyze_activity(run_trace(name)).activity_factor
+            for name in ("crc32", "matmult", "bubblesort", "statemachine")
+        ]
+        mean = sum(factors) / len(factors)
+        assert 0.5 < mean < 2.0
+
+    def test_scaled_power(self):
+        model = PowerModel()
+        base = model.total_power_uw(0.70, 500.0)
+        busy = activity_scaled_power_uw(model, 0.70, 500.0, 1.3)
+        idle = activity_scaled_power_uw(model, 0.70, 500.0, 0.7)
+        assert busy > base > idle
+        # leakage is activity-independent
+        assert idle > model.leakage_power_uw(0.70)
+
+    def test_empty_trace_rejected(self):
+        from repro.sim.trace import PipelineTrace
+        with pytest.raises(ValueError):
+            analyze_activity(PipelineTrace(program_name="empty"))

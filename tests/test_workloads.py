@@ -1,0 +1,120 @@
+"""Workload suite tests: kernels, suites, random generator coverage."""
+
+import pytest
+
+from repro.isa.classes import all_timing_classes
+from repro.sim.iss import FunctionalSimulator
+from repro.sim.pipeline import PipelineSimulator
+from repro.workloads import all_kernels, get_kernel
+from repro.workloads.coremark import coremark_reference
+from repro.workloads.randomgen import (
+    generate_characterization_program,
+    generate_characterization_source,
+)
+from repro.workloads.suite import (
+    BENCHMARK_NAMES,
+    benchmark_suite,
+    characterization_suite,
+    kernel_table,
+    suite_names,
+)
+
+
+class TestKernelRegistry:
+    def test_suite_size(self):
+        assert len(all_kernels()) >= 17
+
+    def test_all_benchmark_names_resolve(self):
+        for name in BENCHMARK_NAMES:
+            assert get_kernel(name).name == name
+
+    def test_unknown_kernel_message(self):
+        with pytest.raises(KeyError, match="available"):
+            get_kernel("nope")
+
+    def test_categories_diverse(self):
+        categories = {kernel.category for kernel in all_kernels()}
+        assert {"alu", "mul", "memory", "control", "mixed"} <= categories
+
+    def test_kernel_table(self):
+        rows = kernel_table()
+        assert len(rows) == len(all_kernels())
+
+    def test_verify_state_rejects_wrong_value(self):
+        kernel = get_kernel("fib")
+        simulator = FunctionalSimulator(kernel.program())
+        with pytest.raises(AssertionError, match="r11"):
+            kernel.verify_state(simulator.state)   # not yet run
+
+
+class TestKernelExecution:
+    @pytest.mark.parametrize("kernel", all_kernels(), ids=lambda k: k.name)
+    def test_golden_reference(self, kernel):
+        simulator = FunctionalSimulator(kernel.program())
+        simulator.run()
+        kernel.verify_state(simulator.state)
+
+    def test_coremark_reference_value(self):
+        assert 0 <= coremark_reference() <= 0xFFFF
+
+    def test_programs_are_cached(self):
+        kernel = get_kernel("crc32")
+        assert kernel.program() is kernel.program()
+
+
+class TestSuites:
+    def test_benchmark_suite_assembles(self):
+        programs = benchmark_suite()
+        assert len(programs) == len(BENCHMARK_NAMES)
+        assert suite_names() == list(BENCHMARK_NAMES)
+
+    def test_characterization_suite_composition(self):
+        programs = characterization_suite(random_programs=2)
+        names = [program.name for program in programs]
+        assert sum(1 for n in names if n.startswith("chargen")) == 2
+        assert "crc32" in names
+
+
+class TestRandomGenerator:
+    def test_deterministic(self):
+        a = generate_characterization_source(seed=9, length=150)
+        b = generate_characterization_source(seed=9, length=150)
+        assert a == b
+
+    def test_seed_sensitivity(self):
+        a = generate_characterization_source(seed=1, length=150)
+        b = generate_characterization_source(seed=2, length=150)
+        assert a != b
+
+    def test_runs_to_halt_on_both_models(self):
+        program = generate_characterization_program(
+            seed=4, length=200, repeats=2
+        )
+        iss = FunctionalSimulator(program)
+        iss.run()
+        pipe = PipelineSimulator(program)
+        pipe.run()
+        assert iss.state.regs == pipe.state.regs
+
+    def test_covers_every_timing_class(self):
+        """The directed generator must exercise every LUT class (this is
+        what makes the characterisation complete)."""
+        program = generate_characterization_program(
+            seed=1, length=400, repeats=1
+        )
+        pipe = PipelineSimulator(program)
+        pipe.run()
+        executed = set(pipe.trace.class_mix())
+        missing = set(all_timing_classes()) - executed
+        assert not missing, f"classes never executed: {missing}"
+
+    def test_repeats_scale_cycles(self):
+        one = PipelineSimulator(
+            generate_characterization_program(seed=3, length=150, repeats=1)
+        )
+        one.run()
+        three = PipelineSimulator(
+            generate_characterization_program(seed=3, length=150, repeats=3)
+        )
+        three.run()
+        assert three.trace.num_cycles > 2 * one.trace.num_cycles
