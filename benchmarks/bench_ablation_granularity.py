@@ -14,7 +14,11 @@ from repro.clocking.policies import (
     StaticClockPolicy,
     TwoClassPolicy,
 )
-from repro.flow.evaluate import average_speedup_percent, evaluate_suite
+from repro.flow.evaluate import (
+    SweepConfig,
+    average_speedup_percent,
+    evaluate_batch,
+)
 from repro.utils.tables import format_table
 from repro.workloads.suite import benchmark_suite
 
@@ -22,17 +26,18 @@ POLICY_ORDER = ("static", "two-class [8]", "instruction (paper)", "genie")
 
 
 def _run_all(design, lut):
-    programs = benchmark_suite()
     factories = {
         "static": lambda: StaticClockPolicy(design.static_period_ps),
         "two-class [8]": lambda: TwoClassPolicy(lut),
         "instruction (paper)": lambda: InstructionLutPolicy(lut),
         "genie": lambda: GeniePolicy(design.excitation),
     }
-    return {
-        name: evaluate_suite(programs, design, factory, check_safety=False)
+    configs = [
+        SweepConfig(policy=factory, check_safety=False, label=name)
         for name, factory in factories.items()
-    }
+    ]
+    rows = evaluate_batch(benchmark_suite(), design, configs)
+    return dict(zip(factories, rows))
 
 
 def test_ablation_lut_granularity(benchmark, design, lut):

@@ -11,7 +11,11 @@ updates instead).
 from conftest import publish
 
 from repro.clocking.policies import InstructionLutPolicy
-from repro.flow.evaluate import average_speedup_percent, evaluate_suite
+from repro.flow.evaluate import (
+    SweepConfig,
+    average_speedup_percent,
+    evaluate_batch,
+)
 from repro.utils.tables import format_table
 from repro.workloads.suite import benchmark_suite
 
@@ -19,14 +23,17 @@ MARGINS = (0.0, 2.0, 5.0, 10.0, 15.0, 20.0)
 
 
 def _sweep(design, lut):
-    programs = benchmark_suite()
-    return {
-        margin: evaluate_suite(
-            programs, design, lambda: InstructionLutPolicy(lut),
+    """One batch call: traces are compiled once, margins are re-scalings."""
+    configs = [
+        SweepConfig(
+            policy=lambda: InstructionLutPolicy(lut),
             margin_percent=margin, check_safety=False,
+            label=f"margin={margin:g}%",
         )
         for margin in MARGINS
-    }
+    ]
+    rows = evaluate_batch(benchmark_suite(), design, configs)
+    return dict(zip(MARGINS, rows))
 
 
 def test_ablation_margin(benchmark, design, lut):

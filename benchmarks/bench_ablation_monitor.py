@@ -10,26 +10,28 @@ from conftest import publish
 
 from repro.clocking.policies import ExOnlyLutPolicy, InstructionLutPolicy
 from repro.flow.evaluate import (
+    SweepConfig,
     average_frequency_mhz,
     average_speedup_percent,
-    evaluate_suite,
+    evaluate_batch,
 )
 from repro.flow.reporting import render_policy_comparison
 from repro.workloads.suite import benchmark_suite
 
 
 def _run_both(design, lut):
-    programs = benchmark_suite()
-    return {
-        "full-monitor": evaluate_suite(
-            programs, design, lambda: InstructionLutPolicy(lut),
-            check_safety=False,
+    configs = [
+        SweepConfig(
+            policy=lambda: InstructionLutPolicy(lut),
+            check_safety=False, label="full-monitor",
         ),
-        "ex-only": evaluate_suite(
-            programs, design, lambda: ExOnlyLutPolicy(lut),
-            check_safety=True,
+        SweepConfig(
+            policy=lambda: ExOnlyLutPolicy(lut),
+            check_safety=True, label="ex-only",
         ),
-    }
+    ]
+    rows = evaluate_batch(benchmark_suite(), design, configs)
+    return {config.label: row for config, row in zip(configs, rows)}
 
 
 def test_ablation_exonly_monitor(benchmark, design, lut):

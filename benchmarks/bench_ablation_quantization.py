@@ -14,7 +14,11 @@ from repro.clocking.generator import (
     TunableRingOscillator,
 )
 from repro.clocking.policies import InstructionLutPolicy
-from repro.flow.evaluate import average_speedup_percent, evaluate_suite
+from repro.flow.evaluate import (
+    SweepConfig,
+    average_speedup_percent,
+    evaluate_batch,
+)
 from repro.utils.tables import format_table
 from repro.workloads.suite import benchmark_suite
 
@@ -28,14 +32,15 @@ GENERATORS = [
 
 
 def _run_all(design, lut):
-    programs = benchmark_suite()
-    results = {}
-    for name, factory in GENERATORS:
-        results[name] = evaluate_suite(
-            programs, design, lambda: InstructionLutPolicy(lut),
-            generator=factory(), check_safety=False,
+    configs = [
+        SweepConfig(
+            policy=lambda: InstructionLutPolicy(lut),
+            generator=factory, check_safety=False, label=name,
         )
-    return results
+        for name, factory in GENERATORS
+    ]
+    rows = evaluate_batch(benchmark_suite(), design, configs)
+    return {name: row for (name, _), row in zip(GENERATORS, rows)}
 
 
 def test_ablation_quantization(benchmark, design, lut):

@@ -10,9 +10,10 @@ from conftest import publish
 
 from repro.clocking.policies import GeniePolicy
 from repro.flow.evaluate import (
+    SweepConfig,
     average_frequency_mhz,
     average_speedup_percent,
-    evaluate_suite,
+    evaluate_batch,
 )
 from repro.flow.experiment import ExperimentReport
 from repro.flow.reporting import render_suite_results
@@ -25,13 +26,16 @@ from repro.paperdata import (
 from repro.workloads.suite import benchmark_suite
 
 
+def _genie_sweep(design):
+    configs = [SweepConfig(
+        policy=lambda: GeniePolicy(design.excitation),
+        check_safety=False, label="genie",
+    )]
+    return evaluate_batch(benchmark_suite(), design, configs)[0]
+
+
 def test_fig8_benchmark_speedups(benchmark, design, lut, suite_results):
-    genie_results = benchmark(
-        evaluate_suite,
-        benchmark_suite(), design,
-        lambda: GeniePolicy(design.excitation),
-        None, 0.0, False,
-    )
+    genie_results = benchmark(_genie_sweep, design)
 
     lut_speedup = average_speedup_percent(suite_results)
     lut_frequency = average_frequency_mhz(suite_results)

@@ -1,0 +1,137 @@
+"""Perf smoke benchmark — scalar loop vs. compiled-trace batch engine.
+
+Times the full-suite sweep (every Fig. 8 kernel × 4 policies × 3 margins)
+through the original per-record scalar path and through
+:func:`repro.flow.evaluate.evaluate_batch`, verifies the results are
+bit-identical, and writes both timings to ``BENCH_evaluate.json`` at the
+repository root so the performance trajectory is tracked PR over PR.
+
+Runs standalone (``python benchmarks/bench_perf_evaluate.py``) and under
+pytest (``pytest benchmarks/bench_perf_evaluate.py``).
+"""
+
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from conftest import publish  # noqa: E402
+
+from repro.core import DcaConfig, DynamicClockAdjustment  # noqa: E402
+from repro.dta.compiled import clear_compiled_cache  # noqa: E402
+from repro.flow.characterize import CharacterizationResult  # noqa: E402
+from repro.flow.evaluate import (  # noqa: E402
+    SweepConfig,
+    evaluate_batch,
+    evaluate_program_scalar,
+)
+from repro.utils.tables import format_table  # noqa: E402
+from repro.workloads.suite import benchmark_suite  # noqa: E402
+
+BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_evaluate.json"
+
+MARGINS = (0.0, 5.0, 10.0)
+
+
+POLICY_NAMES = ("instruction", "ex-only", "two-class", "genie")
+
+
+def _sweep_configs(design, lut):
+    """One config per policy × margin, via the canonical policy registry
+    (``DynamicClockAdjustment.make_policy``) rather than a local copy."""
+    dca = DynamicClockAdjustment(
+        config=DcaConfig(variant=design.variant),
+        characterization=CharacterizationResult(design=design, lut=lut),
+    )
+    return [
+        SweepConfig(
+            policy=(lambda name=name: dca.make_policy(name)),
+            margin_percent=margin, check_safety=False,
+            label=f"{name}/margin={margin:g}%",
+        )
+        for name in POLICY_NAMES
+        for margin in MARGINS
+    ]
+
+
+def run_perf_comparison(design, lut):
+    """Time the same full sweep both ways; returns the metrics dict."""
+    programs = benchmark_suite()
+    configs = _sweep_configs(design, lut)
+
+    clear_compiled_cache()   # charge compilation to the batch timing
+    start = time.perf_counter()
+    batch_grid = evaluate_batch(programs, design, configs)
+    batch_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    scalar_grid = [
+        [
+            evaluate_program_scalar(
+                program, design, config.make_policy(),
+                margin_percent=config.margin_percent, check_safety=False,
+            )
+            for program in programs
+        ]
+        for config in configs
+    ]
+    scalar_seconds = time.perf_counter() - start
+
+    mismatches = 0
+    for scalar_row, batch_row in zip(scalar_grid, batch_grid):
+        for scalar, batch in zip(scalar_row, batch_row):
+            if (
+                scalar.total_time_ps != batch.total_time_ps
+                or scalar.min_period_ps != batch.min_period_ps
+                or scalar.max_period_ps != batch.max_period_ps
+                or scalar.switch_rate != batch.switch_rate
+            ):
+                mismatches += 1
+
+    return {
+        "programs": len(programs),
+        "configs": len(configs),
+        "evaluations": len(programs) * len(configs),
+        "total_cycles": sum(r.num_cycles for r in batch_grid[0]),
+        "scalar_seconds": round(scalar_seconds, 3),
+        "batch_seconds": round(batch_seconds, 3),
+        "speedup": round(scalar_seconds / batch_seconds, 2),
+        "mismatches": mismatches,
+    }
+
+
+def report(metrics):
+    table = format_table(
+        ["Engine", "Wall time", "Evaluations"],
+        [
+            ("scalar per-record loop", f"{metrics['scalar_seconds']:.2f} s",
+             metrics["evaluations"]),
+            ("compiled-trace batch", f"{metrics['batch_seconds']:.2f} s",
+             metrics["evaluations"]),
+            ("speedup", f"{metrics['speedup']:.1f}x", "-"),
+        ],
+        title="Perf — full-suite sweep, scalar vs. batch engine",
+    )
+    BENCH_JSON.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")
+    publish("perf_evaluate", table + f"\n  wrote {BENCH_JSON.name}")
+    return table
+
+
+def test_perf_evaluate(design, lut):
+    metrics = run_perf_comparison(design, lut)
+    report(metrics)
+    assert metrics["mismatches"] == 0
+    # the tentpole acceptance bar: >= 10x on the full-suite sweep
+    assert metrics["speedup"] >= 10.0, metrics
+
+
+if __name__ == "__main__":
+    from repro.flow.characterize import characterize
+    from repro.timing.design import build_design
+
+    design = build_design()
+    lut = characterize(design, keep_runs=False).lut
+    metrics = run_perf_comparison(design, lut)
+    report(metrics)
+    sys.exit(0 if metrics["mismatches"] == 0 else 1)

@@ -43,15 +43,17 @@ def conventional_characterization(conventional_design):
 
 @pytest.fixture(scope="session")
 def suite_results(design, lut):
-    """Instruction-LUT evaluation of the full benchmark suite (Fig. 8)."""
+    """Instruction-LUT evaluation of the full benchmark suite (Fig. 8),
+    through the compiled-trace batch engine."""
     from repro.clocking.policies import InstructionLutPolicy
-    from repro.flow.evaluate import evaluate_suite
+    from repro.flow.evaluate import SweepConfig, evaluate_batch
     from repro.workloads.suite import benchmark_suite
 
-    return evaluate_suite(
-        benchmark_suite(), design, lambda: InstructionLutPolicy(lut),
-        check_safety=False,
-    )
+    configs = [SweepConfig(
+        policy=lambda: InstructionLutPolicy(lut),
+        check_safety=False, label="instruction-lut",
+    )]
+    return evaluate_batch(benchmark_suite(), design, configs)[0]
 
 
 def publish(name, text):

@@ -148,6 +148,62 @@ def cmd_evaluate(args):
     return 0
 
 
+def cmd_sweep(args):
+    from repro.core import DcaConfig, DynamicClockAdjustment
+    from repro.flow.characterize import CharacterizationResult
+    from repro.flow.evaluate import (
+        average_frequency_mhz,
+        average_speedup_percent,
+    )
+    from repro.flow.figures import sweep_series, write_csv
+    from repro.utils.tables import format_table
+    from repro.workloads.suite import benchmark_suite
+
+    design = _build(args)
+    lut = _load_lut(args, design)
+    dca = DynamicClockAdjustment(
+        config=DcaConfig(variant=design.variant, voltage=args.voltage),
+        characterization=CharacterizationResult(design=design, lut=lut),
+    )
+    if args.programs:
+        programs = [_load_program(spec) for spec in args.programs]
+    else:
+        programs = benchmark_suite()
+
+    configs, results = dca.evaluate_sweep(
+        programs,
+        policies=args.policy or ["instruction", "ex-only", "two-class",
+                                 "genie"],
+        generators=args.generator or ["ideal"],
+        margins=args.margin if args.margin else [0.0],
+        check_safety=args.check_safety,
+    )
+    rows = []
+    unsafe = 0
+    for config, row in zip(configs, results):
+        violations = sum(len(result.violations) for result in row)
+        unsafe += violations
+        rows.append((
+            config.label,
+            f"{average_frequency_mhz(row):.0f}",
+            f"{average_speedup_percent(row):+.1f}%",
+            f"{violations}",
+        ))
+    print(format_table(
+        ["Configuration", "Avg. [MHz]", "Avg. speedup", "Violations"],
+        rows,
+        title=f"Sweep: {len(programs)} programs x {len(configs)} configs "
+              f"@ {args.voltage:.2f} V",
+    ))
+    if args.csv:
+        header, series = sweep_series(
+            [config.label for config in configs], results
+        )
+        write_csv(args.csv, header, series)
+        print(f"wrote {args.csv} ({len(series)} rows)")
+    return 1 if (args.check_safety and unsafe) else 0
+
+
 def cmd_table2(args):
     design = _build(args)
     lut = _load_lut(args, design)
@@ -200,6 +256,30 @@ def build_parser():
                      help="safety margin in percent")
     sub.add_argument("--lut", help="reuse a LUT JSON file")
     sub.set_defaults(func=cmd_evaluate)
+
+    sub = subparsers.add_parser(
+        "sweep",
+        help="batch-evaluate programs under many configurations",
+    )
+    sub.add_argument("programs", nargs="*",
+                     help="kernel names or assembly files "
+                          "(default: the Fig. 8 benchmark suite)")
+    _add_design_arguments(sub)
+    sub.add_argument("--policy", action="append",
+                     choices=["instruction", "ex-only", "two-class",
+                              "genie", "static"],
+                     help="policy to sweep (repeatable; default: all "
+                          "non-static policies)")
+    sub.add_argument("--generator", action="append",
+                     choices=["ideal", "ring", "pll"],
+                     help="generator to sweep (repeatable; default: ideal)")
+    sub.add_argument("--margin", action="append", type=float,
+                     help="safety margin in percent (repeatable; default: 0)")
+    sub.add_argument("--check-safety", action="store_true",
+                     help="replay ground-truth delays and count violations")
+    sub.add_argument("--csv", help="write the per-benchmark series as CSV")
+    sub.add_argument("--lut", help="reuse a LUT JSON file")
+    sub.set_defaults(func=cmd_sweep)
 
     sub = subparsers.add_parser("table2", help="render a LUT (Table II)")
     _add_design_arguments(sub)

@@ -4,30 +4,47 @@ Combines a prediction policy with a clock-generator model and an optional
 safety margin.  The controller is the hardware block the paper proposes:
 per cycle it reads the LUT delays of the in-flight instructions, forms the
 maximum, and retunes the clock generator.
+
+Statistics are computed from the full period sequence
+(:meth:`ControllerStats.from_periods`) in both the scalar and the batch
+path, so the two evaluation engines report bit-identical aggregates.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+import numpy as np
 
 
 @dataclass
 class ControllerStats:
-    """Aggregates of one evaluation run."""
+    """Aggregates of one evaluation run.
+
+    For a zero-cycle run the extrema are NaN (there is no period to take a
+    minimum or maximum of) and :attr:`average_period_ps` raises — callers
+    that may see empty traces should check :attr:`cycles` first.
+    """
 
     cycles: int = 0
     total_time_ps: float = 0.0
     switches: int = 0
-    min_period_ps: float = float("inf")
-    max_period_ps: float = 0.0
-    _last_period: float = field(default=None, repr=False)
+    min_period_ps: float = float("nan")
+    max_period_ps: float = float("nan")
 
-    def record(self, period_ps):
-        self.cycles += 1
-        self.total_time_ps += period_ps
-        self.min_period_ps = min(self.min_period_ps, period_ps)
-        self.max_period_ps = max(self.max_period_ps, period_ps)
-        if self._last_period is not None and period_ps != self._last_period:
-            self.switches += 1
-        self._last_period = period_ps
+    @classmethod
+    def from_periods(cls, periods_ps):
+        """Compute the aggregates from the applied-period sequence."""
+        periods_ps = np.asarray(periods_ps, dtype=float)
+        if periods_ps.size == 0:
+            return cls()
+        return cls(
+            cycles=int(periods_ps.size),
+            total_time_ps=float(periods_ps.sum()),
+            switches=int(
+                np.count_nonzero(periods_ps[1:] != periods_ps[:-1])
+            ),
+            min_period_ps=float(periods_ps.min()),
+            max_period_ps=float(periods_ps.max()),
+        )
 
     @property
     def average_period_ps(self):
@@ -42,6 +59,10 @@ class ControllerStats:
             return 0.0
         return self.switches / (self.cycles - 1)
 
+    @property
+    def is_empty(self):
+        return self.cycles == 0
+
 
 class ClockAdjustmentController:
     """Per-cycle period decision = quantize(policy period × (1 + margin)).
@@ -49,7 +70,8 @@ class ClockAdjustmentController:
     Parameters
     ----------
     policy:
-        A prediction policy (``period_for(record)``).
+        A prediction policy (``period_for(record)``, and optionally the
+        vectorized ``periods_for(compiled_trace)``).
     generator:
         Clock-generator model; ``None`` means ideal (continuous).
     margin_percent:
@@ -63,15 +85,53 @@ class ClockAdjustmentController:
         self.policy = policy
         self.generator = generator
         self.margin = 1.0 + margin_percent / 100.0
-        self.stats = ControllerStats()
+        self._periods = []
+        self._stats = None
 
     def period_for(self, record):
         """Decide the clock period for one cycle and record it."""
         period = self.policy.period_for(record) * self.margin
         if self.generator is not None:
             period = self.generator.quantize_up(period)
-        self.stats.record(period)
+        self._periods.append(period)
+        self._stats = None
         return period
 
+    def periods_for(self, compiled_trace):
+        """Decide the periods of a whole compiled trace at once.
+
+        Applies margin scaling and generator quantisation element-wise
+        (same operations as :meth:`period_for`) and records the sequence
+        for :attr:`stats`.
+        """
+        if hasattr(self.policy, "periods_for"):
+            periods = np.asarray(
+                self.policy.periods_for(compiled_trace), dtype=float
+            )
+        else:
+            periods = np.array([
+                self.policy.period_for(record)
+                for record in compiled_trace.trace.records
+            ], dtype=float)
+        periods = periods * self.margin
+        if self.generator is not None:
+            if hasattr(self.generator, "quantize_up_array"):
+                periods = self.generator.quantize_up_array(periods)
+            else:
+                periods = np.array([
+                    self.generator.quantize_up(period)
+                    for period in periods.tolist()
+                ])
+        self._periods.extend(periods.tolist())
+        self._stats = None
+        return periods
+
+    @property
+    def stats(self):
+        if self._stats is None:
+            self._stats = ControllerStats.from_periods(self._periods)
+        return self._stats
+
     def reset(self):
-        self.stats = ControllerStats()
+        self._periods = []
+        self._stats = None

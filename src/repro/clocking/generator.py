@@ -8,13 +8,28 @@ of the fine-grained gain survives a realistic generator.
 
 Every generator guarantees the safety direction: the granted period is
 never shorter than the requested one.
+
+Each generator grants periods one at a time (``quantize_up``, the hardware
+view) or for a whole trace at once (``quantize_up_array``, used by the
+batch evaluation engine).  The array path performs the same float
+operations per element, so grants are bit-identical between the two.
 """
 
 import math
 
+import numpy as np
+
 
 class ClockGeneratorError(ValueError):
     """Requested period cannot be granted safely."""
+
+
+def _check_positive(periods_ps):
+    periods_ps = np.asarray(periods_ps, dtype=float)
+    if periods_ps.size and float(periods_ps.min()) <= 0:
+        bad = float(periods_ps.min())
+        raise ClockGeneratorError(f"invalid period {bad}")
+    return periods_ps
 
 
 class IdealClockGenerator:
@@ -26,6 +41,9 @@ class IdealClockGenerator:
         if period_ps <= 0:
             raise ClockGeneratorError(f"invalid period {period_ps}")
         return period_ps
+
+    def quantize_up_array(self, periods_ps):
+        return _check_positive(periods_ps)
 
     def available_periods(self):
         return None   # continuum
@@ -63,6 +81,22 @@ class TunableRingOscillator:
             )
         return granted
 
+    def quantize_up_array(self, periods_ps):
+        periods_ps = _check_positive(periods_ps)
+        clamped = np.maximum(periods_ps, self.min_period_ps)
+        steps = np.ceil(
+            (clamped - self.min_period_ps) / self.step_ps - 1e-9
+        )
+        granted = self.min_period_ps + steps * self.step_ps
+        over = granted > self.max_period_ps + 1e-9
+        if over.any():
+            worst = float(periods_ps[over].max())
+            raise ClockGeneratorError(
+                f"period {worst:.1f} ps exceeds the oscillator range "
+                f"(max {self.max_period_ps:.1f} ps)"
+            )
+        return granted
+
     def available_periods(self):
         count = int(
             (self.max_period_ps - self.min_period_ps) / self.step_ps
@@ -89,6 +123,10 @@ class MultiPLLClockGenerator:
         self._periods = sorted(
             1e6 / freq for freq in self.frequencies_mhz
         )
+        self._period_grid = np.array(self._periods)
+        # a request p is granted grid[i] iff grid[i] + 1e-9 >= p, so the
+        # searchsorted thresholds are exactly the scalar comparison values
+        self._grant_thresholds = self._period_grid + 1e-9
 
     def quantize_up(self, period_ps):
         if period_ps <= 0:
@@ -100,6 +138,20 @@ class MultiPLLClockGenerator:
             f"period {period_ps:.1f} ps exceeds the slowest PLL "
             f"({self._periods[-1]:.1f} ps)"
         )
+
+    def quantize_up_array(self, periods_ps):
+        periods_ps = _check_positive(periods_ps)
+        indices = np.searchsorted(
+            self._grant_thresholds, periods_ps, side="left"
+        )
+        over = indices >= len(self._periods)
+        if over.any():
+            worst = float(periods_ps[over].max())
+            raise ClockGeneratorError(
+                f"period {worst:.1f} ps exceeds the slowest PLL "
+                f"({self._periods[-1]:.1f} ps)"
+            )
+        return self._period_grid[indices]
 
     def available_periods(self):
         return list(self._periods)

@@ -5,7 +5,20 @@ clock period it requests for that cycle.  All policies are *predictive*:
 they use only information available in the cycle itself (which decoded
 instructions are in flight), never measured outcomes — except the genie
 oracle, which exists to compute the paper's theoretical upper bound.
+
+Every policy offers two equivalent entry points:
+
+- ``period_for(record)`` — the scalar, per-cycle decision (the hardware
+  view of the controller; also the reference semantics);
+- ``periods_for(compiled_trace)`` — the whole trace at once, as a NumPy
+  array, driven by the :class:`~repro.dta.compiled.CompiledTrace` class-id
+  matrix.  LUT policies reduce to integer fancy-indexing into a
+  class×stage table; the genie reduces to a row-wise max of the compiled
+  delay matrix.  Results are bit-identical to the scalar path (same table
+  lookups, same float operations).
 """
+
+import numpy as np
 
 from repro.dta.extraction import attribute_cycle
 from repro.sim.trace import Stage
@@ -25,6 +38,9 @@ class StaticClockPolicy:
     def period_for(self, record):
         return self.period_ps
 
+    def periods_for(self, compiled_trace):
+        return np.full(compiled_trace.num_cycles, float(self.period_ps))
+
 
 class InstructionLutPolicy:
     """The paper's technique (Fig. 1, Eq. 2): monitor the instruction in
@@ -40,6 +56,10 @@ class InstructionLutPolicy:
         return max(
             self.lut.entry(classes[stage], stage) for stage in Stage
         )
+
+    def periods_for(self, compiled_trace):
+        table = compiled_trace.class_table(self.lut.entry)
+        return compiled_trace.stage_periods(table).max(axis=1)
 
 
 class ExOnlyLutPolicy:
@@ -74,6 +94,18 @@ class ExOnlyLutPolicy:
             self.lut.entry(ex_cls, Stage.EX),
             self.lut.entry(ex_cls, Stage.ADR),
             self.floor_ps,
+        )
+
+    def periods_for(self, compiled_trace):
+        ex_ids = compiled_trace.class_ids[:, Stage.EX]
+        ex_table = compiled_trace.class_column(
+            lambda cls: self.lut.entry(cls, Stage.EX)
+        )
+        adr_table = compiled_trace.class_column(
+            lambda cls: self.lut.entry(cls, Stage.ADR)
+        )
+        return np.maximum(
+            np.maximum(ex_table[ex_ids], adr_table[ex_ids]), self.floor_ps
         )
 
 
@@ -124,6 +156,16 @@ class TwoClassPolicy:
             return self.slow_period_ps
         return self.fast_period_ps
 
+    def periods_for(self, compiled_trace):
+        slow = np.array(
+            [self._is_slow(cls) for cls in compiled_trace.class_names],
+            dtype=bool,
+        )
+        any_slow = slow[compiled_trace.class_ids].any(axis=1)
+        return np.where(
+            any_slow, float(self.slow_period_ps), float(self.fast_period_ps)
+        )
+
 
 class GeniePolicy:
     """A-posteriori oracle: per-cycle minimum safe period (Sec. IV-A).
@@ -140,3 +182,22 @@ class GeniePolicy:
 
     def period_for(self, record):
         return self.excitation.cycle_max(record)
+
+    def _same_operating_point(self, excitation):
+        """Excitation models are pure functions of (variant, voltage), so
+        equal operating points yield identical delay matrices."""
+        if excitation is self.excitation:
+            return True
+        return (
+            excitation.profile.variant == self.excitation.profile.variant
+            and excitation.library.voltage == self.excitation.library.voltage
+        )
+
+    def periods_for(self, compiled_trace):
+        if not self._same_operating_point(compiled_trace.excitation):
+            # compiled against another operating point: replay per record
+            return np.array([
+                self.period_for(record)
+                for record in compiled_trace.trace.records
+            ])
+        return compiled_trace.cycle_max_delays()

@@ -27,7 +27,12 @@ from repro.clocking.policies import (
 )
 from repro.core.config import DcaConfig
 from repro.flow.characterize import characterize
-from repro.flow.evaluate import evaluate_program, evaluate_suite
+from repro.flow.evaluate import (
+    SweepConfig,
+    evaluate_batch,
+    evaluate_program,
+    evaluate_suite,
+)
 from repro.timing.design import build_design
 from repro.utils.units import ps_to_mhz
 
@@ -49,10 +54,16 @@ class DynamicClockAdjustment:
 
     def __init__(self, config=None, characterization=None, programs=None):
         self.config = (config or DcaConfig()).validate()
-        self.design = build_design(
-            self.config.variant, voltage=self.config.voltage,
-            seed=self.config.seed,
-        )
+        if characterization is not None and characterization.design is not None:
+            # the characterised design IS the design under evaluation;
+            # reusing it keeps one excitation model (and one compiled-trace
+            # cache key) across characterisation and evaluation
+            self.design = characterization.design
+        else:
+            self.design = build_design(
+                self.config.variant, voltage=self.config.voltage,
+                seed=self.config.seed,
+            )
         if characterization is None:
             characterization = characterize(
                 self.design, programs=programs,
@@ -126,6 +137,40 @@ class DynamicClockAdjustment:
                 if check_safety is None else check_safety
             ),
         )
+
+    def evaluate_sweep(self, programs, policies=None, generators=None,
+                       margins=None, check_safety=None):
+        """Sweep programs × policies × generators × margins through the
+        batch engine (traces are simulated and compiled once per program).
+
+        Returns ``(configs, results)`` where ``results[i][j]`` is the
+        :class:`~repro.flow.evaluate.EvaluationResult` of ``configs[i]``
+        on ``programs[j]``.
+        """
+        policies = list(policies or [self.config.policy])
+        generators = list(generators or [self.config.generator])
+        margins = list(margins if margins is not None
+                       else [self.config.margin_percent])
+        check_safety = (
+            self.config.check_safety if check_safety is None else check_safety
+        )
+        configs = [
+            SweepConfig(
+                policy=(lambda name=policy: self.make_policy(name)),
+                generator=self.make_generator(generator),
+                margin_percent=margin,
+                check_safety=check_safety,
+                label=(
+                    f"{policy}/{generator}"
+                    + (f"/margin={margin:g}%" if margin else "")
+                ),
+            )
+            for policy in policies
+            for generator in generators
+            for margin in margins
+        ]
+        results = evaluate_batch(programs, self.design, configs)
+        return configs, results
 
     def lut_table(self, classes=None):
         """Table II-style rendering of the characterised LUT."""

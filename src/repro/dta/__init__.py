@@ -15,10 +15,19 @@ The flow mirrors the paper's tooling chain:
    attributes stage delays to the driving instruction's timing class and
    produces the delay-prediction LUT (Table II), with the static-timing
    fallback for under-characterised instructions;
-4. :mod:`repro.dta.histograms` — Fig. 5 / Fig. 7 histogram builders.
+4. :mod:`repro.dta.histograms` — Fig. 5 / Fig. 7 histogram builders;
+5. :mod:`repro.dta.compiled` — compiled pipeline traces (class-id and
+   excited-delay matrices, cached per program × design) powering the batch
+   evaluation engine in :mod:`repro.flow.evaluate`.
 """
 
 from repro.dta.analyzer import DtaResult, analyze_event_log
+from repro.dta.compiled import (
+    CompiledTrace,
+    compile_trace,
+    get_compiled_trace,
+    worst_per_cycle,
+)
 from repro.dta.events import EndpointEvent, EventLog
 from repro.dta.extraction import extract_lut
 from repro.dta.gatesim import GateLevelSimulator, GateSimResult
@@ -33,4 +42,8 @@ __all__ = [
     "analyze_event_log",
     "extract_lut",
     "DelayLUT",
+    "CompiledTrace",
+    "compile_trace",
+    "get_compiled_trace",
+    "worst_per_cycle",
 ]

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.dta.compiled import worst_per_cycle
 from repro.sim.trace import Stage
 from repro.utils.stats import Histogram
 
@@ -101,9 +102,10 @@ def analyze_event_log(event_log):
         if delay > row[event.cycle]:
             row[event.cycle] = delay
 
-    matrix = np.stack([stage_delays[stage] for stage in Stage])
-    cycle_max = matrix.max(axis=0)
-    limiting = matrix.argmax(axis=0)
+    # (cycles, stages) matrix; the genie-oracle reduction is shared with
+    # the compiled-trace engine (one definition of "worst per cycle")
+    matrix = np.stack([stage_delays[stage] for stage in Stage], axis=1)
+    cycle_max, limiting = worst_per_cycle(matrix)
 
     return DtaResult(
         sim_period_ps=period,

@@ -1,0 +1,267 @@
+"""Compiled pipeline traces: simulate once, sweep many configurations.
+
+Every policy/margin/generator sweep re-runs the same programs, yet the
+pipeline occupancy — and therefore the per-cycle attribution and the
+ground-truth excited delays — depends only on (program, design).  A
+:class:`CompiledTrace` freezes that invariant part of an evaluation into
+compact NumPy arrays:
+
+- ``class_ids``: an ``(num_cycles, num_stages)`` integer matrix of interned
+  timing-class ids (the :func:`~repro.dta.extraction.attribute_cycle`
+  driver attribution of every stage group in every cycle), so LUT-style
+  policies reduce to integer fancy-indexing into a class×stage table;
+- ``delays``: an ``(num_cycles, num_stages)`` float matrix of ground-truth
+  excited delays from the design's excitation model (computed lazily — a
+  sweep that neither checks safety nor runs the genie never pays for it),
+  so safety checking is one array comparison and the genie oracle is a
+  row-wise max.
+
+Compiled traces are cached per (program content, design operating point),
+which is what makes the batch evaluation engine in
+:mod:`repro.flow.evaluate` fast: one pipeline simulation and one
+compilation serve every configuration of a sweep.
+"""
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.trace import Stage
+from repro.timing.profiles import BUBBLE_CLASS
+
+#: Number of pipeline stage groups (columns of the compiled matrices).
+NUM_STAGES = len(Stage)
+
+#: Column indices [0..NUM_STAGES), used for fancy-indexing stage tables.
+STAGE_COLUMNS = np.arange(NUM_STAGES)
+
+
+def worst_per_cycle(stage_matrix):
+    """Per-cycle worst delay and limiting stage of a ``(cycles, stages)``
+    delay matrix.
+
+    This is the genie-oracle reduction (paper Eq. 2 with perfect
+    knowledge); it is shared by the DTA analyzer (which builds its matrix
+    from recovered event-log delays) and by :class:`CompiledTrace` (whose
+    matrix comes from the excitation model) so that both compute the bound
+    in exactly one place.
+    """
+    return stage_matrix.max(axis=1), stage_matrix.argmax(axis=1)
+
+
+@dataclass
+class CompiledTrace:
+    """One program's pipeline trace, compiled for array evaluation."""
+
+    program_name: str
+    num_cycles: int
+    num_retired: int
+    #: Interned timing-class names; row index of every class×stage table.
+    class_names: tuple
+    #: (num_cycles, NUM_STAGES) int32 matrix of class ids per stage group.
+    class_ids: np.ndarray
+    #: (num_cycles, NUM_STAGES) bool matrices of slot state.
+    bubble: np.ndarray
+    held: np.ndarray
+    #: (num_cycles,) bool vectors of front-end state.
+    stall: np.ndarray
+    redirect: np.ndarray
+    #: The underlying trace (compatibility path for per-record policies).
+    trace: object
+    #: Excitation model used to materialise :attr:`delays` on demand.
+    excitation: object
+    _delays: np.ndarray = field(default=None, repr=False)
+
+    @property
+    def num_classes(self):
+        return len(self.class_names)
+
+    @property
+    def delays(self):
+        """Ground-truth excited-delay matrix, materialised on first use.
+
+        Fixed-delay groups (FE/DC/CTRL/WB and the two ADR paths) gather
+        from the excitation model's scaled class tables; only the
+        operand-dependent EX cells replay the per-record model.  The
+        result is bit-identical to calling
+        ``excitation.group_delay(record, stage)`` cell by cell.
+        """
+        if self._delays is None:
+            self._delays = self._compute_delays()
+        return self._delays
+
+    def _compute_delays(self):
+        tables = self.excitation.group_tables(self.class_names)
+        delays = np.empty((self.num_cycles, NUM_STAGES), dtype=float)
+
+        for stage in (Stage.FE, Stage.DC, Stage.CTRL, Stage.WB):
+            column = tables["stage"][stage][self.class_ids[:, stage]]
+            column = np.where(self.held[:, stage], tables["hold"], column)
+            # a bubble wins over a hold, as in ExcitationModel.group_delay
+            column = np.where(
+                self.bubble[:, stage], tables["bubble"][stage], column
+            )
+            delays[:, stage] = column
+
+        # ADR: redirect path for taken transfers, sequential otherwise;
+        # the EX occupant drives it, a stalled front end re-presents.
+        adr = np.where(
+            self.redirect,
+            tables["adr_redirect"][self.class_ids[:, Stage.ADR]],
+            tables["adr_seq"],
+        )
+        adr = np.where(self.bubble[:, Stage.EX], tables["adr_seq"], adr)
+        adr = np.where(self.stall, tables["hold"], adr)
+        delays[:, Stage.ADR] = adr
+
+        # EX: operand-dependent — replay the excitation model only where
+        # an instruction actually computes this cycle.
+        ex = np.where(
+            self.bubble[:, Stage.EX],
+            tables["bubble"][Stage.EX],
+            np.where(self.held[:, Stage.EX], tables["hold"], 0.0),
+        )
+        delays[:, Stage.EX] = ex
+        group_delay = self.excitation.group_delay
+        records = self.trace.records
+        active = ~(self.bubble[:, Stage.EX] | self.held[:, Stage.EX])
+        for index in np.nonzero(active)[0]:
+            delays[index, Stage.EX] = group_delay(
+                records[index], Stage.EX
+            ).delay_ps
+        return delays
+
+    def cycle_max_delays(self):
+        """Per-cycle minimum safe period (the genie-oracle bound)."""
+        return worst_per_cycle(self.delays)[0]
+
+    def class_table(self, entry):
+        """``(num_classes, NUM_STAGES)`` table of ``entry(cls, stage)``."""
+        return np.array([
+            [entry(cls, stage) for stage in Stage]
+            for cls in self.class_names
+        ], dtype=float)
+
+    def class_column(self, entry):
+        """``(num_classes,)`` vector of ``entry(cls)``."""
+        return np.array([entry(cls) for cls in self.class_names], dtype=float)
+
+    def stage_periods(self, table):
+        """Gather a class×stage ``table`` along the trace: element
+        ``[t, s]`` is the table entry of the class driving stage ``s`` in
+        cycle ``t``."""
+        return table[self.class_ids, STAGE_COLUMNS]
+
+    def class_name_at(self, cycle, stage):
+        """Driver class of one (cycle, stage) cell — for violation reports."""
+        return self.class_names[self.class_ids[cycle, stage]]
+
+
+def compile_trace(trace, excitation):
+    """Compile one pipeline trace against one excitation model.
+
+    The class attribution is the inlined equivalent of
+    :func:`~repro.dta.extraction.attribute_cycle` (ADR keys on the EX
+    occupant, ``None`` timing classes are bubbles); the per-slot state
+    flags feed the vectorized delay-matrix construction.
+    """
+    num_cycles = trace.num_cycles
+    class_ids = np.empty((num_cycles, NUM_STAGES), dtype=np.int32)
+    bubble = np.empty((num_cycles, NUM_STAGES), dtype=bool)
+    held = np.empty((num_cycles, NUM_STAGES), dtype=bool)
+    stall = np.empty(num_cycles, dtype=bool)
+    redirect = np.empty(num_cycles, dtype=bool)
+    intern = {}
+    names = []
+    ex_index = int(Stage.EX)
+    adr_index = int(Stage.ADR)
+    for index, record in enumerate(trace.records):
+        slots = record.slots
+        ex_view = slots[ex_index]
+        for stage in range(NUM_STAGES):
+            view = ex_view if stage == adr_index else slots[stage]
+            cls = view.timing_class
+            if cls is None:
+                cls = BUBBLE_CLASS
+            cls_id = intern.get(cls)
+            if cls_id is None:
+                cls_id = intern[cls] = len(names)
+                names.append(cls)
+            class_ids[index, stage] = cls_id
+            bubble[index, stage] = view.mnemonic is None
+            held[index, stage] = view.held
+        stall[index] = record.stall
+        redirect[index] = record.redirect
+    return CompiledTrace(
+        program_name=trace.program_name,
+        num_cycles=num_cycles,
+        num_retired=trace.num_retired,
+        class_names=tuple(names),
+        class_ids=class_ids,
+        bubble=bubble,
+        held=held,
+        stall=stall,
+        redirect=redirect,
+        trace=trace,
+        excitation=excitation,
+    )
+
+
+# -- per-(program, design) cache ---------------------------------------------
+
+#: Maximum number of compiled traces kept alive (LRU).
+CACHE_CAPACITY = 64
+
+#: Total-cycle budget across cached traces: a handful of multi-million-cycle
+#: traces must not pin gigabytes of records for the process lifetime.
+CACHE_CYCLE_BUDGET = 2_000_000
+
+_cache = OrderedDict()
+
+
+def _program_key(program):
+    """Content key: programs are often re-assembled per sweep, so
+    identity-based caching would always miss.  The full words tuple (not
+    its hash) is the key, so distinct programs can never alias."""
+    return (
+        program.name,
+        program.entry,
+        tuple(sorted(program.words.items())),
+    )
+
+
+def _design_key(design):
+    """Operating point: the excitation model (and therefore the compiled
+    delays) is fully determined by variant + supply voltage."""
+    return (design.variant.value, design.library.voltage)
+
+
+def get_compiled_trace(program, design, max_cycles=4_000_000):
+    """Compiled trace of ``program`` on ``design``, cached by content.
+
+    Simulation runs at most once per (program, design operating point,
+    cycle limit); every configuration of a sweep shares the result.
+    """
+    from repro.sim.pipeline import PipelineSimulator
+
+    key = (_program_key(program), _design_key(design), max_cycles)
+    compiled = _cache.get(key)
+    if compiled is not None:
+        _cache.move_to_end(key)
+        return compiled
+    trace = PipelineSimulator(program).run(max_cycles=max_cycles)
+    compiled = compile_trace(trace, design.excitation)
+    _cache[key] = compiled
+    while len(_cache) > CACHE_CAPACITY or (
+        len(_cache) > 1
+        and sum(entry.num_cycles for entry in _cache.values())
+        > CACHE_CYCLE_BUDGET
+    ):
+        _cache.popitem(last=False)
+    return compiled
+
+
+def clear_compiled_cache():
+    """Drop every cached compiled trace (tests, memory pressure)."""
+    _cache.clear()

@@ -10,12 +10,22 @@
 """
 
 from repro.flow.characterize import CharacterizationResult, characterize
-from repro.flow.evaluate import EvaluationResult, evaluate_program, evaluate_suite
+from repro.flow.evaluate import (
+    EvaluationResult,
+    SweepConfig,
+    evaluate_batch,
+    evaluate_program,
+    evaluate_program_scalar,
+    evaluate_suite,
+)
 
 __all__ = [
     "characterize",
     "CharacterizationResult",
+    "evaluate_batch",
     "evaluate_program",
+    "evaluate_program_scalar",
     "evaluate_suite",
     "EvaluationResult",
+    "SweepConfig",
 ]

@@ -6,14 +6,35 @@ real time.  The evaluation optionally replays the ground-truth excitation
 model to verify the central invariant — the applied period covers every
 excited path in every cycle (frequency-over-scaling *without* timing
 errors).
+
+The engine is built around the compiled-trace artifact
+(:mod:`repro.dta.compiled`): the pipeline is simulated once per
+(program, design) and frozen into NumPy matrices, then every
+(policy, margin, generator) configuration is evaluated as a handful of
+array operations — policy gather, margin multiply, generator quantisation,
+and a single array comparison for the safety check.  ``evaluate_program``
+and ``evaluate_suite`` are thin wrappers over the same engine;
+``evaluate_program_scalar`` keeps the original per-record loop as the
+reference semantics (the batch path is bit-identical to it, which
+``tests/test_batch_equivalence.py`` enforces).
 """
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.clocking.controller import ClockAdjustmentController
+from repro.dta.compiled import get_compiled_trace
 from repro.sim.pipeline import PipelineSimulator
 from repro.sim.trace import Stage
 from repro.utils.units import ps_to_mhz
+
+#: Safety-check tolerance: a path must exceed the applied period by more
+#: than this to count as a violation (guards float rounding, not physics).
+VIOLATION_TOLERANCE_PS = 1e-6
+
+#: Default pipeline-simulation cycle budget.
+DEFAULT_MAX_CYCLES = 4_000_000
 
 
 @dataclass
@@ -49,11 +70,16 @@ class EvaluationResult:
 
     @property
     def average_period_ps(self):
+        """Average applied period; NaN for an empty (zero-cycle) trace."""
+        if self.num_cycles == 0:
+            return float("nan")
         return self.total_time_ps / self.num_cycles
 
     @property
     def effective_frequency_mhz(self):
         """Average effective clock frequency (paper Fig. 8 y-axis)."""
+        if self.num_cycles == 0:
+            return float("nan")
         return ps_to_mhz(self.average_period_ps)
 
     @property
@@ -63,6 +89,8 @@ class EvaluationResult:
     @property
     def speedup_percent(self):
         """Speedup over conventional clocking at the STA period."""
+        if self.total_time_ps == 0:
+            return float("nan")
         return (self.static_time_ps / self.total_time_ps - 1.0) * 100.0
 
     @property
@@ -80,10 +108,124 @@ class EvaluationResult:
         )
 
 
+@dataclass
+class SweepConfig:
+    """One configuration of a batch evaluation sweep.
+
+    ``policy`` and ``generator`` may be instances or zero-argument
+    factories; factories are called once per program so that stateful
+    policies keep the fresh-per-program semantics of ``evaluate_suite``.
+    """
+
+    policy: object
+    generator: object = None
+    margin_percent: float = 0.0
+    check_safety: bool = True
+    label: str = ""
+
+    def make_policy(self):
+        return self.policy() if callable(self.policy) else self.policy
+
+    def make_generator(self):
+        return self.generator() if callable(self.generator) else self.generator
+
+
+def evaluate_compiled(compiled, design, policy, generator=None,
+                      margin_percent=0.0, check_safety=True):
+    """Evaluate one compiled trace under one configuration (array path)."""
+    controller = ClockAdjustmentController(
+        policy, generator=generator, margin_percent=margin_percent
+    )
+    periods = controller.periods_for(compiled)
+
+    violations = []
+    if check_safety:
+        delays = compiled.delays
+        mask = delays > periods[:, None] + VIOLATION_TOLERANCE_PS
+        if mask.any():
+            for cycle, stage in np.argwhere(mask):
+                cycle = int(cycle)
+                stage = int(stage)
+                violations.append(
+                    TimingViolation(
+                        cycle=cycle,
+                        stage=Stage(stage),
+                        applied_period_ps=float(periods[cycle]),
+                        excited_delay_ps=float(delays[cycle, stage]),
+                        driver_class=compiled.class_name_at(cycle, stage),
+                    )
+                )
+
+    stats = controller.stats
+    return EvaluationResult(
+        program_name=compiled.program_name,
+        policy_name=getattr(policy, "name", type(policy).__name__),
+        num_cycles=compiled.num_cycles,
+        num_retired=compiled.num_retired,
+        total_time_ps=stats.total_time_ps,
+        static_period_ps=design.static_period_ps,
+        min_period_ps=stats.min_period_ps,
+        max_period_ps=stats.max_period_ps,
+        switch_rate=stats.switch_rate,
+        violations=violations,
+    )
+
+
+def evaluate_batch(programs, design, configs,
+                   max_cycles=DEFAULT_MAX_CYCLES):
+    """Evaluate many programs under many configurations — trace once,
+    vectorize everywhere.
+
+    Each program is simulated and compiled at most once (and reused from
+    the module-level cache across calls); each
+    :class:`SweepConfig` then costs only a few array operations per
+    program.
+
+    Parameters
+    ----------
+    programs:
+        Assembled programs.
+    design:
+        The :class:`~repro.timing.design.ProcessorDesign` providing the
+        static period and the ground-truth excitation.
+    configs:
+        Iterable of :class:`SweepConfig`.
+
+    Returns
+    -------
+    list of lists of :class:`EvaluationResult`, indexed
+    ``[config][program]`` in input order.
+    """
+    programs = list(programs)
+    configs = list(configs)
+    compiled = [
+        get_compiled_trace(program, design, max_cycles=max_cycles)
+        for program in programs
+    ]
+    results = []
+    for config in configs:
+        row = []
+        for trace in compiled:
+            row.append(
+                evaluate_compiled(
+                    trace, design, config.make_policy(),
+                    generator=config.make_generator(),
+                    margin_percent=config.margin_percent,
+                    check_safety=config.check_safety,
+                )
+            )
+        results.append(row)
+    return results
+
+
 def evaluate_program(program, design, policy, generator=None,
                      margin_percent=0.0, check_safety=True,
-                     max_cycles=4_000_000):
+                     max_cycles=DEFAULT_MAX_CYCLES):
     """Run one program under one clock policy.
+
+    Thin wrapper over the batch engine: the program's compiled trace is
+    reused from the cache whenever the same (program, design) was
+    evaluated before.
 
     Parameters
     ----------
@@ -102,6 +244,21 @@ def evaluate_program(program, design, policy, generator=None,
         Replay the excitation model and record any cycle whose applied
         period is shorter than an excited path delay.
     """
+    compiled = get_compiled_trace(program, design, max_cycles=max_cycles)
+    return evaluate_compiled(
+        compiled, design, policy, generator=generator,
+        margin_percent=margin_percent, check_safety=check_safety,
+    )
+
+
+def evaluate_program_scalar(program, design, policy, generator=None,
+                            margin_percent=0.0, check_safety=True,
+                            max_cycles=DEFAULT_MAX_CYCLES):
+    """Reference implementation: the original per-record scalar loop.
+
+    Kept as the compatibility path and as the semantics the batch engine
+    must reproduce bit-identically (see ``tests/test_batch_equivalence``).
+    """
     simulator = PipelineSimulator(program)
     trace = simulator.run(max_cycles=max_cycles)
 
@@ -115,7 +272,7 @@ def evaluate_program(program, design, policy, generator=None,
         if check_safety:
             for stage in Stage:
                 excited = excitation.group_delay(record, stage)
-                if excited.delay_ps > period + 1e-6:
+                if excited.delay_ps > period + VIOLATION_TOLERANCE_PS:
                     violations.append(
                         TimingViolation(
                             cycle=record.cycle,
@@ -145,16 +302,11 @@ def evaluate_suite(programs, design, policy_factory, generator=None,
                    margin_percent=0.0, check_safety=True):
     """Evaluate a list of programs; ``policy_factory()`` builds a fresh
     policy per program (policies may be stateful via their controller)."""
-    results = []
-    for program in programs:
-        policy = policy_factory()
-        results.append(
-            evaluate_program(
-                program, design, policy, generator=generator,
-                margin_percent=margin_percent, check_safety=check_safety,
-            )
-        )
-    return results
+    config = SweepConfig(
+        policy=policy_factory, generator=generator,
+        margin_percent=margin_percent, check_safety=check_safety,
+    )
+    return evaluate_batch(programs, design, [config])[0]
 
 
 def average_speedup_percent(results):

@@ -5,6 +5,7 @@ standardise how a measured value is compared to the published one so
 EXPERIMENTS.md and the bench output stay consistent.
 """
 
+import math
 from dataclasses import dataclass, field
 
 from repro.utils.tables import format_table
@@ -21,16 +22,28 @@ class Comparison:
 
     @property
     def deviation_percent(self):
+        """Relative deviation; 0-safe when the paper value is 0.
+
+        A zero paper value has no relative scale: an exact match reports
+        0 % and any mismatch reports ``inf`` (flagged as ``n/a`` in the
+        rendered row) instead of silently propagating NaN into aggregate
+        statistics.
+        """
         if self.paper == 0:
-            return float("nan")
+            return 0.0 if self.measured == 0 else float("inf")
         return (self.measured - self.paper) / abs(self.paper) * 100.0
 
     def row(self):
+        deviation = self.deviation_percent
+        rendered = (
+            f"{deviation:+.1f}%" if math.isfinite(deviation)
+            else "n/a (paper=0)"
+        )
         return (
             self.name,
             f"{self.paper:.2f}{self.unit}",
             f"{self.measured:.2f}{self.unit}",
-            f"{self.deviation_percent:+.1f}%",
+            rendered,
         )
 
 
@@ -62,6 +75,10 @@ class ExperimentReport:
         return table
 
     def max_abs_deviation_percent(self):
+        """Worst absolute deviation across comparisons; 0.0 for an empty
+        report (nothing measured deviates from nothing)."""
+        if not self.comparisons:
+            return 0.0
         return max(
             abs(c.deviation_percent) for c in self.comparisons
         )

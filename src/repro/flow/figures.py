@@ -72,6 +72,31 @@ def fig8_series(results, static_period_ps):
     )
 
 
+def sweep_series(labels, batch_results):
+    """Batch-sweep series: one row per (configuration, benchmark).
+
+    ``batch_results`` is the ``[config][program]`` grid returned by
+    :func:`repro.flow.evaluate.evaluate_batch`; ``labels`` names each
+    configuration row.
+    """
+    rows = []
+    for label, results in zip(labels, batch_results):
+        for result in results:
+            rows.append((
+                label,
+                result.program_name,
+                round(result.average_period_ps, 2),
+                round(result.effective_frequency_mhz, 1),
+                round(result.speedup_percent, 2),
+                len(result.violations),
+            ))
+    return (
+        ("config", "benchmark", "avg_period_ps", "dynamic_mhz",
+         "speedup_percent", "violations"),
+        rows,
+    )
+
+
 def write_csv(path, header, rows):
     """Write one series to a CSV file; returns the written text."""
     text = _to_csv(header, rows)

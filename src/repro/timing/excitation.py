@@ -202,6 +202,50 @@ class ExcitationModel:
             stage=Stage.EX,
         )
 
+    def group_tables(self, class_names):
+        """Scaled per-class worst-case delay tables for compiled traces.
+
+        Returns the ingredients of the vectorized ground-truth delay
+        matrix (:attr:`repro.dta.compiled.CompiledTrace.delays`): per-class
+        columns for the fixed-delay groups, the two ADR paths, and the
+        bubble/hold scalars.  Every value goes through the same
+        :meth:`_scale` rounding as :meth:`group_delay`, so gathering from
+        these tables is bit-identical to the per-record path.  Only the
+        data-dependent EX group has no table — its delay depends on the
+        operands, not just the class.
+        """
+        import numpy as np
+
+        fixed_stages = (Stage.FE, Stage.DC, Stage.CTRL, Stage.WB)
+        stage_tables = {}
+        for stage in fixed_stages:
+            column = np.zeros(len(class_names))
+            for index, cls in enumerate(class_names):
+                if cls == BUBBLE_CLASS:
+                    continue   # masked out by the bubble flag
+                column[index] = self._scale(
+                    self.profile.stage_spec(cls, stage).max_ps
+                )
+            stage_tables[stage] = column
+        adr_redirect = np.empty(len(class_names))
+        for index, cls in enumerate(class_names):
+            if cls == BUBBLE_CLASS:
+                adr_redirect[index] = self._scale(self.profile.adr_seq.max_ps)
+                continue
+            adr_redirect[index] = self._scale(
+                self.profile.adr_spec(cls, True).max_ps
+            )
+        return {
+            "stage": stage_tables,
+            "adr_seq": self._scale(self.profile.adr_seq.max_ps),
+            "adr_redirect": adr_redirect,
+            "hold": self._scale(self.profile.hold_delay_ps),
+            "bubble": {
+                stage: self._scale(self.profile.bubble_delays[stage])
+                for stage in Stage
+            },
+        }
+
     def cycle_delays(self, record):
         """Excited delay of every endpoint group in this cycle."""
         return {stage: self.group_delay(record, stage) for stage in Stage}

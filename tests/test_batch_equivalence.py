@@ -1,0 +1,261 @@
+"""Scalar-vs-vectorized equivalence of the compiled-trace batch engine.
+
+The batch engine must be a pure acceleration: for every policy and every
+workload kernel, ``periods_for(compiled_trace)`` must equal the per-record
+``period_for(record)`` sequence *exactly* (same table lookups, same float
+operations), and the batch :class:`EvaluationResult` must be bit-identical
+to the scalar reference path — periods, aggregate stats, and violations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clocking.generator import (
+    MultiPLLClockGenerator,
+    TunableRingOscillator,
+)
+from repro.clocking.policies import (
+    ExOnlyLutPolicy,
+    GeniePolicy,
+    InstructionLutPolicy,
+    StaticClockPolicy,
+    TwoClassPolicy,
+)
+from repro.dta.compiled import compile_trace, get_compiled_trace
+from repro.flow.evaluate import (
+    SweepConfig,
+    evaluate_batch,
+    evaluate_program,
+    evaluate_program_scalar,
+)
+from repro.sim.pipeline import PipelineSimulator
+from repro.workloads import all_kernels, get_kernel
+
+ALL_KERNEL_NAMES = tuple(kernel.name for kernel in all_kernels())
+
+POLICY_NAMES = ("static", "instruction", "ex-only", "two-class", "genie")
+
+
+def _make_policy(name, design, lut):
+    if name == "static":
+        return StaticClockPolicy(design.static_period_ps)
+    if name == "instruction":
+        return InstructionLutPolicy(lut)
+    if name == "ex-only":
+        return ExOnlyLutPolicy(lut)
+    if name == "two-class":
+        return TwoClassPolicy(lut)
+    if name == "genie":
+        return GeniePolicy(design.excitation)
+    raise AssertionError(name)
+
+
+@pytest.fixture(scope="module")
+def compiled_traces(design):
+    """One compiled trace per kernel, shared by every policy comparison."""
+    return {
+        name: get_compiled_trace(get_kernel(name).program(), design)
+        for name in ALL_KERNEL_NAMES
+    }
+
+
+class TestPeriodEquivalence:
+    """periods_for == [period_for(r) for r in records], exactly, for every
+    policy × every workload kernel."""
+
+    @pytest.mark.parametrize("policy_name", POLICY_NAMES)
+    def test_policy_matches_scalar_on_every_kernel(
+            self, design, lut, compiled_traces, policy_name):
+        policy = _make_policy(policy_name, design, lut)
+        for kernel_name, compiled in compiled_traces.items():
+            vectorized = policy.periods_for(compiled)
+            scalar = np.array([
+                policy.period_for(record)
+                for record in compiled.trace.records
+            ])
+            assert vectorized.shape == scalar.shape, kernel_name
+            mismatches = np.nonzero(vectorized != scalar)[0]
+            assert mismatches.size == 0, (
+                f"{policy_name} on {kernel_name}: first mismatch at cycle "
+                f"{mismatches[0] if mismatches.size else '-'}"
+            )
+
+
+class TestResultEquivalence:
+    """Full EvaluationResult bit-identity of batch vs. scalar reference."""
+
+    KERNELS = ("crc32", "matmult", "statemachine", "gcd")
+
+    def _assert_identical(self, scalar, batch):
+        assert scalar.program_name == batch.program_name
+        assert scalar.policy_name == batch.policy_name
+        assert scalar.num_cycles == batch.num_cycles
+        assert scalar.num_retired == batch.num_retired
+        assert scalar.total_time_ps == batch.total_time_ps
+        assert scalar.static_period_ps == batch.static_period_ps
+        assert scalar.min_period_ps == batch.min_period_ps
+        assert scalar.max_period_ps == batch.max_period_ps
+        assert scalar.switch_rate == batch.switch_rate
+        assert scalar.speedup_percent == batch.speedup_percent
+        assert scalar.average_period_ps == batch.average_period_ps
+        assert len(scalar.violations) == len(batch.violations)
+        for expected, actual in zip(scalar.violations, batch.violations):
+            assert expected.cycle == actual.cycle
+            assert expected.stage == actual.stage
+            assert expected.applied_period_ps == actual.applied_period_ps
+            assert expected.excited_delay_ps == actual.excited_delay_ps
+            assert expected.driver_class == actual.driver_class
+
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_instruction_policy(self, design, lut, name):
+        program = get_kernel(name).program()
+        policy = InstructionLutPolicy(lut)
+        self._assert_identical(
+            evaluate_program_scalar(program, design, policy),
+            evaluate_program(program, design, policy),
+        )
+
+    def test_margin_and_ring_generator(self, design, lut):
+        program = get_kernel("crc32").program()
+        policy = InstructionLutPolicy(lut)
+        kwargs = dict(
+            generator=TunableRingOscillator(), margin_percent=7.5,
+        )
+        self._assert_identical(
+            evaluate_program_scalar(program, design, policy, **kwargs),
+            evaluate_program(program, design, policy, **kwargs),
+        )
+
+    def test_pll_generator(self, design, lut):
+        program = get_kernel("fib").program()
+        policy = InstructionLutPolicy(lut)
+        kwargs = dict(generator=MultiPLLClockGenerator())
+        self._assert_identical(
+            evaluate_program_scalar(program, design, policy, **kwargs),
+            evaluate_program(program, design, policy, **kwargs),
+        )
+
+    def test_violations_identical_when_overscaled(self, design):
+        """Violation records — cycles, stages, driver classes — must match
+        when the clock is deliberately 20 % too fast."""
+        program = get_kernel("matmult").program()
+        policy = StaticClockPolicy(design.static_period_ps * 0.80)
+        scalar = evaluate_program_scalar(program, design, policy)
+        batch = evaluate_program(program, design, policy)
+        assert not scalar.is_safe
+        self._assert_identical(scalar, batch)
+
+    def test_genie_policy(self, design, lut):
+        program = get_kernel("statemachine").program()
+        policy = GeniePolicy(design.excitation)
+        self._assert_identical(
+            evaluate_program_scalar(program, design, policy),
+            evaluate_program(program, design, policy),
+        )
+
+
+class TestBatchEngine:
+    def test_grid_shape_and_order(self, design, lut):
+        programs = [get_kernel(n).program() for n in ("fib", "crc16")]
+        configs = [
+            SweepConfig(policy=lambda: InstructionLutPolicy(lut),
+                        check_safety=False, label="lut"),
+            SweepConfig(policy=lambda: TwoClassPolicy(lut),
+                        check_safety=False, label="two-class"),
+            SweepConfig(policy=lambda: InstructionLutPolicy(lut),
+                        margin_percent=10.0, check_safety=False,
+                        label="lut+margin"),
+        ]
+        grid = evaluate_batch(programs, design, configs)
+        assert len(grid) == len(configs)
+        for row in grid:
+            assert [r.program_name for r in row] == ["fib", "crc16"]
+        # margin strictly slows the same policy down
+        assert (grid[2][0].average_period_ps
+                == pytest.approx(grid[0][0].average_period_ps * 1.10))
+
+    def test_batch_matches_scalar_sweep(self, design, lut):
+        programs = [get_kernel(n).program() for n in ("fib", "memcpy")]
+        config = SweepConfig(
+            policy=lambda: InstructionLutPolicy(lut), check_safety=True,
+        )
+        batch_row = evaluate_batch(programs, design, [config])[0]
+        for program, batch in zip(programs, batch_row):
+            scalar = evaluate_program_scalar(
+                program, design, InstructionLutPolicy(lut)
+            )
+            assert scalar.total_time_ps == batch.total_time_ps
+            assert scalar.min_period_ps == batch.min_period_ps
+            assert len(scalar.violations) == len(batch.violations)
+
+    def test_policy_without_periods_for_falls_back(self, design):
+        """Policies that only implement the scalar protocol still work."""
+
+        class OddPolicy:
+            name = "odd"
+
+            def __init__(self, period_ps):
+                self.period_ps = period_ps
+
+            def period_for(self, record):
+                return self.period_ps + (record.cycle % 2)
+
+        program = get_kernel("fib").program()
+        policy = OddPolicy(design.static_period_ps)
+        scalar = evaluate_program_scalar(
+            program, design, policy, check_safety=False
+        )
+        batch = evaluate_program(program, design, policy, check_safety=False)
+        assert scalar.total_time_ps == batch.total_time_ps
+        assert scalar.switch_rate == batch.switch_rate
+
+
+class TestCompiledTrace:
+    def test_class_ids_match_attribution(self, design):
+        from repro.dta.extraction import attribute_cycle
+        from repro.sim.trace import Stage
+
+        trace = PipelineSimulator(get_kernel("fib").program()).run()
+        compiled = compile_trace(trace, design.excitation)
+        for record in trace.records[:50]:
+            classes = attribute_cycle(record)
+            for stage in Stage:
+                assert (
+                    compiled.class_names[
+                        compiled.class_ids[record.cycle, stage]
+                    ]
+                    == classes[stage]
+                )
+
+    def test_delays_match_excitation(self, design):
+        from repro.sim.trace import Stage
+
+        trace = PipelineSimulator(get_kernel("fib").program()).run()
+        compiled = compile_trace(trace, design.excitation)
+        delays = compiled.delays
+        for record in trace.records[:50]:
+            for stage in Stage:
+                expected = design.excitation.group_delay(
+                    record, stage
+                ).delay_ps
+                assert delays[record.cycle, stage] == expected
+
+    def test_cache_reuses_compiled_trace(self, design):
+        program = get_kernel("fib").program()
+        first = get_compiled_trace(program, design)
+        again = get_compiled_trace(
+            get_kernel("fib").program(), design
+        )
+        assert first is again   # content-keyed, not identity-keyed
+
+    def test_genie_bound_shared_with_analyzer(self, design):
+        """The genie reduction is literally the same code for the compiled
+        delay matrix and the DTA analyzer (satellite: dedup oracle)."""
+        from repro.dta.compiled import worst_per_cycle
+
+        trace = PipelineSimulator(get_kernel("fib").program()).run()
+        compiled = compile_trace(trace, design.excitation)
+        cycle_max, limiting = worst_per_cycle(compiled.delays)
+        assert cycle_max.shape == (trace.num_cycles,)
+        assert (cycle_max == compiled.cycle_max_delays()).all()
+        assert limiting.max() < 6

@@ -72,3 +72,21 @@ class TestExperimentRecords:
         report.add("a", 10.0, 11.0)
         report.add("b", 10.0, 9.5)
         assert report.max_abs_deviation_percent() == pytest.approx(10.0)
+
+    def test_max_abs_deviation_empty_report(self):
+        """Empty comparison lists must not crash (satellite fix)."""
+        assert ExperimentReport("T", "t").max_abs_deviation_percent() == 0.0
+
+    def test_zero_paper_value_is_zero_safe(self):
+        """paper == 0 must not silently propagate NaN (satellite fix)."""
+        exact = Comparison("zero-match", paper=0.0, measured=0.0)
+        assert exact.deviation_percent == 0.0
+
+        mismatch = Comparison("zero-miss", paper=0.0, measured=3.0)
+        assert mismatch.deviation_percent == float("inf")
+        assert "n/a" in mismatch.row()[-1]
+
+        report = ExperimentReport("T", "t")
+        report.add("zero-match", 0.0, 0.0)
+        assert report.max_abs_deviation_percent() == 0.0
+        assert "n/a" not in report.render()

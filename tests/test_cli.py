@@ -24,6 +24,17 @@ class TestParser:
         assert args.policy == "genie"
         assert args.margin == 5.0
 
+    def test_sweep_options(self):
+        args = build_parser().parse_args(
+            ["sweep", "crc32", "fib", "--policy", "instruction",
+             "--policy", "genie", "--margin", "0", "--margin", "10",
+             "--check-safety"]
+        )
+        assert args.programs == ["crc32", "fib"]
+        assert args.policy == ["instruction", "genie"]
+        assert args.margin == [0.0, 10.0]
+        assert args.check_safety
+
 
 class TestCommands:
     def test_kernels(self, capsys):
@@ -68,3 +79,16 @@ class TestCommands:
 
         assert main(["table2", "--lut", str(lut_path)]) == 0
         assert "1899" in capsys.readouterr().out
+
+        csv_path = tmp_path / "sweep.csv"
+        assert main([
+            "sweep", "fib", "crc16", "--lut", str(lut_path),
+            "--policy", "instruction", "--policy", "genie",
+            "--margin", "0", "--margin", "10",
+            "--check-safety", "--csv", str(csv_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "4 configs" in out
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0].startswith("config,benchmark")
+        assert len(lines) == 1 + 2 * 4   # header + programs x configs

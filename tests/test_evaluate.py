@@ -163,6 +163,50 @@ class TestResultAccounting:
         with pytest.raises(ValueError):
             average_speedup_percent([])
 
+    def test_zero_cycle_result_is_nan_not_crash(self, design):
+        """A zero-cycle trace must not divide by zero or report an inf
+        minimum period (satellite fix)."""
+        import math
+
+        from repro.flow.evaluate import EvaluationResult
+
+        result = EvaluationResult(
+            program_name="empty", policy_name="static",
+            num_cycles=0, num_retired=0, total_time_ps=0.0,
+            static_period_ps=design.static_period_ps,
+            min_period_ps=float("nan"), max_period_ps=float("nan"),
+            switch_rate=0.0,
+        )
+        assert math.isnan(result.average_period_ps)
+        assert math.isnan(result.effective_frequency_mhz)
+        assert math.isnan(result.speedup_percent)
+        assert result.is_safe
+
+    def test_zero_cycle_controller_stats(self):
+        import math
+
+        from repro.clocking.controller import ControllerStats
+
+        stats = ControllerStats.from_periods([])
+        assert stats.cycles == 0
+        assert stats.is_empty
+        assert math.isnan(stats.min_period_ps)   # not +inf
+        assert math.isnan(stats.max_period_ps)
+        assert stats.switch_rate == 0.0
+        with pytest.raises(ValueError):
+            stats.average_period_ps
+
+    def test_controller_stats_from_periods(self):
+        from repro.clocking.controller import ControllerStats
+
+        stats = ControllerStats.from_periods([100.0, 100.0, 150.0, 120.0])
+        assert stats.cycles == 4
+        assert stats.total_time_ps == pytest.approx(470.0)
+        assert stats.switches == 2
+        assert stats.min_period_ps == 100.0
+        assert stats.max_period_ps == 150.0
+        assert stats.switch_rate == pytest.approx(2 / 3)
+
     def test_reporting_renders(self, design, lut):
         programs = [get_kernel(n).program() for n in ("fib", "crc16")]
         results = evaluate_suite(
