@@ -40,7 +40,7 @@ def _run_all(design, lut):
     return dict(zip(factories, rows))
 
 
-def test_ablation_lut_granularity(benchmark, design, lut):
+def test_ablation_lut_granularity(benchmark, design, lut, store):
     results = benchmark(_run_all, design, lut)
 
     speedups = {

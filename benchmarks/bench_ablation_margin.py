@@ -36,7 +36,7 @@ def _sweep(design, lut):
     return dict(zip(MARGINS, rows))
 
 
-def test_ablation_margin(benchmark, design, lut):
+def test_ablation_margin(benchmark, design, lut, store):
     results = benchmark(_sweep, design, lut)
 
     speedups = {

@@ -34,7 +34,7 @@ def _run_both(design, lut):
     return {config.label: row for config, row in zip(configs, rows)}
 
 
-def test_ablation_exonly_monitor(benchmark, design, lut):
+def test_ablation_exonly_monitor(benchmark, design, lut, store):
     results = benchmark(_run_both, design, lut)
 
     full = average_speedup_percent(results["full-monitor"])

@@ -43,7 +43,7 @@ def _run_all(design, lut):
     return {name: row for (name, _), row in zip(GENERATORS, rows)}
 
 
-def test_ablation_quantization(benchmark, design, lut):
+def test_ablation_quantization(benchmark, design, lut, store):
     results = benchmark(_run_all, design, lut)
 
     speedups = {

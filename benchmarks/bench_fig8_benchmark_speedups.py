@@ -34,7 +34,8 @@ def _genie_sweep(design):
     return evaluate_batch(benchmark_suite(), design, configs)[0]
 
 
-def test_fig8_benchmark_speedups(benchmark, design, lut, suite_results):
+def test_fig8_benchmark_speedups(benchmark, design, lut, suite_results,
+                                 store):
     genie_results = benchmark(_genie_sweep, design)
 
     lut_speedup = average_speedup_percent(suite_results)
@@ -61,7 +62,11 @@ def test_fig8_benchmark_speedups(benchmark, design, lut, suite_results):
         suite_results, design.static_period_ps,
         title="Fig. 8 — per-benchmark effective clock frequency @ 0.70 V",
     )
-    publish("fig8_benchmark_speedups", report.render() + "\n\n" + table)
+    publish(
+        "fig8_benchmark_speedups",
+        report.render() + "\n\n" + table
+        + f"\n  artifact store: {store.stats.summary()}",
+    )
 
     assert abs(lut_speedup - DYNAMIC_SPEEDUP_PERCENT) < 8.0
     assert abs(lut_frequency - DYNAMIC_FREQUENCY_MHZ) < 45.0

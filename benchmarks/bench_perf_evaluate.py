@@ -19,7 +19,10 @@ sys.path.insert(0, str(pathlib.Path(__file__).parent))
 from conftest import publish  # noqa: E402
 
 from repro.core import DcaConfig, DynamicClockAdjustment  # noqa: E402
-from repro.dta.compiled import clear_compiled_cache  # noqa: E402
+from repro.dta.compiled import (  # noqa: E402
+    clear_compiled_cache,
+    set_trace_store,
+)
 from repro.flow.characterize import CharacterizationResult  # noqa: E402
 from repro.flow.evaluate import (  # noqa: E402
     SweepConfig,
@@ -56,14 +59,21 @@ def _sweep_configs(design, lut):
 
 
 def run_perf_comparison(design, lut):
-    """Time the same full sweep both ways; returns the metrics dict."""
+    """Time the same full sweep both ways; returns the metrics dict.
+
+    The artifact store is detached for the measurement: this bench times
+    the engine itself (simulation + compilation + array evaluation), not
+    store loads — warm-store timings are `bench_perf_sweep.py`'s job.
+    """
     programs = benchmark_suite()
     configs = _sweep_configs(design, lut)
 
+    previous_store = set_trace_store(None)
     clear_compiled_cache()   # charge compilation to the batch timing
     start = time.perf_counter()
     batch_grid = evaluate_batch(programs, design, configs)
     batch_seconds = time.perf_counter() - start
+    set_trace_store(previous_store)
 
     start = time.perf_counter()
     scalar_grid = [

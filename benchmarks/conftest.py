@@ -3,17 +3,50 @@
 Every bench regenerates one table or figure of the paper and prints the
 paper value next to the measured one.  Rendered reports are also written to
 ``benchmarks/reports/`` so the artefacts survive the run.
+
+The bench session runs against the persistent artifact store
+(``$REPRO_STORE``, default ``<repo>/.repro-store``): compiled traces and
+the evaluation LUT are pulled from it, so a warm store re-runs the whole
+bench suite without a single pipeline simulation or characterisation of
+the evaluation design.  Benches that need per-run DTA artefacts (the
+histogram figures) still use the full ``characterization`` fixture.
 """
 
+import os
 import pathlib
 
 import pytest
 
+from repro.dta.compiled import set_trace_store
 from repro.flow.characterize import characterize
+from repro.lab.store import ArtifactStore
 from repro.timing.design import build_design
 from repro.timing.profiles import DesignVariant
 
 REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+STORE_DIR = pathlib.Path(
+    os.environ.get(
+        "REPRO_STORE", pathlib.Path(__file__).parent.parent / ".repro-store"
+    )
+)
+
+
+@pytest.fixture(scope="session")
+def store():
+    """Session-wide artifact store shared by every bench."""
+    return ArtifactStore(STORE_DIR)
+
+
+@pytest.fixture(autouse=True)
+def _attach_store(store):
+    """Attach the store to the compiled-trace cache for each bench (and
+    only for benches — the tier-1 tests in ``tests/`` share the process
+    and must stay hermetic), so every ``evaluate_batch`` call here reads
+    and writes through it."""
+    previous = set_trace_store(store)
+    yield
+    set_trace_store(previous)
 
 
 @pytest.fixture(scope="session")
@@ -32,8 +65,10 @@ def characterization(design):
 
 
 @pytest.fixture(scope="session")
-def lut(characterization):
-    return characterization.lut
+def lut(design, store):
+    """Evaluation LUT, pulled from the store (characterised on a cold
+    store, loaded on a warm one)."""
+    return store.get_lut(design)
 
 
 @pytest.fixture(scope="session")
@@ -42,9 +77,14 @@ def conventional_characterization(conventional_design):
 
 
 @pytest.fixture(scope="session")
-def suite_results(design, lut):
+def suite_results(design, lut, store):
     """Instruction-LUT evaluation of the full benchmark suite (Fig. 8),
-    through the compiled-trace batch engine."""
+    through the compiled-trace batch engine; traces come from the store
+    when it is warm.
+
+    Session-scoped fixtures instantiate before the function-scoped
+    ``_attach_store`` autouse fixture, so this attaches the store
+    itself."""
     from repro.clocking.policies import InstructionLutPolicy
     from repro.flow.evaluate import SweepConfig, evaluate_batch
     from repro.workloads.suite import benchmark_suite
@@ -53,7 +93,11 @@ def suite_results(design, lut):
         policy=lambda: InstructionLutPolicy(lut),
         check_safety=False, label="instruction-lut",
     )]
-    return evaluate_batch(benchmark_suite(), design, configs)[0]
+    previous = set_trace_store(store)
+    try:
+        return evaluate_batch(benchmark_suite(), design, configs)[0]
+    finally:
+        set_trace_store(previous)
 
 
 def publish(name, text):

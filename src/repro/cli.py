@@ -10,6 +10,21 @@ Exposes the main flows as subcommands::
     python -m repro evaluate crc32 --policy instruction [--lut lut.json]
     python -m repro table2 [--lut lut.json]    # Table II view of a LUT
 
+Scenario grids run whole experiments through the parallel sweep runner
+(:mod:`repro.lab`) with a persistent artifact store, e.g.::
+
+    python -m repro sweep --grid grid.json --jobs 4 \\
+        --store .repro-store --resume --json sweep.json --csv sweep.csv
+
+where ``grid.json`` declares the axes to cross::
+
+    {"name": "margins", "policies": ["instruction", "genie"],
+     "margins": [0.0, 5.0], "voltages": [0.70, 0.80],
+     "workloads": ["crc32", "matmult"]}
+
+A warm store skips pipeline simulation and characterisation entirely;
+``--resume`` continues an interrupted run from its manifest.
+
 Programs may be given as a bundled kernel name or a path to an assembly
 file.
 """
@@ -18,10 +33,9 @@ import argparse
 import pathlib
 import sys
 
-from repro.asm import assemble, disassemble_program
+from repro.asm import disassemble_program
 from repro.dta.lut import DelayLUT
 from repro.flow.characterize import characterize
-from repro.flow.evaluate import evaluate_program
 from repro.sim.iss import FunctionalSimulator
 from repro.sim.pipeline import PipelineSimulator
 from repro.timing.design import build_design
@@ -29,15 +43,17 @@ from repro.timing.profiles import DesignVariant
 from repro.timing.sta import run_sta
 from repro.timing.wall import wall_profile
 from repro.utils.units import ps_to_mhz
-from repro.workloads import all_kernels, get_kernel
+from repro.workloads import WorkloadError, all_kernels, resolve_program
 
 
 def _load_program(spec):
-    """Resolve a program argument: bundled kernel name or .s/.asm path."""
-    path = pathlib.Path(spec)
-    if path.suffix in (".s", ".asm") or path.exists():
-        return assemble(path.read_text(), name=path.stem)
-    return get_kernel(spec).program()
+    """Resolve a program argument: bundled kernel name or .s/.asm path.
+
+    Unknown kernels and missing files raise
+    :class:`~repro.workloads.WorkloadError`, which ``main`` turns into a
+    friendly message (listing the bundled kernels) and a nonzero exit.
+    """
+    return resolve_program(spec)
 
 
 def _build(args):
@@ -128,6 +144,7 @@ def cmd_evaluate(args):
     from repro.core import DcaConfig, DynamicClockAdjustment
     from repro.flow.characterize import CharacterizationResult
 
+    program = _load_program(args.program)   # fail fast on a bad spec
     design = _build(args)
     lut = _load_lut(args, design)
     dca = DynamicClockAdjustment(
@@ -138,7 +155,7 @@ def cmd_evaluate(args):
         ),
         characterization=CharacterizationResult(design=design, lut=lut),
     )
-    result = dca.evaluate(_load_program(args.program))
+    result = dca.evaluate(program)
     print(result.summary())
     if not result.is_safe:
         worst = max(result.violations, key=lambda v: v.overshoot_ps)
@@ -150,25 +167,51 @@ def cmd_evaluate(args):
 
 def cmd_sweep(args):
     from repro.core import DcaConfig, DynamicClockAdjustment
+    from repro.dta.compiled import set_trace_store
     from repro.flow.characterize import CharacterizationResult
+    from repro.workloads.suite import benchmark_suite
+
+    if args.grid:
+        return _run_grid_sweep(args)
+    if args.resume or args.jobs != 1 or args.json:
+        print("--resume/--jobs/--json require a scenario grid (--grid)",
+              file=sys.stderr)
+        return 2
+
+    if args.programs:
+        programs = [_load_program(spec) for spec in args.programs]
+    else:
+        programs = benchmark_suite()
+    design = _build(args)
+    store = previous_store = None
+    if args.store:
+        from repro.lab.store import ArtifactStore
+
+        store = ArtifactStore(args.store)
+        previous_store = set_trace_store(store)
+    try:
+        if store is not None and not args.lut:
+            lut = store.get_lut(design)
+        else:
+            lut = _load_lut(args, design)
+        dca = DynamicClockAdjustment(
+            config=DcaConfig(variant=design.variant, voltage=args.voltage),
+            characterization=CharacterizationResult(design=design, lut=lut),
+        )
+        return _run_flag_sweep(args, dca, programs)
+    finally:
+        if store is not None:
+            set_trace_store(previous_store)
+
+
+def _run_flag_sweep(args, dca, programs):
+    """Legacy flag-driven sweep (no scenario grid)."""
     from repro.flow.evaluate import (
         average_frequency_mhz,
         average_speedup_percent,
     )
     from repro.flow.figures import sweep_series, write_csv
     from repro.utils.tables import format_table
-    from repro.workloads.suite import benchmark_suite
-
-    design = _build(args)
-    lut = _load_lut(args, design)
-    dca = DynamicClockAdjustment(
-        config=DcaConfig(variant=design.variant, voltage=args.voltage),
-        characterization=CharacterizationResult(design=design, lut=lut),
-    )
-    if args.programs:
-        programs = [_load_program(spec) for spec in args.programs]
-    else:
-        programs = benchmark_suite()
 
     configs, results = dca.evaluate_sweep(
         programs,
@@ -202,6 +245,75 @@ def cmd_sweep(args):
         write_csv(args.csv, header, series)
         print(f"wrote {args.csv} ({len(series)} rows)")
     return 1 if (args.check_safety and unsafe) else 0
+
+
+def _run_grid_sweep(args):
+    """Scenario-grid mode: the parallel runner + artifact store."""
+    from repro.lab import ArtifactStore, ScenarioGrid, SweepRunner
+    from repro.lab.scenario import ScenarioError
+    from repro.utils.tables import format_table
+
+    if (args.programs or args.policy or args.generator or args.margin
+            or args.check_safety or args.lut
+            or args.variant != "critical_range" or args.voltage != 0.70):
+        print("--grid mode takes every axis from the grid file; drop the "
+              "positional programs and the --policy/--generator/--margin/"
+              "--check-safety/--lut/--variant/--voltage flags",
+              file=sys.stderr)
+        return 2
+    try:
+        grid = ScenarioGrid.from_file(args.grid)
+    except ScenarioError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    store = ArtifactStore(args.store) if args.store else None
+    runner = SweepRunner(grid, store=store, jobs=args.jobs)
+    result = runner.run(
+        resume=args.resume,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+
+    specs = grid.config_specs()
+    by_config = {spec.label: [] for spec in specs}
+    for row in result.rows:
+        by_config[row["config"]].append(row)
+    table_rows = []
+    for point in grid.design_points():
+        for spec in specs:
+            rows = [row for row in by_config[spec.label]
+                    if row["design_point"] == point.label]
+
+            def mean(key, rows=rows):
+                return sum(row[key] for row in rows) / len(rows)
+
+            table_rows.append((
+                point.label,
+                spec.label,
+                f"{mean('effective_frequency_mhz'):.0f}",
+                f"{mean('speedup_percent'):+.1f}%",
+                f"{sum(row['num_violations'] for row in rows)}",
+            ))
+    print(format_table(
+        ["Design point", "Configuration", "Avg. [MHz]", "Avg. speedup",
+         "Violations"],
+        table_rows,
+        title=(
+            f"Grid '{grid.name}': {result.units_total} units "
+            f"({result.units_resumed} resumed) x {len(specs)} configs "
+            f"in {result.seconds:.2f} s, jobs={result.jobs}"
+        ),
+    ))
+    if result.store_stats is not None:
+        print(f"store: {result.store_stats.summary()}; "
+              f"simulations run: {result.simulations}")
+    if args.json:
+        result.write_json(args.json)
+        print(f"wrote {args.json}")
+    if args.csv:
+        result.write_csv(args.csv)
+        print(f"wrote {args.csv} ({len(result.rows)} rows)")
+    return 1 if (grid.check_safety and result.num_violations) else 0
 
 
 def cmd_table2(args):
@@ -279,6 +391,20 @@ def build_parser():
                      help="replay ground-truth delays and count violations")
     sub.add_argument("--csv", help="write the per-benchmark series as CSV")
     sub.add_argument("--lut", help="reuse a LUT JSON file")
+    sub.add_argument("--grid",
+                     help="scenario grid file (.json/.toml); runs the "
+                          "parallel sweep runner instead of the one-shot "
+                          "policy sweep")
+    sub.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for --grid mode (default: 1)")
+    sub.add_argument("--store",
+                     help="artifact-store directory: compiled traces and "
+                          "LUTs are cached here across runs")
+    sub.add_argument("--resume", action="store_true",
+                     help="reuse completed units from the run manifest of "
+                          "an interrupted --grid run")
+    sub.add_argument("--json",
+                     help="write the merged grid results as JSON")
     sub.set_defaults(func=cmd_sweep)
 
     sub = subparsers.add_parser("table2", help="render a LUT (Table II)")
@@ -292,7 +418,11 @@ def build_parser():
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except WorkloadError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -183,19 +183,31 @@ class GeniePolicy:
     def period_for(self, record):
         return self.excitation.cycle_max(record)
 
-    def _same_operating_point(self, excitation):
+    def _same_operating_point(self, compiled_trace):
         """Excitation models are pure functions of (variant, voltage), so
-        equal operating points yield identical delay matrices."""
-        if excitation is self.excitation:
+        equal operating points yield identical delay matrices.  The
+        comparison uses the trace's recorded operating point, so traces
+        rehydrated from the artifact store (which carry a delay matrix but
+        no live excitation model) validate the same way."""
+        if compiled_trace.excitation is self.excitation:
             return True
-        return (
-            excitation.profile.variant == self.excitation.profile.variant
-            and excitation.library.voltage == self.excitation.library.voltage
+        return compiled_trace.operating_point == (
+            self.excitation.profile.variant.value,
+            self.excitation.library.voltage,
         )
 
     def periods_for(self, compiled_trace):
-        if not self._same_operating_point(compiled_trace.excitation):
+        if not self._same_operating_point(compiled_trace):
             # compiled against another operating point: replay per record
+            if compiled_trace.trace is None:
+                raise ValueError(
+                    "genie policy at operating point "
+                    f"({self.excitation.profile.variant.value}, "
+                    f"{self.excitation.library.voltage}) cannot evaluate "
+                    "a store-rehydrated trace compiled at "
+                    f"{compiled_trace.operating_point}: it has no "
+                    "per-record trace to replay"
+                )
             return np.array([
                 self.period_for(record)
                 for record in compiled_trace.trace.records

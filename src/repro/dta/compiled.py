@@ -68,9 +68,16 @@ class CompiledTrace:
     stall: np.ndarray
     redirect: np.ndarray
     #: The underlying trace (compatibility path for per-record policies).
+    #: ``None`` for traces rehydrated from the artifact store — those carry
+    #: materialised :attr:`delays` instead and serve only vectorized
+    #: policies.
     trace: object
-    #: Excitation model used to materialise :attr:`delays` on demand.
+    #: Excitation model used to materialise :attr:`delays` on demand
+    #: (``None`` for store-rehydrated traces, whose delays are pre-baked).
     excitation: object
+    #: ``(variant_value, voltage)`` the delays were computed at; lets the
+    #: genie policy validate a trace without a live excitation model.
+    operating_point: tuple = None
     _delays: np.ndarray = field(default=None, repr=False)
 
     @property
@@ -88,6 +95,11 @@ class CompiledTrace:
         ``excitation.group_delay(record, stage)`` cell by cell.
         """
         if self._delays is None:
+            if self.excitation is None:
+                raise ValueError(
+                    "compiled trace was rehydrated without a delay matrix "
+                    "and carries no excitation model to compute one"
+                )
             self._delays = self._compute_delays()
         return self._delays
 
@@ -205,6 +217,9 @@ def compile_trace(trace, excitation):
         redirect=redirect,
         trace=trace,
         excitation=excitation,
+        operating_point=(
+            excitation.profile.variant.value, excitation.library.voltage
+        ),
     )
 
 
@@ -218,6 +233,47 @@ CACHE_CAPACITY = 64
 CACHE_CYCLE_BUDGET = 2_000_000
 
 _cache = OrderedDict()
+
+#: Optional persistent artifact store (see :mod:`repro.lab.store`); when
+#: attached, in-memory cache misses consult it before simulating and write
+#: freshly compiled traces through to it.
+_store = None
+
+#: Number of pipeline simulations actually run by :func:`get_compiled_trace`
+#: since process start (or the last :func:`reset_simulation_count`) — the
+#: counter that proves a warm-store sweep re-simulated nothing.
+_simulations = 0
+
+
+def set_trace_store(store):
+    """Attach a persistent trace store (``None`` detaches).
+
+    The store only needs ``load_compiled_trace(program, design, max_cycles)``
+    returning a :class:`CompiledTrace` or ``None``, and
+    ``save_compiled_trace(compiled, program, design, max_cycles)``.
+    Returns the previously attached store so callers can restore it.
+
+    Switching stores evicts store-rehydrated entries (``trace is None``)
+    from the in-memory cache: they belong to the detached store's
+    context, and callers outside it must see fully simulated traces.
+    """
+    global _store
+    previous = _store
+    if store is not previous:
+        for key in [k for k, v in _cache.items() if v.trace is None]:
+            del _cache[key]
+    _store = store
+    return previous
+
+
+def simulation_count():
+    """Pipeline simulations run through :func:`get_compiled_trace`."""
+    return _simulations
+
+
+def reset_simulation_count():
+    global _simulations
+    _simulations = 0
 
 
 def _program_key(program):
@@ -245,13 +301,22 @@ def get_compiled_trace(program, design, max_cycles=4_000_000):
     """
     from repro.sim.pipeline import PipelineSimulator
 
+    global _simulations
+
     key = (_program_key(program), _design_key(design), max_cycles)
     compiled = _cache.get(key)
     if compiled is not None:
         _cache.move_to_end(key)
         return compiled
-    trace = PipelineSimulator(program).run(max_cycles=max_cycles)
-    compiled = compile_trace(trace, design.excitation)
+    compiled = None
+    if _store is not None:
+        compiled = _store.load_compiled_trace(program, design, max_cycles)
+    if compiled is None:
+        trace = PipelineSimulator(program).run(max_cycles=max_cycles)
+        _simulations += 1
+        compiled = compile_trace(trace, design.excitation)
+        if _store is not None:
+            _store.save_compiled_trace(compiled, program, design, max_cycles)
     _cache[key] = compiled
     while len(_cache) > CACHE_CAPACITY or (
         len(_cache) > 1

@@ -1,0 +1,456 @@
+"""Parallel sweep execution over scenario grids.
+
+A :class:`SweepRunner` executes a :class:`~repro.lab.scenario.ScenarioGrid`
+as a stream of *work units* — one per (design point, workload) — through
+the compiled-trace batch engine:
+
+- **sharding**: units are independent, so ``jobs > 1`` fans them out over
+  a ``ProcessPoolExecutor``; every worker attaches the shared artifact
+  store, so pipeline simulation and characterisation happen at most once
+  per artifact *across the whole fleet* (first toucher writes, everyone
+  else reads);
+- **store warming**: the parent characterises each design point's LUT
+  into the store up front, so workers never duplicate the most expensive
+  step;
+- **deterministic merge**: results are reassembled in canonical
+  (design point, config, workload) order regardless of completion order,
+  and each row is produced by exactly the same array math as the serial
+  in-process ``evaluate_batch`` path — parallel results are bit-identical
+  to serial ones;
+- **resume**: every completed unit is checkpointed into a run manifest
+  keyed by the grid fingerprint; re-running with ``resume=True`` skips
+  finished units after an interrupt;
+- **export**: the merged document serialises to JSON (``write_json``) and
+  flat CSV (``write_csv``) for dashboards.
+"""
+
+import json
+import os
+import pathlib
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+
+from repro.lab.scenario import ScenarioGrid
+from repro.lab.store import ArtifactStore, StoreStats
+
+#: Manifest layout version (independent of the artifact-store schema).
+MANIFEST_VERSION = 1
+
+
+def result_to_dict(result, design_point, spec):
+    """Canonical JSON row of one :class:`EvaluationResult`.
+
+    Floats are carried verbatim (``repr`` round-trip), so two runs are
+    bit-identical exactly when their serialised rows are equal — the
+    property the parallel-vs-serial acceptance check relies on.
+    """
+    return {
+        "design_point": design_point.label,
+        "variant": design_point.variant,
+        "voltage": design_point.voltage,
+        "config": spec.label,
+        "policy": spec.policy,
+        "generator": spec.generator,
+        "margin_percent": spec.margin_percent,
+        "program": result.program_name,
+        "num_cycles": result.num_cycles,
+        "num_retired": result.num_retired,
+        "total_time_ps": result.total_time_ps,
+        "static_period_ps": result.static_period_ps,
+        "min_period_ps": result.min_period_ps,
+        "max_period_ps": result.max_period_ps,
+        "switch_rate": result.switch_rate,
+        "average_period_ps": result.average_period_ps,
+        "effective_frequency_mhz": result.effective_frequency_mhz,
+        "speedup_percent": result.speedup_percent,
+        "num_violations": len(result.violations),
+        "violations": [
+            [v.cycle, v.stage.name, v.applied_period_ps,
+             v.excited_delay_ps, v.driver_class]
+            for v in result.violations
+        ],
+    }
+
+
+# -- worker side -------------------------------------------------------------
+#
+# Workers are initialised once per process (grid + store attachment) and
+# then cache one evaluation context — design, characterised DCA, concrete
+# SweepConfigs — per design point, so a worker that receives many units
+# of the same operating point builds it once.
+
+_WORKER = {}
+
+
+def _worker_init(grid_dict, store_root):
+    from repro.dta.compiled import set_trace_store, simulation_count
+
+    store = ArtifactStore(store_root) if store_root else None
+    previous = set_trace_store(store) if store is not None else None
+    _WORKER.clear()
+    _WORKER.update(
+        grid=ScenarioGrid.from_dict(grid_dict),
+        store=store,
+        previous_store=previous,
+        contexts={},
+        # baseline, not reset: simulations run before this sweep (other
+        # tests, fork-inherited counters) must not be attributed to it
+        sim_baseline=simulation_count(),
+    )
+
+
+def _worker_teardown():
+    """Restore the previously attached store (serial in-process runs share
+    the module-global trace-store slot with their caller)."""
+    from repro.dta.compiled import set_trace_store
+
+    if _WORKER.get("store") is not None:
+        set_trace_store(_WORKER.get("previous_store"))
+    _WORKER.clear()
+
+
+def _context_for(design_point):
+    context = _WORKER["contexts"].get(design_point)
+    if context is not None:
+        return context
+
+    from repro.core import DcaConfig, DynamicClockAdjustment
+    from repro.flow.characterize import CharacterizationResult, characterize
+
+    design = design_point.build()
+    store = _WORKER["store"]
+    if store is not None:
+        lut = store.get_lut(design)
+    else:
+        lut = characterize(design, keep_runs=False).lut
+    dca = DynamicClockAdjustment(
+        config=DcaConfig(variant=design.variant,
+                         voltage=design_point.voltage),
+        characterization=CharacterizationResult(design=design, lut=lut),
+    )
+    specs = _WORKER["grid"].config_specs()
+    configs = [spec.make(dca) for spec in specs]
+    context = (design, specs, configs)
+    _WORKER["contexts"][design_point] = context
+    return context
+
+
+def _run_unit(design_point, workload):
+    """Evaluate one (design point, workload) unit against every config.
+
+    Returns ``(rows, store_stats_delta, simulations_delta)`` — counters
+    are snapshotted per unit so the parent can aggregate them across any
+    number of workers.
+    """
+    from repro.dta.compiled import simulation_count
+    from repro.flow.evaluate import evaluate_batch
+    from repro.workloads import resolve_program
+
+    grid = _WORKER["grid"]
+    design, specs, configs = _context_for(design_point)
+    program = resolve_program(workload)
+    grid_results = evaluate_batch(
+        [program], design, configs, max_cycles=grid.max_cycles
+    )
+    rows = [
+        result_to_dict(config_row[0], design_point, spec)
+        for spec, config_row in zip(specs, grid_results)
+    ]
+    store = _WORKER["store"]
+    stats = store.stats.as_dict() if store is not None else None
+    if store is not None:
+        store.stats.reset()
+    count = simulation_count()
+    simulations = count - _WORKER["sim_baseline"]
+    _WORKER["sim_baseline"] = count
+    return rows, stats, simulations
+
+
+def _run_unit_task(payload):
+    """Pool entry point: payload is ``(unit_id, design_point, workload)``."""
+    unit_id, design_point, workload = payload
+    rows, stats, simulations = _run_unit(design_point, workload)
+    return unit_id, rows, stats, simulations
+
+
+# -- parent side -------------------------------------------------------------
+
+
+@dataclass
+class SweepRunResult:
+    """Merged outcome of one sweep run."""
+
+    grid: ScenarioGrid
+    rows: list
+    seconds: float
+    jobs: int
+    units_total: int
+    units_run: int
+    units_resumed: int
+    simulations: int
+    store_stats: StoreStats = None
+    manifest_path: pathlib.Path = None
+
+    def to_dict(self):
+        return {
+            "grid": self.grid.to_dict(),
+            "fingerprint": self.grid.fingerprint(),
+            "results": self.rows,
+            "seconds": self.seconds,
+            "jobs": self.jobs,
+            "units": {
+                "total": self.units_total,
+                "run": self.units_run,
+                "resumed": self.units_resumed,
+            },
+            "simulations": self.simulations,
+            "store": (
+                self.store_stats.as_dict()
+                if self.store_stats is not None else None
+            ),
+        }
+
+    def write_json(self, path):
+        text = json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        pathlib.Path(path).write_text(text + "\n")
+        return text
+
+    #: Flat columns exported to CSV (violation details stay in the JSON).
+    CSV_COLUMNS = (
+        "design_point", "config", "program", "num_cycles",
+        "average_period_ps", "effective_frequency_mhz", "speedup_percent",
+        "num_violations",
+    )
+
+    def write_csv(self, path):
+        from repro.flow.figures import write_csv
+
+        rows = [
+            tuple(row[column] for column in self.CSV_COLUMNS)
+            for row in self.rows
+        ]
+        return write_csv(path, self.CSV_COLUMNS, rows)
+
+    @property
+    def num_violations(self):
+        return sum(row["num_violations"] for row in self.rows)
+
+
+class SweepRunner:
+    """Executes a scenario grid, optionally sharded and store-backed.
+
+    Parameters
+    ----------
+    grid:
+        The :class:`~repro.lab.scenario.ScenarioGrid` to run.
+    store:
+        Optional :class:`~repro.lab.store.ArtifactStore` (or path);
+        compiled traces and LUTs are read from / written through it.
+    jobs:
+        Worker processes; 1 runs serially in-process.
+    manifest_path:
+        Where to checkpoint completed units.  Defaults to
+        ``<store>/manifests/<fingerprint>.json`` when a store is given;
+        without a store (and without an explicit path) no manifest is
+        written and resume is unavailable.
+    """
+
+    def __init__(self, grid, store=None, jobs=1, manifest_path=None):
+        self.grid = grid
+        if store is not None and not isinstance(store, ArtifactStore):
+            store = ArtifactStore(store)
+        self.store = store
+        self.jobs = max(1, int(jobs))
+        if manifest_path is None and store is not None:
+            manifest_path = (
+                store.root / "manifests" / f"{grid.fingerprint()}.json"
+            )
+        self.manifest_path = (
+            pathlib.Path(manifest_path) if manifest_path else None
+        )
+
+    # -- units ---------------------------------------------------------------
+
+    def units(self):
+        """Canonical (unit_id, design_point, workload) triples.
+
+        Unit ids use :attr:`DesignPoint.key` (full-precision voltage),
+        so nearly-equal operating points never share an id."""
+        return [
+            (f"{point.key}/{workload}", point, workload)
+            for point in self.grid.design_points()
+            for workload in self.grid.workload_specs()
+        ]
+
+    # -- manifest ------------------------------------------------------------
+    #
+    # With a store, completed unit rows are checkpointed as individual
+    # store results and the manifest holds only unit ids — rewriting it
+    # after each unit stays O(units), not O(units x rows).  Without a
+    # store the rows are inlined (no-store runs are small/ephemeral).
+
+    _STORE_REF = "$store"
+
+    def _unit_result_name(self, unit_id):
+        return f"unit:{self.grid.fingerprint()}:{unit_id}"
+
+    def _load_manifest(self):
+        if self.manifest_path is None or not self.manifest_path.is_file():
+            return {}
+        try:
+            payload = json.loads(self.manifest_path.read_text())
+        except ValueError:
+            return {}
+        if (payload.get("version") != MANIFEST_VERSION
+                or payload.get("fingerprint") != self.grid.fingerprint()):
+            return {}
+        completed = {}
+        for unit_id, value in payload.get("completed", {}).items():
+            if value == self._STORE_REF:
+                rows = (
+                    self.store.load_result(self._unit_result_name(unit_id))
+                    if self.store is not None else None
+                )
+                if rows is None:      # missing/corrupt checkpoint: re-run
+                    continue
+                completed[unit_id] = rows
+            else:
+                completed[unit_id] = value
+        return completed
+
+    def _checkpoint_unit(self, completed, unit_id, rows):
+        completed[unit_id] = rows
+        if self.manifest_path is None:
+            return
+        if self.store is not None:
+            self.store.save_result(self._unit_result_name(unit_id), rows)
+            payload_completed = dict.fromkeys(completed, self._STORE_REF)
+        else:
+            payload_completed = completed
+        self.manifest_path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": MANIFEST_VERSION,
+            "fingerprint": self.grid.fingerprint(),
+            "grid": self.grid.to_dict(),
+            "completed": payload_completed,
+        }
+        tmp = self.manifest_path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, self.manifest_path)
+
+    # -- execution -----------------------------------------------------------
+
+    def warm_luts(self):
+        """Characterise every design point's LUT into the store up front,
+        so parallel workers never duplicate gate-level simulation."""
+        if self.store is None:
+            return
+        for point in self.grid.design_points():
+            self.store.get_lut(point.build())
+
+    def run(self, resume=False, progress=None):
+        """Execute the grid; returns a :class:`SweepRunResult`.
+
+        ``resume=True`` reuses completed units from the manifest of a
+        previous (interrupted) run of the *same* grid; a manifest from a
+        different grid fingerprint is ignored.
+        """
+        start = time.perf_counter()
+        stats = StoreStats() if self.store is not None else None
+        simulations = 0
+
+        completed = self._load_manifest() if resume else {}
+        units = self.units()
+        pending = [unit for unit in units if unit[0] not in completed]
+        resumed = len(units) - len(pending)
+
+        if progress:
+            progress(
+                f"{self.grid.name}: {len(units)} units "
+                f"({resumed} resumed), {len(self.grid.config_specs())} "
+                f"configs, jobs={self.jobs}"
+            )
+
+        self.warm_luts()
+        if stats is not None:
+            stats.merge(self.store.stats)
+            self.store.stats.reset()
+
+        if pending:
+            if self.jobs == 1:
+                outcomes = self._run_serial(pending, completed, progress)
+            else:
+                outcomes = self._run_parallel(pending, completed, progress)
+            for unit_stats, unit_simulations in outcomes:
+                if stats is not None and unit_stats is not None:
+                    stats.merge(unit_stats)
+                simulations += unit_simulations
+
+        rows = self._merge(completed)
+        result = SweepRunResult(
+            grid=self.grid,
+            rows=rows,
+            seconds=time.perf_counter() - start,
+            jobs=self.jobs,
+            units_total=len(units),
+            units_run=len(pending),
+            units_resumed=resumed,
+            simulations=simulations,
+            store_stats=stats,
+            manifest_path=self.manifest_path,
+        )
+        if self.store is not None:
+            self.store.save_result(
+                f"sweep:{self.grid.fingerprint()}", result.to_dict()
+            )
+        return result
+
+    def _run_serial(self, pending, completed, progress):
+        store_root = str(self.store.root) if self.store is not None else None
+        _worker_init(self.grid.to_dict(), store_root)
+        outcomes = []
+        try:
+            for unit_id, point, workload in pending:
+                rows, unit_stats, unit_simulations = _run_unit(
+                    point, workload
+                )
+                outcomes.append((unit_stats, unit_simulations))
+                self._checkpoint_unit(completed, unit_id, rows)
+                if progress:
+                    progress(f"  done {unit_id}")
+        finally:
+            _worker_teardown()
+        return outcomes
+
+    def _run_parallel(self, pending, completed, progress):
+        store_root = str(self.store.root) if self.store is not None else None
+        outcomes = []
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(pending)),
+            initializer=_worker_init,
+            initargs=(self.grid.to_dict(), store_root),
+        ) as pool:
+            futures = [
+                pool.submit(_run_unit_task, unit) for unit in pending
+            ]
+            for future in as_completed(futures):
+                unit_id, rows, unit_stats, unit_simulations = future.result()
+                outcomes.append((unit_stats, unit_simulations))
+                self._checkpoint_unit(completed, unit_id, rows)
+                if progress:
+                    progress(f"  done {unit_id}")
+        return outcomes
+
+    def _merge(self, completed):
+        """Reassemble rows in canonical (design point, config, workload)
+        order — independent of unit completion order."""
+        specs = self.grid.config_specs()
+        workloads = self.grid.workload_specs()
+        rows = []
+        for point in self.grid.design_points():
+            for config_index in range(len(specs)):
+                for workload in workloads:
+                    unit_id = f"{point.key}/{workload}"
+                    rows.append(completed[unit_id][config_index])
+        return rows

@@ -1,0 +1,281 @@
+"""Declarative sweep scenarios.
+
+A :class:`ScenarioGrid` names every axis of a sweep — policies,
+generators, safety margins, supply voltages, design variants, workloads —
+and expands the cross product into the structures the engine consumes:
+:class:`DesignPoint` operating points (one evaluation context each) and
+:class:`ConfigSpec` rows (one ``SweepConfig`` each, materialised against
+a characterised design).
+
+Grids are plain data: loadable from JSON or TOML (``from_file``),
+round-trippable through ``to_dict``, and fingerprinted (SHA-256 of the
+canonical form) so run manifests and cached sweep results can tell
+whether they belong to the same experiment.
+
+Example grid (JSON)::
+
+    {
+      "name": "margins-vs-voltage",
+      "policies": ["instruction", "genie"],
+      "margins": [0.0, 5.0],
+      "voltages": [0.70, 0.80],
+      "workloads": ["crc32", "matmult"]
+    }
+"""
+
+import json
+from dataclasses import dataclass
+
+from repro.flow.evaluate import DEFAULT_MAX_CYCLES, SweepConfig
+from repro.timing.profiles import DesignVariant
+
+#: Policy names understood by ``DynamicClockAdjustment.make_policy``.
+POLICY_NAMES = ("instruction", "ex-only", "two-class", "genie", "static")
+
+#: Generator names understood by ``DynamicClockAdjustment.make_generator``.
+GENERATOR_NAMES = ("ideal", "ring", "pll")
+
+
+class ScenarioError(ValueError):
+    """A grid spec is malformed (unknown axis value, bad type, ...)."""
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One operating point of the processor: variant × supply voltage."""
+
+    variant: str
+    voltage: float
+
+    @property
+    def label(self):
+        """Display label; rounds the voltage for readability."""
+        return f"{self.variant}@{self.voltage:.2f}V"
+
+    @property
+    def key(self):
+        """Exact identity for unit ids and manifests — ``repr`` keeps
+        full float precision, so nearly-equal voltages never collide."""
+        return f"{self.variant}@{self.voltage!r}"
+
+    def build(self):
+        from repro.timing.design import build_design
+
+        return build_design(DesignVariant(self.variant),
+                            voltage=self.voltage)
+
+    def as_dict(self):
+        return {"variant": self.variant, "voltage": self.voltage}
+
+
+@dataclass(frozen=True)
+class ConfigSpec:
+    """One configuration row: policy × generator × margin."""
+
+    policy: str
+    generator: str = "ideal"
+    margin_percent: float = 0.0
+    check_safety: bool = False
+
+    @property
+    def label(self):
+        label = f"{self.policy}/{self.generator}"
+        if self.margin_percent:
+            label += f"/margin={self.margin_percent:g}%"
+        return label
+
+    def make(self, dca):
+        """Materialise the spec into a ``SweepConfig`` bound to one
+        characterised design (``DynamicClockAdjustment``)."""
+        return SweepConfig(
+            policy=(lambda name=self.policy: dca.make_policy(name)),
+            generator=dca.make_generator(self.generator),
+            margin_percent=self.margin_percent,
+            check_safety=self.check_safety,
+            label=self.label,
+        )
+
+    def as_dict(self):
+        return {
+            "policy": self.policy,
+            "generator": self.generator,
+            "margin_percent": self.margin_percent,
+            "check_safety": self.check_safety,
+        }
+
+
+@dataclass
+class ScenarioGrid:
+    """The full cross product of a sweep experiment."""
+
+    name: str = "sweep"
+    policies: tuple = ("instruction",)
+    generators: tuple = ("ideal",)
+    margins: tuple = (0.0,)
+    variants: tuple = (DesignVariant.CRITICAL_RANGE.value,)
+    voltages: tuple = (0.70,)
+    #: Kernel names or assembly-file paths; empty means the full
+    #: Fig. 8 benchmark suite.
+    workloads: tuple = ()
+    check_safety: bool = False
+    max_cycles: int = DEFAULT_MAX_CYCLES
+
+    def __post_init__(self):
+        self.policies = tuple(self.policies)
+        self.generators = tuple(self.generators)
+        self.margins = tuple(float(m) for m in self.margins)
+        self.variants = tuple(self.variants)
+        self.voltages = tuple(float(v) for v in self.voltages)
+        self.workloads = tuple(self.workloads)
+        self.validate()
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self):
+        for axis, values, known in (
+            ("policies", self.policies, POLICY_NAMES),
+            ("generators", self.generators, GENERATOR_NAMES),
+            ("variants", self.variants,
+             tuple(v.value for v in DesignVariant)),
+        ):
+            if not values:
+                raise ScenarioError(f"grid axis {axis!r} is empty")
+            for value in values:
+                if value not in known:
+                    raise ScenarioError(
+                        f"unknown {axis[:-1]} {value!r}; "
+                        f"choose from {', '.join(known)}"
+                    )
+        if not self.margins:
+            raise ScenarioError("grid axis 'margins' is empty")
+        if any(m < 0 for m in self.margins):
+            raise ScenarioError("margins cannot be negative")
+        if not self.voltages:
+            raise ScenarioError("grid axis 'voltages' is empty")
+        if any(v <= 0 for v in self.voltages):
+            raise ScenarioError("voltages must be positive")
+        if self.max_cycles <= 0:
+            raise ScenarioError("max_cycles must be positive")
+        return self
+
+    # -- expansion -----------------------------------------------------------
+
+    def design_points(self):
+        """Operating points, variant-major then voltage, in spec order."""
+        return [
+            DesignPoint(variant=variant, voltage=voltage)
+            for variant in self.variants
+            for voltage in self.voltages
+        ]
+
+    def config_specs(self):
+        """Configuration rows, policy-major, in spec order."""
+        return [
+            ConfigSpec(
+                policy=policy, generator=generator, margin_percent=margin,
+                check_safety=self.check_safety,
+            )
+            for policy in self.policies
+            for generator in self.generators
+            for margin in self.margins
+        ]
+
+    def workload_specs(self):
+        """Program specs; empty ``workloads`` means the Fig. 8 suite."""
+        if self.workloads:
+            return list(self.workloads)
+        from repro.workloads.suite import suite_names
+
+        return suite_names()
+
+    def programs(self):
+        from repro.workloads import resolve_program
+
+        return [resolve_program(spec) for spec in self.workload_specs()]
+
+    @property
+    def num_units(self):
+        """Shardable work units: one per (design point, workload)."""
+        return len(self.design_points()) * len(self.workload_specs())
+
+    @property
+    def num_evaluations(self):
+        return self.num_units * len(self.config_specs())
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "policies": list(self.policies),
+            "generators": list(self.generators),
+            "margins": list(self.margins),
+            "variants": list(self.variants),
+            "voltages": list(self.voltages),
+            "workloads": list(self.workloads),
+            "check_safety": self.check_safety,
+            "max_cycles": self.max_cycles,
+        }
+
+    def fingerprint(self):
+        """SHA-256 over the canonical dict — the identity of the
+        experiment for manifests and cached sweep results."""
+        import hashlib
+
+        text = json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(text.encode()).hexdigest()
+
+    @classmethod
+    def from_dict(cls, payload):
+        if not isinstance(payload, dict):
+            raise ScenarioError(
+                f"grid spec must be a mapping, got {type(payload).__name__}"
+            )
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(payload) - known
+        if unknown:
+            raise ScenarioError(
+                f"unknown grid fields: {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(sorted(known))})"
+            )
+        try:
+            return cls(**payload)
+        except TypeError as error:
+            raise ScenarioError(str(error)) from None
+
+    @classmethod
+    def from_json(cls, text):
+        try:
+            payload = json.loads(text)
+        except ValueError as error:
+            raise ScenarioError(f"invalid JSON grid: {error}") from None
+        return cls.from_dict(payload)
+
+    @classmethod
+    def from_toml(cls, text):
+        try:
+            import tomllib
+        except ImportError:                          # pragma: no cover
+            raise ScenarioError(
+                "TOML grids need Python >= 3.11 (tomllib); "
+                "use a JSON grid instead"
+            ) from None
+        try:
+            payload = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as error:
+            raise ScenarioError(f"invalid TOML grid: {error}") from None
+        return cls.from_dict(payload)
+
+    @classmethod
+    def from_file(cls, path):
+        """Load a grid from a ``.json`` or ``.toml`` file."""
+        import pathlib
+
+        path = pathlib.Path(path)
+        if not path.is_file():
+            raise ScenarioError(f"grid file not found: {path}")
+        text = path.read_text()
+        if path.suffix.lower() == ".toml":
+            return cls.from_toml(text)
+        return cls.from_json(text)

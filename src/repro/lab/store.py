@@ -1,0 +1,332 @@
+"""Content-addressed on-disk artifact store.
+
+The store persists the two expensive intermediates of the evaluation
+pipeline — compiled pipeline traces and characterised delay LUTs — plus
+merged sweep results, so that cross-process runs (CLI invocations, CI
+jobs, parallel sweep workers) skip pipeline simulation and gate-level
+characterisation entirely.
+
+Keys are content hashes: a compiled trace is addressed by the program's
+full word image × the design operating point (variant, voltage) × the
+cycle budget × the store schema version; a LUT by the operating point ×
+the extraction threshold × the schema version.  Anything that could
+change the artifact changes the key, so invalidation is automatic —
+bumping :data:`SCHEMA_VERSION`, re-characterising at another voltage, or
+editing a program each simply miss and recompute.  Corrupted files (torn
+writes, truncation) are detected on load, counted, and fall back to
+recompute; writes are atomic (temp file + ``os.replace``).
+
+Attach a store to the in-process compiled-trace cache with
+:func:`repro.dta.compiled.set_trace_store`; every consumer of
+``evaluate_batch`` then reads and writes through it transparently.
+"""
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+
+import numpy as np
+
+from repro.dta.compiled import CompiledTrace
+from repro.dta.extraction import DEFAULT_MIN_OCCURRENCES
+from repro.dta.lut import DelayLUT
+
+#: Bump when anything that *computes* an artifact changes — on-disk
+#: layout, the timing model (profiles/excitation/library scaling), the
+#: pipeline simulator, or the characterisation suite.  Keys hash program
+#: content and operating point, not the code, so a stale version here is
+#: the only way a persistent store can serve wrong results.
+SCHEMA_VERSION = 1
+
+#: Artifact kinds tracked by :class:`StoreStats`.
+KINDS = ("trace", "lut", "result")
+
+#: Events tracked per kind.
+EVENTS = ("hits", "misses", "writes", "corrupt")
+
+#: Array fields of the compiled-trace ``.npz`` payload.
+_TRACE_ARRAYS = (
+    "class_ids", "bubble", "held", "stall", "redirect", "delays",
+)
+
+
+class StoreCorruption(Exception):
+    """A cache file exists but cannot be decoded (internal signal)."""
+
+
+class StoreStats:
+    """Hit/miss/write/corruption counters, per artifact kind.
+
+    These counters are the observable proof of the store's contract: a
+    warm full-suite sweep must show zero ``trace``/``lut`` misses (and
+    :func:`repro.dta.compiled.simulation_count` must stay zero).
+    """
+
+    def __init__(self):
+        self.counts = {kind: dict.fromkeys(EVENTS, 0) for kind in KINDS}
+
+    def record(self, kind, event):
+        self.counts[kind][event] += 1
+
+    def get(self, kind, event):
+        return self.counts[kind][event]
+
+    def reset(self):
+        for kind in KINDS:
+            for event in EVENTS:
+                self.counts[kind][event] = 0
+
+    def as_dict(self):
+        return {kind: dict(events) for kind, events in self.counts.items()}
+
+    def merge(self, other):
+        """Accumulate counters from another stats object or its dict."""
+        counts = other.counts if isinstance(other, StoreStats) else other
+        for kind, events in counts.items():
+            for event, value in events.items():
+                self.counts[kind][event] += value
+
+    def summary(self):
+        return "; ".join(
+            "{}: {}".format(
+                kind,
+                "/".join(f"{self.counts[kind][e]} {e}" for e in EVENTS),
+            )
+            for kind in KINDS
+        )
+
+
+def _digest(payload):
+    """SHA-256 of a canonical-JSON payload of primitives."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def program_fingerprint(program):
+    """Content hash of an assembled program (name, entry, word image)."""
+    return _digest([
+        program.name,
+        program.entry,
+        sorted(program.words.items()),
+    ])
+
+
+def design_fingerprint(design):
+    """Operating-point hash (variant, supply voltage)."""
+    return _digest([design.variant.value, design.library.voltage])
+
+
+class ArtifactStore:
+    """On-disk cache of compiled traces, delay LUTs and sweep results."""
+
+    def __init__(self, root, schema_version=SCHEMA_VERSION):
+        self.root = pathlib.Path(root)
+        self.schema_version = schema_version
+        self.stats = StoreStats()
+
+    # -- paths ---------------------------------------------------------------
+
+    def _path(self, kind, key, suffix):
+        return self.root / kind / f"{key}{suffix}"
+
+    def trace_path(self, program, design, max_cycles):
+        key = _digest([
+            "trace", self.schema_version,
+            program_fingerprint(program), design_fingerprint(design),
+            max_cycles,
+        ])
+        return self._path("traces", key, ".npz")
+
+    def lut_path(self, design, min_occurrences):
+        key = _digest([
+            "lut", self.schema_version,
+            design_fingerprint(design), min_occurrences,
+        ])
+        return self._path("luts", key, ".json")
+
+    def result_path(self, name):
+        key = _digest(["result", self.schema_version, name])
+        return self._path("results", key, ".json")
+
+    def _write_atomic(self, path, writer):
+        """Write via a sibling temp file + ``os.replace`` so readers never
+        see a torn artifact."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # keep the real suffix so np.savez does not append another ".npz"
+        handle, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem, suffix=f".tmp{path.suffix}"
+        )
+        os.close(handle)
+        try:
+            writer(tmp_name)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # -- compiled traces -----------------------------------------------------
+
+    def save_compiled_trace(self, compiled, program, design, max_cycles):
+        """Persist a compiled trace (delays are materialised first)."""
+        path = self.trace_path(program, design, max_cycles)
+        delays = compiled.delays   # force the lazy matrix before freezing
+        payload = {
+            "schema": np.int64(self.schema_version),
+            "program_name": np.str_(compiled.program_name),
+            "num_cycles": np.int64(compiled.num_cycles),
+            "num_retired": np.int64(compiled.num_retired),
+            "class_names": np.array(compiled.class_names, dtype=np.str_),
+            "variant": np.str_(compiled.operating_point[0]),
+            "voltage": np.float64(compiled.operating_point[1]),
+            "class_ids": compiled.class_ids,
+            "bubble": compiled.bubble,
+            "held": compiled.held,
+            "stall": compiled.stall,
+            "redirect": compiled.redirect,
+            "delays": delays,
+        }
+        self._write_atomic(path, lambda tmp: np.savez(tmp, **payload))
+        self.stats.record("trace", "writes")
+
+    def load_compiled_trace(self, program, design, max_cycles):
+        """Rehydrate a compiled trace, or ``None`` on miss/corruption.
+
+        Rehydrated traces carry the materialised delay matrix but no
+        per-record trace and no excitation model — they serve the
+        vectorized policy protocol (which every bundled policy
+        implements) bit-identically.
+        """
+        path = self.trace_path(program, design, max_cycles)
+        if not path.exists():
+            self.stats.record("trace", "misses")
+            return None
+        try:
+            compiled = self._read_trace(path)
+        except StoreCorruption:
+            self.stats.record("trace", "corrupt")
+            self.stats.record("trace", "misses")
+            self._discard(path)
+            return None
+        self.stats.record("trace", "hits")
+        return compiled
+
+    def _read_trace(self, path):
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                if int(data["schema"]) != self.schema_version:
+                    raise StoreCorruption("schema mismatch")
+                num_cycles = int(data["num_cycles"])
+                arrays = {name: data[name] for name in _TRACE_ARRAYS}
+                for name in _TRACE_ARRAYS:
+                    if arrays[name].shape[0] != num_cycles:
+                        raise StoreCorruption(f"truncated array {name}")
+                return CompiledTrace(
+                    program_name=str(data["program_name"]),
+                    num_cycles=num_cycles,
+                    num_retired=int(data["num_retired"]),
+                    class_names=tuple(str(n) for n in data["class_names"]),
+                    class_ids=arrays["class_ids"],
+                    bubble=arrays["bubble"],
+                    held=arrays["held"],
+                    stall=arrays["stall"],
+                    redirect=arrays["redirect"],
+                    trace=None,
+                    excitation=None,
+                    operating_point=(
+                        str(data["variant"]), float(data["voltage"])
+                    ),
+                    _delays=arrays["delays"],
+                )
+        except StoreCorruption:
+            raise
+        except Exception as error:   # zip damage, missing keys, bad dtypes
+            raise StoreCorruption(str(error)) from error
+
+    def _discard(self, path):
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # -- characterised LUTs --------------------------------------------------
+
+    def save_lut(self, lut, design, min_occurrences=DEFAULT_MIN_OCCURRENCES):
+        path = self.lut_path(design, min_occurrences)
+        document = json.dumps({
+            "schema": self.schema_version,
+            "variant": design.variant.value,
+            "voltage": design.library.voltage,
+            "lut": json.loads(lut.to_json()),
+        }, indent=2, sort_keys=True)
+        self._write_atomic(
+            path, lambda tmp: pathlib.Path(tmp).write_text(document)
+        )
+        self.stats.record("lut", "writes")
+
+    def load_lut(self, design, min_occurrences=DEFAULT_MIN_OCCURRENCES):
+        path = self.lut_path(design, min_occurrences)
+        if not path.exists():
+            self.stats.record("lut", "misses")
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("schema") != self.schema_version:
+                raise StoreCorruption("schema mismatch")
+            lut = DelayLUT.from_json(json.dumps(payload["lut"]))
+        except (StoreCorruption, KeyError, TypeError, ValueError, OSError):
+            self.stats.record("lut", "corrupt")
+            self.stats.record("lut", "misses")
+            self._discard(path)
+            return None
+        self.stats.record("lut", "hits")
+        return lut
+
+    def get_lut(self, design, min_occurrences=DEFAULT_MIN_OCCURRENCES):
+        """Characterised LUT of a design, characterising at most once per
+        (operating point, threshold, schema) across every process sharing
+        this store directory.
+
+        Only the default characterisation suite is cached — callers with
+        custom program sets should run
+        :func:`repro.flow.characterize.characterize` directly.
+        """
+        lut = self.load_lut(design, min_occurrences)
+        if lut is None:
+            from repro.flow.characterize import characterize
+
+            lut = characterize(
+                design, min_occurrences=min_occurrences, keep_runs=False
+            ).lut
+            self.save_lut(lut, design, min_occurrences)
+        return lut
+
+    # -- sweep results -------------------------------------------------------
+
+    def save_result(self, name, payload):
+        """Persist a JSON-serialisable result document under ``name``."""
+        path = self.result_path(name)
+        document = json.dumps(payload, indent=2, sort_keys=True)
+        self._write_atomic(
+            path, lambda tmp: pathlib.Path(tmp).write_text(document)
+        )
+        self.stats.record("result", "writes")
+
+    def load_result(self, name):
+        path = self.result_path(name)
+        if not path.exists():
+            self.stats.record("result", "misses")
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (ValueError, OSError):
+            self.stats.record("result", "corrupt")
+            self.stats.record("result", "misses")
+            self._discard(path)
+            return None
+        self.stats.record("result", "hits")
+        return payload

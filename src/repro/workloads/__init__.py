@@ -15,6 +15,8 @@ kernels with the same instruction-mix characteristics (see DESIGN.md):
 - :mod:`repro.workloads.suite` — named suites used by the benches.
 """
 
+import pathlib
+
 from repro.workloads.kernels import Kernel, all_kernels, get_kernel
 from repro.workloads.randomgen import generate_characterization_program
 from repro.workloads.suite import (
@@ -23,10 +25,50 @@ from repro.workloads.suite import (
     suite_names,
 )
 
+
+class WorkloadError(Exception):
+    """A program spec (kernel name or assembly path) cannot be resolved."""
+
+
+def resolve_program(spec):
+    """Resolve a program spec into an assembled :class:`Program`.
+
+    A spec is either the name of a bundled kernel or a path to a
+    ``.s``/``.asm`` assembly file.  Unknown kernels and missing files
+    raise :class:`WorkloadError` with the list of bundled kernels, so
+    front ends (CLI, scenario grids) can report a friendly error instead
+    of a raw traceback.
+    """
+    from repro.asm import assemble
+
+    path = pathlib.Path(spec)
+    if path.suffix in (".s", ".asm") or path.exists():
+        if not path.is_file():
+            raise WorkloadError(
+                f"assembly file not found: {spec!r}\n"
+                f"(bundled kernels: {', '.join(_kernel_names())})"
+            )
+        return assemble(path.read_text(), name=path.stem)
+    try:
+        return get_kernel(spec).program()
+    except KeyError:
+        raise WorkloadError(
+            f"unknown kernel {spec!r}\n"
+            f"(bundled kernels: {', '.join(_kernel_names())}; "
+            f"or pass a path to a .s/.asm file)"
+        ) from None
+
+
+def _kernel_names():
+    return sorted(kernel.name for kernel in all_kernels())
+
+
 __all__ = [
     "Kernel",
+    "WorkloadError",
     "all_kernels",
     "get_kernel",
+    "resolve_program",
     "generate_characterization_program",
     "benchmark_suite",
     "characterization_suite",

@@ -210,6 +210,56 @@ class TestBatchEngine:
         assert scalar.switch_rate == batch.switch_rate
 
 
+class TestOverscalingEquivalence:
+    """The over-scaling evaluation (approx/violations.py) runs on the
+    compiled trace; it must reproduce the scalar per-record reference
+    bit-identically — counts, dict build order, and every synthesised
+    approximate result."""
+
+    @pytest.mark.parametrize("factor", (1.0, 0.94, 0.88))
+    def test_overscaling_report_bit_identical(self, design, lut, factor):
+        from repro.approx.violations import (
+            evaluate_overscaling,
+            evaluate_overscaling_scalar,
+        )
+
+        program = get_kernel("crc32").program()
+        fast = evaluate_overscaling(program, design, lut, factor)
+        slow = evaluate_overscaling_scalar(program, design, lut, factor)
+
+        assert fast.program_name == slow.program_name
+        assert fast.num_cycles == slow.num_cycles
+        assert fast.total_time_ps == slow.total_time_ps
+        assert fast.violation_cycles == slow.violation_cycles
+        assert fast.violations_by_stage == slow.violations_by_stage
+        assert fast.violations_by_class == slow.violations_by_class
+        # dict build order too: first-violation order is part of the API
+        assert (list(fast.violations_by_stage)
+                == list(slow.violations_by_stage))
+        assert (list(fast.violations_by_class)
+                == list(slow.violations_by_class))
+        assert len(fast.approx_results) == len(slow.approx_results)
+        for ours, reference in zip(fast.approx_results,
+                                   slow.approx_results):
+            assert ours.cycle == reference.cycle
+            assert ours.mnemonic == reference.mnemonic
+            assert ours.exact_value == reference.exact_value
+            assert ours.approx_value == reference.approx_value
+            assert ours.corrupted_bits == reference.corrupted_bits
+        assert fast.mean_relative_error == slow.mean_relative_error
+
+    def test_overscaled_run_actually_violates(self, design, lut):
+        """Sanity: the equivalence above is not vacuous — the overscaled
+        factor really produces violations and corrupted EX results."""
+        from repro.approx.violations import evaluate_overscaling
+
+        program = get_kernel("matmult").program()
+        report = evaluate_overscaling(program, design, lut, 0.88)
+        assert report.violation_cycles > 0
+        assert report.approx_results
+        assert report.violation_rate > 0
+
+
 class TestCompiledTrace:
     def test_class_ids_match_attribution(self, design):
         from repro.dta.extraction import attribute_cycle

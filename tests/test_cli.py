@@ -92,3 +92,125 @@ class TestCommands:
         lines = csv_path.read_text().strip().splitlines()
         assert lines[0].startswith("config,benchmark")
         assert len(lines) == 1 + 2 * 4   # header + programs x configs
+
+
+class TestProgramErrors:
+    """Bad program specs exit nonzero with a friendly message — never a
+    raw traceback."""
+
+    def test_unknown_kernel(self, capsys):
+        assert main(["run", "nosuchkernel"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown kernel 'nosuchkernel'" in err
+        assert "crc32" in err        # the message lists bundled kernels
+
+    def test_missing_assembly_file(self, tmp_path, capsys):
+        missing = tmp_path / "missing.s"
+        assert main(["asm", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert "assembly file not found" in err
+
+    def test_evaluate_fails_fast_before_characterisation(self, capsys):
+        assert main(["evaluate", "nosuchkernel"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown kernel" in captured.err
+        assert "characterising" not in captured.err   # failed fast
+
+
+class TestGridSweep:
+    def test_grid_end_to_end_with_resume_and_jobs(self, tmp_path, capsys,
+                                                  design, lut):
+        """Grid mode: run, export, then resume warm with --jobs 2."""
+        import json as jsonlib
+
+        from repro.dta.compiled import clear_compiled_cache
+        from repro.lab.store import ArtifactStore
+
+        store_dir = tmp_path / "store"
+        # seed the LUT so the CLI test does not re-characterise
+        ArtifactStore(store_dir).save_lut(lut, design)
+        grid_path = tmp_path / "grid.json"
+        grid_path.write_text(jsonlib.dumps({
+            "name": "cli-grid",
+            "policies": ["instruction", "genie"],
+            "workloads": ["fib", "crc16"],
+            "check_safety": True,
+        }))
+        json_path = tmp_path / "out.json"
+        csv_path = tmp_path / "out.csv"
+
+        clear_compiled_cache()
+        assert main([
+            "sweep", "--grid", str(grid_path), "--store", str(store_dir),
+            "--json", str(json_path), "--csv", str(csv_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cli-grid" in out
+        document = jsonlib.loads(json_path.read_text())
+        assert len(document["results"]) == 2 * 2
+        assert csv_path.read_text().startswith("design_point,config")
+
+        clear_compiled_cache()
+        assert main([
+            "sweep", "--grid", str(grid_path), "--store", str(store_dir),
+            "--resume", "--jobs", "2",
+        ]) == 0
+        assert "(2 resumed)" in capsys.readouterr().out
+
+    def test_grid_file_errors(self, tmp_path, capsys):
+        assert main(["sweep", "--grid", str(tmp_path / "nope.json")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"policies": ["warp-speed"]}')
+        assert main(["sweep", "--grid", str(bad)]) == 2
+        assert "warp-speed" in capsys.readouterr().err
+
+    def test_grid_rejects_conflicting_axes(self, tmp_path, capsys):
+        grid_path = tmp_path / "grid.json"
+        grid_path.write_text("{}")
+        assert main(
+            ["sweep", "fib", "--grid", str(grid_path)]
+        ) == 2
+        assert "grid file" in capsys.readouterr().err
+        # safety gating and LUT reuse live in the grid file, not flags
+        assert main(
+            ["sweep", "--grid", str(grid_path), "--check-safety"]
+        ) == 2
+        assert main(
+            ["sweep", "--grid", str(grid_path), "--lut", "lut.json"]
+        ) == 2
+
+    def test_grid_rejects_design_flags(self, tmp_path, capsys):
+        """--variant/--voltage would be silently shadowed by the grid's
+        own axes; reject them like the other per-flag axes."""
+        grid_path = tmp_path / "grid.json"
+        grid_path.write_text("{}")
+        assert main(
+            ["sweep", "--grid", str(grid_path), "--voltage", "0.8"]
+        ) == 2
+        assert main(
+            ["sweep", "--grid", str(grid_path), "--variant", "conventional"]
+        ) == 2
+
+    def test_jobs_resume_json_require_grid(self, capsys):
+        assert main(["sweep", "--jobs", "2"]) == 2
+        assert main(["sweep", "--resume"]) == 2
+        assert main(["sweep", "--json", "out.json"]) == 2
+
+    def test_legacy_sweep_honours_store(self, tmp_path, capsys, design,
+                                        lut):
+        """Without --grid, --store still caches traces and the LUT."""
+        from repro.dta.compiled import clear_compiled_cache
+        from repro.lab.store import ArtifactStore
+
+        store_dir = tmp_path / "store"
+        ArtifactStore(store_dir).save_lut(lut, design)
+        clear_compiled_cache()
+        assert main([
+            "sweep", "fib", "--store", str(store_dir),
+            "--policy", "instruction",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "characterising" not in err    # LUT came from the store
+        assert any((store_dir / "traces").iterdir())

@@ -1,0 +1,224 @@
+"""Sweep runner: serial/parallel equivalence, store warming, resume."""
+
+import json
+
+import pytest
+
+from repro.dta.compiled import (
+    clear_compiled_cache,
+    reset_simulation_count,
+)
+from repro.lab import ArtifactStore, ScenarioGrid, SweepRunner
+
+#: Small but non-trivial grid: 2 configs x 2 programs, safety checked.
+GRID = ScenarioGrid(
+    name="runner-test",
+    policies=("instruction", "genie"),
+    margins=(0.0,),
+    workloads=("fib", "crc16"),
+    check_safety=True,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    """Runner tests measure store behaviour; keep the in-memory cache and
+    the simulation counter out of the picture."""
+    clear_compiled_cache()
+    reset_simulation_count()
+    yield
+    clear_compiled_cache()
+    reset_simulation_count()
+
+
+@pytest.fixture
+def seeded_store(tmp_path, design, lut):
+    """A store pre-seeded with the session LUT (characterising one per
+    test would dominate the suite's runtime); traces start cold."""
+    store = ArtifactStore(tmp_path / "store")
+    store.save_lut(lut, design)
+    store.stats.reset()
+    return store
+
+
+def _run(store, jobs=1, resume=False, grid=GRID):
+    runner = SweepRunner(grid, store=store, jobs=jobs)
+    return runner.run(resume=resume)
+
+
+class TestSerialRun:
+    def test_row_grid_shape_and_order(self, seeded_store):
+        result = _run(seeded_store)
+        assert result.units_total == 2
+        assert result.units_run == 2
+        assert [
+            (row["config"], row["program"]) for row in result.rows
+        ] == [
+            ("instruction/ideal", "fib"),
+            ("instruction/ideal", "crc16"),
+            ("genie/ideal", "fib"),
+            ("genie/ideal", "crc16"),
+        ]
+        assert result.num_violations == 0
+
+    def test_matches_in_process_evaluate_batch(self, seeded_store, design,
+                                               lut):
+        """Runner rows are bit-identical to the plain evaluate_batch path
+        (same grid, no store, no orchestration)."""
+        from repro.core import DcaConfig, DynamicClockAdjustment
+        from repro.flow.characterize import CharacterizationResult
+        from repro.flow.evaluate import evaluate_batch
+        from repro.lab.runner import result_to_dict
+
+        result = _run(seeded_store)
+
+        dca = DynamicClockAdjustment(
+            config=DcaConfig(variant=design.variant),
+            characterization=CharacterizationResult(design=design, lut=lut),
+        )
+        specs = GRID.config_specs()
+        configs = [spec.make(dca) for spec in specs]
+        point = GRID.design_points()[0]
+        reference = evaluate_batch(GRID.programs(), design, configs)
+        expected = [
+            result_to_dict(res, point, spec)
+            for spec, row in zip(specs, reference)
+            for res in row
+        ]
+        assert result.rows == expected
+
+    def test_warm_store_skips_simulation(self, seeded_store):
+        cold = _run(seeded_store)
+        assert cold.simulations == 2
+        assert cold.store_stats.get("trace", "writes") == 2
+
+        clear_compiled_cache()
+        seeded_store.stats.reset()
+        warm = _run(seeded_store)
+        assert warm.simulations == 0
+        assert warm.store_stats.get("trace", "misses") == 0
+        assert warm.store_stats.get("trace", "hits") == 2
+        assert warm.store_stats.get("lut", "misses") == 0
+        assert warm.rows == cold.rows
+
+    def test_prior_simulations_not_attributed_to_run(self, seeded_store,
+                                                     design):
+        """Simulations run before the sweep (other tests, warm parents)
+        must not inflate the run's simulation count."""
+        from repro.dta.compiled import get_compiled_trace
+        from repro.workloads import get_kernel
+
+        get_compiled_trace(get_kernel("gcd").program(), design)
+        result = _run(seeded_store)
+        assert result.simulations == 2   # only the grid's own programs
+
+    def test_sweep_result_cached_in_store(self, tmp_path, seeded_store):
+        result = _run(seeded_store)
+        store = ArtifactStore(tmp_path / "store")
+        cached = store.load_result(f"sweep:{GRID.fingerprint()}")
+        assert cached is not None
+        assert cached["results"] == result.rows
+
+
+class TestParallelRun:
+    def test_parallel_bit_identical_to_serial(self, seeded_store):
+        serial = _run(seeded_store)
+        clear_compiled_cache()
+        parallel = _run(seeded_store, jobs=2)
+        assert parallel.rows == serial.rows
+        assert parallel.jobs == 2
+
+    def test_parallel_cold_traces(self, seeded_store):
+        """Workers simulate and populate cold trace entries themselves."""
+        result = _run(seeded_store, jobs=2)
+        assert result.units_run == 2
+        clear_compiled_cache()
+        rerun = _run(seeded_store)   # serves from what the workers wrote
+        assert rerun.rows == result.rows
+        assert rerun.simulations == 0
+
+
+class TestResume:
+    def test_resume_skips_completed_units(self, seeded_store):
+        first = _run(seeded_store)
+        resumed = _run(seeded_store, resume=True)
+        assert resumed.units_resumed == 2
+        assert resumed.units_run == 0
+        assert resumed.rows == first.rows
+
+    def test_resume_after_partial_manifest(self, seeded_store):
+        """Simulate an interrupt: drop one unit from the manifest and
+        resume — only the missing unit is re-run."""
+        first = _run(seeded_store)
+        manifest_path = SweepRunner(GRID, store=seeded_store).manifest_path
+        payload = json.loads(manifest_path.read_text())
+        removed = "critical_range@0.7/crc16"
+        assert removed in payload["completed"]
+        del payload["completed"][removed]
+        manifest_path.write_text(json.dumps(payload))
+
+        clear_compiled_cache()
+        resumed = _run(seeded_store, resume=True)
+        assert resumed.units_resumed == 1
+        assert resumed.units_run == 1
+        assert resumed.rows == first.rows
+
+    def test_corrupt_unit_checkpoint_reruns_unit(self, seeded_store):
+        """A damaged per-unit checkpoint in the store means that unit is
+        re-run on resume, not crashed on or trusted."""
+        first = _run(seeded_store)
+        runner = SweepRunner(GRID, store=seeded_store)
+        unit_name = runner._unit_result_name("critical_range@0.7/fib")
+        seeded_store.result_path(unit_name).write_text("garbage")
+
+        clear_compiled_cache()
+        resumed = _run(seeded_store, resume=True)
+        assert resumed.units_resumed == 1
+        assert resumed.units_run == 1
+        assert resumed.rows == first.rows
+
+    def test_nearly_equal_voltages_get_distinct_units(self):
+        """Unit ids keep full voltage precision — display rounding must
+        never merge two operating points."""
+        grid = ScenarioGrid(voltages=(0.699, 0.701), workloads=("fib",))
+        ids = [unit_id for unit_id, _, _ in SweepRunner(grid).units()]
+        assert len(set(ids)) == 2
+
+    def test_stale_manifest_ignored(self, seeded_store):
+        _run(seeded_store)
+        other_grid = ScenarioGrid(
+            name="runner-test",
+            policies=("instruction",),
+            workloads=("fib", "crc16"),
+            check_safety=True,
+        )
+        clear_compiled_cache()
+        rerun = _run(seeded_store, resume=True, grid=other_grid)
+        # different fingerprint: nothing resumed, everything re-run
+        assert rerun.units_resumed == 0
+        assert rerun.units_run == 2
+
+    def test_no_store_no_manifest(self, tmp_path):
+        runner = SweepRunner(GRID, store=None, jobs=1)
+        assert runner.manifest_path is None
+        result = runner.run()
+        assert result.units_run == 2
+        assert result.store_stats is None
+
+
+class TestExports:
+    def test_write_json_and_csv(self, tmp_path, seeded_store):
+        result = _run(seeded_store)
+        json_path = tmp_path / "sweep.json"
+        csv_path = tmp_path / "sweep.csv"
+        result.write_json(json_path)
+        result.write_csv(csv_path)
+
+        document = json.loads(json_path.read_text())
+        assert document["fingerprint"] == GRID.fingerprint()
+        assert len(document["results"]) == 4
+        assert document["units"]["total"] == 2
+
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0].startswith("design_point,config,program")
+        assert len(lines) == 1 + 4

@@ -1,0 +1,248 @@
+"""Artifact store: round trips, key invalidation, corruption fallback.
+
+The store's contract is that *anything that could change an artifact
+changes its key* — schema bumps, another design operating point, edited
+program content — and that damaged cache files are detected, counted and
+recomputed, never crashed on.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.dta.compiled import (
+    clear_compiled_cache,
+    compile_trace,
+    get_compiled_trace,
+    reset_simulation_count,
+    set_trace_store,
+    simulation_count,
+)
+from repro.lab.store import ArtifactStore, SCHEMA_VERSION
+from repro.sim.pipeline import PipelineSimulator
+from repro.workloads import get_kernel
+
+MAX_CYCLES = 4_000_000
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+@pytest.fixture
+def fib_compiled(design):
+    program = get_kernel("fib").program()
+    trace = PipelineSimulator(program).run()
+    compiled = compile_trace(trace, design.excitation)
+    compiled.delays   # materialise before freezing
+    return program, compiled
+
+
+class TestTraceRoundTrip:
+    def test_bit_identical_arrays(self, design, store, fib_compiled):
+        program, compiled = fib_compiled
+        store.save_compiled_trace(compiled, program, design, MAX_CYCLES)
+        loaded = store.load_compiled_trace(program, design, MAX_CYCLES)
+
+        assert loaded is not None
+        assert loaded.program_name == compiled.program_name
+        assert loaded.num_cycles == compiled.num_cycles
+        assert loaded.num_retired == compiled.num_retired
+        assert loaded.class_names == compiled.class_names
+        assert loaded.operating_point == compiled.operating_point
+        np.testing.assert_array_equal(loaded.class_ids, compiled.class_ids)
+        np.testing.assert_array_equal(loaded.bubble, compiled.bubble)
+        np.testing.assert_array_equal(loaded.held, compiled.held)
+        np.testing.assert_array_equal(loaded.stall, compiled.stall)
+        np.testing.assert_array_equal(loaded.redirect, compiled.redirect)
+        # delays must be bit-identical (== on floats, not approx)
+        assert (loaded.delays == compiled.delays).all()
+        # rehydrated traces are store artifacts: no records, no model
+        assert loaded.trace is None
+        assert loaded.excitation is None
+
+    def test_counters(self, design, store, fib_compiled):
+        program, compiled = fib_compiled
+        assert store.load_compiled_trace(program, design, MAX_CYCLES) is None
+        assert store.stats.get("trace", "misses") == 1
+        store.save_compiled_trace(compiled, program, design, MAX_CYCLES)
+        assert store.stats.get("trace", "writes") == 1
+        store.load_compiled_trace(program, design, MAX_CYCLES)
+        assert store.stats.get("trace", "hits") == 1
+
+    def test_rehydrated_evaluation_bit_identical(self, design, lut, store,
+                                                 fib_compiled):
+        """Every vectorized policy evaluates a rehydrated trace exactly
+        as it evaluates the in-memory original."""
+        from repro.clocking.policies import (
+            ExOnlyLutPolicy,
+            GeniePolicy,
+            InstructionLutPolicy,
+            StaticClockPolicy,
+            TwoClassPolicy,
+        )
+
+        program, compiled = fib_compiled
+        store.save_compiled_trace(compiled, program, design, MAX_CYCLES)
+        loaded = store.load_compiled_trace(program, design, MAX_CYCLES)
+        policies = (
+            StaticClockPolicy(design.static_period_ps),
+            InstructionLutPolicy(lut),
+            ExOnlyLutPolicy(lut),
+            TwoClassPolicy(lut),
+            GeniePolicy(design.excitation),
+        )
+        for policy in policies:
+            original = policy.periods_for(compiled)
+            rehydrated = policy.periods_for(loaded)
+            assert (original == rehydrated).all(), policy.name
+
+    def test_genie_rejects_rehydrated_trace_of_other_point(
+            self, design, conventional_design, store, fib_compiled):
+        """The genie's cross-operating-point fallback needs per-record
+        state a rehydrated trace does not have — clear error, no
+        AttributeError."""
+        from repro.clocking.policies import GeniePolicy
+
+        program, compiled = fib_compiled
+        store.save_compiled_trace(compiled, program, design, MAX_CYCLES)
+        loaded = store.load_compiled_trace(program, design, MAX_CYCLES)
+        policy = GeniePolicy(conventional_design.excitation)
+        with pytest.raises(ValueError, match="store-rehydrated"):
+            policy.periods_for(loaded)
+
+
+class TestInvalidation:
+    """Each key ingredient must force a miss when it changes."""
+
+    def test_schema_version_bump_misses(self, design, store, fib_compiled):
+        program, compiled = fib_compiled
+        store.save_compiled_trace(compiled, program, design, MAX_CYCLES)
+        bumped = ArtifactStore(store.root,
+                               schema_version=SCHEMA_VERSION + 1)
+        assert bumped.load_compiled_trace(
+            program, design, MAX_CYCLES
+        ) is None
+        assert bumped.stats.get("trace", "misses") == 1
+        # the old-schema entry is untouched and still serves old readers
+        assert store.load_compiled_trace(
+            program, design, MAX_CYCLES
+        ) is not None
+
+    def test_changed_operating_point_misses(self, design,
+                                            conventional_design, store,
+                                            fib_compiled):
+        program, compiled = fib_compiled
+        store.save_compiled_trace(compiled, program, design, MAX_CYCLES)
+        # another variant
+        assert store.load_compiled_trace(
+            program, conventional_design, MAX_CYCLES
+        ) is None
+        # another supply voltage
+        assert store.load_compiled_trace(
+            program, design.at_voltage(0.80), MAX_CYCLES
+        ) is None
+
+    def test_changed_program_content_misses(self, design, store,
+                                            fib_compiled):
+        program, compiled = fib_compiled
+        store.save_compiled_trace(compiled, program, design, MAX_CYCLES)
+        other = get_kernel("crc16").program()
+        assert store.load_compiled_trace(other, design, MAX_CYCLES) is None
+
+    def test_changed_cycle_budget_misses(self, design, store, fib_compiled):
+        program, compiled = fib_compiled
+        store.save_compiled_trace(compiled, program, design, MAX_CYCLES)
+        assert store.load_compiled_trace(program, design, 1_000) is None
+
+    def test_lut_schema_and_point_invalidation(self, design,
+                                               conventional_design, lut,
+                                               store):
+        store.save_lut(lut, design)
+        assert store.load_lut(design) is not None
+        assert store.load_lut(conventional_design) is None
+        bumped = ArtifactStore(store.root,
+                               schema_version=SCHEMA_VERSION + 1)
+        assert bumped.load_lut(design) is None
+        assert store.load_lut(design, min_occurrences=1) is None
+
+
+class TestCorruption:
+    """Damaged cache files fall back to recompute — never crash."""
+
+    def test_corrupt_trace_recomputes(self, design, store, fib_compiled):
+        program, compiled = fib_compiled
+        store.save_compiled_trace(compiled, program, design, MAX_CYCLES)
+        path = store.trace_path(program, design, MAX_CYCLES)
+        path.write_bytes(b"this is not an npz archive")
+
+        assert store.load_compiled_trace(program, design, MAX_CYCLES) is None
+        assert store.stats.get("trace", "corrupt") == 1
+        assert not path.exists()   # damaged entry is discarded
+
+        # through the cache layer: the miss falls back to re-simulation
+        previous = set_trace_store(store)
+        clear_compiled_cache()
+        reset_simulation_count()
+        try:
+            recomputed = get_compiled_trace(program, design)
+            assert simulation_count() == 1
+            assert recomputed.trace is not None
+            assert (recomputed.delays == compiled.delays).all()
+            # and the recompute re-populated the store
+            clear_compiled_cache()
+            warm = get_compiled_trace(program, design)
+            assert simulation_count() == 1
+            assert warm.trace is None
+        finally:
+            set_trace_store(previous)
+            clear_compiled_cache()
+
+    def test_truncated_trace_recomputes(self, design, store, fib_compiled):
+        program, compiled = fib_compiled
+        store.save_compiled_trace(compiled, program, design, MAX_CYCLES)
+        path = store.trace_path(program, design, MAX_CYCLES)
+        path.write_bytes(path.read_bytes()[:100])   # torn write
+        assert store.load_compiled_trace(program, design, MAX_CYCLES) is None
+        assert store.stats.get("trace", "corrupt") == 1
+
+    def test_corrupt_lut_falls_back(self, design, lut, store):
+        store.save_lut(lut, design)
+        path = store.lut_path(design, 30)
+        path.write_text("{ not json")
+        assert store.load_lut(design) is None
+        assert store.stats.get("lut", "corrupt") == 1
+        assert not path.exists()
+        # a fresh save works again and round-trips exactly
+        store.save_lut(lut, design)
+        reloaded = store.load_lut(design)
+        for cls in lut.classes():
+            assert reloaded.row(cls) == lut.row(cls)
+        assert reloaded.characterized == lut.characterized
+        assert reloaded.static_period_ps == lut.static_period_ps
+
+    def test_wrong_payload_type_falls_back(self, design, lut, store):
+        store.save_lut(lut, design)
+        path = store.lut_path(design, 30)
+        path.write_text(json.dumps({"schema": SCHEMA_VERSION, "lut": 42}))
+        assert store.load_lut(design) is None
+        assert store.stats.get("lut", "corrupt") == 1
+
+    def test_corrupt_result_falls_back(self, store):
+        store.save_result("sweep:abc", {"rows": [1, 2, 3]})
+        assert store.load_result("sweep:abc") == {"rows": [1, 2, 3]}
+        store.result_path("sweep:abc").write_text("garbage")
+        assert store.load_result("sweep:abc") is None
+        assert store.stats.get("result", "corrupt") == 1
+
+
+class TestGetLut:
+    def test_get_lut_characterises_once(self, design, lut, store):
+        """A pre-seeded store serves the LUT without characterising."""
+        store.save_lut(lut, design)
+        served = store.get_lut(design)
+        assert store.stats.get("lut", "hits") == 1
+        for cls in lut.classes():
+            assert served.row(cls) == lut.row(cls)
