@@ -47,6 +47,12 @@ from repro.utils.tables import format_table  # noqa: E402
 
 BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_sweep.json"
 
+#: PR 2's shipped cold-sweep wall time (scalar pipeline simulator +
+#: record-path characterisation, single process) — the baseline the
+#: vectorized two-phase engine and array characterisation are measured
+#: against, tracked PR over PR in ``BENCH_sweep.json``.
+PR2_BASELINE_COLD_SECONDS = 5.235
+
 GRID = ScenarioGrid(
     name="bench-perf-sweep",
     policies=("instruction", "two-class", "genie"),
@@ -135,6 +141,10 @@ def run_sweep_comparison(store_root=None):
             "evaluations": GRID.num_evaluations,
             "jobs": 2,
             "cores": _available_cores(),
+            "baseline_pr2_cold_seconds": PR2_BASELINE_COLD_SECONDS,
+            "cold_speedup_vs_pr2": round(
+                PR2_BASELINE_COLD_SECONDS / cold_seconds, 2
+            ),
             "cold_seconds": round(cold_seconds, 3),
             "warm_seconds": round(warm_seconds, 3),
             "serial_sim_seconds": round(serial_seconds, 3),
@@ -157,7 +167,9 @@ def report(metrics):
         ["Run", "Wall time", "Notes"],
         [
             ("cold store, jobs=1", f"{metrics['cold_seconds']:.2f} s",
-             "characterise + simulate everything"),
+             f"characterise + simulate everything "
+             f"({metrics['cold_speedup_vs_pr2']:.1f}x vs PR 2's "
+             f"{metrics['baseline_pr2_cold_seconds']:.2f} s)"),
             ("warm store, jobs=1", f"{metrics['warm_seconds']:.2f} s",
              f"{metrics['warm_simulations']} simulations, "
              f"{metrics['warm_trace_misses']} trace misses"),

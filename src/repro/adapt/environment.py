@@ -70,6 +70,38 @@ class EnvironmentModel:
         aging = self.aging_total * min(cycle / self.horizon_cycles, 1.0)
         return 1.0 + temperature + droop + aging
 
+    def drift_array(self, num_cycles):
+        """Per-cycle drift factors ``[drift(0) .. drift(num_cycles-1)]``.
+
+        Bit-identical to calling :meth:`drift` per cycle — the same
+        ``math`` operations run per element; only the loop-invariant phase
+        hash is hoisted (it dominates the per-call cost).
+        """
+        import numpy as np
+
+        phase = 2.0 * math.pi * hash_to_unit_float("env-phase", self.seed)
+        two_pi = 2.0 * math.pi
+        amplitude = self.temperature_amplitude
+        period = self.temperature_period_cycles
+        droop_on = self.droop_amplitude > 0 and self.droop_every_cycles > 0
+        values = np.empty(num_cycles, dtype=float)
+        for cycle in range(num_cycles):
+            temperature = amplitude * math.sin(
+                two_pi * cycle / period + phase
+            )
+            droop = 0.0
+            if droop_on:
+                position = cycle % self.droop_every_cycles
+                if position < self.droop_length_cycles:
+                    droop = self.droop_amplitude * 0.5 * (
+                        1.0 - math.cos(
+                            two_pi * position / self.droop_length_cycles
+                        )
+                    )
+            aging = self.aging_total * min(cycle / self.horizon_cycles, 1.0)
+            values[cycle] = 1.0 + temperature + droop + aging
+        return values
+
     def max_drift(self, num_cycles):
         """Upper bound on drift over a run (for static guard-band sizing)."""
         return (

@@ -13,17 +13,45 @@ Three controller configurations are compared under environmental drift:
 
 The monitor is modelled as measuring the true drift factor with a small
 quantisation error, which is how hardware delay monitors behave.
+
+Two engines produce bit-identical results (held together by
+``tests/test_batch_equivalence.py``):
+
+- ``engine="array"`` (default) consumes the compiled-trace arrays: the
+  policy prediction is one ``periods_for`` gather, the monitor rescale
+  schedule is a ``repeat`` over the update points, and the ground-truth
+  safety check is a single comparison against the drift-scaled delay
+  matrix;
+- ``engine="record"`` is the retained scalar reference: one pipeline
+  record at a time, one excitation replay per stage.
 """
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.clocking.policies import InstructionLutPolicy
+from repro.dta.compiled import get_compiled_trace
 from repro.sim.pipeline import PipelineSimulator
 from repro.sim.trace import Stage
 from repro.utils.units import ps_to_mhz
 
 #: Resolution of the hardware delay monitor (relative).
 MONITOR_RESOLUTION = 0.005
+
+#: Pipeline-simulation cycle budget — matches the main evaluation
+#: engine's default so the drift adapter shares compiled-trace cache and
+#: store entries with sweeps instead of keying a second simulation.
+DEFAULT_MAX_CYCLES = 4_000_000
+
+#: Safety tolerance, as in the main evaluation engine.
+VIOLATION_TOLERANCE_PS = 1e-6
+
+#: Valid adapter engines.
+ENGINES = ("array", "record")
+
+#: Valid schemes.
+SCHEMES = ("fixed-none", "fixed-guard", "online")
 
 
 @dataclass
@@ -67,9 +95,26 @@ def _monitor_measurement(true_drift):
     return steps * MONITOR_RESOLUTION
 
 
+def _check_arguments(scheme, engine):
+    if scheme not in SCHEMES:
+        raise ValueError(f"unknown scheme {scheme!r}")
+    if engine not in ENGINES:
+        raise ValueError(f"unknown adapter engine {engine!r}")
+
+
+def _finish(result, periods):
+    """Shared aggregation: both engines reduce the same period sequence
+    with the same array operations, so their aggregates are bit-equal."""
+    periods = np.asarray(periods, dtype=float)
+    result.total_time_ps = float(periods.sum())
+    result.periods = periods.tolist()
+    return result
+
+
 def evaluate_with_drift(program, design, lut, environment,
                         scheme="online", update_interval=150,
-                        tracking_margin=0.025, max_cycles=2_000_000):
+                        tracking_margin=0.025, max_cycles=DEFAULT_MAX_CYCLES,
+                        engine="array"):
     """Evaluate a program while the environment drifts.
 
     Parameters
@@ -81,10 +126,73 @@ def evaluate_with_drift(program, design, lut, environment,
         Cycles between monitor readings / LUT rescales (online scheme).
     tracking_margin:
         Relative margin covering drift between two updates (online scheme).
+    engine:
+        ``"array"`` (compiled-trace, default) or ``"record"`` (scalar
+        reference); bit-identical results.
     """
-    if scheme not in ("fixed-none", "fixed-guard", "online"):
-        raise ValueError(f"unknown scheme {scheme!r}")
+    _check_arguments(scheme, engine)
+    if engine == "record":
+        return _evaluate_with_drift_records(
+            program, design, lut, environment, scheme, update_interval,
+            tracking_margin, max_cycles,
+        )
+    return _evaluate_with_drift_arrays(
+        program, design, lut, environment, scheme, update_interval,
+        tracking_margin, max_cycles,
+    )
 
+
+def _evaluate_with_drift_arrays(program, design, lut, environment, scheme,
+                                update_interval, tracking_margin,
+                                max_cycles):
+    """Array engine: one compiled trace, a handful of vector operations."""
+    compiled = get_compiled_trace(program, design, max_cycles=max_cycles)
+    num_cycles = compiled.num_cycles
+    drift = environment.drift_array(num_cycles)
+    predicted = np.asarray(
+        InstructionLutPolicy(lut).periods_for(compiled), dtype=float
+    )
+
+    result = AdaptiveEvaluationResult(
+        program_name=program.name,
+        scheme=scheme,
+        num_cycles=num_cycles,
+        total_time_ps=0.0,
+        max_drift_seen=max(1.0, float(drift.max())) if num_cycles else 1.0,
+    )
+
+    if scheme == "online":
+        update_cycles = np.arange(0, num_cycles, update_interval)
+        scales = np.array([
+            _monitor_measurement(float(drift[cycle])) + tracking_margin
+            for cycle in update_cycles
+        ], dtype=float)
+        segment_lengths = np.diff(
+            np.append(update_cycles, num_cycles)
+        )
+        scale = np.repeat(scales, segment_lengths)
+        result.lut_updates = len(update_cycles)
+        periods = predicted * scale
+    else:
+        if scheme == "fixed-guard":
+            static_scale = environment.max_drift(num_cycles)
+        else:
+            static_scale = 1.0
+        periods = predicted * static_scale
+
+    # ground truth: every excited delay is stretched by the drift
+    violating = (
+        compiled.delays * drift[:, None]
+        > periods[:, None] + VIOLATION_TOLERANCE_PS
+    )
+    result.violations = int(np.count_nonzero(violating))
+    return _finish(result, periods)
+
+
+def _evaluate_with_drift_records(program, design, lut, environment, scheme,
+                                 update_interval, tracking_margin,
+                                 max_cycles):
+    """Scalar reference: the original per-record walk."""
     simulator = PipelineSimulator(program)
     trace = simulator.run(max_cycles=max_cycles)
     policy = InstructionLutPolicy(lut)
@@ -102,6 +210,7 @@ def evaluate_with_drift(program, design, lut, environment,
         total_time_ps=0.0,
     )
 
+    periods = []
     online_scale = 1.0 + tracking_margin
     for record in trace.records:
         drift = environment.drift(record.cycle)
@@ -117,25 +226,31 @@ def evaluate_with_drift(program, design, lut, environment,
             period = predicted * online_scale
         else:
             period = predicted * static_scale
-        result.total_time_ps += period
-        result.periods.append(period)
+        periods.append(period)
 
         # ground truth: every excited delay is stretched by the drift
         for stage in Stage:
             excited = excitation.group_delay(record, stage)
-            if excited.delay_ps * drift > period + 1e-6:
+            if excited.delay_ps * drift > period + VIOLATION_TOLERANCE_PS:
                 result.violations += 1
-    return result
+    return _finish(result, periods)
 
 
 def compare_schemes(program, design, lut, environment,
-                    update_interval=150, tracking_margin=0.025):
-    """Run all three schemes; returns {scheme: result}."""
+                    update_interval=150, tracking_margin=0.025,
+                    engine="array"):
+    """Run all three schemes; returns {scheme: result}.
+
+    With the array engine the program is simulated and compiled once (via
+    the shared compiled-trace cache) and each scheme costs only its own
+    rescale/compare pass.
+    """
     return {
         scheme: evaluate_with_drift(
             program, design, lut, environment, scheme=scheme,
             update_interval=update_interval,
             tracking_margin=tracking_margin,
+            engine=engine,
         )
-        for scheme in ("fixed-none", "fixed-guard", "online")
+        for scheme in SCHEMES
     }

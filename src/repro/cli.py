@@ -9,6 +9,7 @@ Exposes the main flows as subcommands::
     python -m repro characterize -o lut.json   # full characterisation
     python -m repro evaluate crc32 --policy instruction [--lut lut.json]
     python -m repro table2 [--lut lut.json]    # Table II view of a LUT
+    python -m repro store gc --store DIR --max-size 500M [--dry-run]
 
 Scenario grids run whole experiments through the parallel sweep runner
 (:mod:`repro.lab`) with a persistent artifact store, e.g.::
@@ -323,6 +324,49 @@ def cmd_table2(args):
     return 0
 
 
+_SIZE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+
+
+def parse_size(text):
+    """Parse a size budget like ``500M``, ``1.5G``, ``4096`` (bytes)."""
+    text = text.strip().lower().removesuffix("b")
+    factor = 1
+    if text and text[-1] in _SIZE_SUFFIXES:
+        factor = _SIZE_SUFFIXES[text[-1]]
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        raise ValueError(f"invalid size {text!r}") from None
+    if value < 0:
+        raise ValueError("size budget cannot be negative")
+    return int(value * factor)
+
+
+def cmd_store_gc(args):
+    """LRU store eviction: keep the most recently used artifacts within
+    the size budget (artifact loads refresh their mtime)."""
+    from repro.lab.store import ArtifactStore
+
+    try:
+        budget = parse_size(args.max_size)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    store = ArtifactStore(args.store)
+    if not store.root.is_dir():
+        print(f"error: store directory {store.root} does not exist",
+              file=sys.stderr)
+        return 2
+    result = store.gc(max_bytes=budget, dry_run=args.dry_run)
+    prefix = "would evict" if args.dry_run else "evicted"
+    print(f"{store.root}: {result.scanned_files} artifacts scanned; "
+          f"{prefix} {result.removed_files} "
+          f"({result.removed_bytes} B), kept {result.kept_files} "
+          f"({result.kept_bytes} B) within {budget} B")
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -411,6 +455,23 @@ def build_parser():
     _add_design_arguments(sub)
     sub.add_argument("--lut", help="LUT JSON file")
     sub.set_defaults(func=cmd_table2)
+
+    sub = subparsers.add_parser(
+        "store", help="artifact-store maintenance"
+    )
+    store_subparsers = sub.add_subparsers(dest="store_command",
+                                          required=True)
+    gc = store_subparsers.add_parser(
+        "gc",
+        help="evict least-recently-used artifacts down to a size budget",
+    )
+    gc.add_argument("--store", required=True,
+                    help="artifact-store directory")
+    gc.add_argument("--max-size", required=True,
+                    help="size budget, e.g. 500M, 2G, 4096 (bytes)")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="report what would be evicted without deleting")
+    gc.set_defaults(func=cmd_store_gc)
 
     return parser
 

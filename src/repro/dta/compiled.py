@@ -78,6 +78,10 @@ class CompiledTrace:
     #: ``(variant_value, voltage)`` the delays were computed at; lets the
     #: genie policy validate a trace without a live excitation model.
     operating_point: tuple = None
+    #: Optional vectorized EX-cell builder ``f(active_cycles) -> delays``
+    #: installed by :func:`compile_vector_run`; replaces the per-record
+    #: replay loop with array math (bit-identical results).
+    ex_replay: object = field(default=None, repr=False)
     _delays: np.ndarray = field(default=None, repr=False)
 
     @property
@@ -135,13 +139,18 @@ class CompiledTrace:
             np.where(self.held[:, Stage.EX], tables["hold"], 0.0),
         )
         delays[:, Stage.EX] = ex
-        group_delay = self.excitation.group_delay
-        records = self.trace.records
-        active = ~(self.bubble[:, Stage.EX] | self.held[:, Stage.EX])
-        for index in np.nonzero(active)[0]:
-            delays[index, Stage.EX] = group_delay(
-                records[index], Stage.EX
-            ).delay_ps
+        active = np.nonzero(
+            ~(self.bubble[:, Stage.EX] | self.held[:, Stage.EX])
+        )[0]
+        if self.ex_replay is not None:
+            delays[active, Stage.EX] = self.ex_replay(active)
+        else:
+            group_delay = self.excitation.group_delay
+            records = self.trace.records
+            for index in active:
+                delays[index, Stage.EX] = group_delay(
+                    records[index], Stage.EX
+                ).delay_ps
         return delays
 
     def cycle_max_delays(self):
@@ -223,6 +232,124 @@ def compile_trace(trace, excitation):
     )
 
 
+class _LazyTraceProxy:
+    """Record-compatible stand-in for a vector-compiled trace.
+
+    Vector runs keep per-cycle data as arrays; the full
+    :class:`~repro.sim.trace.PipelineTrace` is only materialised when a
+    record-oriented consumer (e.g. a policy without ``periods_for``)
+    actually touches it.  Must not be ``None``: the store-switch eviction
+    in :func:`set_trace_store` uses ``trace is None`` to mark rehydrated,
+    context-bound entries, and vector-compiled traces are fully simulated.
+    """
+
+    def __init__(self, run):
+        self._run = run
+
+    def __getattr__(self, name):
+        return getattr(self._run.trace, name)
+
+
+def compile_vector_run(run, excitation):
+    """Compile a :class:`~repro.sim.vector.VectorPipelineRun` directly.
+
+    Builds the same matrices as :func:`compile_trace` — including the
+    first-encounter interning order of the class names and the ADR
+    driver-view substitution — without materialising a single cycle
+    record, and installs a vectorized EX-cell replay so the lazy delay
+    matrix never walks records either.
+    """
+    from repro.timing.excitation import ex_criticality_array
+    from repro.utils.rounding import round3_array
+
+    occupancy = run.stage_occupancy()
+    num_cycles = run.num_cycles
+    local_names = run.class_names
+    bubble_code = len(local_names)
+    slot_class = run.slot_class
+
+    codes = np.empty((num_cycles, NUM_STAGES), dtype=np.int64)
+    bubble = np.empty((num_cycles, NUM_STAGES), dtype=bool)
+    held = np.empty((num_cycles, NUM_STAGES), dtype=bool)
+    for stage in Stage:
+        occupant, stage_bubble, stage_held = occupancy[stage]
+        codes[:, stage] = np.where(
+            stage_bubble, bubble_code,
+            slot_class[np.maximum(occupant, 0)],
+        )
+        bubble[:, stage] = stage_bubble
+        held[:, stage] = stage_held
+    # the ADR group is driven by the EX occupant (attribute_cycle)
+    codes[:, Stage.ADR] = codes[:, Stage.EX]
+    bubble[:, Stage.ADR] = bubble[:, Stage.EX]
+    held[:, Stage.ADR] = held[:, Stage.EX]
+
+    # intern in first-encounter order over the row-major class matrix —
+    # exactly the order compile_trace's per-record walk produces
+    unique, first_seen = np.unique(codes.ravel(), return_index=True)
+    order = np.argsort(first_seen)
+    remap = np.empty(bubble_code + 1, dtype=np.int32)
+    remap[unique[order]] = np.arange(len(order), dtype=np.int32)
+    class_ids = remap[codes]
+    class_names = tuple(
+        BUBBLE_CLASS if code == bubble_code else local_names[code]
+        for code in unique[order].tolist()
+    )
+
+    profile = excitation.profile
+    scale = excitation.library.delay_scale
+    redirect = run.redirect
+
+    def ex_replay(active):
+        """Excited EX delays of the active cells, vectorized.
+
+        Each non-bubble slot has exactly one non-held EX cycle, so active
+        cells map 1:1 onto fetch-stream slots; draining slots carry zero
+        operands, matching the scalar ``ex_operands=(None, None)`` path.
+        """
+        slots = run.ex_occ[active]
+        instructions = run.slot_instr
+        mnemonics = [instructions[slot].mnemonic for slot in slots.tolist()]
+        crit = ex_criticality_array(
+            mnemonics,
+            run.slot_kind[slots],
+            run.slot_a[slots],
+            run.slot_b[slots],
+            run.slot_pc[slots],
+            redirect[active],
+        )
+        cls_rows = class_ids[active, int(Stage.EX)]
+        max_ps = np.empty(len(class_names))
+        spread_ps = np.empty(len(class_names))
+        for index, cls in enumerate(class_names):
+            if cls == BUBBLE_CLASS:
+                max_ps[index] = spread_ps[index] = 0.0
+                continue
+            spec = profile.ex_spec(cls)
+            max_ps[index] = spec.max_ps
+            spread_ps[index] = spec.spread_ps
+        delay = max_ps[cls_rows] - spread_ps[cls_rows] * (1.0 - crit)
+        return round3_array(delay * scale)
+
+    return CompiledTrace(
+        program_name=run.program.name,
+        num_cycles=num_cycles,
+        num_retired=run.num_retired,
+        class_names=class_names,
+        class_ids=class_ids,
+        bubble=bubble,
+        held=held,
+        stall=run.stall.copy(),
+        redirect=redirect.copy(),
+        trace=_LazyTraceProxy(run),
+        excitation=excitation,
+        operating_point=(
+            excitation.profile.variant.value, excitation.library.voltage
+        ),
+        ex_replay=ex_replay,
+    )
+
+
 # -- per-(program, design) cache ---------------------------------------------
 
 #: Maximum number of compiled traces kept alive (LRU).
@@ -298,7 +425,14 @@ def get_compiled_trace(program, design, max_cycles=4_000_000):
 
     Simulation runs at most once per (program, design operating point,
     cycle limit); every configuration of a sweep shares the result.
+
+    Simulation uses the two-phase vector engine
+    (:mod:`repro.sim.vector`); programs it cannot reconstruct exactly
+    (self-modifying fetch streams) fall back to the scalar
+    :class:`~repro.sim.pipeline.PipelineSimulator` — both produce
+    bit-identical compiled traces.
     """
+    from repro.sim import vector
     from repro.sim.pipeline import PipelineSimulator
 
     global _simulations
@@ -312,9 +446,13 @@ def get_compiled_trace(program, design, max_cycles=4_000_000):
     if _store is not None:
         compiled = _store.load_compiled_trace(program, design, max_cycles)
     if compiled is None:
-        trace = PipelineSimulator(program).run(max_cycles=max_cycles)
+        run = vector.simulate(program, max_cycles=max_cycles)
         _simulations += 1
-        compiled = compile_trace(trace, design.excitation)
+        if run is None:
+            trace = PipelineSimulator(program).run(max_cycles=max_cycles)
+            compiled = compile_trace(trace, design.excitation)
+        else:
+            compiled = compile_vector_run(run, design.excitation)
         if _store is not None:
             _store.save_compiled_trace(compiled, program, design, max_cycles)
     _cache[key] = compiled

@@ -92,6 +92,70 @@ def extract_lut(dta_result, trace, static_period_ps,
     )
 
 
+def extract_lut_arrays(dta_result, compiled, static_period_ps,
+                       min_occurrences=DEFAULT_MIN_OCCURRENCES, source=""):
+    """Array-path :func:`extract_lut`: attribution from a compiled trace.
+
+    The compiled class-id matrix *is* :func:`attribute_cycle` in bulk (the
+    ADR column already keys on the EX occupant), so the per-class,
+    per-stage maxima reduce to one ``np.maximum.at`` per stage and the EX
+    occurrence counts to a ``bincount``.  Produces a LUT equal to the
+    record-path one — same entries, occurrences, characterized set — for
+    the same DTA data.
+    """
+    import numpy as np
+
+    if dta_result.num_cycles != compiled.num_cycles:
+        raise ValueError(
+            f"DTA covers {dta_result.num_cycles} cycles but the trace has "
+            f"{compiled.num_cycles}"
+        )
+
+    class_names = compiled.class_names
+    num_classes = len(class_names)
+    maxima = np.zeros((num_classes, len(Stage)), dtype=float)
+    for stage in Stage:
+        np.maximum.at(
+            maxima[:, stage],
+            compiled.class_ids[:, stage],
+            np.asarray(dta_result.stage_delays[stage], dtype=float),
+        )
+
+    ex_counts_array = np.bincount(
+        compiled.class_ids[:, Stage.EX], minlength=num_classes
+    )
+    # every class in the compiled intern table was observed in some stage
+    entries = {}
+    for index, cls in enumerate(class_names):
+        entries[cls] = {
+            stage: (
+                float(maxima[index, stage])
+                if maxima[index, stage] > 0.0 else static_period_ps
+            )
+            for stage in Stage
+        }
+    ex_counts = {
+        class_names[index]: int(count)
+        for index, count in enumerate(ex_counts_array)
+        if count > 0
+    }
+
+    characterized = {
+        cls for cls, count in ex_counts.items() if count >= min_occurrences
+    }
+    if BUBBLE_CLASS in ex_counts:
+        characterized.add(BUBBLE_CLASS)
+
+    return DelayLUT(
+        static_period_ps=static_period_ps,
+        entries=entries,
+        occurrences=ex_counts,
+        characterized=characterized,
+        min_occurrences=min_occurrences,
+        source=source,
+    )
+
+
 def merge_luts(luts):
     """Merge LUTs from several characterisation runs (max per entry).
 

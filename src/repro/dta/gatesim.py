@@ -14,9 +14,12 @@ at fixed fractions, exercising the analyzer's per-endpoint max reduction.
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.dta.events import EndpointEvent, EventLog
 from repro.sim.pipeline import PipelineSimulator
 from repro.sim.trace import Stage
+from repro.utils.rounding import round3_array
 
 #: Data-arrival fractions of the non-worst endpoints in each group.
 _TRAILING_FRACTIONS = (1.0, 0.86, 0.67)
@@ -117,6 +120,94 @@ class GateLevelSimulator:
             design=self.design,
             num_cycles=trace.num_cycles,
         )
+
+
+    def run_dta(self):
+        """Array fast path: simulate, 'log', and analyze in one sweep.
+
+        Produces the :class:`~repro.dta.analyzer.DtaResult` (and the
+        compiled trace that supplies the per-cycle attribution) that
+        :meth:`run` + :func:`~repro.dta.analyzer.analyze_event_log` would
+        produce — bit-identically — without materialising half a million
+        :class:`EndpointEvent` objects.  The event-log timestamp
+        arithmetic (per-endpoint rounding, setup/skew offsets, the
+        slack-recovery subtraction) is replayed exactly on the compiled
+        ground-truth delay matrix; ``tests/test_characterize_flow.py``
+        holds the two paths together.
+
+        Returns ``(dta_result, compiled_trace)``.
+        """
+        from repro.dta.analyzer import DtaResult
+        from repro.dta.compiled import (
+            compile_trace,
+            compile_vector_run,
+            worst_per_cycle,
+        )
+        from repro.sim import vector
+
+        run = vector.simulate(self.program, max_cycles=self.max_cycles)
+        if run is None:   # self-modifying fetch stream: scalar reference
+            trace = PipelineSimulator(self.program).run(
+                max_cycles=self.max_cycles
+            )
+            compiled = compile_trace(trace, self.design.excitation)
+        else:
+            compiled = compile_vector_run(run, self.design.excitation)
+
+        recovered = recovered_stage_delays(
+            compiled.delays, self.design, self.sim_period_ps
+        )
+        cycle_max, limiting = worst_per_cycle(recovered)
+        dta = DtaResult(
+            sim_period_ps=self.sim_period_ps,
+            num_cycles=compiled.num_cycles,
+            stage_delays={
+                stage: recovered[:, stage] for stage in Stage
+            },
+            cycle_max=cycle_max,
+            limiting_stage=limiting,
+        )
+        return dta, compiled
+
+
+def recovered_stage_delays(delays, design, sim_period_ps):
+    """Per-cycle stage delays as the DTA recovers them from an event log.
+
+    For every stage group the (few) representative endpoints trail the
+    worst excited delay at fixed fractions; each endpoint's data/clock
+    timestamps are rounded to the event log's 3-decimal resolution, and
+    the analyzer recovers ``period - slack``.  This function replays that
+    exact arithmetic on the ``(cycles, stages)`` excited-delay matrix —
+    the recovered value differs from the excited delay by the rounding
+    noise of the timestamps, which is why extraction must run on *this*
+    matrix to stay bit-identical to the event-log reference path.
+    """
+    num_cycles = len(delays)
+    period = sim_period_ps
+    t0 = np.arange(num_cycles, dtype=float) * period
+    recovered = np.zeros((num_cycles, len(Stage)), dtype=float)
+    for stage in Stage:
+        column = np.zeros(num_cycles, dtype=float)
+        for endpoint, fraction in zip(
+            design.netlist.endpoints_for(stage), _TRAILING_FRACTIONS
+        ):
+            delay = delays[:, stage] * fraction
+            t_data = round3_array(
+                t0 + delay - endpoint.setup_ps + endpoint.skew_ps
+            )
+            t_clock = round3_array(t0 + period + endpoint.skew_ps)
+            if np.any(t_clock < t_data):
+                cycle = int(np.argmax(t_clock < t_data))
+                raise ValueError(
+                    f"endpoint {endpoint.name!r} cycle {cycle}: "
+                    f"clock edge before data event (timing violation in "
+                    f"the characterisation run — sim period too fast)"
+                )
+            column = np.maximum(
+                column, period - (t_clock - t_data - endpoint.setup_ps)
+            )
+        recovered[:, stage] = column
+    return recovered
 
 
 def run_gatesim(program, design, sim_period_ps=None):

@@ -3,14 +3,41 @@
 Mirrors the paper's Fig. 2 right half: gate-level simulation of
 characterisation programs, dynamic timing analysis of the resulting event
 logs, per-instruction extraction and LUT merge.
+
+Two engines produce bit-identical results:
+
+- ``engine="array"`` (default) — the vectorized path:
+  :meth:`~repro.dta.gatesim.GateLevelSimulator.run_dta` replays the
+  event-log arithmetic on the compiled delay matrices and
+  :func:`~repro.dta.extraction.extract_lut_arrays` reduces the
+  attribution with array maxima;
+- ``engine="record"`` — the retained reference: materialised event log,
+  per-event analysis, per-record extraction.
+
+Characterisation shards: each program's gate-sim batch is independent, so
+``jobs > 1`` fans the suite out over worker processes, and per-program
+LUTs can be cached in an :class:`~repro.lab.store.ArtifactStore`
+(``store=``) so an interrupted characterisation resumes by recomputing
+only the missing batches.  The merge happens in canonical suite order
+regardless of completion order — the merged LUT is bit-identical to the
+serial in-process result.
 """
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.dta.analyzer import analyze_event_log
-from repro.dta.extraction import DEFAULT_MIN_OCCURRENCES, extract_lut, merge_luts
+from repro.dta.extraction import (
+    DEFAULT_MIN_OCCURRENCES,
+    extract_lut,
+    extract_lut_arrays,
+    merge_luts,
+)
 from repro.dta.gatesim import GateLevelSimulator
 from repro.workloads.suite import characterization_suite
+
+#: Valid characterisation engines.
+ENGINES = ("array", "record")
 
 
 @dataclass
@@ -44,8 +71,95 @@ class CharacterizationResult:
         raise KeyError(f"no characterisation run named {program_name!r}")
 
 
+def characterize_program(program, design,
+                         min_occurrences=DEFAULT_MIN_OCCURRENCES,
+                         sim_period_ps=None, engine="array",
+                         keep_run=False):
+    """One characterisation batch: gate-sim + DTA + extraction.
+
+    Returns ``(lut, num_cycles, run)`` — ``run`` is a
+    :class:`CharacterizationRun` when ``keep_run`` is set, else ``None``.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown characterisation engine {engine!r}")
+    gatesim = GateLevelSimulator(program, design, sim_period_ps=sim_period_ps)
+    if engine == "array":
+        dta, compiled = gatesim.run_dta()
+        lut = extract_lut_arrays(
+            dta, compiled, design.static_period_ps,
+            min_occurrences=min_occurrences, source=program.name,
+        )
+        num_cycles = compiled.num_cycles
+        trace = compiled.trace
+    else:
+        result = gatesim.run()
+        dta = analyze_event_log(result.event_log)
+        lut = extract_lut(
+            dta, result.trace, design.static_period_ps,
+            min_occurrences=min_occurrences, source=program.name,
+        )
+        num_cycles = result.num_cycles
+        trace = result.trace
+    run = None
+    if keep_run:
+        run = CharacterizationRun(
+            program_name=program.name,
+            num_cycles=num_cycles,
+            dta=dta,
+            trace=trace,
+            lut=lut,
+        )
+    return lut, num_cycles, run
+
+
+def _cached_program_lut(program, design, min_occurrences, sim_period_ps,
+                        engine, store):
+    """Per-program LUT through the store's charlut cache (if any)."""
+    if store is not None:
+        cached = store.load_char_lut(
+            design, program, min_occurrences=min_occurrences,
+            sim_period_ps=sim_period_ps,
+        )
+        if cached is not None:
+            return cached
+    lut, num_cycles, _ = characterize_program(
+        program, design, min_occurrences=min_occurrences,
+        sim_period_ps=sim_period_ps, engine=engine,
+    )
+    if store is not None:
+        store.save_char_lut(
+            lut, num_cycles, design, program,
+            min_occurrences=min_occurrences, sim_period_ps=sim_period_ps,
+        )
+    return lut, num_cycles
+
+
+def _shard_worker(payload):
+    """Pool entry point: characterise one program in a worker process.
+
+    Returns the worker-side store counters too, so the parent's stats
+    reflect sharded activity exactly like a serial run's."""
+    (index, program, variant_value, voltage, min_occurrences,
+     sim_period_ps, engine, store_root) = payload
+    from repro.timing.design import build_design
+    from repro.timing.profiles import DesignVariant
+
+    design = build_design(DesignVariant(variant_value), voltage=voltage)
+    store = None
+    if store_root is not None:
+        from repro.lab.store import ArtifactStore
+
+        store = ArtifactStore(store_root)
+    lut, num_cycles = _cached_program_lut(
+        program, design, min_occurrences, sim_period_ps, engine, store
+    )
+    stats = store.stats.as_dict() if store is not None else None
+    return index, lut.to_json(), num_cycles, stats
+
+
 def characterize(design, programs=None, min_occurrences=DEFAULT_MIN_OCCURRENCES,
-                 sim_period_ps=None, keep_runs=True):
+                 sim_period_ps=None, keep_runs=True, engine="array",
+                 jobs=1, store=None):
     """Characterise a design and return its merged delay LUT.
 
     Parameters
@@ -62,35 +176,70 @@ def characterize(design, programs=None, min_occurrences=DEFAULT_MIN_OCCURRENCES,
         Gate-sim clock period (defaults to 10 % above STA).
     keep_runs:
         Keep per-run DTA artefacts (needed by the histogram benches).
+        Incompatible with ``jobs > 1`` — per-run artefacts stay in their
+        worker process.
+    engine:
+        ``"array"`` (vectorized, default) or ``"record"`` (the retained
+        scalar reference); both produce bit-identical LUTs.
+    jobs:
+        Worker processes to shard the per-program gate-sim batches over.
+    store:
+        Optional :class:`~repro.lab.store.ArtifactStore`; per-program LUTs
+        are read from / written through its ``charlut`` cache, so a killed
+        characterisation recomputes only the missing batches.
     """
     if programs is None:
         programs = characterization_suite()
+    programs = list(programs)
+    jobs = max(1, int(jobs))
+    if jobs > 1 and keep_runs:
+        raise ValueError(
+            "sharded characterisation (jobs > 1) cannot keep per-run "
+            "artefacts; pass keep_runs=False"
+        )
 
     runs = []
-    luts = []
-    total_cycles = 0
-    for program in programs:
-        gatesim = GateLevelSimulator(program, design,
-                                     sim_period_ps=sim_period_ps)
-        result = gatesim.run()
-        dta = analyze_event_log(result.event_log)
-        lut = extract_lut(
-            dta, result.trace, design.static_period_ps,
-            min_occurrences=min_occurrences, source=program.name,
-        )
-        luts.append(lut)
-        total_cycles += result.num_cycles
-        if keep_runs:
-            runs.append(
-                CharacterizationRun(
-                    program_name=program.name,
-                    num_cycles=result.num_cycles,
-                    dta=dta,
-                    trace=result.trace,
-                    lut=lut,
-                )
-            )
+    luts = [None] * len(programs)
+    cycle_counts = [0] * len(programs)
 
+    if jobs > 1 and len(programs) > 1:
+        from repro.dta.lut import DelayLUT
+
+        store_root = str(store.root) if store is not None else None
+        payloads = [
+            (index, program, design.variant.value, design.library.voltage,
+             min_occurrences, sim_period_ps, engine, store_root)
+            for index, program in enumerate(programs)
+        ]
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(programs))
+        ) as pool:
+            for index, lut_json, num_cycles, stats in pool.map(
+                _shard_worker, payloads
+            ):
+                luts[index] = DelayLUT.from_json(lut_json)
+                cycle_counts[index] = num_cycles
+                if store is not None and stats is not None:
+                    store.stats.merge(stats)
+    else:
+        for index, program in enumerate(programs):
+            if keep_runs:
+                lut, num_cycles, run = characterize_program(
+                    program, design, min_occurrences=min_occurrences,
+                    sim_period_ps=sim_period_ps, engine=engine,
+                    keep_run=True,
+                )
+                runs.append(run)
+            else:
+                lut, num_cycles = _cached_program_lut(
+                    program, design, min_occurrences, sim_period_ps,
+                    engine, store,
+                )
+            luts[index] = lut
+            cycle_counts[index] = num_cycles
+
+    total_cycles = sum(cycle_counts)
+    # canonical suite-order merge: bit-identical however the batches ran
     merged = merge_luts(luts)
     merged.source = f"{len(programs)} programs / {total_cycles} cycles"
     return CharacterizationResult(

@@ -275,6 +275,10 @@ _SPEC_LIST = [
 #: Mapping from mnemonic to its specification.
 SPECS = {spec.mnemonic: spec for spec in _SPEC_LIST}
 
+#: Stable small-integer code per :class:`InstructionKind`, used by the
+#: vectorized simulation/excitation paths to put kinds into NumPy arrays.
+KIND_CODE = {kind: index for index, kind in enumerate(InstructionKind)}
+
 if len(SPECS) != len(_SPEC_LIST):
     raise AssertionError("duplicate mnemonic in instruction spec table")
 

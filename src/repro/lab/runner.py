@@ -343,11 +343,18 @@ class SweepRunner:
 
     def warm_luts(self):
         """Characterise every design point's LUT into the store up front,
-        so parallel workers never duplicate gate-level simulation."""
+        so parallel workers never duplicate gate-level simulation.
+
+        Characterisation itself is sharded over the runner's worker count:
+        each program's gate-sim batch lands in the store's per-program
+        ``charlut`` cache and the merged LUT is assembled in canonical
+        suite order, so the result is bit-identical to a serial
+        characterisation — and a killed warm-up resumes by recomputing
+        only the missing batches."""
         if self.store is None:
             return
         for point in self.grid.design_points():
-            self.store.get_lut(point.build())
+            self.store.get_lut(point.build(), jobs=self.jobs)
 
     def run(self, resume=False, progress=None):
         """Execute the grid; returns a :class:`SweepRunResult`.

@@ -26,6 +26,7 @@ import json
 import os
 import pathlib
 import tempfile
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -40,8 +41,10 @@ from repro.dta.lut import DelayLUT
 #: the only way a persistent store can serve wrong results.
 SCHEMA_VERSION = 1
 
-#: Artifact kinds tracked by :class:`StoreStats`.
-KINDS = ("trace", "lut", "result")
+#: Artifact kinds tracked by :class:`StoreStats`.  ``lut`` is a design's
+#: merged characterisation; ``charlut`` is one program's characterisation
+#: batch (the unit of sharded/resumable characterisation).
+KINDS = ("trace", "lut", "charlut", "result")
 
 #: Events tracked per kind.
 EVENTS = ("hits", "misses", "writes", "corrupt")
@@ -54,6 +57,23 @@ _TRACE_ARRAYS = (
 
 class StoreCorruption(Exception):
     """A cache file exists but cannot be decoded (internal signal)."""
+
+
+@dataclass
+class GcResult:
+    """Outcome of one :meth:`ArtifactStore.gc` pass."""
+
+    scanned_files: int = 0
+    kept_files: int = 0
+    kept_bytes: int = 0
+    removed_files: int = 0
+    removed_bytes: int = 0
+
+    def summary(self):
+        return (
+            f"kept {self.kept_files} files ({self.kept_bytes} B), "
+            f"removed {self.removed_files} files ({self.removed_bytes} B)"
+        )
 
 
 class StoreStats:
@@ -213,6 +233,7 @@ class ArtifactStore:
             self._discard(path)
             return None
         self.stats.record("trace", "hits")
+        self._touch(path)
         return compiled
 
     def _read_trace(self, path):
@@ -253,6 +274,14 @@ class ArtifactStore:
         except OSError:
             pass
 
+    def _touch(self, path):
+        """Refresh an artifact's mtime on hit, making mtime an LRU clock
+        for :meth:`gc`."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
     # -- characterised LUTs --------------------------------------------------
 
     def save_lut(self, lut, design, min_occurrences=DEFAULT_MIN_OCCURRENCES):
@@ -284,12 +313,21 @@ class ArtifactStore:
             self._discard(path)
             return None
         self.stats.record("lut", "hits")
+        self._touch(path)
         return lut
 
-    def get_lut(self, design, min_occurrences=DEFAULT_MIN_OCCURRENCES):
+    def get_lut(self, design, min_occurrences=DEFAULT_MIN_OCCURRENCES,
+                jobs=1):
         """Characterised LUT of a design, characterising at most once per
         (operating point, threshold, schema) across every process sharing
         this store directory.
+
+        Characterisation runs through the per-program ``charlut`` cache:
+        each program's gate-sim batch is stored individually (sharded over
+        ``jobs`` workers when asked), so an interrupted characterisation
+        resumes by recomputing only the missing batches, and the merged
+        LUT — assembled in canonical suite order — is bit-identical to an
+        in-process :func:`repro.flow.characterize.characterize`.
 
         Only the default characterisation suite is cached — callers with
         custom program sets should run
@@ -300,12 +338,114 @@ class ArtifactStore:
             from repro.flow.characterize import characterize
 
             lut = characterize(
-                design, min_occurrences=min_occurrences, keep_runs=False
+                design, min_occurrences=min_occurrences, keep_runs=False,
+                store=self, jobs=jobs,
             ).lut
             self.save_lut(lut, design, min_occurrences)
         return lut
 
+    # -- per-program characterisation batches --------------------------------
+
+    def char_lut_path(self, design, program,
+                      min_occurrences=DEFAULT_MIN_OCCURRENCES,
+                      sim_period_ps=None):
+        key = _digest([
+            "charlut", self.schema_version,
+            design_fingerprint(design), program_fingerprint(program),
+            min_occurrences, sim_period_ps,
+        ])
+        return self._path("charluts", key, ".json")
+
+    def save_char_lut(self, lut, num_cycles, design, program,
+                      min_occurrences=DEFAULT_MIN_OCCURRENCES,
+                      sim_period_ps=None):
+        """Persist one program's characterisation batch."""
+        path = self.char_lut_path(
+            design, program, min_occurrences, sim_period_ps
+        )
+        document = json.dumps({
+            "schema": self.schema_version,
+            "program": program.name,
+            "num_cycles": num_cycles,
+            "lut": json.loads(lut.to_json()),
+        }, indent=2, sort_keys=True)
+        self._write_atomic(
+            path, lambda tmp: pathlib.Path(tmp).write_text(document)
+        )
+        self.stats.record("charlut", "writes")
+
+    def load_char_lut(self, design, program,
+                      min_occurrences=DEFAULT_MIN_OCCURRENCES,
+                      sim_period_ps=None):
+        """One cached characterisation batch: ``(lut, num_cycles)`` or
+        ``None`` on miss/corruption."""
+        path = self.char_lut_path(
+            design, program, min_occurrences, sim_period_ps
+        )
+        if not path.exists():
+            self.stats.record("charlut", "misses")
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("schema") != self.schema_version:
+                raise StoreCorruption("schema mismatch")
+            lut = DelayLUT.from_json(json.dumps(payload["lut"]))
+            num_cycles = int(payload["num_cycles"])
+        except (StoreCorruption, KeyError, TypeError, ValueError, OSError):
+            self.stats.record("charlut", "corrupt")
+            self.stats.record("charlut", "misses")
+            self._discard(path)
+            return None
+        self.stats.record("charlut", "hits")
+        self._touch(path)
+        return lut, num_cycles
+
     # -- sweep results -------------------------------------------------------
+
+    # -- garbage collection --------------------------------------------------
+
+    def gc(self, max_bytes, dry_run=False):
+        """Least-recently-used eviction down to a size budget.
+
+        Artifact mtimes double as the LRU clock (loads refresh them via
+        :meth:`_touch`), so sorting by mtime and keeping the newest files
+        until the budget is filled evicts exactly the least recently used
+        artifacts.  Everything under the store root is eligible —
+        compiled traces, merged and per-program LUTs, results and run
+        manifests are all recomputable by construction.
+
+        Returns a :class:`GcResult`; ``dry_run`` reports without deleting.
+        """
+        if max_bytes < 0:
+            raise ValueError("size budget cannot be negative")
+        entries = []
+        if self.root.is_dir():
+            for path in self.root.rglob("*"):
+                if path.is_file():
+                    stat = path.stat()
+                    entries.append(
+                        (stat.st_mtime, str(path), stat.st_size, path)
+                    )
+        # newest first; path tiebreak keeps the order deterministic
+        entries.sort(key=lambda entry: (-entry[0], entry[1]))
+        result = GcResult(scanned_files=len(entries))
+        kept = 0
+        evicting = False
+        for _, _, size, path in entries:
+            # strict LRU: the first artifact that overflows the budget
+            # marks the recency cut — everything older goes too, so a
+            # stale small file can never outlive a fresher large one
+            if not evicting and kept + size <= max_bytes:
+                kept += size
+                result.kept_files += 1
+                result.kept_bytes += size
+            else:
+                evicting = True
+                result.removed_files += 1
+                result.removed_bytes += size
+                if not dry_run:
+                    self._discard(path)
+        return result
 
     def save_result(self, name, payload):
         """Persist a JSON-serialisable result document under ``name``."""
@@ -329,4 +469,5 @@ class ArtifactStore:
             self._discard(path)
             return None
         self.stats.record("result", "hits")
+        self._touch(path)
         return payload

@@ -40,7 +40,7 @@ class FunctionalSimulator:
         tightly-coupled instruction/data SRAM pair mapped in one space).
     """
 
-    def __init__(self, program, memory=None):
+    def __init__(self, program, memory=None, observer=None):
         self.program = program
         self.memory = memory if memory is not None else Memory("dmem")
         if memory is None:
@@ -51,6 +51,12 @@ class FunctionalSimulator:
         self._decode_cache = {}
         self._pending_target = None  # branch target to apply after the slot
         self._in_delay_slot = False
+        #: Optional ``observer(pc, instruction, a, b, result)`` called once
+        #: per retired instruction with the operand values read before
+        #: execution — the hook the vectorized pipeline engine uses to
+        #: collect per-instruction arrays without duplicating the ISS
+        #: semantics.
+        self.observer = observer
 
     # -- fetch ----------------------------------------------------------------
 
@@ -91,6 +97,8 @@ class FunctionalSimulator:
         a = state.read_reg(instruction.ra)
         b = state.read_reg(instruction.rb)
         result = compute(instruction, a, b, state.flag, state.carry, pc)
+        if self.observer is not None:
+            self.observer(pc, instruction, a, b, result)
         self._apply(instruction, result)
         self.retired.append((pc, instruction))
         state.instret += 1

@@ -1,0 +1,723 @@
+"""Two-phase vectorized pipeline simulation.
+
+The scalar :class:`~repro.sim.pipeline.PipelineSimulator` walks the machine
+cycle by cycle, building six :class:`~repro.sim.trace.StageView` objects per
+clock — faithful, but the dominant per-unit cost of a cold sweep.  This
+module produces the *same trace* (bit-identical records, retired stream and
+architectural state — enforced by ``tests/test_sim_equivalence.py``) in two
+phases:
+
+1. **ISS pass** — one architectural run of the
+   :class:`~repro.sim.iss.FunctionalSimulator` with an observer collecting
+   per-instruction arrays: program counters, EX operand values (the
+   effective datapath ``b`` after the operand mux), branch outcomes and
+   instruction metadata (timing class, hazard ports, divider membership).
+
+2. **Array pass** — the cycle-accurate structure is reconstructed with
+   NumPy.  The pipeline is rigid (the whole front end stalls as a unit, EX
+   consumes one slot per advance), so the *fetch stream* — retired
+   instructions, one squashed wrong-path word per taken transfer, and the
+   short post-halt drain — fully determines every cycle.  EX entry cycles
+   follow the recurrence ``e[f] = e[f-1] + L[f-1] + lu[f]`` (divider
+   occupancy ``L``, load-use bubbles ``lu``), which is one ``cumsum``; the
+   per-cycle stage occupancy, stall/redirect flags and held markers are
+   then scatter/gather operations.
+
+The reconstruction is exact only when fetched words are immutable over the
+run.  A program that stores into any fetched address (self-modifying code,
+wrong-path fetches into freshly written data) falls back to the scalar
+engine, as does any ISS error — :func:`simulate` returns ``None`` and the
+caller runs :class:`PipelineSimulator`, which remains the retained
+reference semantics.
+
+Consumers that only need arrays (the compiled-trace engine, the
+characterisation flow) read the cycle/slot arrays directly and never pay
+for record materialisation; :meth:`VectorPipelineRun.trace` builds the full
+:class:`~repro.sim.trace.PipelineTrace` on demand for record-oriented
+callers.
+"""
+
+import numpy as np
+
+from repro.isa.encoding import EncodingError, decode
+from repro.isa.opcodes import KIND_CODE, InstructionKind
+from repro.sim.iss import HALT_NOP_CODE, FunctionalSimulator, SimulationError
+from repro.sim.pipeline import DEFAULT_DIV_LATENCY, DEFAULT_MAX_CYCLES
+from repro.sim.trace import (
+    BUBBLE_VIEW,
+    CycleRecord,
+    PipelineTrace,
+    Stage,
+    StageView,
+)
+
+_DIV_CODE = KIND_CODE[InstructionKind.DIV]
+_LOAD_CODE = KIND_CODE[InstructionKind.LOAD]
+_STORE_CODE = KIND_CODE[InstructionKind.STORE]
+
+_WORD_MASK = 0xFFFFFFFF
+
+#: Number of pipeline stages.
+_NUM_STAGES = len(Stage)
+
+
+class _Fallback(Exception):
+    """Internal signal: this program needs the scalar engine."""
+
+
+_fallbacks = {"count": 0, "reason": ""}
+
+
+def fallback_count():
+    """Programs routed to the scalar engine since the last reset."""
+    return _fallbacks["count"]
+
+
+def last_fallback_reason():
+    return _fallbacks["reason"]
+
+
+def reset_fallback_count():
+    _fallbacks["count"] = 0
+    _fallbacks["reason"] = ""
+
+
+class VectorPipelineRun:
+    """Result of one vectorized pipeline simulation.
+
+    Attributes come in two index spaces:
+
+    - *slot arrays* (length ``num_slots``) describe the fetch stream in
+      fetch order — ``seq`` numbers in the trace are exactly these indices;
+    - *cycle arrays* (length ``num_cycles``) describe per-clock state;
+      occupant arrays hold fetch-stream indices (``-1`` for bubbles that
+      never had a fetch identity, e.g. startup and load-use bubbles).
+
+    ``slot_squashed`` slots (wrong-path words killed by a taken transfer)
+    carry their fetched identity — they are visible in ``ADR`` only and
+    flow as bubbles afterwards; ``~slot_is_instr`` slots (undecodable
+    wrong-path words past the halt) are bubbles everywhere.
+    """
+
+    def __init__(self, program, div_latency, state, memory, retired):
+        self.program = program
+        self.div_latency = div_latency
+        self.state = state
+        self.memory = memory
+        self.retired = retired
+        self.halted = True
+        self.num_cycles = 0
+        self.num_retired = len(retired)
+        self._trace = None
+
+    # -- trace materialisation ----------------------------------------------
+
+    @property
+    def trace(self):
+        """Full :class:`PipelineTrace`, built in bulk on first access."""
+        if self._trace is None:
+            self._trace = self._build_trace()
+        return self._trace
+
+    def _views_for_slots(self):
+        """Per-slot StageViews (one plain, one held variant), built once."""
+        plain = []
+        held = []
+        instrs = self.slot_instr
+        pcs = self.slot_pc
+        for index in range(self.num_slots):
+            instruction = instrs[index]
+            if instruction is None:
+                plain.append(BUBBLE_VIEW)
+                held.append(BUBBLE_VIEW)
+                continue
+            base = dict(
+                mnemonic=instruction.mnemonic,
+                timing_class=instruction.timing_class,
+                pc=int(pcs[index]),
+                seq=index,
+            )
+            plain.append(StageView(held=False, **base))
+            held.append(StageView(held=True, **base))
+        return plain, held
+
+    def _build_trace(self):
+        plain, held_views = self._views_for_slots()
+        post_bubble = self.slot_post_bubble
+        has_ops = self.slot_has_ops
+        a_vals = self.slot_a
+        b_vals = self.slot_b
+        stall = self.stall
+        redirect = self.redirect
+        ex_occ = self.ex_occ
+        ex_held = self.ex_held
+        ctrl_occ = self.ctrl_occ
+        wb_occ = self.wb_occ
+        adr_idx = self.adr_idx
+        fe_idx = self.fe_idx
+        dc_idx = self.dc_idx
+        records = []
+        for cycle in range(self.num_cycles):
+            stalled = bool(stall[cycle])
+
+            adr_slot = int(adr_idx[cycle])
+            adr_view = held_views[adr_slot] if stalled else plain[adr_slot]
+
+            fe_slot = int(fe_idx[cycle])
+            if fe_slot < 0 or post_bubble[fe_slot]:
+                fe_view = BUBBLE_VIEW
+            else:
+                fe_view = held_views[fe_slot] if stalled else plain[fe_slot]
+
+            dc_slot = int(dc_idx[cycle])
+            if dc_slot < 0 or post_bubble[dc_slot]:
+                dc_view = BUBBLE_VIEW
+            else:
+                dc_view = held_views[dc_slot] if stalled else plain[dc_slot]
+
+            ex_slot = int(ex_occ[cycle])
+            operands = None
+            if ex_slot < 0 or post_bubble[ex_slot]:
+                ex_view = BUBBLE_VIEW
+            else:
+                ex_view = (
+                    held_views[ex_slot] if ex_held[cycle] else plain[ex_slot]
+                )
+                if has_ops[ex_slot]:
+                    operands = (int(a_vals[ex_slot]), int(b_vals[ex_slot]))
+                else:
+                    operands = (None, None)
+
+            ctrl_slot = int(ctrl_occ[cycle])
+            if ctrl_slot < 0 or post_bubble[ctrl_slot]:
+                ctrl_view = BUBBLE_VIEW
+            else:
+                ctrl_view = plain[ctrl_slot]
+
+            wb_slot = int(wb_occ[cycle])
+            if wb_slot < 0 or post_bubble[wb_slot]:
+                wb_view = BUBBLE_VIEW
+            else:
+                wb_view = plain[wb_slot]
+
+            records.append(
+                CycleRecord(
+                    cycle=cycle,
+                    slots=(adr_view, fe_view, dc_view, ex_view, ctrl_view,
+                           wb_view),
+                    ex_operands=operands,
+                    redirect=bool(redirect[cycle]),
+                    stall=stalled,
+                )
+            )
+        trace = PipelineTrace(program_name=self.program.name)
+        trace.records = records
+        trace.retired = list(self.retired)
+        return trace
+
+    # -- array views consumed by the compiled-trace engine -------------------
+
+    def stage_occupancy(self):
+        """Per-stage ``(occupant, bubble, held)`` cycle columns.
+
+        Occupants are fetch-stream indices (``-1`` for identity-less
+        bubbles); ``bubble`` is the *displayed* bubble state (squashed and
+        undecodable slots show as bubbles from FE on).  The ADR column
+        holds the true fetch-stage occupant — callers that need the paper's
+        driver mapping (ADR keyed on EX) substitute the EX column
+        themselves.
+        """
+        post_bubble = self.slot_post_bubble
+        adr_bubble = ~self.slot_is_instr[self.adr_idx]
+        fe_valid = self.fe_idx >= 0
+        fe_bubble = ~fe_valid | post_bubble[np.maximum(self.fe_idx, 0)]
+        dc_valid = self.dc_idx >= 0
+        dc_bubble = ~dc_valid | post_bubble[np.maximum(self.dc_idx, 0)]
+        ex_bubble = (self.ex_occ < 0) | post_bubble[np.maximum(self.ex_occ, 0)]
+        ctrl_bubble = (
+            (self.ctrl_occ < 0) | post_bubble[np.maximum(self.ctrl_occ, 0)]
+        )
+        wb_bubble = (self.wb_occ < 0) | post_bubble[np.maximum(self.wb_occ, 0)]
+        false = np.zeros(self.num_cycles, dtype=bool)
+        return {
+            Stage.ADR: (self.adr_idx, adr_bubble, self.stall & ~adr_bubble),
+            Stage.FE: (self.fe_idx, fe_bubble, self.stall & ~fe_bubble),
+            Stage.DC: (self.dc_idx, dc_bubble, self.stall & ~dc_bubble),
+            Stage.EX: (self.ex_occ, ex_bubble, self.ex_held),
+            Stage.CTRL: (self.ctrl_occ, ctrl_bubble, false),
+            Stage.WB: (self.wb_occ, wb_bubble, false),
+        }
+
+
+def simulate(program, div_latency=DEFAULT_DIV_LATENCY,
+             max_cycles=DEFAULT_MAX_CYCLES):
+    """Vectorized pipeline run, or ``None`` when the program needs the
+    scalar engine (self-modifying fetch stream, ISS error — the caller
+    falls back to :class:`~repro.sim.pipeline.PipelineSimulator`).
+
+    Raises :class:`SimulationError` exactly where the scalar engine would
+    (undecodable pre-halt wrong-path word, cycle budget exceeded).
+    """
+    if div_latency < 1:
+        raise ValueError("div_latency must be at least 1 cycle")
+    try:
+        return _simulate(program, div_latency, max_cycles)
+    except _Fallback as fallback:
+        _fallbacks["count"] += 1
+        _fallbacks["reason"] = str(fallback)
+        return None
+
+
+# -- phase 1: the ISS pass ----------------------------------------------------
+
+
+def _collect_iss(program, max_cycles):
+    """Run the functional simulator once, collecting per-instruction data.
+
+    The step cap equals the cycle budget: the pipeline retires at most one
+    instruction per cycle, so an ISS overrunning ``max_cycles`` steps
+    implies the scalar engine would overrun ``max_cycles`` cycles too.
+    """
+    pcs, instrs, a_vals, b_vals = [], [], [], []
+    takens, targets, metas = [], [], []
+    store_words = set()
+    meta_cache = {}
+    intern = {}
+    class_names = []
+
+    def meta_for(instruction):
+        meta = meta_cache.get(instruction)
+        if meta is None:
+            spec = instruction.spec
+            cls = instruction.timing_class
+            cls_id = intern.get(cls)
+            if cls_id is None:
+                cls_id = intern[cls] = len(class_names)
+                class_names.append(cls)
+            dest = instruction.destination_register()
+            source_mask = 0
+            for register in instruction.source_registers():
+                source_mask |= 1 << register
+            meta = (
+                cls_id,
+                KIND_CODE[spec.kind],
+                -1 if dest is None else dest,
+                source_mask,
+                spec.reads_rb,
+                instruction.imm & _WORD_MASK,
+            )
+            meta_cache[instruction] = meta
+        return meta
+
+    def observer(pc, instruction, a, b, result):
+        meta = meta_for(instruction)
+        pcs.append(pc)
+        instrs.append(instruction)
+        a_vals.append(a)
+        b_vals.append(b if meta[4] else meta[5])
+        takens.append(bool(result.branch_taken))
+        targets.append(result.branch_target if result.branch_taken else 0)
+        metas.append(meta)
+        if meta[1] == _STORE_CODE:
+            first = result.mem_addr & ~3
+            last = (result.mem_addr + result.mem_size - 1) & ~3
+            store_words.add(first)
+            if last != first:
+                store_words.add(last)
+
+    simulator = FunctionalSimulator(program, observer=observer)
+    steps = 0
+    while not simulator.halted:
+        if steps >= max_cycles:
+            # the pipeline retires at most one instruction per cycle, so
+            # the scalar engine provably exceeds the budget too — same
+            # error, no fallback run needed
+            raise SimulationError(
+                f"exceeded {max_cycles} cycles without halting "
+                f"(pc={simulator.state.pc:#010x})"
+            )
+        try:
+            simulator.step()
+        except Exception as error:   # scalar engine reproduces the error
+            raise _Fallback(f"ISS error: {error}") from error
+        steps += 1
+    return (simulator, pcs, instrs, a_vals, b_vals, takens, targets, metas,
+            store_words, class_names)
+
+
+# -- phase 2: array reconstruction -------------------------------------------
+
+
+def _simulate(program, div_latency, max_cycles):
+    (iss, pcs, instrs, a_vals, b_vals, takens, targets, metas,
+     store_words, class_names) = _collect_iss(program, max_cycles)
+
+    num_retired = len(pcs)
+    meta_matrix = np.array(metas, dtype=np.int64)       # (N, 6)
+    retired_cls = meta_matrix[:, 0]
+    retired_kind = meta_matrix[:, 1]
+    retired_dest = meta_matrix[:, 2]
+    retired_src = meta_matrix[:, 3]
+    retired_pc = np.array(pcs, dtype=np.int64)
+    retired_a = np.array(a_vals, dtype=np.uint64)
+    retired_b = np.array(b_vals, dtype=np.uint64)
+    taken = np.array(takens, dtype=bool)
+
+    # -- fetch-stream layout: retired instructions in program order, plus
+    # one squashed wrong-path word two positions after every taken
+    # transfer (branch, delay slot, victim, target, ...)
+    taken_count = np.cumsum(taken)
+    offsets = np.zeros(num_retired, dtype=np.int64)
+    if num_retired > 2:
+        offsets[2:] = taken_count[:-2]
+    stream_pos = np.arange(num_retired, dtype=np.int64) + offsets
+    victim_of = np.nonzero(taken)[0]                    # retired indices
+    victim_pos = stream_pos[victim_of] + 2
+    victim_pc = retired_pc[victim_of] + 8
+
+    num_main = num_retired + len(victim_of)
+    halt_pos = int(stream_pos[-1])
+
+    # slot arrays over the main stream
+    slot_pc = np.zeros(num_main, dtype=np.int64)
+    slot_cls = np.full(num_main, -1, dtype=np.int64)
+    slot_kind = np.full(num_main, -1, dtype=np.int64)
+    slot_dest = np.full(num_main, -1, dtype=np.int64)
+    slot_src = np.zeros(num_main, dtype=np.int64)
+    slot_a = np.zeros(num_main, dtype=np.uint64)
+    slot_b = np.zeros(num_main, dtype=np.uint64)
+    slot_taken = np.zeros(num_main, dtype=bool)
+    slot_is_instr = np.zeros(num_main, dtype=bool)
+    slot_squashed = np.zeros(num_main, dtype=bool)
+    slot_has_ops = np.zeros(num_main, dtype=bool)
+    slot_instr = np.empty(num_main, dtype=object)
+
+    slot_pc[stream_pos] = retired_pc
+    slot_cls[stream_pos] = retired_cls
+    slot_kind[stream_pos] = retired_kind
+    slot_dest[stream_pos] = retired_dest
+    slot_src[stream_pos] = retired_src
+    slot_a[stream_pos] = retired_a
+    slot_b[stream_pos] = retired_b
+    slot_taken[stream_pos] = taken
+    slot_is_instr[stream_pos] = True
+    slot_has_ops[stream_pos] = True
+    slot_instr[stream_pos] = np.array(instrs, dtype=object)
+
+    # victims: fetched (and decoded) wrong-path words.  The guard below
+    # ensures fetched words are immutable, so the initial image is what the
+    # scalar engine decoded.  Decode failures reproduce the scalar rules:
+    # past the first fetched halt word they are bubbles, before it they
+    # are fatal.
+    fetched = set(np.unique(retired_pc).tolist())
+    decode_cache = {}
+    halt_fetch_pos = halt_pos   # may move earlier: wrong-path halt words
+    if len(victim_of):
+        slot_pc[victim_pos] = victim_pc
+        slot_squashed[victim_pos] = True
+        # victim_pos is increasing (stream order), which the running
+        # halt-in-flight check relies on
+        for position, address in zip(
+            victim_pos.tolist(), victim_pc.tolist()
+        ):
+            fetched.add(address)
+            instruction = _decode_fetch(
+                program, address, decode_cache,
+                halt_in_flight=position > halt_fetch_pos,
+            )
+            slot_instr[position] = instruction
+            if instruction is not None:
+                slot_is_instr[position] = True
+                slot_cls[position] = _intern_class(
+                    instruction, class_names
+                )
+            if _is_halt(instruction):
+                halt_fetch_pos = min(halt_fetch_pos, position)
+
+    # EX occupancy and entry cycles over the main stream:
+    #   L   — EX residency (div_latency for divides, 1 otherwise)
+    #   lu  — one-cycle load-use bubble in front of the consumer
+    lat = np.ones(num_main, dtype=np.int64)
+    lat[slot_is_instr & ~slot_squashed & (slot_kind == _DIV_CODE)] = (
+        div_latency
+    )
+    live = slot_is_instr & ~slot_squashed
+    lu = np.zeros(num_main, dtype=bool)
+    if num_main > 1:
+        producer_load = live[:-1] & (slot_kind[:-1] == _LOAD_CODE)
+        producer_dest = slot_dest[:-1]
+        consumer_reads = (
+            (slot_src[1:] >> np.maximum(producer_dest, 0)) & 1
+        ).astype(bool)
+        lu[1:] = (
+            live[1:] & producer_load & (producer_dest > 0) & consumer_reads
+        )
+    lu_int = lu.astype(np.int64)
+
+    entry = np.empty(num_main, dtype=np.int64)
+    entry[0] = 3
+    if num_main > 1:
+        entry[1:] = 3 + np.cumsum(lat[:-1])
+    entry += np.cumsum(lu_int)
+
+    num_cycles = int(entry[halt_pos]) + 3
+    if num_cycles > max_cycles:
+        raise SimulationError(
+            f"exceeded {max_cycles} cycles without halting "
+            f"(pc={int(retired_pc[-1]):#010x})"
+        )
+
+    # -- post-halt drain: fetching continues sequentially (no redirects
+    # execute past the halt) until the trace ends.  A handful of slots —
+    # generated scalar-wise, including their stall contributions.
+    main_stalls = int(np.sum(lat - 1) + np.sum(lu_int))
+    drain = _generate_drain(
+        program, decode_cache, fetched,
+        continuation=_drain_continuation(
+            slot_squashed, num_main, victim_of, targets, retired_pc
+        ),
+        start_index=num_main,
+        prev_live=bool(live[-1]),
+        prev_kind=int(slot_kind[-1]),
+        prev_dest=int(slot_dest[-1]),
+        entry_next=int(entry[-1] + lat[-1]),
+        stall_total=main_stalls,
+        num_cycles=num_cycles,
+        div_latency=div_latency,
+        class_names=class_names,
+    )
+
+    # stores into fetched words would make the reconstruction diverge from
+    # fetch-time decoding — the scalar engine owns those programs
+    if store_words and not store_words.isdisjoint(fetched):
+        raise _Fallback("store into fetched address range")
+
+    if drain.count:
+        slot_pc = np.concatenate([slot_pc, drain.pc])
+        slot_cls = np.concatenate([slot_cls, drain.cls])
+        slot_kind = np.concatenate([slot_kind, drain.kind])
+        slot_a = np.concatenate([slot_a, np.zeros(drain.count, np.uint64)])
+        slot_b = np.concatenate([slot_b, np.zeros(drain.count, np.uint64)])
+        slot_taken = np.concatenate(
+            [slot_taken, np.zeros(drain.count, bool)]
+        )
+        slot_is_instr = np.concatenate([slot_is_instr, drain.is_instr])
+        slot_squashed = np.concatenate(
+            [slot_squashed, np.zeros(drain.count, bool)]
+        )
+        slot_has_ops = np.concatenate(
+            [slot_has_ops, np.zeros(drain.count, bool)]
+        )
+        slot_instr = np.concatenate([slot_instr, drain.instr])
+        entry = np.concatenate([entry, drain.entry])
+        lat = np.concatenate([lat, drain.lat])
+        lu_int = np.concatenate([lu_int, drain.lu])
+
+    num_slots = len(slot_pc)
+
+    # -- EX timeline: 3 startup bubbles, then per slot an optional
+    # load-use bubble followed by its (clipped) EX residency
+    residency = np.clip(
+        np.minimum(lat, num_cycles - entry), 0, None
+    )
+    lu_counts = np.where(entry - 1 < num_cycles, lu_int, 0)
+    segment_occ = np.empty(2 * num_slots, dtype=np.int64)
+    segment_occ[0::2] = -1
+    segment_occ[1::2] = np.arange(num_slots)
+    segment_cnt = np.empty(2 * num_slots, dtype=np.int64)
+    segment_cnt[0::2] = lu_counts
+    segment_cnt[1::2] = residency
+    segment_lu = np.zeros(2 * num_slots, dtype=bool)
+    segment_lu[0::2] = True
+
+    timeline_occ = np.repeat(segment_occ, segment_cnt)
+    timeline_lu = np.repeat(segment_lu, segment_cnt)
+    body = num_cycles - 3
+    if len(timeline_occ) < body:
+        raise _Fallback("EX timeline underrun")   # engine bug guard
+    ex_occ = np.concatenate(
+        [np.full(3, -1, dtype=np.int64), timeline_occ[:body]]
+    )
+    ex_is_lu = np.concatenate(
+        [np.zeros(3, dtype=bool), timeline_lu[:body]]
+    )
+    previous_occ = np.concatenate([[np.int64(-1)], ex_occ[:-1]])
+    ex_held = (ex_occ == previous_occ) & (ex_occ >= 0)
+    stall = ex_held | ex_is_lu
+
+    redirect = np.zeros(num_cycles, dtype=bool)
+    if len(victim_of):
+        redirect[entry[stream_pos[victim_of]]] = True
+
+    ctrl_occ = np.where(previous_occ != ex_occ, previous_occ, -1)
+    wb_occ = np.concatenate([[np.int64(-1)], ctrl_occ[:-1]])
+
+    fetch_count = np.cumsum(~stall)
+    adr_idx = fetch_count - 1
+    fe_idx = adr_idx - 1
+    dc_idx = adr_idx - 2
+    if int(adr_idx[-1]) != num_slots - 1:
+        raise _Fallback("fetch accounting mismatch")   # engine bug guard
+
+    run = VectorPipelineRun(
+        program=program,
+        div_latency=div_latency,
+        state=iss.state,
+        memory=iss.memory,
+        retired=list(iss.retired),
+    )
+    run.num_cycles = num_cycles
+    run.num_slots = num_slots
+    run.class_names = list(class_names)
+    run.slot_pc = slot_pc
+    run.slot_instr = slot_instr
+    run.slot_class = slot_cls
+    run.slot_kind = slot_kind
+    run.slot_a = slot_a
+    run.slot_b = slot_b
+    run.slot_taken = slot_taken
+    run.slot_is_instr = slot_is_instr
+    run.slot_squashed = slot_squashed
+    run.slot_has_ops = slot_has_ops
+    run.slot_post_bubble = ~slot_is_instr | slot_squashed
+    run.stall = stall
+    run.redirect = redirect
+    run.ex_occ = ex_occ
+    run.ex_held = ex_held
+    run.ctrl_occ = ctrl_occ
+    run.wb_occ = wb_occ
+    run.adr_idx = adr_idx
+    run.fe_idx = fe_idx
+    run.dc_idx = dc_idx
+    return run
+
+
+def _is_halt(instruction):
+    return (
+        instruction is not None
+        and instruction.mnemonic == "l.nop"
+        and instruction.imm == HALT_NOP_CODE
+    )
+
+
+def _intern_class(instruction, class_names):
+    cls = instruction.timing_class
+    try:
+        return class_names.index(cls)
+    except ValueError:
+        class_names.append(cls)
+        return len(class_names) - 1
+
+
+def _decode_fetch(program, address, decode_cache, halt_in_flight):
+    """Fetch-time decode of a wrong-path/drain word from the initial image.
+
+    Mirrors ``PipelineSimulator._decode_at``: program text wins, other
+    words decode from memory (which the store-overlap guard pins to the
+    initial image); failures are bubbles once a halt word has been
+    fetched, fatal before that.
+    """
+    if address in decode_cache:
+        return decode_cache[address]
+    instruction = program.instructions.get(address)
+    if instruction is None:
+        word = program.words.get(address, 0)
+        try:
+            instruction = decode(word)
+        except EncodingError as error:
+            if not halt_in_flight:
+                raise SimulationError(
+                    f"cannot decode fetched word {word:#010x} at "
+                    f"{address:#010x}: {error}"
+                ) from error
+            instruction = None
+    decode_cache[address] = instruction
+    return instruction
+
+
+def _drain_continuation(slot_squashed, num_main, victim_of, targets,
+                        retired_pc):
+    """First post-halt fetch address: the last redirect's target when the
+    stream ends on a squashed slot, sequential after the halt otherwise."""
+    if num_main and slot_squashed[num_main - 1]:
+        return int(targets[victim_of[-1]])
+    return int(retired_pc[-1]) + 4
+
+
+class _Drain:
+    def __init__(self):
+        self.pc, self.cls, self.kind = [], [], []
+        self.is_instr, self.instr = [], []
+        self.entry, self.lat, self.lu = [], [], []
+        self.count = 0
+
+    def finalize(self):
+        self.pc = np.array(self.pc, dtype=np.int64)
+        self.cls = np.array(self.cls, dtype=np.int64)
+        self.kind = np.array(self.kind, dtype=np.int64)
+        self.is_instr = np.array(self.is_instr, dtype=bool)
+        self.instr = np.array(self.instr, dtype=object)
+        self.entry = np.array(self.entry, dtype=np.int64)
+        self.lat = np.array(self.lat, dtype=np.int64)
+        self.lu = np.array(self.lu, dtype=np.int64)
+        return self
+
+
+def _generate_drain(program, decode_cache, fetched, continuation,
+                    start_index, prev_live, prev_kind, prev_dest,
+                    entry_next, stall_total, num_cycles, div_latency,
+                    class_names):
+    """Scalar tail: the few post-halt slots still fetched before the trace
+    ends.  One slot is fetched per non-stall cycle, so slot ``k`` exists
+    iff ``num_cycles - stall_total >= k + 1``; each appended slot may add
+    its own stalls (drain divides never finish and stall to the end)."""
+    drain = _Drain()
+    address = continuation
+    index = start_index
+    while num_cycles - stall_total >= index + 1:
+        instruction = _decode_fetch(
+            program, address, decode_cache, halt_in_flight=True
+        )
+        fetched.add(address)
+        live = instruction is not None
+        is_div = live and instruction.kind == InstructionKind.DIV
+        is_lu = False
+        if live and prev_live and prev_kind == _LOAD_CODE and prev_dest > 0:
+            if prev_dest in instruction.source_registers():
+                is_lu = True
+        entry_here = entry_next + (1 if is_lu else 0)
+        if is_lu and entry_here - 1 <= num_cycles - 1:
+            stall_total += 1
+        if is_div:
+            # a draining divide is never processed, so it stays "busy"
+            # (div_remaining == -1) and stalls the machine to the end
+            if entry_here <= num_cycles - 2:
+                stall_total += (num_cycles - 1) - entry_here
+            lat_here = max(num_cycles - entry_here, 1)
+        else:
+            lat_here = 1
+
+        drain.pc.append(address)
+        drain.instr.append(instruction)
+        drain.is_instr.append(live)
+        drain.cls.append(
+            _intern_class(instruction, class_names) if live else -1
+        )
+        drain.kind.append(
+            KIND_CODE[instruction.kind] if live else -1
+        )
+        drain.entry.append(entry_here)
+        drain.lat.append(lat_here)
+        drain.lu.append(1 if is_lu else 0)
+        drain.count += 1
+
+        prev_live = live
+        prev_kind = KIND_CODE[instruction.kind] if live else -1
+        prev_dest = (
+            -1 if not live or instruction.destination_register() is None
+            else instruction.destination_register()
+        )
+        entry_next = entry_here + lat_here
+        address += 4
+        index += 1
+    return drain.finalize()

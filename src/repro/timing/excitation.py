@@ -30,7 +30,9 @@ scheme relies on.
 
 from dataclasses import dataclass
 
-from repro.isa.opcodes import SPECS, InstructionKind
+import numpy as np
+
+from repro.isa.opcodes import KIND_CODE, SPECS, InstructionKind
 from repro.sim.trace import Stage
 from repro.timing.library import reference_library
 from repro.timing.profiles import BUBBLE_CLASS
@@ -112,6 +114,79 @@ def ex_criticality(mnemonic, a, b, pc, taken=False):
     return HASH_CRITICALITY_CEILING * hash_to_unit_float(
         "ex", mnemonic, a, b, pc
     )
+
+
+#: Kind-code groups for the vectorized worst-pattern test (one entry per
+#: branch of :func:`is_worst_pattern`).
+_ALWAYS_WORST_CODES = (
+    KIND_CODE[InstructionKind.NOP],
+    KIND_CODE[InstructionKind.JUMP],
+    KIND_CODE[InstructionKind.JUMP_REG],
+)
+_ALU_LIKE_CODES = (
+    KIND_CODE[InstructionKind.ALU],
+    KIND_CODE[InstructionKind.SETFLAG],
+    KIND_CODE[InstructionKind.MUL],
+)
+_MEM_CODES = (
+    KIND_CODE[InstructionKind.LOAD],
+    KIND_CODE[InstructionKind.STORE],
+)
+_WORD = np.uint64(0xFFFFFFFF)
+
+
+def ex_criticality_array(mnemonics, kinds, a, b, pcs, taken):
+    """Vectorized :func:`ex_criticality` over per-occurrence arrays.
+
+    ``mnemonics`` is a sequence of mnemonic strings, ``kinds`` the
+    matching :data:`~repro.isa.opcodes.KIND_CODE` integers; ``a``/``b``
+    are the recorded EX operand values with ``None`` already replaced by
+    zero (the scalar path's convention for draining slots).  The worst-
+    pattern test is pure array comparisons; only the non-worst occurrences
+    hash, deduplicated on ``(mnemonic, a, b, pc)`` — the same dynamic
+    operand pattern always excites the same paths, so loops collapse.
+    """
+    kinds = np.asarray(kinds)
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    taken = np.asarray(taken, dtype=bool)
+
+    worst = np.isin(kinds, _ALWAYS_WORST_CODES)
+    worst |= (kinds == KIND_CODE[InstructionKind.BRANCH]) & taken
+    worst |= np.isin(kinds, _ALU_LIKE_CODES) & (a == _WORD) & (b == _WORD)
+    worst |= (
+        (kinds == KIND_CODE[InstructionKind.DIV])
+        & (a == _WORD) & (b == np.uint64(1))
+    )
+    worst |= (kinds == KIND_CODE[InstructionKind.SHIFT]) & (a == _WORD)
+    worst |= (
+        np.isin(kinds, _MEM_CODES)
+        & ((a & np.uint64(0xFFFF_FFF0)) == np.uint64(0xFFFF_FFF0))
+    )
+    move = kinds == KIND_CODE[InstructionKind.MOVE]
+    if move.any():
+        movhi = np.fromiter(
+            (m == "l.movhi" for m in mnemonics), dtype=bool,
+            count=len(mnemonics),
+        )
+        worst |= move & np.where(
+            movhi, b == np.uint64(0xFFFF), a == _WORD
+        )
+
+    crit = np.ones(len(kinds), dtype=float)
+    cache = {}
+    for index in np.nonzero(~worst)[0]:
+        key = (
+            mnemonics[index], int(a[index]), int(b[index]), int(pcs[index])
+        )
+        value = cache.get(key)
+        if value is None:
+            value = HASH_CRITICALITY_CEILING * hash_to_unit_float(
+                "ex", *key
+            )
+            cache[key] = value
+        crit[index] = value
+    return crit
 
 
 class ExcitationModel:

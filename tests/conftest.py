@@ -12,6 +12,19 @@ from repro.timing.design import build_design
 from repro.timing.profiles import DesignVariant
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="regenerate the golden compiled-trace corpus under "
+             "tests/golden/ instead of comparing against it",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    return request.config.getoption("--update-golden")
+
+
 @pytest.fixture(scope="session")
 def design():
     """The critical-range design at 0.70 V (the paper's configuration)."""

@@ -309,3 +309,86 @@ class TestCompiledTrace:
         assert cycle_max.shape == (trace.num_cycles,)
         assert (cycle_max == compiled.cycle_max_delays()).all()
         assert limiting.max() < 6
+
+
+class TestOnlineAdaptEquivalence:
+    """Scalar-vs-array equivalence of the drift-aware online adapter.
+
+    The vectorized ``adapt.online`` engine consumes compiled-trace arrays;
+    it must reproduce the per-record reference walk bit-for-bit — the full
+    applied-period sequence (including every mid-trace LUT rescale the
+    monitor performs), the aggregate time, the violation count and the
+    update/drift bookkeeping.
+    """
+
+    @pytest.fixture(scope="class")
+    def adapt_env(self):
+        from repro.adapt.environment import EnvironmentModel
+
+        return EnvironmentModel()
+
+    def _compare(self, program, design, lut, environment, **kwargs):
+        from repro.adapt.online import evaluate_with_drift
+
+        reference = evaluate_with_drift(
+            program, design, lut, environment, engine="record", **kwargs
+        )
+        fast = evaluate_with_drift(
+            program, design, lut, environment, engine="array", **kwargs
+        )
+        assert fast.num_cycles == reference.num_cycles
+        assert fast.total_time_ps == reference.total_time_ps
+        assert fast.violations == reference.violations
+        assert fast.lut_updates == reference.lut_updates
+        assert fast.max_drift_seen == reference.max_drift_seen
+        assert fast.periods == reference.periods
+        return reference
+
+    @pytest.mark.parametrize("scheme", ["fixed-none", "fixed-guard",
+                                        "online"])
+    @pytest.mark.parametrize("kernel", ["fib", "crc16"])
+    def test_schemes_bit_identical(self, design, lut, adapt_env, scheme,
+                                   kernel):
+        self._compare(
+            get_kernel(kernel).program(), design, lut, adapt_env,
+            scheme=scheme,
+        )
+
+    def test_mid_trace_policy_switches(self, design, lut, adapt_env):
+        """Frequent monitor updates rescale the prediction policy many
+        times mid-trace — including intervals that do not divide the
+        cycle count — and every rescale point must line up exactly."""
+        program = get_kernel("statemachine").program()
+        for interval in (1, 7, 150, 997):
+            reference = self._compare(
+                program, design, lut, adapt_env,
+                scheme="online", update_interval=interval,
+            )
+            assert reference.lut_updates == -(
+                -reference.num_cycles // interval
+            )
+
+    def test_tracking_margin_and_drift_shapes(self, design, lut):
+        from repro.adapt.environment import EnvironmentModel
+
+        quiet = EnvironmentModel(
+            temperature_amplitude=0.01, droop_amplitude=0.0,
+            aging_total=0.05, horizon_cycles=2_000,
+        )
+        self._compare(
+            get_kernel("fib").program(), design, lut, quiet,
+            scheme="online", update_interval=40, tracking_margin=0.004,
+        )
+
+    def test_nominal_environment(self, design, lut):
+        from repro.adapt.environment import EnvironmentModel
+
+        self._compare(
+            get_kernel("fib").program(), design, lut,
+            EnvironmentModel.nominal(), scheme="fixed-none",
+        )
+
+    def test_drift_array_matches_scalar_walk(self, adapt_env):
+        values = adapt_env.drift_array(4_000)
+        for cycle in range(0, 4_000, 97):
+            assert values[cycle] == adapt_env.drift(cycle)

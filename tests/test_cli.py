@@ -214,3 +214,62 @@ class TestGridSweep:
         err = capsys.readouterr().err
         assert "characterising" not in err    # LUT came from the store
         assert any((store_dir / "traces").iterdir())
+
+
+class TestStoreGc:
+    def test_parse_size(self):
+        from repro.cli import parse_size
+
+        assert parse_size("4096") == 4096
+        assert parse_size("4K") == 4096
+        assert parse_size("1.5M") == int(1.5 * (1 << 20))
+        assert parse_size("2G") == 2 << 30
+        assert parse_size("500MB") == 500 << 20
+        with pytest.raises(ValueError):
+            parse_size("chunky")
+        with pytest.raises(ValueError):
+            parse_size("-1M")
+
+    def test_store_gc_evicts_to_budget(self, tmp_path, capsys):
+        from repro.lab.store import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "store")
+        for index in range(3):
+            store.save_result(f"r{index}", {"blob": "y" * 512})
+        code = main([
+            "store", "gc", "--store", str(store.root), "--max-size", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "evicted 3" in out
+        assert not any((store.root / "results").glob("*.json"))
+
+    def test_store_gc_dry_run(self, tmp_path, capsys):
+        from repro.lab.store import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "store")
+        store.save_result("keep", {"blob": "z"})
+        code = main([
+            "store", "gc", "--store", str(store.root),
+            "--max-size", "0", "--dry-run",
+        ])
+        assert code == 0
+        assert "would evict 1" in capsys.readouterr().out
+        assert store.load_result("keep") == {"blob": "z"}
+
+    def test_store_gc_missing_directory(self, tmp_path, capsys):
+        code = main([
+            "store", "gc", "--store", str(tmp_path / "nope"),
+            "--max-size", "1M",
+        ])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_store_gc_bad_size(self, tmp_path, capsys):
+        (tmp_path / "s").mkdir()
+        code = main([
+            "store", "gc", "--store", str(tmp_path / "s"),
+            "--max-size", "many",
+        ])
+        assert code == 2
+        assert "invalid size" in capsys.readouterr().err

@@ -1,0 +1,116 @@
+"""Golden-trace regression corpus.
+
+Small compiled traces — class attribution matrices, slot-state flags and
+the ground-truth excited-delay matrix — are checked in under
+``tests/golden/`` for three kernels at two operating points.  Any drift in
+the pipeline model, the compiled-trace construction, the excitation model
+or the library scaling changes at least one golden array and fails here
+with the exact field that moved.
+
+Refreshing the corpus after an *intentional* model change::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_traces.py \
+        --update-golden
+
+then commit the regenerated ``.npz`` files (and bump
+``repro.lab.store.SCHEMA_VERSION`` — a model change invalidates persistent
+artifact stores for exactly the same reason it moves these goldens).
+"""
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.dta.compiled import compile_vector_run
+from repro.sim import vector
+from repro.timing.design import build_design
+from repro.timing.profiles import DesignVariant
+from repro.workloads.kernels import get_kernel
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+#: Small, structurally diverse kernels: straight-line arithmetic with
+#: loads (dotprod), byte swaps with shifts (halfswap), branchy recursion
+#: pattern (fib).
+KERNELS = ("fib", "halfswap", "dotprod")
+
+#: (variant, voltage) operating points: the paper's evaluation corner and
+#: a different profile at a scaled supply.
+OPERATING_POINTS = (
+    (DesignVariant.CRITICAL_RANGE, 0.70),
+    (DesignVariant.CONVENTIONAL, 0.80),
+)
+
+#: Arrays persisted per golden trace.
+ARRAY_FIELDS = (
+    "class_ids", "bubble", "held", "stall", "redirect", "delays",
+)
+
+CASES = [
+    (kernel, variant, voltage)
+    for kernel in KERNELS
+    for variant, voltage in OPERATING_POINTS
+]
+
+
+def _case_id(case):
+    kernel, variant, voltage = case
+    return f"{kernel}-{variant.value}-{voltage:.2f}V"
+
+
+def _golden_path(case):
+    return GOLDEN_DIR / f"{_case_id(case)}.npz"
+
+
+def _compile_case(case):
+    kernel, variant, voltage = case
+    program = get_kernel(kernel).program()
+    design = build_design(variant, voltage=voltage)
+    run = vector.simulate(program)
+    assert run is not None
+    return compile_vector_run(run, design.excitation)
+
+
+def _payload(compiled):
+    payload = {
+        "num_cycles": np.int64(compiled.num_cycles),
+        "num_retired": np.int64(compiled.num_retired),
+        "class_names": np.array(compiled.class_names, dtype=np.str_),
+    }
+    for name in ARRAY_FIELDS:
+        payload[name] = (
+            compiled.delays if name == "delays"
+            else getattr(compiled, name)
+        )
+    return payload
+
+
+@pytest.mark.parametrize("case", CASES, ids=_case_id)
+def test_golden_trace(case, update_golden):
+    compiled = _compile_case(case)
+    path = _golden_path(case)
+
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        np.savez_compressed(path, **_payload(compiled))
+        pytest.skip(f"regenerated {path.name}")
+
+    assert path.is_file(), (
+        f"golden trace {path.name} missing — run with --update-golden"
+    )
+    with np.load(path, allow_pickle=False) as golden:
+        assert int(golden["num_cycles"]) == compiled.num_cycles
+        assert int(golden["num_retired"]) == compiled.num_retired
+        assert tuple(str(n) for n in golden["class_names"]) == \
+            compiled.class_names
+        for name in ARRAY_FIELDS:
+            actual = (
+                compiled.delays if name == "delays"
+                else getattr(compiled, name)
+            )
+            assert np.array_equal(golden[name], actual), (
+                f"{_case_id(case)}: golden field {name!r} drifted "
+                f"(re-run with --update-golden only if the model change "
+                f"is intentional)"
+            )

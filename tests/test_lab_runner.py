@@ -222,3 +222,74 @@ class TestExports:
         lines = csv_path.read_text().strip().splitlines()
         assert lines[0].startswith("design_point,config,program")
         assert len(lines) == 1 + 4
+
+
+class TestShardedCharacterization:
+    """Characterisation batches shard across workers and resume from the
+    store's per-program ``charlut`` cache — merged LUT bit-identical to
+    the serial in-process reference."""
+
+    def _cold_store(self, tmp_path):
+        return ArtifactStore(tmp_path / "char-store")
+
+    def test_sharded_lut_bit_identical_to_serial(self, tmp_path, design,
+                                                 lut):
+        store = self._cold_store(tmp_path)
+        sharded = store.get_lut(design, jobs=2)
+        # the session `lut` fixture is the serial in-process reference
+        assert sharded.to_json() == lut.to_json()
+        # one batch per characterisation program, all cold
+        assert store.stats.get("charlut", "misses") == 7
+        assert store.stats.get("charlut", "writes") == 7
+        assert store.stats.get("charlut", "hits") == 0
+
+    def test_warm_runner_characterises_nothing(self, tmp_path, design,
+                                               lut):
+        store = self._cold_store(tmp_path)
+        store.get_lut(design, jobs=2)
+        store.stats.reset()
+        again = store.get_lut(design)
+        assert again.to_json() == lut.to_json()
+        assert store.stats.get("lut", "hits") == 1
+        assert store.stats.get("charlut", "misses") == 0
+
+    def test_killed_shard_resumes_missing_batches_only(self, tmp_path,
+                                                       design, lut):
+        """Simulate a characterisation killed mid-flight: some program
+        batches are in the store, the merged LUT is not.  Re-running must
+        recompute exactly the missing batches (store counters as proof)
+        and still merge bit-identically."""
+        store = self._cold_store(tmp_path)
+        store.get_lut(design, jobs=2)
+
+        # kill: drop the merged LUT and two of the seven batches
+        for path in (store.root / "luts").glob("*.json"):
+            path.unlink()
+        batches = sorted((store.root / "charluts").glob("*.json"))
+        assert len(batches) == 7
+        for path in batches[:2]:
+            path.unlink()
+
+        store.stats.reset()
+        resumed = store.get_lut(design, jobs=2)
+        assert resumed.to_json() == lut.to_json()
+        assert store.stats.get("charlut", "hits") == 5
+        assert store.stats.get("charlut", "misses") == 2
+        assert store.stats.get("charlut", "writes") == 2
+
+    def test_sharded_runner_end_to_end(self, tmp_path, design, lut):
+        """A cold --jobs 2 sweep whose warm-up shards characterisation:
+        rows must stay bit-identical to the serial no-store reference."""
+        store = self._cold_store(tmp_path)
+        parallel = SweepRunner(GRID, store=store, jobs=2).run()
+
+        clear_compiled_cache()
+        serial_store = ArtifactStore(tmp_path / "serial-store")
+        serial = SweepRunner(GRID, store=serial_store, jobs=1).run()
+        assert parallel.rows == serial.rows
+
+    def test_keep_runs_incompatible_with_sharding(self, design):
+        from repro.flow.characterize import characterize
+
+        with pytest.raises(ValueError, match="keep_runs"):
+            characterize(design, jobs=2, keep_runs=True)

@@ -246,3 +246,148 @@ class TestGetLut:
         assert store.stats.get("lut", "hits") == 1
         for cls in lut.classes():
             assert served.row(cls) == lut.row(cls)
+
+
+class TestGc:
+    """LRU garbage collection: newest artifacts survive a size budget."""
+
+    def _populate(self, store, tmp_path):
+        """Four artifacts with a controlled LRU order (oldest first)."""
+        import os
+        import time
+
+        for index in range(4):
+            store.save_result(f"gc-{index}", {"payload": "x" * 256})
+        paths = sorted(
+            (path for path in store.root.rglob("*") if path.is_file()),
+            key=lambda path: path.name,
+        )
+        base = time.time() - 1_000
+        ordered = []
+        for index, name in enumerate(f"gc-{i}" for i in range(4)):
+            path = store.result_path(name)
+            os.utime(path, (base + index * 60, base + index * 60))
+            ordered.append(path)
+        assert len(paths) == 4
+        return ordered
+
+    def test_gc_removes_least_recently_used(self, store, tmp_path):
+        ordered = self._populate(store, tmp_path)
+        sizes = [path.stat().st_size for path in ordered]
+        # budget for exactly the two newest artifacts
+        budget = sizes[2] + sizes[3]
+        result = store.gc(max_bytes=budget)
+        assert result.removed_files == 2
+        assert result.kept_files == 2
+        assert not ordered[0].exists() and not ordered[1].exists()
+        assert ordered[2].exists() and ordered[3].exists()
+
+    def test_gc_load_refreshes_lru_clock(self, store, tmp_path):
+        """A hit touches the artifact's mtime, protecting it from gc."""
+        ordered = self._populate(store, tmp_path)
+        assert store.load_result("gc-0") is not None   # oldest becomes MRU
+        budget = sum(path.stat().st_size for path in ordered[:2])
+        result = store.gc(max_bytes=budget)
+        assert ordered[0].exists()            # refreshed by the load
+        assert not ordered[1].exists()        # now the LRU victim
+        assert result.removed_files == 2
+
+    def test_gc_dry_run_deletes_nothing(self, store, tmp_path):
+        ordered = self._populate(store, tmp_path)
+        result = store.gc(max_bytes=0, dry_run=True)
+        assert result.removed_files == 4
+        assert all(path.exists() for path in ordered)
+
+    def test_gc_zero_budget_empties_store(self, store, tmp_path):
+        ordered = self._populate(store, tmp_path)
+        result = store.gc(max_bytes=0)
+        assert result.kept_files == 0
+        assert not any(path.exists() for path in ordered)
+        assert result.summary().startswith("kept 0 files")
+
+    def test_gc_negative_budget_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.gc(max_bytes=-1)
+
+    def test_gc_empty_store(self, store):
+        result = store.gc(max_bytes=1024)
+        assert result.scanned_files == 0
+        assert result.removed_files == 0
+
+    def test_gc_covers_traces_and_charluts(self, store, fib_compiled,
+                                           design):
+        program, compiled = fib_compiled
+        store.save_compiled_trace(compiled, program, design, MAX_CYCLES)
+        lut = _tiny_lut(design)
+        store.save_char_lut(lut, 123, design, program)
+        result = store.gc(max_bytes=0)
+        assert result.removed_files == 2
+        assert store.load_compiled_trace(program, design, MAX_CYCLES) is None
+        assert store.load_char_lut(design, program) is None
+
+
+def _tiny_lut(design):
+    from repro.dta.lut import DelayLUT
+
+    return DelayLUT(static_period_ps=design.static_period_ps)
+
+
+class TestCharLutRoundTrip:
+    def test_round_trip(self, store, design, lut):
+        from repro.workloads import get_kernel
+
+        program = get_kernel("fib").program()
+        store.save_char_lut(lut, 4321, design, program)
+        loaded = store.load_char_lut(design, program)
+        assert loaded is not None
+        cached_lut, num_cycles = loaded
+        assert num_cycles == 4321
+        assert cached_lut.to_json() == lut.to_json()
+        assert store.stats.get("charlut", "hits") == 1
+
+    def test_torn_charlut_recomputed(self, store, design, lut):
+        from repro.workloads import get_kernel
+
+        program = get_kernel("fib").program()
+        store.save_char_lut(lut, 99, design, program)
+        path = store.char_lut_path(design, program)
+        path.write_text(path.read_text()[:40])     # torn write
+        assert store.load_char_lut(design, program) is None
+        assert store.stats.get("charlut", "corrupt") == 1
+        assert not path.exists()
+
+    def test_key_varies_with_program_and_threshold(self, store, design):
+        from repro.workloads import get_kernel
+
+        fib = get_kernel("fib").program()
+        crc = get_kernel("crc16").program()
+        assert store.char_lut_path(design, fib) != \
+            store.char_lut_path(design, crc)
+        assert store.char_lut_path(design, fib, min_occurrences=5) != \
+            store.char_lut_path(design, fib)
+        assert store.char_lut_path(design, fib, sim_period_ps=2000.0) != \
+            store.char_lut_path(design, fib)
+
+
+class TestGcStrictLru:
+    def test_older_small_file_cannot_outlive_newer_large_one(self, store):
+        """The first artifact that overflows the budget marks the recency
+        cut: everything older is evicted too, even if it would fit."""
+        import os
+        import time
+
+        store.save_result("big-new", {"blob": "x" * 4000})
+        store.save_result("small-old", {"blob": "y"})
+        base = time.time() - 1_000
+        os.utime(store.result_path("small-old"), (base, base))
+        os.utime(store.result_path("big-new"), (base + 600, base + 600))
+
+        big = store.result_path("big-new")
+        small = store.result_path("small-old")
+        # budget below the big file: nothing may survive — keeping the
+        # stale small file while evicting the fresh big one would be
+        # recency inversion
+        result = store.gc(max_bytes=big.stat().st_size - 1)
+        assert not big.exists() and not small.exists()
+        assert result.kept_files == 0
+        assert result.removed_files == 2
