@@ -17,7 +17,6 @@ from repro.clocking.policies import (
 from repro.flow.evaluate import (
     SweepConfig,
     average_speedup_percent,
-    evaluate_batch,
 )
 from repro.utils.tables import format_table
 from repro.workloads.suite import benchmark_suite
@@ -25,7 +24,8 @@ from repro.workloads.suite import benchmark_suite
 POLICY_ORDER = ("static", "two-class [8]", "instruction (paper)", "genie")
 
 
-def _run_all(design, lut):
+def _run_all(session):
+    design, lut = session.design, session.lut
     factories = {
         "static": lambda: StaticClockPolicy(design.static_period_ps),
         "two-class [8]": lambda: TwoClassPolicy(lut),
@@ -36,12 +36,12 @@ def _run_all(design, lut):
         SweepConfig(policy=factory, check_safety=False, label=name)
         for name, factory in factories.items()
     ]
-    rows = evaluate_batch(benchmark_suite(), design, configs)
+    rows = session.evaluate_results(benchmark_suite(), configs)
     return dict(zip(factories, rows))
 
 
-def test_ablation_lut_granularity(benchmark, design, lut, store):
-    results = benchmark(_run_all, design, lut)
+def test_ablation_lut_granularity(benchmark, session, store):
+    results = benchmark(_run_all, session)
 
     speedups = {
         name: average_speedup_percent(results[name])

@@ -14,7 +14,6 @@ from repro.clocking.policies import InstructionLutPolicy
 from repro.flow.evaluate import (
     SweepConfig,
     average_speedup_percent,
-    evaluate_batch,
 )
 from repro.utils.tables import format_table
 from repro.workloads.suite import benchmark_suite
@@ -22,8 +21,9 @@ from repro.workloads.suite import benchmark_suite
 MARGINS = (0.0, 2.0, 5.0, 10.0, 15.0, 20.0)
 
 
-def _sweep(design, lut):
+def _sweep(session):
     """One batch call: traces are compiled once, margins are re-scalings."""
+    lut = session.lut
     configs = [
         SweepConfig(
             policy=lambda: InstructionLutPolicy(lut),
@@ -32,12 +32,12 @@ def _sweep(design, lut):
         )
         for margin in MARGINS
     ]
-    rows = evaluate_batch(benchmark_suite(), design, configs)
+    rows = session.evaluate_results(benchmark_suite(), configs)
     return dict(zip(MARGINS, rows))
 
 
-def test_ablation_margin(benchmark, design, lut, store):
-    results = benchmark(_sweep, design, lut)
+def test_ablation_margin(benchmark, session, store):
+    results = benchmark(_sweep, session)
 
     speedups = {
         margin: average_speedup_percent(results[margin])

@@ -13,13 +13,13 @@ from repro.flow.evaluate import (
     SweepConfig,
     average_frequency_mhz,
     average_speedup_percent,
-    evaluate_batch,
 )
 from repro.flow.reporting import render_policy_comparison
 from repro.workloads.suite import benchmark_suite
 
 
-def _run_both(design, lut):
+def _run_both(session):
+    lut = session.lut
     configs = [
         SweepConfig(
             policy=lambda: InstructionLutPolicy(lut),
@@ -30,12 +30,12 @@ def _run_both(design, lut):
             check_safety=True, label="ex-only",
         ),
     ]
-    rows = evaluate_batch(benchmark_suite(), design, configs)
+    rows = session.evaluate_results(benchmark_suite(), configs)
     return {config.label: row for config, row in zip(configs, rows)}
 
 
-def test_ablation_exonly_monitor(benchmark, design, lut, store):
-    results = benchmark(_run_both, design, lut)
+def test_ablation_exonly_monitor(benchmark, session, store):
+    results = benchmark(_run_both, session)
 
     full = average_speedup_percent(results["full-monitor"])
     ex_only = average_speedup_percent(results["ex-only"])

@@ -17,7 +17,6 @@ from repro.clocking.policies import InstructionLutPolicy
 from repro.flow.evaluate import (
     SweepConfig,
     average_speedup_percent,
-    evaluate_batch,
 )
 from repro.utils.tables import format_table
 from repro.workloads.suite import benchmark_suite
@@ -31,7 +30,8 @@ GENERATORS = [
 ]
 
 
-def _run_all(design, lut):
+def _run_all(session):
+    lut = session.lut
     configs = [
         SweepConfig(
             policy=lambda: InstructionLutPolicy(lut),
@@ -39,12 +39,12 @@ def _run_all(design, lut):
         )
         for name, factory in GENERATORS
     ]
-    rows = evaluate_batch(benchmark_suite(), design, configs)
+    rows = session.evaluate_results(benchmark_suite(), configs)
     return {name: row for (name, _), row in zip(GENERATORS, rows)}
 
 
-def test_ablation_quantization(benchmark, design, lut, store):
-    results = benchmark(_run_all, design, lut)
+def test_ablation_quantization(benchmark, session, store):
+    results = benchmark(_run_all, session)
 
     speedups = {
         name: average_speedup_percent(results[name]) for name, _ in GENERATORS

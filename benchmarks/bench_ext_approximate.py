@@ -9,17 +9,16 @@ and the error statistics of the affected results.
 
 from conftest import publish
 
-from repro.approx.violations import overscaling_sweep
 from repro.utils.tables import format_table
 from repro.workloads import get_kernel
 
 FACTORS = (1.0, 0.97, 0.94, 0.91, 0.88, 0.85)
 
 
-def test_ext_approximate_overscaling(benchmark, design, lut):
+def test_ext_approximate_overscaling(benchmark, session, store):
     program = get_kernel("matmult").program()   # multiply-heavy workload
     reports = benchmark(
-        overscaling_sweep, program, design, lut, list(FACTORS)
+        session.overscaling_reports, program, list(FACTORS)
     )
 
     rows = []

@@ -13,17 +13,20 @@ supply droops + aging) and compares:
 from conftest import publish
 
 from repro.adapt.environment import EnvironmentModel
-from repro.adapt.online import compare_schemes
+from repro.adapt.online import SCHEMES
 from repro.utils.tables import format_table
 from repro.workloads import get_kernel
 
 
-def test_ext_online_adaptation(benchmark, design, lut):
+def _compare(session, program, environment):
+    results = session.adapt_results([program], environment)
+    return dict(zip(SCHEMES, results))
+
+
+def test_ext_online_adaptation(benchmark, session, store):
     environment = EnvironmentModel()
     program = get_kernel("crc32").program()
-    results = benchmark(
-        compare_schemes, program, design, lut, environment
-    )
+    results = benchmark(_compare, session, program, environment)
 
     rows = []
     for scheme in ("fixed-none", "fixed-guard", "online"):

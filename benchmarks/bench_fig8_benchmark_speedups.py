@@ -13,7 +13,6 @@ from repro.flow.evaluate import (
     SweepConfig,
     average_frequency_mhz,
     average_speedup_percent,
-    evaluate_batch,
 )
 from repro.flow.experiment import ExperimentReport
 from repro.flow.reporting import render_suite_results
@@ -26,17 +25,17 @@ from repro.paperdata import (
 from repro.workloads.suite import benchmark_suite
 
 
-def _genie_sweep(design):
+def _genie_sweep(session):
     configs = [SweepConfig(
-        policy=lambda: GeniePolicy(design.excitation),
+        policy=lambda: GeniePolicy(session.design.excitation),
         check_safety=False, label="genie",
     )]
-    return evaluate_batch(benchmark_suite(), design, configs)[0]
+    return session.evaluate_results(benchmark_suite(), configs)[0]
 
 
-def test_fig8_benchmark_speedups(benchmark, design, lut, suite_results,
+def test_fig8_benchmark_speedups(benchmark, session, design, suite_results,
                                  store):
-    genie_results = benchmark(_genie_sweep, design)
+    genie_results = benchmark(_genie_sweep, session)
 
     lut_speedup = average_speedup_percent(suite_results)
     lut_frequency = average_frequency_mhz(suite_results)

@@ -1,10 +1,11 @@
 """Perf smoke benchmark — scalar loop vs. compiled-trace batch engine.
 
 Times the full-suite sweep (every Fig. 8 kernel × 4 policies × 3 margins)
-through the original per-record scalar path and through
-:func:`repro.flow.evaluate.evaluate_batch`, verifies the results are
-bit-identical, and writes both timings to ``BENCH_evaluate.json`` at the
-repository root so the performance trajectory is tracked PR over PR.
+through a ``Session(engine="scalar")`` (the original per-record path) and
+a ``Session(engine="vector")`` (the compiled-trace batch engine),
+verifies the results are bit-identical, and writes both timings to
+``BENCH_evaluate.json`` at the repository root so the performance
+trajectory is tracked PR over PR.
 
 Runs standalone (``python benchmarks/bench_perf_evaluate.py``) and under
 pytest (``pytest benchmarks/bench_perf_evaluate.py``).
@@ -18,17 +19,14 @@ import time
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 from conftest import publish  # noqa: E402
 
+from repro.api import Session  # noqa: E402
 from repro.core import DcaConfig, DynamicClockAdjustment  # noqa: E402
 from repro.dta.compiled import (  # noqa: E402
     clear_compiled_cache,
     set_trace_store,
 )
 from repro.flow.characterize import CharacterizationResult  # noqa: E402
-from repro.flow.evaluate import (  # noqa: E402
-    SweepConfig,
-    evaluate_batch,
-    evaluate_program_scalar,
-)
+from repro.flow.evaluate import SweepConfig  # noqa: E402
 from repro.utils.tables import format_table  # noqa: E402
 from repro.workloads.suite import benchmark_suite  # noqa: E402
 
@@ -67,26 +65,19 @@ def run_perf_comparison(design, lut):
     """
     programs = benchmark_suite()
     configs = _sweep_configs(design, lut)
+    vector = Session.for_design(design, lut=lut)
+    scalar = Session.for_design(design, lut=lut, engine="scalar")
 
     previous_store = set_trace_store(None)
     clear_compiled_cache()   # charge compilation to the batch timing
     start = time.perf_counter()
-    batch_grid = evaluate_batch(programs, design, configs)
+    batch_grid = vector.evaluate_results(programs, configs)
     batch_seconds = time.perf_counter() - start
-    set_trace_store(previous_store)
 
     start = time.perf_counter()
-    scalar_grid = [
-        [
-            evaluate_program_scalar(
-                program, design, config.make_policy(),
-                margin_percent=config.margin_percent, check_safety=False,
-            )
-            for program in programs
-        ]
-        for config in configs
-    ]
+    scalar_grid = scalar.evaluate_results(programs, configs)
     scalar_seconds = time.perf_counter() - start
+    set_trace_store(previous_store)
 
     mismatches = 0
     for scalar_row, batch_row in zip(scalar_grid, batch_grid):
@@ -137,11 +128,7 @@ def test_perf_evaluate(design, lut):
 
 
 if __name__ == "__main__":
-    from repro.flow.characterize import characterize
-    from repro.timing.design import build_design
-
-    design = build_design()
-    lut = characterize(design, keep_runs=False).lut
-    metrics = run_perf_comparison(design, lut)
+    session = Session()
+    metrics = run_perf_comparison(session.design, session.lut)
     report(metrics)
     sys.exit(0 if metrics["mismatches"] == 0 else 1)

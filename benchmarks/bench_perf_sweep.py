@@ -30,19 +30,13 @@ import time
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 from conftest import publish  # noqa: E402
 
-from repro.core import DcaConfig, DynamicClockAdjustment  # noqa: E402
+from repro.api import Session  # noqa: E402
 from repro.dta.compiled import (  # noqa: E402
     clear_compiled_cache,
     reset_simulation_count,
     set_trace_store,
 )
-from repro.flow.characterize import (  # noqa: E402
-    CharacterizationResult,
-    characterize,
-)
-from repro.flow.evaluate import evaluate_batch  # noqa: E402
-from repro.lab import ArtifactStore, ScenarioGrid, SweepRunner  # noqa: E402
-from repro.lab.runner import result_to_dict  # noqa: E402
+from repro.lab import ArtifactStore, ScenarioGrid  # noqa: E402
 from repro.utils.tables import format_table  # noqa: E402
 
 BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_sweep.json"
@@ -62,28 +56,18 @@ GRID = ScenarioGrid(
 
 
 def _reference_rows(grid):
-    """Serial in-process ``evaluate_batch`` rows: no store, no runner —
-    the semantics every orchestrated run must reproduce bit-identically."""
+    """Serial in-process Session rows: no store, no runner — the
+    semantics every orchestrated run must reproduce bit-identically."""
     previous = set_trace_store(None)
     try:
         point = grid.design_points()[0]
-        design = point.build()
-        lut = characterize(design, keep_runs=False).lut
-        dca = DynamicClockAdjustment(
-            config=DcaConfig(variant=design.variant, voltage=point.voltage),
-            characterization=CharacterizationResult(design=design, lut=lut),
+        session = Session.for_design(
+            point.build(), max_cycles=grid.max_cycles
         )
-        specs = grid.config_specs()
-        configs = [spec.make(dca) for spec in specs]
-        programs = grid.programs()
-        grid_results = evaluate_batch(
-            programs, design, configs, max_cycles=grid.max_cycles
+        frame = session.evaluate(
+            grid.programs(), configs=grid.config_specs()
         )
-        rows = []
-        for spec, config_row in zip(specs, grid_results):
-            for result in config_row:
-                rows.append(result_to_dict(result, point, spec))
-        return rows
+        return frame.to_rows()
     finally:
         set_trace_store(previous)
 
@@ -92,9 +76,9 @@ def _timed_run(store_root, jobs):
     """One orchestrated run from a cold in-memory state."""
     clear_compiled_cache()
     reset_simulation_count()
-    runner = SweepRunner(GRID, store=ArtifactStore(store_root), jobs=jobs)
+    session = Session(store=ArtifactStore(store_root), jobs=jobs)
     start = time.perf_counter()
-    outcome = runner.run()
+    outcome = session.sweep(GRID)
     seconds = time.perf_counter() - start
     return outcome, seconds
 

@@ -72,32 +72,34 @@ def lut(design, store):
 
 
 @pytest.fixture(scope="session")
+def session(design, lut, store):
+    """Session-wide :class:`repro.api.Session` facade every bench
+    evaluates through (design + LUT shared, traces via the store)."""
+    from repro.api import Session
+
+    return Session.for_design(design, lut=lut, store=store)
+
+
+@pytest.fixture(scope="session")
 def conventional_characterization(conventional_design):
     return characterize(conventional_design)
 
 
 @pytest.fixture(scope="session")
-def suite_results(design, lut, store):
-    """Instruction-LUT evaluation of the full benchmark suite (Fig. 8),
-    through the compiled-trace batch engine; traces come from the store
-    when it is warm.
-
-    Session-scoped fixtures instantiate before the function-scoped
-    ``_attach_store`` autouse fixture, so this attaches the store
-    itself."""
+def suite_results(session, lut):
+    """Instruction-LUT evaluation of the full benchmark suite (Fig. 8)
+    through the Session facade; traces come from the session's store
+    when it is warm (the Session attaches it itself, so session-scoped
+    fixtures need no ``_attach_store``)."""
     from repro.clocking.policies import InstructionLutPolicy
-    from repro.flow.evaluate import SweepConfig, evaluate_batch
+    from repro.flow.evaluate import SweepConfig
     from repro.workloads.suite import benchmark_suite
 
     configs = [SweepConfig(
         policy=lambda: InstructionLutPolicy(lut),
         check_safety=False, label="instruction-lut",
     )]
-    previous = set_trace_store(store)
-    try:
-        return evaluate_batch(benchmark_suite(), design, configs)[0]
-    finally:
-        set_trace_store(previous)
+    return session.evaluate_results(benchmark_suite(), configs)[0]
 
 
 def publish(name, text):

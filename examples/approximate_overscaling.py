@@ -10,40 +10,37 @@ how the error rate and error magnitude grow as the clock shrinks.
 Run:  python examples/approximate_overscaling.py
 """
 
-from repro.approx.violations import overscaling_sweep
-from repro.core import DynamicClockAdjustment
-from repro.workloads import get_kernel
+from repro.api import Session
 
 
 def main():
     print("characterising the core ...")
-    dca = DynamicClockAdjustment()
-    program = get_kernel("matmult").program()
+    session = Session()
 
-    safe = dca.evaluate(program)
-    print(f"\nsafe operation: {safe.effective_frequency_mhz:.0f} MHz, "
-          f"{len(safe.violations)} violations "
-          f"(speedup {safe.speedup_percent:+.1f} % over static)")
+    safe = session.evaluate(["matmult"]).row(0)
+    print(f"\nsafe operation: {safe['effective_frequency_mhz']:.0f} MHz, "
+          f"{safe['num_violations']} violations "
+          f"(speedup {safe['speedup_percent']:+.1f} % over static)")
 
     print("\nover-scaling sweep (clock = factor x LUT period):")
     print("  factor | f_eff [MHz] | violating cycles | approx results |"
           " mean bad bits | mean rel. error")
-    reports = overscaling_sweep(
-        program, dca.design, dca.lut,
+    frame = session.overscaling(
+        ["matmult"],
         factors=[1.0, 0.97, 0.94, 0.91, 0.88, 0.85, 0.82],
     )
-    for report in reports:
-        frequency = report.num_cycles / report.total_time_ps * 1e6
-        print(f"  x{report.overscale_factor:5.2f} | {frequency:11.0f} |"
-              f" {report.violation_cycles:16d} |"
-              f" {len(report.approx_results):14d} |"
-              f" {report.mean_corrupted_bits:13.1f} |"
-              f" {report.mean_relative_error:15.4f}")
+    for row in frame.iter_rows():
+        frequency = row["num_cycles"] / row["total_time_ps"] * 1e6
+        print(f"  x{row['overscale_factor']:5.2f} | {frequency:11.0f} |"
+              f" {row['violation_cycles']:16d} |"
+              f" {row['num_approx_results']:14d} |"
+              f" {row['mean_corrupted_bits']:13.1f} |"
+              f" {row['mean_relative_error']:15.4f}")
 
-    deep = reports[-1]
-    print("\nviolations by stage group:", deep.violations_by_stage)
+    deep = frame.row(len(frame) - 1)
+    print("\nviolations by stage group:", deep["violations_by_stage"])
     print("violations by driver class:", dict(sorted(
-        deep.violations_by_class.items(), key=lambda kv: -kv[1]
+        deep["violations_by_class"].items(), key=lambda kv: -kv[1]
     )[:5]))
     print("\nthe multiplier's deep data-dependent paths fail first — the")
     print("paper's candidate for approximate-computing exploitation.")

@@ -13,39 +13,39 @@ Run:  python examples/pvt_adaptation.py
 """
 
 from repro.adapt.environment import EnvironmentModel
-from repro.adapt.online import compare_schemes
-from repro.core import DynamicClockAdjustment
-from repro.workloads import get_kernel
+from repro.api import Session
 
 
 def main():
     print("characterising the core at nominal conditions ...")
-    dca = DynamicClockAdjustment()
-    program = get_kernel("crc32").program()
+    session = Session()
 
     environment = EnvironmentModel()
     print(f"\nenvironment: ±{100 * environment.temperature_amplitude:.0f} % "
           f"thermal swing, {100 * environment.droop_amplitude:.0f} % supply "
           f"droops, {100 * environment.aging_total:.0f} % aging ramp")
 
-    results = compare_schemes(program, dca.design, dca.lut, environment)
+    # one frame: a row per (program, scheme)
+    frame = session.adapt(["crc32"], environment)
 
     print("\n        scheme | f_eff [MHz] | violations | LUT updates")
-    for scheme in ("fixed-none", "fixed-guard", "online"):
-        result = results[scheme]
-        print(f"{scheme:>14} | {result.effective_frequency_mhz:11.1f} |"
-              f" {result.violations:10d} | {result.lut_updates:11d}")
+    for row in frame.iter_rows():
+        print(f"{row['scheme']:>14} |"
+              f" {row['effective_frequency_mhz']:11.1f} |"
+              f" {row['violations']:10d} | {row['lut_updates']:11d}")
 
-    online = results["online"]
-    guard = results["fixed-guard"]
+    online = frame.where(scheme="online").row(0)
+    guard = frame.where(scheme="fixed-guard").row(0)
+    unguarded = frame.where(scheme="fixed-none").row(0)
     recovered = (
-        online.effective_frequency_mhz / guard.effective_frequency_mhz - 1
+        online["effective_frequency_mhz"] / guard["effective_frequency_mhz"]
+        - 1
     ) * 100
-    print(f"\nmax drift during the run: {online.max_drift_seen:.3f}x")
+    print(f"\nmax drift during the run: {online['max_drift_seen']:.3f}x")
     print(f"online updating is error-free and {recovered:.1f} % faster than "
           f"the static worst-case guard band.")
     print("without any guard band the nominal LUT violates timing "
-          f"{results['fixed-none'].violations} times — the scheme the "
+          f"{unguarded['violations']} times — the scheme the "
           "paper's conclusion warns against.")
 
 

@@ -1,11 +1,13 @@
 #!/usr/bin/env python
 """Quickstart: assemble a program, characterise the core, over-scale it.
 
-This walks the paper's full loop in ~30 seconds:
+This walks the paper's full loop in ~30 seconds through the public API
+(:mod:`repro.api`):
 
-1. build the critical-range OpenRISC design at 0.70 V,
+1. build a :class:`repro.api.Session` for the critical-range OpenRISC
+   design at 0.70 V,
 2. characterise it (gate-level simulation -> dynamic timing analysis ->
-   per-instruction delay LUT),
+   per-instruction delay LUT) — the Session does this lazily,
 3. run a small program under conventional clocking and under
    instruction-based dynamic clock adjustment, and
 4. verify that the faster run had zero timing violations.
@@ -14,7 +16,7 @@ Run:  python examples/quickstart.py
 """
 
 from repro import assemble
-from repro.core import DynamicClockAdjustment
+from repro.api import Session
 
 SOURCE = """
 # sum of squares 1..20
@@ -38,27 +40,33 @@ def main():
     program = assemble(SOURCE, name="sum-of-squares")
 
     print("characterising the core (this is the expensive step) ...")
-    dca = DynamicClockAdjustment()
+    session = Session()
 
-    print(f"\nSTA-limited clock: {dca.static_frequency_mhz:.1f} MHz "
-          f"({dca.design.static_period_ps:.0f} ps)")
+    print(f"\nSTA-limited clock: {session.static_frequency_mhz:.1f} MHz "
+          f"({session.static_period_ps:.0f} ps)")
 
-    static = dca.evaluate(program, policy="static", check_safety=False)
-    dynamic = dca.evaluate(program)          # instruction-based adjustment
-    genie = dca.evaluate(program, policy="genie", check_safety=False)
+    # one call, one columnar frame: a row per (policy, program)
+    frame = session.evaluate(
+        [program], policies=["static", "instruction", "genie"],
+        check_safety=True,
+    )
 
     print(f"\narchitectural result: r11 = "
           f"{sum(i * i for i in range(1, 21))} (verified by the test suite)")
     print("\n           policy |  f_eff [MHz] | speedup | violations")
-    for result in (static, dynamic, genie):
-        print(f"{result.policy_name:>17} | {result.effective_frequency_mhz:12.1f}"
-              f" | {result.speedup_percent:+6.1f}% | {len(result.violations):10d}")
+    for row in frame.iter_rows():
+        print(f"{row['policy']:>17} |"
+              f" {row['effective_frequency_mhz']:12.1f}"
+              f" | {row['speedup_percent']:+6.1f}%"
+              f" | {row['num_violations']:10d}")
 
-    assert dynamic.is_safe, "the predictive scheme must be error-free"
+    dynamic = frame.where(policy="instruction").row(0)
+    assert dynamic["num_violations"] == 0, \
+        "the predictive scheme must be error-free"
     print("\nno timing violations: frequency-over-scaling without errors.")
 
     print("\nDelay-prediction LUT excerpt (paper Table II):")
-    print(dca.lut_table(classes=[
+    print(session.lut.render(classes=[
         "l.add(i)", "l.mul(i)", "l.lwz", "l.bf", "l.j", "l.sll(i)",
     ]))
 

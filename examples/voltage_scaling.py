@@ -10,21 +10,21 @@ efficiency improvement, as the paper does.
 Run:  python examples/voltage_scaling.py
 """
 
-from repro.core import DynamicClockAdjustment
-from repro.flow.evaluate import average_frequency_mhz
+from repro.api import Session
 from repro.power.model import PowerModel
 from repro.power.vfs import scale_voltage_iso_throughput
-from repro.workloads.suite import benchmark_suite, suite_names
+from repro.workloads.suite import suite_names
 
 
 def main():
     print("characterising and evaluating the suite ...")
-    dca = DynamicClockAdjustment()
-    results = dca.evaluate_suite(benchmark_suite(), check_safety=False)
+    session = Session()
+    # no programs argument -> the full Fig. 8 benchmark suite
+    frame = session.evaluate(check_safety=False)
 
     print(f"\nsuite: {', '.join(suite_names())}")
-    static_mhz = dca.static_frequency_mhz
-    dynamic_mhz = average_frequency_mhz(results)
+    static_mhz = session.static_frequency_mhz
+    dynamic_mhz = float(frame["effective_frequency_mhz"].mean())
     print(f"conventional clocking: {static_mhz:.0f} MHz")
     print(f"dynamic adjustment:    {dynamic_mhz:.0f} MHz "
           f"({(dynamic_mhz / static_mhz - 1) * 100:+.1f} %)")

@@ -111,11 +111,38 @@ def _finish(result, periods):
     return result
 
 
+def _evaluate_with_drift_impl(program, design, lut, environment,
+                              scheme="online", update_interval=150,
+                              tracking_margin=0.025,
+                              max_cycles=DEFAULT_MAX_CYCLES,
+                              engine="array"):
+    """The drift-adaptation engine (see :func:`evaluate_with_drift`).
+
+    :class:`repro.api.Session.adapt` runs on this directly; the public
+    function below is the legacy shim over the Session.
+    """
+    _check_arguments(scheme, engine)
+    if engine == "record":
+        return _evaluate_with_drift_records(
+            program, design, lut, environment, scheme, update_interval,
+            tracking_margin, max_cycles,
+        )
+    return _evaluate_with_drift_arrays(
+        program, design, lut, environment, scheme, update_interval,
+        tracking_margin, max_cycles,
+    )
+
+
 def evaluate_with_drift(program, design, lut, environment,
                         scheme="online", update_interval=150,
                         tracking_margin=0.025, max_cycles=DEFAULT_MAX_CYCLES,
                         engine="array"):
     """Evaluate a program while the environment drifts.
+
+    .. deprecated::
+        Legacy shim over :class:`repro.api.Session` (bit-identical); new
+        code should use ``Session.adapt``, which returns a columnar
+        ``ResultFrame`` over (program, scheme).
 
     Parameters
     ----------
@@ -131,15 +158,15 @@ def evaluate_with_drift(program, design, lut, environment,
         reference); bit-identical results.
     """
     _check_arguments(scheme, engine)
-    if engine == "record":
-        return _evaluate_with_drift_records(
-            program, design, lut, environment, scheme, update_interval,
-            tracking_margin, max_cycles,
-        )
-    return _evaluate_with_drift_arrays(
-        program, design, lut, environment, scheme, update_interval,
-        tracking_margin, max_cycles,
+    from repro.api import Session
+
+    session = Session.for_design(
+        design, lut=lut, max_cycles=max_cycles,
+        engine="vector" if engine == "array" else "scalar",
     )
+    return session.adapt_results(
+        [program], environment, [scheme], update_interval, tracking_margin,
+    )[0]
 
 
 def _evaluate_with_drift_arrays(program, design, lut, environment, scheme,
@@ -241,16 +268,22 @@ def compare_schemes(program, design, lut, environment,
                     engine="array"):
     """Run all three schemes; returns {scheme: result}.
 
+    .. deprecated::
+        Legacy shim over :class:`repro.api.Session` (bit-identical); new
+        code should use ``Session.adapt``.
+
     With the array engine the program is simulated and compiled once (via
     the shared compiled-trace cache) and each scheme costs only its own
     rescale/compare pass.
     """
-    return {
-        scheme: evaluate_with_drift(
-            program, design, lut, environment, scheme=scheme,
-            update_interval=update_interval,
-            tracking_margin=tracking_margin,
-            engine=engine,
-        )
-        for scheme in SCHEMES
-    }
+    _check_arguments(SCHEMES[0], engine)
+    from repro.api import Session
+
+    session = Session.for_design(
+        design, lut=lut,
+        engine="vector" if engine == "array" else "scalar",
+    )
+    results = session.adapt_results(
+        [program], environment, SCHEMES, update_interval, tracking_margin,
+    )
+    return dict(zip(SCHEMES, results))

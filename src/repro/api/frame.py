@@ -1,0 +1,483 @@
+"""Columnar result container shared by every workflow.
+
+A :class:`ResultFrame` is the one result type of the public API
+(:mod:`repro.api`): a set of typed NumPy column arrays keyed by a stable
+:class:`Column` schema.  Every `Session` method — evaluation sweeps,
+drift adaptation, over-scaling scans, training tables — returns one, so
+downstream consumers (figures, dashboards, training pipelines) handle a
+single shape instead of per-flow lists of result objects.
+
+Column kinds:
+
+``str``
+    Labels (programs, configs, design points); stored as object arrays.
+``int`` / ``float``
+    ``int64`` / ``float64`` arrays — the analysable payload.
+``json``
+    Ragged JSON-serialisable detail (e.g. per-violation tuples) carried
+    losslessly alongside the flat columns; excluded from CSV export.
+
+Invariants:
+
+- ``iter_rows`` yields plain-Python dicts (``json.dumps``-able as-is);
+- ``to_json``/``from_json`` and the :class:`~repro.lab.store.ArtifactStore`
+  round-trip (``save_frame``/``load_frame``) are lossless — float bits are
+  preserved exactly (``repr`` round-trip), which the parity suite relies
+  on;
+- ``to_csv`` formats values exactly like the historical CSV exports
+  (``csv.writer`` over the raw Python values).
+"""
+
+import copy
+import csv
+import io
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Valid column kinds.
+KINDS = ("str", "int", "float", "json")
+
+_DTYPES = {
+    "str": object,
+    "int": np.int64,
+    "float": np.float64,
+    "json": object,
+}
+
+#: Aggregation statistics understood by :meth:`ResultFrame.group_by`.
+STATS = ("mean", "sum", "min", "max", "count", "first")
+
+
+@dataclass(frozen=True)
+class Column:
+    """One schema entry: column name + kind."""
+
+    name: str
+    kind: str
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown column kind {self.kind!r}; choose from {KINDS}"
+            )
+
+
+def schema(*pairs):
+    """Build a schema tuple from ``(name, kind)`` pairs."""
+    return tuple(Column(name, kind) for name, kind in pairs)
+
+
+#: Schema of one evaluation row — matches the sweep runner's canonical
+#: JSON row (:func:`repro.lab.runner.result_to_dict`) field for field,
+#: so runner results, Session evaluations and stored sweep documents all
+#: share one layout.
+EVALUATION_SCHEMA = schema(
+    ("design_point", "str"),
+    ("variant", "str"),
+    ("voltage", "float"),
+    ("config", "str"),
+    ("policy", "str"),
+    ("generator", "str"),
+    ("margin_percent", "float"),
+    ("program", "str"),
+    ("num_cycles", "int"),
+    ("num_retired", "int"),
+    ("total_time_ps", "float"),
+    ("static_period_ps", "float"),
+    ("min_period_ps", "float"),
+    ("max_period_ps", "float"),
+    ("switch_rate", "float"),
+    ("average_period_ps", "float"),
+    ("effective_frequency_mhz", "float"),
+    ("speedup_percent", "float"),
+    ("num_violations", "int"),
+    ("violations", "json"),
+)
+
+#: Schema of one drift-adaptation row (:meth:`Session.adapt`).
+ADAPT_SCHEMA = schema(
+    ("program", "str"),
+    ("scheme", "str"),
+    ("num_cycles", "int"),
+    ("total_time_ps", "float"),
+    ("violations", "int"),
+    ("lut_updates", "int"),
+    ("max_drift_seen", "float"),
+    ("average_period_ps", "float"),
+    ("effective_frequency_mhz", "float"),
+)
+
+#: Schema of one over-scaling row (:meth:`Session.overscaling`).
+OVERSCALING_SCHEMA = schema(
+    ("program", "str"),
+    ("overscale_factor", "float"),
+    ("num_cycles", "int"),
+    ("total_time_ps", "float"),
+    ("violation_cycles", "int"),
+    ("violation_rate", "float"),
+    ("num_approx_results", "int"),
+    ("mean_corrupted_bits", "float"),
+    ("mean_relative_error", "float"),
+    ("violations_by_stage", "json"),
+    ("violations_by_class", "json"),
+)
+
+#: Schema of one policy-training row (:meth:`Session.training_table`):
+#: the evaluation columns plus flat learning targets.
+TRAINING_SCHEMA = EVALUATION_SCHEMA + schema(
+    ("safe", "int"),
+    ("ipc", "float"),
+    ("normalized_period", "float"),
+)
+
+
+def _coerce(values, kind):
+    """Coerce a value sequence to the canonical array of a kind."""
+    if kind == "int":
+        return np.asarray([int(v) for v in values], dtype=np.int64)
+    if kind == "float":
+        return np.asarray([float(v) for v in values], dtype=np.float64)
+    array = np.empty(len(values), dtype=object)
+    for index, value in enumerate(values):
+        array[index] = str(value) if kind == "str" else value
+    return array
+
+
+def _python_value(value, kind):
+    """One cell as a plain-Python scalar (``json.dumps``-able).
+
+    ``json`` cells are deep-copied so callers mutating a returned row
+    can never corrupt the frame's backing storage."""
+    if kind == "int":
+        return int(value)
+    if kind == "float":
+        return float(value)
+    if kind == "json":
+        return copy.deepcopy(value)
+    return value
+
+
+class ResultFrame:
+    """Columnar results: typed NumPy arrays keyed by a stable schema."""
+
+    def __init__(self, columns, schema):
+        self.schema = tuple(schema)
+        names = [column.name for column in self.schema]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate column names in schema")
+        if set(columns) != set(names):
+            missing = set(names) - set(columns)
+            extra = set(columns) - set(names)
+            raise ValueError(
+                f"columns do not match schema "
+                f"(missing: {sorted(missing)}, extra: {sorted(extra)})"
+            )
+        self._kinds = {column.name: column.kind for column in self.schema}
+        self._columns = {}
+        length = None
+        for name in names:
+            array = columns[name]
+            if not isinstance(array, np.ndarray):
+                array = _coerce(list(array), self._kinds[name])
+            if length is None:
+                length = len(array)
+            elif len(array) != length:
+                raise ValueError(
+                    f"column {name!r} has {len(array)} rows, expected "
+                    f"{length}"
+                )
+            self._columns[name] = array
+        self._length = length or 0
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, rows, schema):
+        """Build a frame from an iterable of row dicts."""
+        rows = list(rows)
+        columns = {
+            column.name: _coerce(
+                [row[column.name] for row in rows], column.kind
+            )
+            for column in schema
+        }
+        return cls(columns, schema)
+
+    @classmethod
+    def concat(cls, frames):
+        """Concatenate frames sharing one schema, in order."""
+        frames = list(frames)
+        if not frames:
+            raise ValueError("no frames to concatenate")
+        schema = frames[0].schema
+        for frame in frames[1:]:
+            if frame.schema != schema:
+                raise ValueError("cannot concatenate mismatched schemas")
+        columns = {
+            column.name: np.concatenate(
+                [frame._columns[column.name] for frame in frames]
+            )
+            for column in schema
+        }
+        return cls(columns, schema)
+
+    # -- basic access --------------------------------------------------------
+
+    def __len__(self):
+        return self._length
+
+    @property
+    def num_rows(self):
+        return self._length
+
+    @property
+    def column_names(self):
+        return tuple(column.name for column in self.schema)
+
+    def kind_of(self, name):
+        return self._kinds[name]
+
+    def column(self, name):
+        """The backing array of one column (do not mutate)."""
+        return self._columns[name]
+
+    def __getitem__(self, name):
+        return self._columns[name]
+
+    def row(self, index):
+        return {
+            column.name: _python_value(
+                self._columns[column.name][index], column.kind
+            )
+            for column in self.schema
+        }
+
+    def iter_rows(self):
+        """Yield each row as a plain-Python dict, in order."""
+        for index in range(self._length):
+            yield self.row(index)
+
+    def to_rows(self):
+        return list(self.iter_rows())
+
+    def distinct(self, name):
+        """Unique values of a column, in first-seen order."""
+        seen = {}
+        for value in self._columns[name]:
+            seen.setdefault(_python_value(value, self._kinds[name]))
+        return list(seen)
+
+    # -- filtering -----------------------------------------------------------
+
+    def select(self, mask):
+        """Subset rows by boolean mask (array or per-row-dict callable)."""
+        if callable(mask):
+            mask = np.fromiter(
+                (bool(mask(row)) for row in self.iter_rows()),
+                dtype=bool, count=self._length,
+            )
+        else:
+            mask = np.asarray(mask, dtype=bool)
+            if len(mask) != self._length:
+                raise ValueError("mask length does not match frame")
+        columns = {
+            name: array[mask] for name, array in self._columns.items()
+        }
+        return ResultFrame(columns, self.schema)
+
+    def where(self, **equals):
+        """Subset rows where every named column equals the given value."""
+        mask = np.ones(self._length, dtype=bool)
+        for name, value in equals.items():
+            column = self._columns[name]
+            if self._kinds[name] in ("str", "json"):
+                # compare object cells in Python: numpy coerces the
+                # scalar to a U dtype, which mis-compares e.g. strings
+                # containing NUL characters
+                mask &= np.fromiter(
+                    (cell == value for cell in column),
+                    dtype=bool, count=self._length,
+                )
+            else:
+                mask &= column == value
+        return self.select(mask)
+
+    # -- aggregation ---------------------------------------------------------
+
+    def group_by(self, keys, aggregates):
+        """Group rows by key columns and aggregate value columns.
+
+        Parameters
+        ----------
+        keys:
+            Column name or list of names to group on; groups keep
+            first-seen order (deterministic for canonically ordered
+            results).
+        aggregates:
+            ``{output_name: (column, stat)}`` with ``stat`` one of
+            ``mean|sum|min|max|count|first``.
+
+        Returns another :class:`ResultFrame` (one row per group).
+        """
+        if isinstance(keys, str):
+            keys = [keys]
+        keys = list(keys)
+        for _, (column, stat) in sorted(aggregates.items()):
+            if stat not in STATS:
+                raise ValueError(
+                    f"unknown stat {stat!r}; choose from {STATS}"
+                )
+            self._columns[column]   # raise KeyError early on bad names
+        groups = {}
+        for index in range(self._length):
+            key = tuple(
+                _python_value(self._columns[name][index], self._kinds[name])
+                for name in keys
+            )
+            groups.setdefault(key, []).append(index)
+
+        out_schema = [Column(name, self._kinds[name]) for name in keys]
+        out_columns = {
+            name: [key[position] for key in groups]
+            for position, name in enumerate(keys)
+        }
+        for out_name, (column, stat) in aggregates.items():
+            kind = "int" if stat == "count" else (
+                self._kinds[column] if stat == "first" else "float"
+            )
+            out_schema.append(Column(out_name, kind))
+            values = []
+            for indices in groups.values():
+                cells = self._columns[column][indices]
+                if stat == "count":
+                    values.append(len(indices))
+                elif stat == "first":
+                    values.append(cells[0])
+                elif stat == "mean":
+                    values.append(float(np.asarray(cells, dtype=float).mean()))
+                elif stat == "sum":
+                    values.append(float(np.asarray(cells, dtype=float).sum()))
+                elif stat == "min":
+                    values.append(float(np.asarray(cells, dtype=float).min()))
+                else:
+                    values.append(float(np.asarray(cells, dtype=float).max()))
+            out_columns[out_name] = values
+        return ResultFrame(
+            {name: _coerce(values, dict(
+                (c.name, c.kind) for c in out_schema)[name])
+             for name, values in out_columns.items()},
+            tuple(out_schema),
+        )
+
+    # -- derivation ----------------------------------------------------------
+
+    def with_column(self, name, kind, values):
+        """A new frame with one column appended."""
+        if name in self._columns:
+            raise ValueError(f"column {name!r} already exists")
+        columns = dict(self._columns)
+        columns[name] = _coerce(list(values), kind)
+        return ResultFrame(columns, self.schema + (Column(name, kind),))
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_dict(self):
+        """Canonical JSON-serialisable document (lossless)."""
+        return {
+            "schema": [[c.name, c.kind] for c in self.schema],
+            "columns": {
+                column.name: [
+                    _python_value(value, column.kind)
+                    for value in self._columns[column.name]
+                ]
+                for column in self.schema
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload):
+        frame_schema = schema(*[
+            (name, kind) for name, kind in payload["schema"]
+        ])
+        columns = {
+            column.name: _coerce(
+                payload["columns"][column.name], column.kind
+            )
+            for column in frame_schema
+        }
+        return cls(columns, frame_schema)
+
+    def to_json(self, indent=None):
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text):
+        return cls.from_dict(json.loads(text))
+
+    def to_csv(self, path=None, columns=None):
+        """CSV text of the flat columns (``json`` columns are skipped
+        unless named explicitly); optionally written to ``path``."""
+        if columns is None:
+            columns = [
+                column.name for column in self.schema
+                if column.kind != "json"
+            ]
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(columns)
+        for row in self.iter_rows():
+            writer.writerow([row[name] for name in columns])
+        text = buffer.getvalue()
+        if path is not None:
+            with open(path, "w", newline="") as handle:
+                handle.write(text)
+        return text
+
+    def to_structured(self):
+        """The flat columns as one structured NumPy array (strings become
+        fixed-width unicode; ``json`` columns are skipped)."""
+        fields = []
+        for column in self.schema:
+            if column.kind == "json":
+                continue
+            if column.kind == "str":
+                width = max(
+                    [len(str(v)) for v in self._columns[column.name]],
+                    default=1,
+                )
+                fields.append((column.name, f"U{max(width, 1)}"))
+            else:
+                fields.append((column.name, _DTYPES[column.kind]))
+        array = np.empty(self._length, dtype=fields)
+        for name, _ in fields:
+            array[name] = self._columns[name]
+        return array
+
+    # -- comparison ----------------------------------------------------------
+
+    def __eq__(self, other):
+        if not isinstance(other, ResultFrame):
+            return NotImplemented
+        if self.schema != other.schema or len(self) != len(other):
+            return False
+        for column in self.schema:
+            ours = self._columns[column.name]
+            theirs = other._columns[column.name]
+            if column.kind == "float":
+                if not np.array_equal(ours, theirs, equal_nan=True):
+                    return False
+            elif column.kind in ("str", "json"):
+                if list(ours) != list(theirs):
+                    return False
+            elif not np.array_equal(ours, theirs):
+                return False
+        return True
+
+    def __repr__(self):
+        return (
+            f"ResultFrame({self._length} rows x "
+            f"{len(self.schema)} columns: "
+            f"{', '.join(self.column_names)})"
+        )

@@ -1,0 +1,703 @@
+"""The Session facade: one object owns the pipeline's cross-cutting
+context.
+
+Every workflow of the reproduction — characterise a design point, compile
+traces, evaluate clock policies, check safety, sweep scenario grids,
+adapt under drift, scan over-scaling — used to re-thread ``design``,
+``store``, ``jobs``, ``max_cycles`` and engine selection by hand through
+five disjoint entry points.  A :class:`Session` owns that context once:
+
+    >>> from repro.api import Session
+    >>> session = Session(voltage=0.70, store=".repro-store", jobs=4)
+    >>> frame = session.evaluate(["crc32", "matmult"],
+    ...                          policies=["instruction", "genie"])
+    >>> frame.group_by("config", {"mhz": ("effective_frequency_mhz",
+    ...                                   "mean")}).to_rows()
+
+Methods return a columnar :class:`~repro.api.frame.ResultFrame` (see its
+module docstring); ``characterize`` returns the merged
+:class:`~repro.flow.characterize.CharacterizationResult` since a LUT is
+not tabular.  The legacy free functions (``evaluate_program``,
+``evaluate_batch``, ``characterize``, ``SweepRunner.run``,
+``evaluate_overscaling``, ``evaluate_with_drift``) remain as bit-identical
+shims over this facade.
+"""
+
+from contextlib import contextmanager
+
+from repro.api.frame import (
+    ADAPT_SCHEMA,
+    EVALUATION_SCHEMA,
+    OVERSCALING_SCHEMA,
+    TRAINING_SCHEMA,
+    ResultFrame,
+)
+from repro.dta.extraction import DEFAULT_MIN_OCCURRENCES
+from repro.flow.evaluate import DEFAULT_MAX_CYCLES, SweepConfig
+from repro.timing.profiles import DesignVariant
+
+#: Valid evaluation engines: ``vector`` is the compiled-trace array
+#: pipeline, ``scalar`` the retained per-record reference.
+ENGINES = ("vector", "scalar")
+
+#: Default over-scaling factor ladder (paper Sec. IV-A).
+DEFAULT_OVERSCALE_FACTORS = (1.0, 0.97, 0.94, 0.91, 0.88, 0.85)
+
+#: Session engine → characterisation engine name.
+_CHAR_ENGINES = {"vector": "array", "scalar": "record"}
+
+
+def design_point_label(variant, voltage):
+    """Display label of an operating point (matches
+    :attr:`repro.lab.scenario.DesignPoint.label`)."""
+    return f"{variant}@{voltage:.2f}V"
+
+
+def evaluation_row(result, *, variant, voltage, config_label, policy,
+                   generator, margin_percent):
+    """One :data:`EVALUATION_SCHEMA` row from an ``EvaluationResult``.
+
+    Field-for-field the sweep runner's canonical JSON row
+    (:func:`repro.lab.runner.result_to_dict`), so Session evaluations and
+    orchestrated sweep documents share one layout.
+    """
+    return {
+        "design_point": design_point_label(variant, voltage),
+        "variant": variant,
+        "voltage": voltage,
+        "config": config_label,
+        "policy": policy,
+        "generator": generator,
+        "margin_percent": margin_percent,
+        "program": result.program_name,
+        "num_cycles": result.num_cycles,
+        "num_retired": result.num_retired,
+        "total_time_ps": result.total_time_ps,
+        "static_period_ps": result.static_period_ps,
+        "min_period_ps": result.min_period_ps,
+        "max_period_ps": result.max_period_ps,
+        "switch_rate": result.switch_rate,
+        "average_period_ps": result.average_period_ps,
+        "effective_frequency_mhz": result.effective_frequency_mhz,
+        "speedup_percent": result.speedup_percent,
+        "num_violations": len(result.violations),
+        "violations": [
+            [v.cycle, v.stage.name, v.applied_period_ps,
+             v.excited_delay_ps, v.driver_class]
+            for v in result.violations
+        ],
+    }
+
+
+def result_from_row(row):
+    """Rehydrate an ``EvaluationResult`` from an evaluation row.
+
+    The inverse of :func:`evaluation_row` up to the policy label (rows
+    carry the config-spec policy name).  Lossless for every numeric field
+    and the violation detail.
+    """
+    from repro.flow.evaluate import EvaluationResult, TimingViolation
+    from repro.sim.trace import Stage
+
+    return EvaluationResult(
+        program_name=row["program"],
+        policy_name=row["policy"],
+        num_cycles=row["num_cycles"],
+        num_retired=row["num_retired"],
+        total_time_ps=row["total_time_ps"],
+        static_period_ps=row["static_period_ps"],
+        min_period_ps=row["min_period_ps"],
+        max_period_ps=row["max_period_ps"],
+        switch_rate=row["switch_rate"],
+        violations=[
+            TimingViolation(
+                cycle=cycle,
+                stage=Stage[stage],
+                applied_period_ps=applied,
+                excited_delay_ps=excited,
+                driver_class=driver,
+            )
+            for cycle, stage, applied, excited, driver in row["violations"]
+        ],
+    )
+
+
+def summarize_row(row):
+    """One-line summary of an evaluation row (CLI output)."""
+    return result_from_row(row).summary()
+
+
+class Session:
+    """One facade over the whole pipeline.
+
+    Parameters
+    ----------
+    variant / voltage:
+        The operating point (ignored when ``design`` is given).
+    design:
+        Optional pre-built :class:`~repro.timing.design.ProcessorDesign`.
+    lut / characterization:
+        Optional pre-computed delay LUT or full characterisation to reuse
+        (characterisation is the expensive step).
+    store:
+        Optional :class:`~repro.lab.store.ArtifactStore` (or path);
+        compiled traces, LUTs and sweep results are cached through it.
+    engine:
+        ``"vector"`` (compiled-trace arrays, default) or ``"scalar"``
+        (the retained per-record reference) — bit-identical results.
+    jobs:
+        Worker processes for sharded characterisation and grid sweeps.
+    max_cycles:
+        Pipeline-simulation cycle budget.
+    min_occurrences:
+        Characterisation extraction threshold.
+    store_budget_bytes:
+        Optional size budget; sweeps auto-``gc`` the store after merging
+        so long campaigns self-limit.
+    seed:
+        Root seed of the synthetic netlist (``design`` construction).
+    """
+
+    def __init__(self, variant=DesignVariant.CRITICAL_RANGE.value,
+                 voltage=0.70, *, design=None, lut=None,
+                 characterization=None, store=None, engine="vector",
+                 jobs=1, max_cycles=DEFAULT_MAX_CYCLES,
+                 min_occurrences=DEFAULT_MIN_OCCURRENCES,
+                 store_budget_bytes=None, seed=None):
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {ENGINES}"
+            )
+        if design is not None:
+            variant = design.variant.value
+            voltage = design.library.voltage
+        elif isinstance(variant, DesignVariant):
+            variant = variant.value
+        self.variant = variant
+        self.voltage = float(voltage)
+        self.engine = engine
+        self.jobs = max(1, int(jobs))
+        self.max_cycles = int(max_cycles)
+        self.min_occurrences = min_occurrences
+        self.store_budget_bytes = store_budget_bytes
+        self.seed = seed
+        self._design = design
+        self._lut = lut
+        self._characterization = characterization
+        if store is not None:
+            from repro.lab.store import ArtifactStore
+
+            if not isinstance(store, ArtifactStore):
+                store = ArtifactStore(store)
+        self.store = store
+
+    @classmethod
+    def for_design(cls, design, **kwargs):
+        """A session bound to an existing design object."""
+        return cls(design=design, **kwargs)
+
+    # -- owned context -------------------------------------------------------
+
+    @property
+    def design(self):
+        """The processor design at this session's operating point."""
+        if self._design is None:
+            from repro.timing.design import build_design
+
+            self._design = build_design(
+                DesignVariant(self.variant), voltage=self.voltage,
+                seed=self.seed,
+            )
+        return self._design
+
+    @property
+    def design_point(self):
+        return design_point_label(self.variant, self.voltage)
+
+    @property
+    def static_period_ps(self):
+        return self.design.static_period_ps
+
+    @property
+    def static_frequency_mhz(self):
+        from repro.utils.units import ps_to_mhz
+
+        return ps_to_mhz(self.design.static_period_ps)
+
+    @property
+    def lut(self):
+        """The characterised delay LUT (characterising on first use)."""
+        return self.characterization.lut
+
+    @property
+    def characterization(self):
+        """The session's cached characterisation (computed on first use)."""
+        if self._characterization is None:
+            if self._lut is not None:
+                from repro.flow.characterize import CharacterizationResult
+
+                self._characterization = CharacterizationResult(
+                    design=self.design, lut=self._lut
+                )
+            else:
+                self._characterization = self.characterize()
+        return self._characterization
+
+    @property
+    def dca(self):
+        """A :class:`~repro.core.dca.DynamicClockAdjustment` view of the
+        session (policy/generator factories bound to the LUT)."""
+        from repro.core import DcaConfig, DynamicClockAdjustment
+
+        return DynamicClockAdjustment(
+            config=DcaConfig(
+                variant=self.design.variant, voltage=self.voltage,
+                min_occurrences=self.min_occurrences,
+            ),
+            characterization=self.characterization,
+        )
+
+    @contextmanager
+    def _attached_store(self):
+        """Attach the session store to the compiled-trace cache for the
+        duration of one call (ambient store left alone when unset)."""
+        if self.store is None:
+            yield
+            return
+        from repro.dta.compiled import set_trace_store
+
+        previous = set_trace_store(self.store)
+        try:
+            yield
+        finally:
+            set_trace_store(previous)
+
+    def _resolve_programs(self, programs):
+        from repro.workloads import resolve_program
+
+        if programs is None:
+            from repro.workloads.suite import benchmark_suite
+
+            return benchmark_suite()
+        single = not isinstance(programs, (list, tuple))
+        if single:
+            programs = [programs]
+        return [
+            resolve_program(spec) if isinstance(spec, str) else spec
+            for spec in programs
+        ]
+
+    # -- characterisation ----------------------------------------------------
+
+    def characterize(self, programs=None, *, min_occurrences=None,
+                     sim_period_ps=None, keep_runs=False, engine=None,
+                     via_store=None):
+        """Characterise the session's design point.
+
+        Returns the merged
+        :class:`~repro.flow.characterize.CharacterizationResult` and
+        caches it on the session when called with default arguments.
+
+        ``via_store`` controls the merged-LUT store fast path: ``None``
+        (auto) uses :meth:`ArtifactStore.get_lut` for the default suite,
+        ``False`` always runs the characterisation flow (still reading
+        per-program batches through the store's ``charlut`` cache).
+        """
+        from repro.flow.characterize import (
+            CharacterizationResult,
+            _characterize_impl,
+        )
+
+        if min_occurrences is None:
+            min_occurrences = self.min_occurrences
+        default_call = (
+            programs is None
+            and min_occurrences == self.min_occurrences
+            and sim_period_ps is None
+            and engine in (None, _CHAR_ENGINES[self.engine])
+        )
+        if (default_call and not keep_runs
+                and self._characterization is None
+                and self._lut is not None):
+            self._characterization = CharacterizationResult(
+                design=self.design, lut=self._lut
+            )
+        if (default_call and self._characterization is not None
+                and (not keep_runs or self._characterization.runs)):
+            return self._characterization
+        if via_store is None:
+            via_store = (
+                self.store is not None and programs is None
+                and sim_period_ps is None and not keep_runs
+            )
+        if via_store:
+            lut = self.store.get_lut(
+                self.design, min_occurrences=min_occurrences,
+                jobs=self.jobs,
+            )
+            result = CharacterizationResult(design=self.design, lut=lut)
+        else:
+            result = _characterize_impl(
+                self.design, programs=programs,
+                min_occurrences=min_occurrences,
+                sim_period_ps=sim_period_ps, keep_runs=keep_runs,
+                engine=engine or _CHAR_ENGINES[self.engine],
+                jobs=self.jobs, store=self.store,
+            )
+        if default_call:
+            self._characterization = result
+        return result
+
+    # -- evaluation ----------------------------------------------------------
+
+    def _config_specs(self, policies, generators, margins, check_safety):
+        from repro.lab.scenario import ConfigSpec
+
+        return [
+            ConfigSpec(
+                policy=policy, generator=generator, margin_percent=margin,
+                check_safety=check_safety,
+            )
+            for policy in policies
+            for generator in generators
+            for margin in margins
+        ]
+
+    def _materialize(self, specs):
+        """ConfigSpecs → concrete SweepConfigs bound to this session."""
+        from repro.lab.scenario import ConfigSpec
+
+        dca = None
+        configs = []
+        for spec in specs:
+            if isinstance(spec, SweepConfig):
+                configs.append(spec)
+            elif isinstance(spec, ConfigSpec):
+                if dca is None:
+                    dca = self.dca
+                configs.append(spec.make(dca))
+            else:
+                raise TypeError(
+                    f"config must be SweepConfig or ConfigSpec, "
+                    f"got {type(spec).__name__}"
+                )
+        return configs
+
+    def evaluate_results(self, programs, configs):
+        """Evaluation as the ``[config][program]`` grid of
+        ``EvaluationResult`` objects — the object-shaped view of
+        :meth:`evaluate` for consumers that introspect violations or
+        result properties directly.  The legacy shim layer also routes
+        through here.
+        """
+        from repro.flow import evaluate as _evaluate
+
+        with self._attached_store():
+            if self.engine == "scalar":
+                return [
+                    [
+                        _evaluate.evaluate_program_scalar(
+                            program, self.design, config.make_policy(),
+                            generator=config.make_generator(),
+                            margin_percent=config.margin_percent,
+                            check_safety=config.check_safety,
+                            max_cycles=self.max_cycles,
+                        )
+                        for program in programs
+                    ]
+                    for config in configs
+                ]
+            return _evaluate._evaluate_batch(
+                programs, self.design, configs, max_cycles=self.max_cycles
+            )
+
+    def evaluate(self, programs=None, configs=None, *, policies=None,
+                 generators=None, margins=None, check_safety=True):
+        """Evaluate programs under clock configurations → ResultFrame.
+
+        Parameters
+        ----------
+        programs:
+            Program objects, kernel names/assembly paths, or ``None`` for
+            the Fig. 8 benchmark suite.
+        configs:
+            Explicit configuration rows
+            (:class:`~repro.lab.scenario.ConfigSpec` or
+            :class:`~repro.flow.evaluate.SweepConfig`); mutually
+            exclusive with the axis keywords.
+        policies / generators / margins:
+            Axis shorthand; the cross product (policy-major) becomes the
+            configuration rows.  Defaults: ``["instruction"]`` ×
+            ``["ideal"]`` × ``[0.0]``.
+        check_safety:
+            Replay ground-truth delays and record violations (axis mode
+            only; explicit configs carry their own flag).
+
+        Returns a :class:`ResultFrame` with one row per (config, program),
+        config-major in input order.
+        """
+        programs = self._resolve_programs(programs)
+        if configs is not None:
+            if policies or generators or margins:
+                raise ValueError(
+                    "pass either configs or policies/generators/margins, "
+                    "not both"
+                )
+            specs = list(configs)
+        else:
+            specs = self._config_specs(
+                list(policies) if policies is not None
+                else ["instruction"],
+                list(generators) if generators is not None else ["ideal"],
+                [float(m) for m in (margins if margins is not None
+                                    else [0.0])],
+                check_safety,
+            )
+        concrete = self._materialize(specs)
+        grid = self.evaluate_results(programs, concrete)
+        rows = []
+        for spec, config, row in zip(specs, concrete, grid):
+            policy = getattr(spec, "policy", None)
+            generator = self._generator_name(spec, config)
+            for result in row:
+                rows.append(evaluation_row(
+                    result,
+                    variant=self.variant,
+                    voltage=self.voltage,
+                    config_label=config.label or self._fallback_label(
+                        result.policy_name, generator,
+                        config.margin_percent,
+                    ),
+                    policy=(policy if isinstance(policy, str)
+                            else result.policy_name),
+                    generator=generator,
+                    margin_percent=config.margin_percent,
+                ))
+        return ResultFrame.from_rows(rows, EVALUATION_SCHEMA)
+
+    @staticmethod
+    def _fallback_label(policy_name, generator_name, margin_percent):
+        """Distinct label for unlabelled SweepConfigs: two configs that
+        differ in any axis must never share a ``config`` cell (group-by
+        over the column would silently merge them)."""
+        label = f"{policy_name}/{generator_name}"
+        if margin_percent:
+            label += f"/margin={margin_percent:g}%"
+        return label
+
+    @staticmethod
+    def _generator_name(spec, config):
+        generator = getattr(spec, "generator", None)
+        if isinstance(generator, str):
+            return generator
+        generator = config.make_generator()
+        if generator is None:
+            return "ideal"
+        return getattr(generator, "name", type(generator).__name__)
+
+    # -- orchestrated sweeps -------------------------------------------------
+
+    def sweep(self, grid, *, resume=False, progress=None, runner=None,
+              manifest_path=None):
+        """Run a scenario grid through the parallel sweep runner.
+
+        The runner inherits the session's store, worker count and store
+        budget; the merged outcome is a frame-backed
+        :class:`~repro.lab.runner.SweepRunResult` (``.frame`` holds the
+        :class:`ResultFrame`, serialisation is unchanged).
+
+        The orchestrated runner evaluates through the vector engine
+        only; a ``scalar`` session refuses to sweep rather than return
+        vector results labelled as the reference.
+        """
+        from repro.lab.runner import SweepRunner
+        from repro.lab.scenario import ScenarioGrid
+
+        if self.engine != "vector":
+            raise ValueError(
+                "orchestrated sweeps run on the vector engine only; "
+                "use Session.evaluate for the scalar reference"
+            )
+
+        if not isinstance(grid, ScenarioGrid):
+            grid = ScenarioGrid.from_file(grid)
+        if runner is None:
+            runner = SweepRunner(
+                grid, store=self.store, jobs=self.jobs,
+                manifest_path=manifest_path,
+                store_budget_bytes=self.store_budget_bytes,
+            )
+        return runner._execute(resume=resume, progress=progress)
+
+    def training_table(self, grid, *, resume=False, progress=None):
+        """Policy-training data generator: one flat table over the grid.
+
+        Sweeps margins × voltages × variants × policies × workloads and
+        returns the evaluation frame extended with flat learning targets
+        (:data:`TRAINING_SCHEMA`): ``safe`` (1 when violation-free),
+        ``ipc`` (retired per cycle) and ``normalized_period``
+        (average applied period over the static period — the
+        frequency-over-scaling gain a learned DFS policy predicts).
+
+        Safety checking is forced on: the ``safe`` label needs the
+        ground-truth violation replay, so a grid with
+        ``check_safety=False`` is transparently re-run with it enabled.
+        """
+        from repro.lab.scenario import ScenarioGrid
+
+        if not isinstance(grid, ScenarioGrid):
+            grid = ScenarioGrid.from_file(grid)
+        if not grid.check_safety:
+            grid = ScenarioGrid.from_dict(
+                {**grid.to_dict(), "check_safety": True}
+            )
+        result = self.sweep(grid, resume=resume, progress=progress)
+        frame = result.frame
+        num_cycles = frame["num_cycles"]
+        safe = (frame["num_violations"] == 0).astype(int)
+        ipc = [
+            (retired / cycles if cycles else float("nan"))
+            for retired, cycles in zip(frame["num_retired"], num_cycles)
+        ]
+        normalized = [
+            (average / static if static else float("nan"))
+            for average, static in zip(
+                frame["average_period_ps"], frame["static_period_ps"]
+            )
+        ]
+        frame = frame.with_column("safe", "int", safe)
+        frame = frame.with_column("ipc", "float", ipc)
+        frame = frame.with_column("normalized_period", "float", normalized)
+        assert frame.schema == TRAINING_SCHEMA
+        return frame
+
+    # -- drift adaptation ----------------------------------------------------
+
+    def adapt_results(self, programs, environment, schemes=None,
+                      update_interval=150, tracking_margin=0.025):
+        """Drift adaptation as ``AdaptiveEvaluationResult`` objects, one
+        per (program, scheme) — the object-shaped view of
+        :meth:`adapt`."""
+        from repro.adapt import online as _online
+
+        if schemes is None:
+            schemes = _online.SCHEMES
+        results = []
+        with self._attached_store():
+            for program in programs:
+                for scheme in schemes:
+                    results.append(_online._evaluate_with_drift_impl(
+                        program, self.design, self.lut, environment,
+                        scheme=scheme, update_interval=update_interval,
+                        tracking_margin=tracking_margin,
+                        max_cycles=self.max_cycles,
+                        engine=_CHAR_ENGINES[self.engine],
+                    ))
+        return results
+
+    def adapt(self, programs, environment, *, schemes=None,
+              update_interval=150, tracking_margin=0.025):
+        """Evaluate programs under environmental drift → ResultFrame.
+
+        One row per (program, scheme); ``schemes`` defaults to all three
+        (``fixed-none``, ``fixed-guard``, ``online``).
+        """
+        from repro.adapt.online import SCHEMES
+
+        programs = self._resolve_programs(programs)
+        schemes = list(schemes or SCHEMES)
+        results = self.adapt_results(
+            programs, environment, schemes, update_interval,
+            tracking_margin,
+        )
+        rows = [
+            {
+                "program": result.program_name,
+                "scheme": result.scheme,
+                "num_cycles": result.num_cycles,
+                "total_time_ps": result.total_time_ps,
+                "violations": result.violations,
+                "lut_updates": result.lut_updates,
+                "max_drift_seen": result.max_drift_seen,
+                "average_period_ps": result.average_period_ps,
+                "effective_frequency_mhz": result.effective_frequency_mhz,
+            }
+            for result in results
+        ]
+        return ResultFrame.from_rows(rows, ADAPT_SCHEMA)
+
+    # -- over-scaling --------------------------------------------------------
+
+    def overscaling_reports(self, program, factors=None, max_cycles=None):
+        """Over-scaling scan as ``OverscalingReport`` objects, one per
+        factor — the object-shaped view of :meth:`overscaling`."""
+        from repro.approx import violations as _violations
+
+        if factors is None:
+            factors = DEFAULT_OVERSCALE_FACTORS
+        if max_cycles is None:
+            max_cycles = self.max_cycles
+        with self._attached_store():
+            if self.engine == "scalar":
+                return [
+                    _violations.evaluate_overscaling_scalar(
+                        program, self.design, self.lut, factor,
+                        max_cycles=max_cycles,
+                    )
+                    for factor in factors
+                ]
+            return [
+                _violations._evaluate_overscaling_impl(
+                    program, self.design, self.lut, factor,
+                    max_cycles=max_cycles,
+                )
+                for factor in factors
+            ]
+
+    def overscaling(self, programs, factors=None):
+        """Over-scaling scan: clock beyond the safe bound → ResultFrame.
+
+        One row per (program, factor); ``factors`` defaults to the
+        paper's ladder (:data:`DEFAULT_OVERSCALE_FACTORS`).
+        """
+        programs = self._resolve_programs(programs)
+        factors = list(factors or DEFAULT_OVERSCALE_FACTORS)
+        rows = []
+        for program in programs:
+            for report in self.overscaling_reports(program, factors):
+                rows.append({
+                    "program": report.program_name,
+                    "overscale_factor": report.overscale_factor,
+                    "num_cycles": report.num_cycles,
+                    "total_time_ps": report.total_time_ps,
+                    "violation_cycles": report.violation_cycles,
+                    "violation_rate": report.violation_rate,
+                    "num_approx_results": len(report.approx_results),
+                    "mean_corrupted_bits": report.mean_corrupted_bits,
+                    "mean_relative_error": report.mean_relative_error,
+                    "violations_by_stage": dict(report.violations_by_stage),
+                    "violations_by_class": dict(report.violations_by_class),
+                })
+        return ResultFrame.from_rows(rows, OVERSCALING_SCHEMA)
+
+    # -- store maintenance ---------------------------------------------------
+
+    def gc(self, max_bytes=None, dry_run=False):
+        """Evict least-recently-used store artifacts down to a budget
+        (defaults to the session's ``store_budget_bytes``)."""
+        if self.store is None:
+            raise ValueError("session has no artifact store")
+        if max_bytes is None:
+            max_bytes = self.store_budget_bytes
+        if max_bytes is None:
+            raise ValueError(
+                "no size budget: pass max_bytes or set store_budget_bytes"
+            )
+        return self.store.gc(max_bytes=max_bytes, dry_run=dry_run)
+
+    def __repr__(self):
+        return (
+            f"Session({self.design_point}, engine={self.engine!r}, "
+            f"jobs={self.jobs}, store="
+            f"{str(self.store.root) if self.store else None!r})"
+        )

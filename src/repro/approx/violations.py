@@ -92,9 +92,9 @@ class OverscalingReport:
 _OVERSHOOT_TOLERANCE_PS = 1e-9
 
 
-def evaluate_overscaling(program, design, lut, overscale_factor,
-                         max_cycles=2_000_000):
-    """Run a program with LUT periods scaled by ``overscale_factor``.
+def _evaluate_overscaling_impl(program, design, lut, overscale_factor,
+                               max_cycles=2_000_000):
+    """The over-scaling scan engine (see :func:`evaluate_overscaling`).
 
     A factor of 1.0 reproduces the paper's error-free operation; smaller
     factors trade accuracy for speed.  Functional execution is unchanged
@@ -105,6 +105,8 @@ def evaluate_overscaling(program, design, lut, overscale_factor,
     scaled periods are one vectorized policy call, the violation scan one
     array comparison.  Bit-identical to
     :func:`evaluate_overscaling_scalar`.
+    :class:`repro.api.Session.overscaling` runs on this directly; the
+    public function below is the legacy shim over the Session.
     """
     if not 0.0 < overscale_factor <= 1.0:
         raise ValueError("overscale_factor must be in (0, 1]")
@@ -228,11 +230,37 @@ def evaluate_overscaling_scalar(program, design, lut, overscale_factor,
     return report
 
 
+def evaluate_overscaling(program, design, lut, overscale_factor,
+                         max_cycles=2_000_000):
+    """Run a program with LUT periods scaled by ``overscale_factor``.
+
+    .. deprecated::
+        Legacy shim over :class:`repro.api.Session` (bit-identical); new
+        code should use ``Session.overscaling``, which returns a
+        columnar ``ResultFrame`` over (program, factor).
+    """
+    if not 0.0 < overscale_factor <= 1.0:
+        raise ValueError("overscale_factor must be in (0, 1]")
+    from repro.api import Session
+
+    session = Session.for_design(design, lut=lut)
+    return session.overscaling_reports(
+        program, [overscale_factor], max_cycles=max_cycles
+    )[0]
+
+
 def overscaling_sweep(program, design, lut, factors=None):
-    """Sweep over-scaling factors; returns a list of reports."""
+    """Sweep over-scaling factors; returns a list of reports.
+
+    .. deprecated::
+        Legacy shim over :class:`repro.api.Session` (bit-identical); new
+        code should use ``Session.overscaling``.
+    """
+    from repro.api import Session
+
+    session = Session.for_design(design, lut=lut)
     if factors is None:
         factors = [1.0, 0.97, 0.94, 0.91, 0.88, 0.85]
-    return [
-        evaluate_overscaling(program, design, lut, factor)
-        for factor in factors
-    ]
+    return session.overscaling_reports(
+        program, list(factors), max_cycles=2_000_000
+    )

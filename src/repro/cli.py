@@ -24,19 +24,24 @@ where ``grid.json`` declares the axes to cross::
      "workloads": ["crc32", "matmult"]}
 
 A warm store skips pipeline simulation and characterisation entirely;
-``--resume`` continues an interrupted run from its manifest.
+``--resume`` continues an interrupted run from its manifest;
+``--store-max-size 500M`` LRU-evicts the store down to a budget after
+the merge, so long campaigns self-limit.
 
 Programs may be given as a bundled kernel name or a path to an assembly
 file.
+
+Every pipeline command is a thin call into :class:`repro.api.Session`
+(the public facade); the CLI only parses arguments and formats output.
 """
 
 import argparse
 import pathlib
 import sys
 
+from repro.api import Session, result_from_row
 from repro.asm import disassemble_program
 from repro.dta.lut import DelayLUT
-from repro.flow.characterize import characterize
 from repro.sim.iss import FunctionalSimulator
 from repro.sim.pipeline import PipelineSimulator
 from repro.timing.design import build_design
@@ -59,6 +64,24 @@ def _load_program(spec):
 
 def _build(args):
     return build_design(DesignVariant(args.variant), voltage=args.voltage)
+
+
+def _session(args, store=None, announce=True, **kwargs):
+    """A Session at the operating point named on the command line.
+
+    Prints the on-the-fly characterisation notice when neither a LUT
+    file nor a store will provide the delay LUT.
+    """
+    lut = None
+    if getattr(args, "lut", None):
+        lut = DelayLUT.from_json(pathlib.Path(args.lut).read_text())
+    elif store is None and announce:
+        print("no --lut given: characterising on the fly ...",
+              file=sys.stderr)
+    return Session(
+        variant=args.variant, voltage=args.voltage, lut=lut, store=store,
+        **kwargs,
+    )
 
 
 def _add_design_arguments(parser):
@@ -121,9 +144,9 @@ def cmd_sta(args):
 
 
 def cmd_characterize(args):
-    design = _build(args)
-    print(f"characterising {design.name} ...", file=sys.stderr)
-    result = characterize(design, keep_runs=False)
+    session = _session(args, announce=False)
+    print(f"characterising {session.design.name} ...", file=sys.stderr)
+    result = session.characterize()
     text = result.lut.to_json()
     if args.output:
         pathlib.Path(args.output).write_text(text)
@@ -134,29 +157,15 @@ def cmd_characterize(args):
     return 0
 
 
-def _load_lut(args, design):
-    if args.lut:
-        return DelayLUT.from_json(pathlib.Path(args.lut).read_text())
-    print("no --lut given: characterising on the fly ...", file=sys.stderr)
-    return characterize(design, keep_runs=False).lut
-
-
 def cmd_evaluate(args):
-    from repro.core import DcaConfig, DynamicClockAdjustment
-    from repro.flow.characterize import CharacterizationResult
-
     program = _load_program(args.program)   # fail fast on a bad spec
-    design = _build(args)
-    lut = _load_lut(args, design)
-    dca = DynamicClockAdjustment(
-        config=DcaConfig(
-            variant=design.variant, voltage=args.voltage,
-            policy=args.policy, generator=args.generator,
-            margin_percent=args.margin,
-        ),
-        characterization=CharacterizationResult(design=design, lut=lut),
+    session = _session(args)
+    frame = session.evaluate(
+        [program],
+        policies=[args.policy], generators=[args.generator],
+        margins=[args.margin], check_safety=True,
     )
-    result = dca.evaluate(program)
+    result = result_from_row(frame.row(0))
     print(result.summary())
     if not result.is_safe:
         worst = max(result.violations, key=lambda v: v.overshoot_ps)
@@ -166,12 +175,17 @@ def cmd_evaluate(args):
     return 0
 
 
-def cmd_sweep(args):
-    from repro.core import DcaConfig, DynamicClockAdjustment
-    from repro.dta.compiled import set_trace_store
-    from repro.flow.characterize import CharacterizationResult
-    from repro.workloads.suite import benchmark_suite
+def _parse_store_budget(args):
+    """``--store-max-size`` → bytes (or ``None``); raises ValueError
+    on a malformed size or when no store is given to evict."""
+    if not getattr(args, "store_max_size", None):
+        return None
+    if not args.store:
+        raise ValueError("--store-max-size requires --store")
+    return parse_size(args.store_max_size)
 
+
+def cmd_sweep(args):
     if args.grid:
         return _run_grid_sweep(args)
     if args.resume or args.jobs != 1 or args.json:
@@ -182,39 +196,24 @@ def cmd_sweep(args):
     if args.programs:
         programs = [_load_program(spec) for spec in args.programs]
     else:
-        programs = benchmark_suite()
-    design = _build(args)
-    store = previous_store = None
-    if args.store:
-        from repro.lab.store import ArtifactStore
-
-        store = ArtifactStore(args.store)
-        previous_store = set_trace_store(store)
+        programs = None                    # the Fig. 8 benchmark suite
     try:
-        if store is not None and not args.lut:
-            lut = store.get_lut(design)
-        else:
-            lut = _load_lut(args, design)
-        dca = DynamicClockAdjustment(
-            config=DcaConfig(variant=design.variant, voltage=args.voltage),
-            characterization=CharacterizationResult(design=design, lut=lut),
-        )
-        return _run_flag_sweep(args, dca, programs)
-    finally:
-        if store is not None:
-            set_trace_store(previous_store)
-
-
-def _run_flag_sweep(args, dca, programs):
-    """Legacy flag-driven sweep (no scenario grid)."""
-    from repro.flow.evaluate import (
-        average_frequency_mhz,
-        average_speedup_percent,
+        budget = _parse_store_budget(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    session = _session(
+        args, store=args.store or None, store_budget_bytes=budget
     )
-    from repro.flow.figures import sweep_series, write_csv
+    return _run_flag_sweep(args, session, programs)
+
+
+def _run_flag_sweep(args, session, programs):
+    """Legacy flag-driven sweep (no scenario grid)."""
+    from repro.flow.figures import sweep_frame_series, write_csv
     from repro.utils.tables import format_table
 
-    configs, results = dca.evaluate_sweep(
+    frame = session.evaluate(
         programs,
         policies=args.policy or ["instruction", "ex-only", "two-class",
                                  "genie"],
@@ -222,36 +221,36 @@ def _run_flag_sweep(args, dca, programs):
         margins=args.margin if args.margin else [0.0],
         check_safety=args.check_safety,
     )
-    rows = []
-    unsafe = 0
-    for config, row in zip(configs, results):
-        violations = sum(len(result.violations) for result in row)
-        unsafe += violations
-        rows.append((
-            config.label,
-            f"{average_frequency_mhz(row):.0f}",
-            f"{average_speedup_percent(row):+.1f}%",
-            f"{violations}",
-        ))
+    summary = frame.group_by("config", {
+        "mhz": ("effective_frequency_mhz", "mean"),
+        "speedup": ("speedup_percent", "mean"),
+        "violations": ("num_violations", "sum"),
+    })
+    table_rows = [
+        (row["config"], f"{row['mhz']:.0f}", f"{row['speedup']:+.1f}%",
+         f"{int(row['violations'])}")
+        for row in summary.iter_rows()
+    ]
+    num_programs = len(frame.distinct("program"))
     print(format_table(
         ["Configuration", "Avg. [MHz]", "Avg. speedup", "Violations"],
-        rows,
-        title=f"Sweep: {len(programs)} programs x {len(configs)} configs "
+        table_rows,
+        title=f"Sweep: {num_programs} programs x {len(summary)} configs "
               f"@ {args.voltage:.2f} V",
     ))
     if args.csv:
-        header, series = sweep_series(
-            [config.label for config in configs], results
-        )
+        header, series = sweep_frame_series(frame)
         write_csv(args.csv, header, series)
         print(f"wrote {args.csv} ({len(series)} rows)")
+    unsafe = int(frame["num_violations"].sum())
+    if session.store is not None and session.store_budget_bytes is not None:
+        session.gc()
     return 1 if (args.check_safety and unsafe) else 0
 
 
 def _run_grid_sweep(args):
     """Scenario-grid mode: the parallel runner + artifact store."""
-    from repro.lab import ArtifactStore, ScenarioGrid, SweepRunner
-    from repro.lab.scenario import ScenarioError
+    from repro.lab.scenario import ScenarioError, ScenarioGrid
     from repro.utils.tables import format_table
 
     if (args.programs or args.policy or args.generator or args.margin
@@ -267,41 +266,40 @@ def _run_grid_sweep(args):
     except ScenarioError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    try:
+        budget = _parse_store_budget(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
-    store = ArtifactStore(args.store) if args.store else None
-    runner = SweepRunner(grid, store=store, jobs=args.jobs)
-    result = runner.run(
+    session = Session(
+        store=args.store or None, jobs=args.jobs,
+        store_budget_bytes=budget,
+    )
+    result = session.sweep(
+        grid,
         resume=args.resume,
         progress=lambda line: print(line, file=sys.stderr),
     )
 
-    specs = grid.config_specs()
-    by_config = {spec.label: [] for spec in specs}
-    for row in result.rows:
-        by_config[row["config"]].append(row)
-    table_rows = []
-    for point in grid.design_points():
-        for spec in specs:
-            rows = [row for row in by_config[spec.label]
-                    if row["design_point"] == point.label]
-
-            def mean(key, rows=rows):
-                return sum(row[key] for row in rows) / len(rows)
-
-            table_rows.append((
-                point.label,
-                spec.label,
-                f"{mean('effective_frequency_mhz'):.0f}",
-                f"{mean('speedup_percent'):+.1f}%",
-                f"{sum(row['num_violations'] for row in rows)}",
-            ))
+    summary = result.frame.group_by(["design_point", "config"], {
+        "mhz": ("effective_frequency_mhz", "mean"),
+        "speedup": ("speedup_percent", "mean"),
+        "violations": ("num_violations", "sum"),
+    })
+    table_rows = [
+        (row["design_point"], row["config"], f"{row['mhz']:.0f}",
+         f"{row['speedup']:+.1f}%", f"{int(row['violations'])}")
+        for row in summary.iter_rows()
+    ]
     print(format_table(
         ["Design point", "Configuration", "Avg. [MHz]", "Avg. speedup",
          "Violations"],
         table_rows,
         title=(
             f"Grid '{grid.name}': {result.units_total} units "
-            f"({result.units_resumed} resumed) x {len(specs)} configs "
+            f"({result.units_resumed} resumed) x "
+            f"{len(grid.config_specs())} configs "
             f"in {result.seconds:.2f} s, jobs={result.jobs}"
         ),
     ))
@@ -313,14 +311,13 @@ def _run_grid_sweep(args):
         print(f"wrote {args.json}")
     if args.csv:
         result.write_csv(args.csv)
-        print(f"wrote {args.csv} ({len(result.rows)} rows)")
+        print(f"wrote {args.csv} ({len(result.frame)} rows)")
     return 1 if (grid.check_safety and result.num_violations) else 0
 
 
 def cmd_table2(args):
-    design = _build(args)
-    lut = _load_lut(args, design)
-    print(lut.render())
+    session = _session(args)
+    print(session.lut.render())
     return 0
 
 
@@ -346,19 +343,18 @@ def parse_size(text):
 def cmd_store_gc(args):
     """LRU store eviction: keep the most recently used artifacts within
     the size budget (artifact loads refresh their mtime)."""
-    from repro.lab.store import ArtifactStore
-
     try:
         budget = parse_size(args.max_size)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    store = ArtifactStore(args.store)
+    session = Session(store=args.store, store_budget_bytes=budget)
+    store = session.store
     if not store.root.is_dir():
         print(f"error: store directory {store.root} does not exist",
               file=sys.stderr)
         return 2
-    result = store.gc(max_bytes=budget, dry_run=args.dry_run)
+    result = session.gc(dry_run=args.dry_run)
     prefix = "would evict" if args.dry_run else "evicted"
     print(f"{store.root}: {result.scanned_files} artifacts scanned; "
           f"{prefix} {result.removed_files} "
@@ -449,6 +445,9 @@ def build_parser():
                           "an interrupted --grid run")
     sub.add_argument("--json",
                      help="write the merged grid results as JSON")
+    sub.add_argument("--store-max-size",
+                     help="store size budget (e.g. 500M): LRU-evict the "
+                          "artifact store down to it after the run")
     sub.set_defaults(func=cmd_sweep)
 
     sub = subparsers.add_parser("table2", help="render a LUT (Table II)")

@@ -26,13 +26,8 @@ from repro.clocking.policies import (
     TwoClassPolicy,
 )
 from repro.core.config import DcaConfig
-from repro.flow.characterize import characterize
-from repro.flow.evaluate import (
-    SweepConfig,
-    evaluate_batch,
-    evaluate_program,
-    evaluate_suite,
-)
+from repro.flow.characterize import _characterize_impl
+from repro.flow.evaluate import SweepConfig
 from repro.timing.design import build_design
 from repro.utils.units import ps_to_mhz
 
@@ -65,12 +60,13 @@ class DynamicClockAdjustment:
                 seed=self.config.seed,
             )
         if characterization is None:
-            characterization = characterize(
+            characterization = _characterize_impl(
                 self.design, programs=programs,
                 min_occurrences=self.config.min_occurrences,
             )
         self.characterization = characterization
         self.lut = characterization.lut
+        self._session = None
 
     # -- component factories -----------------------------------------------
 
@@ -101,6 +97,19 @@ class DynamicClockAdjustment:
     # -- evaluation ----------------------------------------------------------
 
     @property
+    def session(self):
+        """The :class:`repro.api.Session` this instance evaluates
+        through (characterisation shared, ambient trace store)."""
+        if self._session is None:
+            from repro.api import Session
+
+            self._session = Session.for_design(
+                self.design, characterization=self.characterization,
+                min_occurrences=self.config.min_occurrences,
+            )
+        return self._session
+
+    @property
     def static_frequency_mhz(self):
         """Conventional (STA-limited) clock frequency."""
         return ps_to_mhz(self.design.static_period_ps)
@@ -108,10 +117,8 @@ class DynamicClockAdjustment:
     def evaluate(self, program, policy=None, generator=None,
                  margin_percent=None, check_safety=None):
         """Evaluate one program; returns an EvaluationResult."""
-        return evaluate_program(
-            program,
-            self.design,
-            self.make_policy(policy),
+        config = SweepConfig(
+            policy=self.make_policy(policy),
             generator=self.make_generator(generator),
             margin_percent=(
                 self.config.margin_percent
@@ -122,14 +129,13 @@ class DynamicClockAdjustment:
                 if check_safety is None else check_safety
             ),
         )
+        return self.session.evaluate_results([program], [config])[0][0]
 
     def evaluate_suite(self, programs, policy=None, generator=None,
                        check_safety=None):
         """Evaluate a list of programs under one policy."""
-        return evaluate_suite(
-            programs,
-            self.design,
-            lambda: self.make_policy(policy),
+        config = SweepConfig(
+            policy=lambda: self.make_policy(policy),
             generator=self.make_generator(generator),
             margin_percent=self.config.margin_percent,
             check_safety=(
@@ -137,6 +143,7 @@ class DynamicClockAdjustment:
                 if check_safety is None else check_safety
             ),
         )
+        return self.session.evaluate_results(list(programs), [config])[0]
 
     def evaluate_sweep(self, programs, policies=None, generators=None,
                        margins=None, check_safety=None):
@@ -169,7 +176,7 @@ class DynamicClockAdjustment:
             for generator in generators
             for margin in margins
         ]
-        results = evaluate_batch(programs, self.design, configs)
+        results = self.session.evaluate_results(list(programs), configs)
         return configs, results
 
     def lut_table(self, classes=None):

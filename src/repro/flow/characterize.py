@@ -157,10 +157,14 @@ def _shard_worker(payload):
     return index, lut.to_json(), num_cycles, stats
 
 
-def characterize(design, programs=None, min_occurrences=DEFAULT_MIN_OCCURRENCES,
-                 sim_period_ps=None, keep_runs=True, engine="array",
-                 jobs=1, store=None):
-    """Characterise a design and return its merged delay LUT.
+def _characterize_impl(design, programs=None,
+                       min_occurrences=DEFAULT_MIN_OCCURRENCES,
+                       sim_period_ps=None, keep_runs=True, engine="array",
+                       jobs=1, store=None):
+    """The characterisation flow engine (see :func:`characterize`).
+
+    :class:`repro.api.Session` runs on this directly; the public
+    :func:`characterize` below is the legacy shim over the Session.
 
     Parameters
     ----------
@@ -244,4 +248,27 @@ def characterize(design, programs=None, min_occurrences=DEFAULT_MIN_OCCURRENCES,
     merged.source = f"{len(programs)} programs / {total_cycles} cycles"
     return CharacterizationResult(
         design=design, lut=merged, runs=runs, total_cycles=total_cycles
+    )
+
+
+def characterize(design, programs=None,
+                 min_occurrences=DEFAULT_MIN_OCCURRENCES,
+                 sim_period_ps=None, keep_runs=True, engine="array",
+                 jobs=1, store=None):
+    """Characterise a design and return its merged delay LUT.
+
+    .. deprecated::
+        Legacy shim over :class:`repro.api.Session` (bit-identical,
+        including per-program ``charlut`` store traffic); new code
+        should use ``Session.characterize``.
+
+    See :func:`_characterize_impl` for the parameters.
+    """
+    from repro.api import Session
+
+    session = Session.for_design(design, jobs=jobs, store=store)
+    return session.characterize(
+        programs, min_occurrences=min_occurrences,
+        sim_period_ps=sim_period_ps, keep_runs=keep_runs, engine=engine,
+        via_store=False,
     )

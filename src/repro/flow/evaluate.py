@@ -12,13 +12,21 @@ The engine is built around the compiled-trace artifact
 (program, design) and frozen into NumPy matrices, then every
 (policy, margin, generator) configuration is evaluated as a handful of
 array operations — policy gather, margin multiply, generator quantisation,
-and a single array comparison for the safety check.  ``evaluate_program``
-and ``evaluate_suite`` are thin wrappers over the same engine;
+and a single array comparison for the safety check.
 ``evaluate_program_scalar`` keeps the original per-record loop as the
 reference semantics (the batch path is bit-identical to it, which
 ``tests/test_batch_equivalence.py`` enforces).
+
+.. deprecated::
+    The free functions ``evaluate_program``, ``evaluate_suite`` and
+    ``evaluate_batch`` are legacy shims over :class:`repro.api.Session`
+    (bit-identical; ``evaluate_batch`` additionally emits a
+    ``DeprecationWarning`` for its ``[config][program]`` return-shape
+    footgun).  New code should use ``Session.evaluate`` and the columnar
+    ``ResultFrame`` it returns.
 """
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -171,30 +179,18 @@ def evaluate_compiled(compiled, design, policy, generator=None,
     )
 
 
-def evaluate_batch(programs, design, configs,
-                   max_cycles=DEFAULT_MAX_CYCLES):
-    """Evaluate many programs under many configurations — trace once,
-    vectorize everywhere.
+def _evaluate_batch(programs, design, configs,
+                    max_cycles=DEFAULT_MAX_CYCLES):
+    """The batch engine: trace once, vectorize everywhere.
 
     Each program is simulated and compiled at most once (and reused from
     the module-level cache across calls); each
     :class:`SweepConfig` then costs only a few array operations per
-    program.
+    program.  Returns the ``[config][program]`` result grid.
 
-    Parameters
-    ----------
-    programs:
-        Assembled programs.
-    design:
-        The :class:`~repro.timing.design.ProcessorDesign` providing the
-        static period and the ground-truth excitation.
-    configs:
-        Iterable of :class:`SweepConfig`.
-
-    Returns
-    -------
-    list of lists of :class:`EvaluationResult`, indexed
-    ``[config][program]`` in input order.
+    This is the engine :class:`repro.api.Session` runs on; first-party
+    code calls it through the Session, never through the deprecated
+    public shims below.
     """
     programs = list(programs)
     configs = list(configs)
@@ -218,14 +214,46 @@ def evaluate_batch(programs, design, configs,
     return results
 
 
+def _session_for(design, max_cycles):
+    from repro.api import Session
+
+    return Session.for_design(design, max_cycles=max_cycles)
+
+
+def evaluate_batch(programs, design, configs,
+                   max_cycles=DEFAULT_MAX_CYCLES):
+    """Evaluate many programs under many configurations.
+
+    .. deprecated::
+        Legacy shim over :class:`repro.api.Session`; the
+        ``[config][program]`` list-of-lists return shape is the footgun
+        the columnar ``Session.evaluate`` replaces.  Bit-identical to the
+        Session path (enforced by ``tests/test_api_parity.py``).
+
+    Returns
+    -------
+    list of lists of :class:`EvaluationResult`, indexed
+    ``[config][program]`` in input order.
+    """
+    warnings.warn(
+        "evaluate_batch is deprecated and its [config][program] nesting "
+        "is easy to index wrong; use repro.api.Session.evaluate, which "
+        "returns a columnar ResultFrame",
+        DeprecationWarning, stacklevel=2,
+    )
+    return _session_for(design, max_cycles).evaluate_results(
+        list(programs), list(configs)
+    )
+
+
 def evaluate_program(program, design, policy, generator=None,
                      margin_percent=0.0, check_safety=True,
                      max_cycles=DEFAULT_MAX_CYCLES):
     """Run one program under one clock policy.
 
-    Thin wrapper over the batch engine: the program's compiled trace is
-    reused from the cache whenever the same (program, design) was
-    evaluated before.
+    .. deprecated::
+        Legacy shim over :class:`repro.api.Session` (bit-identical); new
+        code should use ``Session.evaluate``.
 
     Parameters
     ----------
@@ -244,11 +272,13 @@ def evaluate_program(program, design, policy, generator=None,
         Replay the excitation model and record any cycle whose applied
         period is shorter than an excited path delay.
     """
-    compiled = get_compiled_trace(program, design, max_cycles=max_cycles)
-    return evaluate_compiled(
-        compiled, design, policy, generator=generator,
+    config = SweepConfig(
+        policy=policy, generator=generator,
         margin_percent=margin_percent, check_safety=check_safety,
     )
+    return _session_for(design, max_cycles).evaluate_results(
+        [program], [config]
+    )[0][0]
 
 
 def evaluate_program_scalar(program, design, policy, generator=None,
@@ -301,12 +331,19 @@ def evaluate_program_scalar(program, design, policy, generator=None,
 def evaluate_suite(programs, design, policy_factory, generator=None,
                    margin_percent=0.0, check_safety=True):
     """Evaluate a list of programs; ``policy_factory()`` builds a fresh
-    policy per program (policies may be stateful via their controller)."""
+    policy per program (policies may be stateful via their controller).
+
+    .. deprecated::
+        Legacy shim over :class:`repro.api.Session` (bit-identical); new
+        code should use ``Session.evaluate``.
+    """
     config = SweepConfig(
         policy=policy_factory, generator=generator,
         margin_percent=margin_percent, check_safety=check_safety,
     )
-    return evaluate_batch(programs, design, [config])[0]
+    return _session_for(design, DEFAULT_MAX_CYCLES).evaluate_results(
+        list(programs), [config]
+    )[0]
 
 
 def average_speedup_percent(results):

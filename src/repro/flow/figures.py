@@ -75,9 +75,10 @@ def fig8_series(results, static_period_ps):
 def sweep_series(labels, batch_results):
     """Batch-sweep series: one row per (configuration, benchmark).
 
-    ``batch_results`` is the ``[config][program]`` grid returned by
-    :func:`repro.flow.evaluate.evaluate_batch`; ``labels`` names each
-    configuration row.
+    ``batch_results`` is the legacy ``[config][program]`` grid
+    (``evaluate_batch`` shape); ``labels`` names each configuration row.
+    New code should pass an evaluation frame to
+    :func:`sweep_frame_series` instead.
     """
     rows = []
     for label, results in zip(labels, batch_results):
@@ -90,6 +91,29 @@ def sweep_series(labels, batch_results):
                 round(result.speedup_percent, 2),
                 len(result.violations),
             ))
+    return (
+        ("config", "benchmark", "avg_period_ps", "dynamic_mhz",
+         "speedup_percent", "violations"),
+        rows,
+    )
+
+
+def sweep_frame_series(frame):
+    """Batch-sweep series from an evaluation
+    :class:`~repro.api.frame.ResultFrame`: one row per
+    (configuration, benchmark), in frame (config-major) order — the same
+    rows :func:`sweep_series` produced from the legacy grid."""
+    rows = [
+        (
+            row["config"],
+            row["program"],
+            round(row["average_period_ps"], 2),
+            round(row["effective_frequency_mhz"], 1),
+            round(row["speedup_percent"], 2),
+            row["num_violations"],
+        )
+        for row in frame.iter_rows()
+    ]
     return (
         ("config", "benchmark", "avg_period_ps", "dynamic_mhz",
          "speedup_percent", "violations"),

@@ -20,8 +20,17 @@ the compiled-trace batch engine:
 - **resume**: every completed unit is checkpointed into a run manifest
   keyed by the grid fingerprint; re-running with ``resume=True`` skips
   finished units after an interrupt;
-- **export**: the merged document serialises to JSON (``write_json``) and
-  flat CSV (``write_csv``) for dashboards.
+- **export**: the merged outcome is backed by a columnar
+  :class:`~repro.api.frame.ResultFrame` (``result.frame``) and
+  serialises to JSON (``write_json``) and flat CSV (``write_csv``) for
+  dashboards;
+- **self-limiting stores**: an optional ``store_budget_bytes`` runs an
+  LRU ``gc`` pass after every merge, so long campaigns keep the artifact
+  store bounded.
+
+``SweepRunner.run`` is a legacy shim over
+:meth:`repro.api.Session.sweep`; the Session drives the execution engine
+(:meth:`SweepRunner._execute`) directly.
 """
 
 import json
@@ -29,8 +38,9 @@ import os
 import pathlib
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.api.frame import EVALUATION_SCHEMA, ResultFrame
 from repro.lab.scenario import ScenarioGrid
 from repro.lab.store import ArtifactStore, StoreStats
 
@@ -41,36 +51,24 @@ MANIFEST_VERSION = 1
 def result_to_dict(result, design_point, spec):
     """Canonical JSON row of one :class:`EvaluationResult`.
 
-    Floats are carried verbatim (``repr`` round-trip), so two runs are
+    One delegation to :func:`repro.api.session.evaluation_row` — the
+    single definition of the row layout — so orchestrated sweep rows
+    and in-process Session frames can never drift apart.  Floats are
+    carried verbatim (``repr`` round-trip), so two runs are
     bit-identical exactly when their serialised rows are equal — the
     property the parallel-vs-serial acceptance check relies on.
     """
-    return {
-        "design_point": design_point.label,
-        "variant": design_point.variant,
-        "voltage": design_point.voltage,
-        "config": spec.label,
-        "policy": spec.policy,
-        "generator": spec.generator,
-        "margin_percent": spec.margin_percent,
-        "program": result.program_name,
-        "num_cycles": result.num_cycles,
-        "num_retired": result.num_retired,
-        "total_time_ps": result.total_time_ps,
-        "static_period_ps": result.static_period_ps,
-        "min_period_ps": result.min_period_ps,
-        "max_period_ps": result.max_period_ps,
-        "switch_rate": result.switch_rate,
-        "average_period_ps": result.average_period_ps,
-        "effective_frequency_mhz": result.effective_frequency_mhz,
-        "speedup_percent": result.speedup_percent,
-        "num_violations": len(result.violations),
-        "violations": [
-            [v.cycle, v.stage.name, v.applied_period_ps,
-             v.excited_delay_ps, v.driver_class]
-            for v in result.violations
-        ],
-    }
+    from repro.api.session import evaluation_row
+
+    return evaluation_row(
+        result,
+        variant=design_point.variant,
+        voltage=design_point.voltage,
+        config_label=spec.label,
+        policy=spec.policy,
+        generator=spec.generator,
+        margin_percent=spec.margin_percent,
+    )
 
 
 # -- worker side -------------------------------------------------------------
@@ -116,14 +114,17 @@ def _context_for(design_point):
         return context
 
     from repro.core import DcaConfig, DynamicClockAdjustment
-    from repro.flow.characterize import CharacterizationResult, characterize
+    from repro.flow.characterize import (
+        CharacterizationResult,
+        _characterize_impl,
+    )
 
     design = design_point.build()
     store = _WORKER["store"]
     if store is not None:
         lut = store.get_lut(design)
     else:
-        lut = characterize(design, keep_runs=False).lut
+        lut = _characterize_impl(design, keep_runs=False).lut
     dca = DynamicClockAdjustment(
         config=DcaConfig(variant=design.variant,
                          voltage=design_point.voltage),
@@ -144,13 +145,13 @@ def _run_unit(design_point, workload):
     number of workers.
     """
     from repro.dta.compiled import simulation_count
-    from repro.flow.evaluate import evaluate_batch
+    from repro.flow.evaluate import _evaluate_batch
     from repro.workloads import resolve_program
 
     grid = _WORKER["grid"]
     design, specs, configs = _context_for(design_point)
     program = resolve_program(workload)
-    grid_results = evaluate_batch(
+    grid_results = _evaluate_batch(
         [program], design, configs, max_cycles=grid.max_cycles
     )
     rows = [
@@ -179,10 +180,15 @@ def _run_unit_task(payload):
 
 @dataclass
 class SweepRunResult:
-    """Merged outcome of one sweep run."""
+    """Merged outcome of one sweep run, backed by a columnar frame.
+
+    ``frame`` is the :class:`~repro.api.frame.ResultFrame` of merged
+    evaluation rows (:data:`~repro.api.frame.EVALUATION_SCHEMA`);
+    ``rows`` remains as the legacy list-of-dicts view of the same data.
+    """
 
     grid: ScenarioGrid
-    rows: list
+    frame: ResultFrame
     seconds: float
     jobs: int
     units_total: int
@@ -191,6 +197,20 @@ class SweepRunResult:
     simulations: int
     store_stats: StoreStats = None
     manifest_path: pathlib.Path = None
+    _rows: list = field(default=None, repr=False, compare=False)
+
+    @classmethod
+    def from_rows(cls, rows, **kwargs):
+        return cls(
+            frame=ResultFrame.from_rows(rows, EVALUATION_SCHEMA), **kwargs
+        )
+
+    @property
+    def rows(self):
+        """Legacy row-dict view (cached) of :attr:`frame`."""
+        if self._rows is None:
+            self._rows = self.frame.to_rows()
+        return self._rows
 
     def to_dict(self):
         return {
@@ -224,17 +244,11 @@ class SweepRunResult:
     )
 
     def write_csv(self, path):
-        from repro.flow.figures import write_csv
-
-        rows = [
-            tuple(row[column] for column in self.CSV_COLUMNS)
-            for row in self.rows
-        ]
-        return write_csv(path, self.CSV_COLUMNS, rows)
+        return self.frame.to_csv(path, columns=list(self.CSV_COLUMNS))
 
     @property
     def num_violations(self):
-        return sum(row["num_violations"] for row in self.rows)
+        return int(self.frame["num_violations"].sum())
 
 
 class SweepRunner:
@@ -254,14 +268,19 @@ class SweepRunner:
         ``<store>/manifests/<fingerprint>.json`` when a store is given;
         without a store (and without an explicit path) no manifest is
         written and resume is unavailable.
+    store_budget_bytes:
+        Optional size budget; after each merged run the store is
+        LRU-``gc``-ed down to it, so long campaigns self-limit.
     """
 
-    def __init__(self, grid, store=None, jobs=1, manifest_path=None):
+    def __init__(self, grid, store=None, jobs=1, manifest_path=None,
+                 store_budget_bytes=None):
         self.grid = grid
         if store is not None and not isinstance(store, ArtifactStore):
             store = ArtifactStore(store)
         self.store = store
         self.jobs = max(1, int(jobs))
+        self.store_budget_bytes = store_budget_bytes
         if manifest_path is None and store is not None:
             manifest_path = (
                 store.root / "manifests" / f"{grid.fingerprint()}.json"
@@ -359,10 +378,28 @@ class SweepRunner:
     def run(self, resume=False, progress=None):
         """Execute the grid; returns a :class:`SweepRunResult`.
 
+        .. deprecated::
+            Legacy shim over :meth:`repro.api.Session.sweep`
+            (bit-identical); new code should build a Session once and
+            sweep through it.
+
         ``resume=True`` reuses completed units from the manifest of a
         previous (interrupted) run of the *same* grid; a manifest from a
         different grid fingerprint is ignored.
         """
+        from repro.api import Session
+
+        session = Session(
+            store=self.store, jobs=self.jobs,
+            store_budget_bytes=self.store_budget_bytes,
+        )
+        return session.sweep(
+            self.grid, resume=resume, progress=progress, runner=self
+        )
+
+    def _execute(self, resume=False, progress=None):
+        """The execution engine behind :meth:`run` /
+        :meth:`repro.api.Session.sweep`."""
         start = time.perf_counter()
         stats = StoreStats() if self.store is not None else None
         simulations = 0
@@ -395,9 +432,9 @@ class SweepRunner:
                 simulations += unit_simulations
 
         rows = self._merge(completed)
-        result = SweepRunResult(
+        result = SweepRunResult.from_rows(
+            rows,
             grid=self.grid,
-            rows=rows,
             seconds=time.perf_counter() - start,
             jobs=self.jobs,
             units_total=len(units),
@@ -411,6 +448,10 @@ class SweepRunner:
             self.store.save_result(
                 f"sweep:{self.grid.fingerprint()}", result.to_dict()
             )
+            # self-limiting campaigns: LRU-evict down to the budget after
+            # every merge (checkpoints and results are all recomputable)
+            if self.store_budget_bytes is not None:
+                self.store.gc(max_bytes=self.store_budget_bytes)
         return result
 
     def _run_serial(self, pending, completed, progress):

@@ -43,8 +43,9 @@ SCHEMA_VERSION = 1
 
 #: Artifact kinds tracked by :class:`StoreStats`.  ``lut`` is a design's
 #: merged characterisation; ``charlut`` is one program's characterisation
-#: batch (the unit of sharded/resumable characterisation).
-KINDS = ("trace", "lut", "charlut", "result")
+#: batch (the unit of sharded/resumable characterisation); ``frame`` is a
+#: persisted :class:`~repro.api.frame.ResultFrame`.
+KINDS = ("trace", "lut", "charlut", "result", "frame")
 
 #: Events tracked per kind.
 EVENTS = ("hits", "misses", "writes", "corrupt")
@@ -335,9 +336,9 @@ class ArtifactStore:
         """
         lut = self.load_lut(design, min_occurrences)
         if lut is None:
-            from repro.flow.characterize import characterize
+            from repro.flow.characterize import _characterize_impl
 
-            lut = characterize(
+            lut = _characterize_impl(
                 design, min_occurrences=min_occurrences, keep_runs=False,
                 store=self, jobs=jobs,
             ).lut
@@ -471,3 +472,44 @@ class ArtifactStore:
         self.stats.record("result", "hits")
         self._touch(path)
         return payload
+
+    # -- result frames -------------------------------------------------------
+
+    def frame_path(self, name):
+        key = _digest(["frame", self.schema_version, name])
+        return self._path("frames", key, ".json")
+
+    def save_frame(self, name, frame):
+        """Persist a :class:`~repro.api.frame.ResultFrame` under ``name``
+        (lossless: float bits survive the JSON round-trip)."""
+        path = self.frame_path(name)
+        document = json.dumps({
+            "schema": self.schema_version,
+            "frame": frame.to_dict(),
+        }, indent=2, sort_keys=True)
+        self._write_atomic(
+            path, lambda tmp: pathlib.Path(tmp).write_text(document)
+        )
+        self.stats.record("frame", "writes")
+
+    def load_frame(self, name):
+        """Rehydrate a stored frame, or ``None`` on miss/corruption."""
+        from repro.api.frame import ResultFrame
+
+        path = self.frame_path(name)
+        if not path.exists():
+            self.stats.record("frame", "misses")
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("schema") != self.schema_version:
+                raise StoreCorruption("schema mismatch")
+            frame = ResultFrame.from_dict(payload["frame"])
+        except (StoreCorruption, KeyError, TypeError, ValueError, OSError):
+            self.stats.record("frame", "corrupt")
+            self.stats.record("frame", "misses")
+            self._discard(path)
+            return None
+        self.stats.record("frame", "hits")
+        self._touch(path)
+        return frame

@@ -166,7 +166,8 @@ class TestBatchEngine:
                         margin_percent=10.0, check_safety=False,
                         label="lut+margin"),
         ]
-        grid = evaluate_batch(programs, design, configs)
+        with pytest.warns(DeprecationWarning):
+            grid = evaluate_batch(programs, design, configs)
         assert len(grid) == len(configs)
         for row in grid:
             assert [r.program_name for r in row] == ["fib", "crc16"]
@@ -179,7 +180,8 @@ class TestBatchEngine:
         config = SweepConfig(
             policy=lambda: InstructionLutPolicy(lut), check_safety=True,
         )
-        batch_row = evaluate_batch(programs, design, [config])[0]
+        with pytest.warns(DeprecationWarning):
+            batch_row = evaluate_batch(programs, design, [config])[0]
         for program, batch in zip(programs, batch_row):
             scalar = evaluate_program_scalar(
                 program, design, InstructionLutPolicy(lut)

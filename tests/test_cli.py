@@ -198,6 +198,56 @@ class TestGridSweep:
         assert main(["sweep", "--resume"]) == 2
         assert main(["sweep", "--json", "out.json"]) == 2
 
+    def test_grid_sweep_store_max_size(self, tmp_path, capsys, design,
+                                       lut):
+        """--store-max-size LRU-evicts the store after the merged run."""
+        import json as jsonlib
+
+        from repro.dta.compiled import clear_compiled_cache
+        from repro.lab.store import ArtifactStore
+
+        store_dir = tmp_path / "store"
+        ArtifactStore(store_dir).save_lut(lut, design)
+        grid_path = tmp_path / "grid.json"
+        grid_path.write_text(jsonlib.dumps({
+            "name": "budgeted", "policies": ["instruction"],
+            "workloads": ["fib"],
+        }))
+        clear_compiled_cache()
+        assert main([
+            "sweep", "--grid", str(grid_path), "--store", str(store_dir),
+            "--store-max-size", "1K",
+        ]) == 0
+        total = sum(
+            path.stat().st_size
+            for path in store_dir.rglob("*") if path.is_file()
+        )
+        assert total <= 1024
+        capsys.readouterr()
+
+    def test_sweep_store_max_size_invalid(self, tmp_path, capsys):
+        grid_path = tmp_path / "grid.json"
+        grid_path.write_text('{"workloads": ["fib"]}')
+        assert main([
+            "sweep", "--grid", str(grid_path), "--store",
+            str(tmp_path / "store"), "--store-max-size", "plenty",
+        ]) == 2
+        assert "invalid size" in capsys.readouterr().err
+
+    def test_sweep_store_max_size_requires_store(self, tmp_path, capsys):
+        """A budget with nothing to evict is a user error, not a no-op."""
+        grid_path = tmp_path / "grid.json"
+        grid_path.write_text('{"workloads": ["fib"]}')
+        assert main([
+            "sweep", "--grid", str(grid_path),
+            "--store-max-size", "64K",
+        ]) == 2
+        assert "requires --store" in capsys.readouterr().err
+        assert main([
+            "sweep", "fib", "--store-max-size", "64K",
+        ]) == 2
+        assert "requires --store" in capsys.readouterr().err
+
     def test_legacy_sweep_honours_store(self, tmp_path, capsys, design,
                                         lut):
         """Without --grid, --store still caches traces and the LUT."""

@@ -79,7 +79,8 @@ class TestSerialRun:
         specs = GRID.config_specs()
         configs = [spec.make(dca) for spec in specs]
         point = GRID.design_points()[0]
-        reference = evaluate_batch(GRID.programs(), design, configs)
+        with pytest.warns(DeprecationWarning):
+            reference = evaluate_batch(GRID.programs(), design, configs)
         expected = [
             result_to_dict(res, point, spec)
             for spec, row in zip(specs, reference)
@@ -293,3 +294,52 @@ class TestShardedCharacterization:
 
         with pytest.raises(ValueError, match="keep_runs"):
             characterize(design, jobs=2, keep_runs=True)
+
+
+class TestStoreBudget:
+    """The optional size budget makes long campaigns self-limit: the
+    runner LRU-``gc``s its store after every merged run."""
+
+    def _store_bytes(self, store):
+        return sum(
+            path.stat().st_size
+            for path in store.root.rglob("*") if path.is_file()
+        )
+
+    def test_runner_auto_gc_after_merge(self, seeded_store):
+        budget = 4096
+        runner = SweepRunner(
+            GRID, store=seeded_store, store_budget_bytes=budget
+        )
+        result = runner.run()
+        assert result.units_run == 2            # the sweep itself ran
+        assert self._store_bytes(seeded_store) <= budget
+
+    def test_no_budget_means_no_eviction(self, seeded_store):
+        _run(seeded_store)
+        before = self._store_bytes(seeded_store)
+        assert before > 4096                    # traces + checkpoints
+
+    def test_session_threads_budget_into_sweep(self, tmp_path, design,
+                                               lut):
+        from repro.api import Session
+
+        store = ArtifactStore(tmp_path / "store")
+        store.save_lut(lut, design)
+        session = Session(store=store, store_budget_bytes=2048)
+        session.sweep(GRID)
+        assert self._store_bytes(store) <= 2048
+
+    def test_budgeted_rows_identical_to_unbudgeted(self, tmp_path, design,
+                                                   lut):
+        stores = []
+        for name in ("plain", "budgeted"):
+            store = ArtifactStore(tmp_path / name)
+            store.save_lut(lut, design)
+            stores.append(store)
+        plain = SweepRunner(GRID, store=stores[0]).run()
+        clear_compiled_cache()
+        budgeted = SweepRunner(
+            GRID, store=stores[1], store_budget_bytes=1024
+        ).run()
+        assert plain.rows == budgeted.rows
