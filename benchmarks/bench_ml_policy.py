@@ -1,0 +1,122 @@
+"""Bench — learned clock policy (ML-DFS) vs the paper's fixed policies.
+
+Trains the decision-tree predictor on the quick grid's genie ground
+truth (see :mod:`repro.ml.train`), deploys it through the policy
+registry, and compares it against the characterised instruction LUT,
+the genie bound and static clocking across the full benchmark suite —
+with the violation count proving the calibration's safety contract and
+the ``p95`` percentile aggregation showing the tail of the speedup
+distribution.
+
+Runs standalone (``python benchmarks/bench_ml_policy.py``) and under
+pytest (``pytest benchmarks/bench_ml_policy.py``).  The training sweep
+and all traces ride the shared bench store, so a warm store trains in
+well under a second.
+"""
+
+import pathlib
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from conftest import publish  # noqa: E402
+
+from repro.lab.scenario import ScenarioGrid  # noqa: E402
+from repro.ml.train import TrainerConfig, train_policy  # noqa: E402
+from repro.utils.tables import format_table  # noqa: E402
+
+TRAINING_GRID = ScenarioGrid(
+    name="bench-ml-train",
+    policies=("instruction",),
+    margins=(0.0,),
+    voltages=(0.70,),
+    workloads=("fib", "crc16", "matmult"),
+    check_safety=True,
+)
+
+
+def run_ml_comparison(session):
+    """Train + deploy + compare; returns the summary rows and timings."""
+    start = time.perf_counter()
+    outcome = train_policy(
+        TRAINING_GRID, TrainerConfig(seed=0), store=session.store
+    )
+    train_seconds = time.perf_counter() - start
+
+    model_path = pathlib.Path(tempfile.mkdtemp()) / "model.npz"
+    outcome.model.save(model_path)
+    spec = f"learned:{model_path}"
+
+    start = time.perf_counter()
+    frame = session.evaluate(
+        None,
+        policies=[spec, "instruction", "genie", "static"],
+        check_safety=True,
+    )
+    evaluate_seconds = time.perf_counter() - start
+    summary = frame.group_by("policy", {
+        "mhz": ("effective_frequency_mhz", "mean"),
+        "speedup": ("speedup_percent", "mean"),
+        "speedup_p95": ("speedup_percent", "p95"),
+        "violations": ("num_violations", "sum"),
+    })
+    rows = {
+        row["policy"].split(":")[0]: row for row in summary.iter_rows()
+    }
+    return {
+        "rows": rows,
+        "train_seconds": train_seconds,
+        "evaluate_seconds": evaluate_seconds,
+        "num_leaves": outcome.model.num_leaves,
+        "train_rows": outcome.report["train_rows"],
+    }
+
+
+def report(metrics):
+    rows = metrics["rows"]
+    table = format_table(
+        ["Policy", "Avg. [MHz]", "Avg. speedup", "p95 speedup",
+         "Violations"],
+        [
+            (name, f"{row['mhz']:.0f}", f"{row['speedup']:+.1f}%",
+             f"{row['speedup_p95']:+.1f}%", f"{int(row['violations'])}")
+            for name, row in rows.items()
+        ],
+        title=(
+            f"Learned policy ({metrics['num_leaves']} leaves, "
+            f"{metrics['train_rows']} training cycles; trained in "
+            f"{metrics['train_seconds']:.2f} s) vs fixed policies"
+        ),
+    )
+    publish("ml_policy", table)
+    return table
+
+
+def check(metrics):
+    rows = metrics["rows"]
+    # calibration contract: zero violations across the full suite
+    assert rows["learned"]["violations"] == 0, rows["learned"]
+    # and a real gain over conventional clocking
+    assert rows["learned"]["mhz"] > rows["static"]["mhz"], rows
+    # the genie stays the upper bound on any predictive policy
+    assert rows["learned"]["mhz"] <= rows["genie"]["mhz"] + 1e-9, rows
+
+
+def test_ml_policy(session):
+    metrics = run_ml_comparison(session)
+    report(metrics)
+    check(metrics)
+
+
+if __name__ == "__main__":
+    from conftest import STORE_DIR
+
+    from repro.api import Session
+    from repro.lab.store import ArtifactStore
+
+    session = Session(store=ArtifactStore(STORE_DIR))
+    metrics = run_ml_comparison(session)
+    report(metrics)
+    check(metrics)
+    sys.exit(0)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Train, calibrate and deploy a learned clock policy (ML-DFS).
+
+Walks the full :mod:`repro.ml` loop:
+
+1. declare a training grid (which design points and workloads supply
+   the per-cycle genie ground truth),
+2. train the decision-tree period predictor with
+   :func:`repro.ml.train.train_policy` — the trainer sweeps the grid
+   through ``Session.training_table`` (recording per-policy baselines),
+   extracts per-cycle features from the compiled traces, fits a
+   deterministic envelope regressor and calibrates it for safety
+   against the genie oracle over the full benchmark suite,
+3. save the byte-deterministic ``model.npz`` artifact, and
+4. deploy it through the policy registry (``learned:<path>``) next to
+   the paper's fixed policies, verifying zero timing violations and the
+   frequency gain over static clocking.
+
+Run:  python examples/train_policy.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.api import Session
+from repro.lab.scenario import ScenarioGrid
+from repro.ml.train import TrainerConfig, train_policy
+
+# 1. the training corpus: one design point, three kernels, with the
+#    instruction-LUT and genie policies as recorded baselines
+grid = ScenarioGrid(
+    name="example-training",
+    policies=("instruction", "genie"),
+    margins=(0.0,),
+    voltages=(0.70,),
+    workloads=("fib", "crc16", "matmult"),
+    check_safety=True,
+)
+
+# 2. train + calibrate (pure NumPy, deterministic given the seed)
+outcome = train_policy(grid, TrainerConfig(seed=0), progress=print)
+model = outcome.model
+print(f"\ntrained a {model.kind} with {model.num_leaves} leaves on "
+      f"{outcome.report['train_rows']} cycles; mean normalized period "
+      f"{outcome.report['mean_normalized_period']:.3f}")
+
+# 3. persist the artifact (deploys anywhere as learned:<path>)
+model_path = Path(tempfile.mkdtemp()) / "model.npz"
+model.save(model_path)
+print(f"saved {model_path}")
+
+# 4. deploy through the registry and compare against the paper's
+#    policies on the full benchmark suite
+session = Session(voltage=0.70)
+frame = session.evaluate(
+    None,   # the Fig. 8 benchmark suite
+    policies=[f"learned:{model_path}", "instruction", "static"],
+    check_safety=True,
+)
+summary = frame.group_by("policy", {
+    "mhz": ("effective_frequency_mhz", "mean"),
+    "speedup": ("speedup_percent", "mean"),
+    "speedup_p95": ("speedup_percent", "p95"),
+    "violations": ("num_violations", "sum"),
+})
+print()
+for row in summary.iter_rows():
+    name = row["policy"].split(":")[0]
+    print(f"{name:>12}: {row['mhz']:6.1f} MHz avg "
+          f"({row['speedup']:+5.1f} % mean, "
+          f"{row['speedup_p95']:+5.1f} % p95), "
+          f"{int(row['violations'])} violations")
+
+learned = summary.where(policy=f"learned:{model_path}").row(0)
+static = summary.where(policy="static").row(0)
+assert learned["violations"] == 0, "learned policy must be safe"
+assert learned["mhz"] > static["mhz"], "and faster than static clocking"
+print("\nlearned policy: zero violations, "
+      f"+{learned['mhz'] - static['mhz']:.0f} MHz over static")

@@ -47,7 +47,13 @@ _DTYPES = {
 }
 
 #: Aggregation statistics understood by :meth:`ResultFrame.group_by`.
-STATS = ("mean", "sum", "min", "max", "count", "first")
+STATS = ("mean", "sum", "min", "max", "count", "first",
+         "p50", "p95", "p99")
+
+#: Percentile stats → their percentile rank (linear interpolation, as
+#: ``np.percentile``); the dashboard cuts for violation-rate and
+#: learned-vs-LUT period comparisons.
+_PERCENTILES = {"p50": 50.0, "p95": 95.0, "p99": 99.0}
 
 
 @dataclass(frozen=True)
@@ -317,7 +323,8 @@ class ResultFrame:
             results).
         aggregates:
             ``{output_name: (column, stat)}`` with ``stat`` one of
-            ``mean|sum|min|max|count|first``.
+            ``mean|sum|min|max|count|first|p50|p95|p99`` (percentiles
+            use linear interpolation, as ``np.percentile``).
 
         Returns another :class:`ResultFrame` (one row per group).
         """
@@ -361,6 +368,10 @@ class ResultFrame:
                     values.append(float(np.asarray(cells, dtype=float).sum()))
                 elif stat == "min":
                     values.append(float(np.asarray(cells, dtype=float).min()))
+                elif stat in _PERCENTILES:
+                    values.append(float(np.percentile(
+                        np.asarray(cells, dtype=float), _PERCENTILES[stat]
+                    )))
                 else:
                     values.append(float(np.asarray(cells, dtype=float).max()))
             out_columns[out_name] = values

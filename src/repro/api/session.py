@@ -542,6 +542,12 @@ class Session:
         Safety checking is forced on: the ``safe`` label needs the
         ground-truth violation replay, so a grid with
         ``check_safety=False`` is transparently re-run with it enabled.
+
+        :func:`repro.ml.train.train_policy` is the primary consumer:
+        it sweeps the grid through this method (baselines + store
+        warming) and then fits a deployable
+        :class:`~repro.clocking.policies.LearnedPolicy` on the per-cycle
+        genie targets of the same grid.
         """
         from repro.lab.scenario import ScenarioGrid
 

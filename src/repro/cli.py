@@ -10,6 +10,18 @@ Exposes the main flows as subcommands::
     python -m repro evaluate crc32 --policy instruction [--lut lut.json]
     python -m repro table2 [--lut lut.json]    # Table II view of a LUT
     python -m repro store gc --store DIR --max-size 500M [--dry-run]
+    python -m repro train --grid grid.json -o model.npz   # learn a policy
+
+``train`` fits a learned clock policy (ML-DFS, see :mod:`repro.ml`) on
+a scenario grid's per-cycle genie ground truth, calibrates it for
+safety, writes the model artifact and self-evaluates it against the
+static baseline.  The result deploys anywhere a policy name is
+accepted, as ``learned:<model.npz>``::
+
+    python -m repro evaluate crc32 --policy learned:model.npz
+
+A missing or corrupt model file exits with code 2 (naming the path)
+before any simulation or characterisation runs.
 
 Scenario grids run whole experiments through the parallel sweep runner
 (:mod:`repro.lab`) with a persistent artifact store, e.g.::
@@ -36,12 +48,18 @@ Every pipeline command is a thin call into :class:`repro.api.Session`
 """
 
 import argparse
+import json
 import pathlib
 import sys
 
 from repro.api import Session, result_from_row
 from repro.asm import disassemble_program
 from repro.dta.lut import DelayLUT
+from repro.ml.model import (
+    ModelError,
+    is_learned_spec,
+    validate_policy_specs,
+)
 from repro.sim.iss import FunctionalSimulator
 from repro.sim.pipeline import PipelineSimulator
 from repro.timing.design import build_design
@@ -159,6 +177,7 @@ def cmd_characterize(args):
 
 def cmd_evaluate(args):
     program = _load_program(args.program)   # fail fast on a bad spec
+    validate_policy_specs([args.policy])    # ... and on a bad model file
     session = _session(args)
     frame = session.evaluate(
         [program],
@@ -197,6 +216,7 @@ def cmd_sweep(args):
         programs = [_load_program(spec) for spec in args.programs]
     else:
         programs = None                    # the Fig. 8 benchmark suite
+    validate_policy_specs(args.policy or [])   # before any simulation
     try:
         budget = _parse_store_budget(args)
     except ValueError as error:
@@ -266,6 +286,7 @@ def _run_grid_sweep(args):
     except ScenarioError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    validate_policy_specs(grid.policies)   # before any simulation
     try:
         budget = _parse_store_budget(args)
     except ValueError as error:
@@ -319,6 +340,131 @@ def cmd_table2(args):
     session = _session(args)
     print(session.lut.render())
     return 0
+
+
+def cmd_train(args):
+    """Train a learned clock policy on a scenario grid (repro.ml).
+
+    Writes the model artifact to ``--out``, content-addresses it into
+    the store when one is given, then (unless ``--no-eval``) deploys it
+    through :class:`Session` on the full benchmark suite: the run fails
+    (exit 1) if the learned policy violates timing under genie safety
+    replay or does not beat the static baseline's mean effective
+    frequency.  ``--report`` writes the train+eval metrics as JSON
+    (the CI ``ml-smoke`` artifact, ``BENCH_train.json``).
+    """
+    from repro.lab.scenario import ScenarioError, ScenarioGrid
+    from repro.ml.train import TrainerConfig, train_policy
+    from repro.utils.tables import format_table
+
+    try:
+        grid = ScenarioGrid.from_file(args.grid)
+    except ScenarioError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        config = TrainerConfig(
+            model=args.model, seed=args.seed, max_depth=args.max_depth,
+            min_samples_leaf=args.min_samples_leaf, window=args.window,
+            calibration_margin_percent=args.margin,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    store = args.store or None
+    outcome = train_policy(
+        grid, config, store=store, jobs=args.jobs,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    model = outcome.model
+    out = args.out
+    model.save(out)
+    print(f"wrote {out} ({model.kind}, {model.num_leaves} leaves, "
+          f"{outcome.report['train_rows']} training rows, seed "
+          f"{config.seed})")
+    report = {"train": outcome.report}
+    if store:
+        from repro.lab.store import ArtifactStore
+
+        name = f"train:{grid.fingerprint()}:{config.seed}:{config.model}"
+        ArtifactStore(store).save_model(name, model)
+        report["store_model"] = name
+        print(f"stored model artifact {name!r} in {store}")
+
+    exit_code = 0
+    if not args.no_eval:
+        point = grid.design_points()[0]
+        session = Session(
+            variant=point.variant, voltage=point.voltage, store=store,
+            jobs=args.jobs,
+        )
+        spec = f"learned:{out}"
+        frame = session.evaluate(
+            None, policies=[spec, "static"], check_safety=True
+        )
+        summary = frame.group_by("policy", {
+            "mhz": ("effective_frequency_mhz", "mean"),
+            "speedup": ("speedup_percent", "mean"),
+            "speedup_p95": ("speedup_percent", "p95"),
+            "violations": ("num_violations", "sum"),
+        })
+        rows = {row["policy"]: row for row in summary.iter_rows()}
+        learned, static = rows[spec], rows["static"]
+        print(format_table(
+            ["Policy", "Avg. [MHz]", "Avg. speedup", "p95 speedup",
+             "Violations"],
+            [
+                (policy, f"{row['mhz']:.0f}", f"{row['speedup']:+.1f}%",
+                 f"{row['speedup_p95']:+.1f}%", f"{int(row['violations'])}")
+                for policy, row in (("learned", learned),
+                                    ("static", static))
+            ],
+            title=(f"Learned vs static @ {point.label}: "
+                   f"{len(frame.distinct('program'))} programs"),
+        ))
+        safe = learned["violations"] == 0
+        faster = learned["mhz"] > static["mhz"]
+        report["eval"] = {
+            "design_point": point.label,
+            "programs": len(frame.distinct("program")),
+            "learned": learned,
+            "static": static,
+            "safe": safe,
+            "faster_than_static": faster,
+        }
+        if not safe:
+            print(f"FAIL: learned policy caused "
+                  f"{int(learned['violations'])} timing violations",
+                  file=sys.stderr)
+            exit_code = 1
+        if not faster:
+            print("FAIL: learned policy does not beat the static "
+                  "baseline's mean effective frequency", file=sys.stderr)
+            exit_code = 1
+    if args.report:
+        pathlib.Path(args.report).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.report}")
+    return exit_code
+
+
+#: Registry policy names; ``learned:<model.npz>`` deploys a trained one.
+_POLICY_CHOICES = ("instruction", "ex-only", "two-class", "genie",
+                   "static")
+
+
+def _policy_arg(value):
+    """Argparse type for ``--policy``: a registry name or a
+    ``learned:<model.npz>`` spec (the file itself is validated later,
+    via :func:`repro.ml.model.validate_policy_specs`)."""
+    if value in _POLICY_CHOICES or is_learned_spec(value):
+        return value
+    raise argparse.ArgumentTypeError(
+        f"invalid policy {value!r} "
+        f"(choose from {', '.join(_POLICY_CHOICES)} "
+        "or learned:<model.npz>)"
+    )
 
 
 _SIZE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
@@ -400,8 +546,9 @@ def build_parser():
     sub.add_argument("program")
     _add_design_arguments(sub)
     sub.add_argument("--policy", default="instruction",
-                     choices=["instruction", "ex-only", "two-class",
-                              "genie", "static"])
+                     type=_policy_arg, metavar="POLICY",
+                     help="policy name or learned:<model.npz> "
+                          f"(choices: {', '.join(_POLICY_CHOICES)})")
     sub.add_argument("--generator", default="ideal",
                      choices=["ideal", "ring", "pll"])
     sub.add_argument("--margin", type=float, default=0.0,
@@ -418,10 +565,10 @@ def build_parser():
                           "(default: the Fig. 8 benchmark suite)")
     _add_design_arguments(sub)
     sub.add_argument("--policy", action="append",
-                     choices=["instruction", "ex-only", "two-class",
-                              "genie", "static"],
-                     help="policy to sweep (repeatable; default: all "
-                          "non-static policies)")
+                     type=_policy_arg, metavar="POLICY",
+                     help="policy to sweep: a registry name or "
+                          "learned:<model.npz> (repeatable; default: "
+                          "all non-static policies)")
     sub.add_argument("--generator", action="append",
                      choices=["ideal", "ring", "pll"],
                      help="generator to sweep (repeatable; default: ideal)")
@@ -449,6 +596,40 @@ def build_parser():
                      help="store size budget (e.g. 500M): LRU-evict the "
                           "artifact store down to it after the run")
     sub.set_defaults(func=cmd_sweep)
+
+    sub = subparsers.add_parser(
+        "train",
+        help="train a learned clock policy on a scenario grid (ML-DFS)",
+    )
+    sub.add_argument("--grid", required=True,
+                     help="scenario grid file (.json/.toml): its design "
+                          "points x workloads are the training corpus")
+    sub.add_argument("-o", "--out", default="model.npz",
+                     help="model artifact path (default: model.npz); "
+                          "deploy it as --policy learned:<path>")
+    sub.add_argument("--store",
+                     help="artifact-store directory (traces/LUTs cached, "
+                          "model content-addressed into it)")
+    sub.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for the training sweep")
+    sub.add_argument("--seed", type=int, default=0,
+                     help="training seed, recorded in the artifact "
+                          "(default: 0)")
+    sub.add_argument("--model", default="tree",
+                     choices=["tree", "logistic"],
+                     help="predictor kind (default: tree)")
+    sub.add_argument("--max-depth", type=int, default=12)
+    sub.add_argument("--min-samples-leaf", type=int, default=32)
+    sub.add_argument("--window", type=int, default=8,
+                     help="recent-excitation window in cycles")
+    sub.add_argument("--margin", type=float, default=0.0,
+                     help="calibration safety margin in percent")
+    sub.add_argument("--report",
+                     help="write train+eval metrics as JSON "
+                          "(e.g. BENCH_train.json)")
+    sub.add_argument("--no-eval", action="store_true",
+                     help="skip the learned-vs-static self-evaluation")
+    sub.set_defaults(func=cmd_train)
 
     sub = subparsers.add_parser("table2", help="render a LUT (Table II)")
     _add_design_arguments(sub)
@@ -481,6 +662,11 @@ def main(argv=None):
     try:
         return args.func(args)
     except WorkloadError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ModelError as error:
+        # learned-policy specs fail fast (before simulation), naming
+        # the offending model path
         print(f"error: {error}", file=sys.stderr)
         return 2
 

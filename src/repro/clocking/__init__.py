@@ -6,8 +6,10 @@
 - :mod:`repro.clocking.policies` — clock-period prediction policies: the
   paper's per-instruction LUT monitor, the simplified EX-only monitor
   (Sec. IV-A), a two-class baseline in the spirit of
-  application-adaptive guard-banding [8], the genie-aided oracle and the
-  static baseline;
+  application-adaptive guard-banding [8], the genie-aided oracle, the
+  static baseline, and the trained ML-DFS predictor
+  (:class:`~repro.clocking.policies.LearnedPolicy`, see
+  :mod:`repro.ml`);
 - :mod:`repro.clocking.controller` — combines a policy with a generator
   and an optional safety margin into the per-cycle period decision.
 """
@@ -23,6 +25,7 @@ from repro.clocking.policies import (
     ExOnlyLutPolicy,
     GeniePolicy,
     InstructionLutPolicy,
+    LearnedPolicy,
     StaticClockPolicy,
     TwoClassPolicy,
 )
@@ -38,4 +41,5 @@ __all__ = [
     "ExOnlyLutPolicy",
     "TwoClassPolicy",
     "GeniePolicy",
+    "LearnedPolicy",
 ]

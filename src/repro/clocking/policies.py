@@ -167,6 +167,57 @@ class TwoClassPolicy:
         )
 
 
+class LearnedPolicy:
+    """A trained period predictor (ML-DFS) deployed as a clock policy.
+
+    Wraps a :class:`~repro.ml.model.LearnedModel` — a decision-tree
+    envelope regressor or two-level logistic classifier fitted on
+    per-cycle pipeline features and calibrated against genie ground
+    truth (see :mod:`repro.ml.train`).  Predictions are *normalized*
+    (fractions of the static period), so the policy scales them back by
+    the design's static period at deployment.
+
+    The vectorized path extracts the whole feature matrix from the
+    compiled trace; the scalar path keeps an
+    :class:`~repro.ml.features.OnlineFeatureExtractor` whose
+    shift-register window state makes per-record decisions bit-identical
+    to the array path.  Like the LUT policies, the predictor never sees
+    measured outcomes — only the in-flight instruction context.
+    """
+
+    name = "learned"
+
+    def __init__(self, model, static_period_ps):
+        if static_period_ps <= 0:
+            raise ValueError(f"invalid static period {static_period_ps}")
+        self.model = model
+        self.static_period_ps = float(static_period_ps)
+        self._extractor = None
+
+    def period_for(self, record):
+        from repro.ml.features import OnlineFeatureExtractor
+
+        if self._extractor is None:
+            self._extractor = OnlineFeatureExtractor(
+                vocabulary=self.model.vocabulary,
+                window=self.model.window,
+            )
+        row = self._extractor.features_for(record)
+        normalized = self.model.predict_normalized(row)[0]
+        return float(normalized) * self.static_period_ps
+
+    def periods_for(self, compiled_trace):
+        from repro.ml.features import extract_features
+
+        features = extract_features(
+            compiled_trace,
+            vocabulary=self.model.vocabulary,
+            window=self.model.window,
+        )
+        normalized = self.model.predict_normalized(features.matrix)
+        return normalized * self.static_period_ps
+
+
 class GeniePolicy:
     """A-posteriori oracle: per-cycle minimum safe period (Sec. IV-A).
 

@@ -22,6 +22,7 @@ from repro.clocking.policies import (
     ExOnlyLutPolicy,
     GeniePolicy,
     InstructionLutPolicy,
+    LearnedPolicy,
     StaticClockPolicy,
     TwoClassPolicy,
 )
@@ -82,6 +83,17 @@ class DynamicClockAdjustment:
             return GeniePolicy(self.design.excitation)
         if name == "static":
             return StaticClockPolicy(self.design.static_period_ps)
+        from repro.ml.model import is_learned_spec
+
+        if is_learned_spec(name):
+            # trained ML-DFS predictor: "learned:<model.npz>" deploys a
+            # serialized model (see repro.ml); loading is cached, and a
+            # missing/corrupt file raises ModelError (friendly CLI exit)
+            from repro.ml.model import load_policy_model
+
+            return LearnedPolicy(
+                load_policy_model(name), self.design.static_period_ps
+            )
         raise ValueError(f"unknown policy {name!r}")
 
     def make_generator(self, name=None):

@@ -178,6 +178,26 @@ class CompiledTrace:
         """Driver class of one (cycle, stage) cell — for violation reports."""
         return self.class_names[self.class_ids[cycle, stage]]
 
+    def vocab_ids(self, vocabulary):
+        """The class-id matrix remapped onto a global class vocabulary.
+
+        Trace-local ids depend on first-encounter interning order, so two
+        traces of different programs number the same class differently;
+        consumers that compare features *across* traces (the learned-policy
+        extraction in :mod:`repro.ml.features`) remap onto one shared
+        vocabulary instead.
+        """
+        index = {cls: i for i, cls in enumerate(vocabulary)}
+        try:
+            remap = np.array(
+                [index[cls] for cls in self.class_names], dtype=np.int64
+            )
+        except KeyError as error:
+            raise ValueError(
+                f"timing class {error.args[0]!r} not in vocabulary"
+            ) from None
+        return remap[self.class_ids]
+
 
 def compile_trace(trace, excitation):
     """Compile one pipeline trace against one excitation model.

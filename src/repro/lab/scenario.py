@@ -27,10 +27,17 @@ import json
 from dataclasses import dataclass
 
 from repro.flow.evaluate import DEFAULT_MAX_CYCLES, SweepConfig
+from repro.ml.model import LEARNED_PREFIX, is_learned_spec
 from repro.timing.profiles import DesignVariant
 
 #: Policy names understood by ``DynamicClockAdjustment.make_policy``.
 POLICY_NAMES = ("instruction", "ex-only", "two-class", "genie", "static")
+
+#: Spec prefix deploying a trained model file: ``learned:<model.npz>``
+#: (one definition, in :mod:`repro.ml.model`).  Grid validation checks
+#: the spec shape only; the model file itself is validated by
+#: :func:`repro.ml.model.validate_policy_specs` before any simulation.
+LEARNED_POLICY_PREFIX = LEARNED_PREFIX
 
 #: Generator names understood by ``DynamicClockAdjustment.make_generator``.
 GENERATOR_NAMES = ("ideal", "ring", "pll")
@@ -141,10 +148,22 @@ class ScenarioGrid:
             if not values:
                 raise ScenarioError(f"grid axis {axis!r} is empty")
             for value in values:
+                if axis == "policies" and is_learned_spec(value):
+                    if not value[len(LEARNED_POLICY_PREFIX):]:
+                        raise ScenarioError(
+                            "learned policy spec needs a model path: "
+                            "learned:<model.npz>"
+                        )
+                    continue
                 if value not in known:
+                    extra = (
+                        " or learned:<model.npz>"
+                        if axis == "policies" else ""
+                    )
+                    singular = {"policies": "policy"}.get(axis, axis[:-1])
                     raise ScenarioError(
-                        f"unknown {axis[:-1]} {value!r}; "
-                        f"choose from {', '.join(known)}"
+                        f"unknown {singular} {value!r}; "
+                        f"choose from {', '.join(known)}{extra}"
                     )
         if not self.margins:
             raise ScenarioError("grid axis 'margins' is empty")
@@ -219,10 +238,33 @@ class ScenarioGrid:
 
     def fingerprint(self):
         """SHA-256 over the canonical dict — the identity of the
-        experiment for manifests and cached sweep results."""
-        import hashlib
+        experiment for manifests and cached sweep results.
 
-        text = json.dumps(self.to_dict(), sort_keys=True,
+        ``learned:`` policy specs name a model *file*, so the payload
+        also digests each named model's bytes: retraining a model at
+        the same path changes the fingerprint, which keeps
+        ``--resume`` from merging checkpoints evaluated under the old
+        model with fresh units evaluated under the new one.  A missing
+        file digests as ``"missing"`` (the sweep will fail fast on it
+        anyway).
+        """
+        import hashlib
+        import pathlib
+
+        payload = self.to_dict()
+        learned = {}
+        for policy in self.policies:
+            if not is_learned_spec(policy):
+                continue
+            path = pathlib.Path(policy[len(LEARNED_POLICY_PREFIX):])
+            try:
+                digest = hashlib.sha256(path.read_bytes()).hexdigest()
+            except OSError:
+                digest = "missing"
+            learned[policy] = digest
+        if learned:
+            payload["learned_models"] = learned
+        text = json.dumps(payload, sort_keys=True,
                           separators=(",", ":"))
         return hashlib.sha256(text.encode()).hexdigest()
 

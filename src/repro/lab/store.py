@@ -44,8 +44,9 @@ SCHEMA_VERSION = 1
 #: Artifact kinds tracked by :class:`StoreStats`.  ``lut`` is a design's
 #: merged characterisation; ``charlut`` is one program's characterisation
 #: batch (the unit of sharded/resumable characterisation); ``frame`` is a
-#: persisted :class:`~repro.api.frame.ResultFrame`.
-KINDS = ("trace", "lut", "charlut", "result", "frame")
+#: persisted :class:`~repro.api.frame.ResultFrame`; ``model`` is a
+#: trained learned-policy artifact (:class:`~repro.ml.model.LearnedModel`).
+KINDS = ("trace", "lut", "charlut", "result", "frame", "model")
 
 #: Events tracked per kind.
 EVENTS = ("hits", "misses", "writes", "corrupt")
@@ -513,3 +514,47 @@ class ArtifactStore:
         self.stats.record("frame", "hits")
         self._touch(path)
         return frame
+
+    # -- learned-policy models -----------------------------------------------
+
+    def model_path(self, name):
+        key = _digest(["model", self.schema_version, name])
+        return self._path("models", key, ".npz")
+
+    def save_model(self, name, model):
+        """Persist a :class:`~repro.ml.model.LearnedModel` under ``name``
+        (byte-deterministic ``.npz``, so equal trainings re-write equal
+        artifacts)."""
+        path = self.model_path(name)
+        data = model.to_bytes()
+        self._write_atomic(
+            path, lambda tmp: pathlib.Path(tmp).write_bytes(data)
+        )
+        self.stats.record("model", "writes")
+
+    def load_model(self, name):
+        """Rehydrate a stored model, or ``None`` on miss/corruption.
+
+        Corruption (torn write, schema/feature-spec mismatch) is
+        counted, the artifact discarded, and the caller retrains — the
+        same recompute contract as traces and LUTs (see
+        :func:`repro.ml.train.get_or_train_model`).
+        """
+        from repro.ml.model import LearnedModel, ModelError
+
+        path = self.model_path(name)
+        if not path.exists():
+            self.stats.record("model", "misses")
+            return None
+        try:
+            model = LearnedModel.from_bytes(
+                path.read_bytes(), source=str(path)
+            )
+        except (ModelError, OSError):
+            self.stats.record("model", "corrupt")
+            self.stats.record("model", "misses")
+            self._discard(path)
+            return None
+        self.stats.record("model", "hits")
+        self._touch(path)
+        return model

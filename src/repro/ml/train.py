@@ -1,0 +1,438 @@
+"""Pure-NumPy trainers for learned clock policies.
+
+The pipeline closes the loop the ROADMAP left open after
+``Session.training_table``:
+
+1. **sweep** — the scenario grid runs through
+   :meth:`~repro.api.Session.training_table` (store-backed, shardable
+   over ``jobs``; its deterministic merge is what makes ``jobs=1`` and
+   ``jobs=2`` training byte-identical).  The flat table provides the
+   per-policy baselines recorded in the model metadata and the training
+   report;
+2. **extract** — every (design point, workload) of the grid contributes
+   per-cycle feature rows (:mod:`repro.ml.features`) and genie targets:
+   the cycle's minimum safe period as a fraction of the design's static
+   period;
+3. **fit** — a deterministic CART *envelope* regressor (leaves predict
+   the maximum target of their partition — the LUT construction,
+   generalised to learned features) or a two-level logistic baseline
+   (the learned analogue of :class:`~repro.clocking.policies.TwoClassPolicy`);
+4. **calibrate** — the fitted predictor is replayed against genie
+   ground truth over the *calibration suite* (default: the full
+   benchmark suite, mirroring how LUT characterisation covers its
+   evaluation suite) at every grid design point; each leaf/level is
+   raised to the maximum observed target it serves, times the safety
+   margin.  By construction the deployed policy is violation-free on
+   every calibration trace;
+5. **package** — the model serialises byte-deterministically
+   (:mod:`repro.ml.model`) and can be content-addressed into the
+   artifact store (corruption → retrain, like traces and LUTs).
+
+Everything is NumPy + stdlib: CI's ``pip install numpy pytest
+hypothesis`` stays sufficient.
+"""
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.ml.features import (
+    DEFAULT_WINDOW,
+    class_vocabulary,
+    extract_features,
+    feature_names,
+)
+from repro.ml.model import LearnedModel
+
+#: Tie tolerance of the split search: a later feature must beat the
+#: incumbent by more than this to take over (keeps ties deterministic).
+_SPLIT_TOLERANCE = 1e-12
+
+
+@dataclass(frozen=True)
+class TrainerConfig:
+    """Hyper-parameters of one training run (all deterministic).
+
+    ``seed`` is threaded through for forward compatibility and recorded
+    in the artifact metadata; both bundled trainers are fully
+    deterministic, so today it only namespaces artifacts.
+    """
+
+    model: str = "tree"
+    seed: int = 0
+    max_depth: int = 12
+    min_samples_leaf: int = 32
+    window: int = DEFAULT_WINDOW
+    calibration_margin_percent: float = 0.0
+    #: Calibration workloads; empty means the full benchmark suite.
+    calibration_workloads: tuple = ()
+
+    def __post_init__(self):
+        if self.model not in ("tree", "logistic"):
+            raise ValueError(
+                f"unknown trainer model {self.model!r}; "
+                "choose from ('tree', 'logistic')"
+            )
+        if self.window < 1:
+            raise ValueError(
+                "recent-excitation window must be >= 1 cycle, "
+                f"got {self.window}"
+            )
+        if self.max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {self.max_depth}")
+        if self.min_samples_leaf < 1:
+            raise ValueError(
+                f"min_samples_leaf must be >= 1, got {self.min_samples_leaf}"
+            )
+        if self.calibration_margin_percent < 0:
+            raise ValueError("calibration margin cannot be negative")
+
+    def as_dict(self):
+        return {
+            "model": self.model,
+            "seed": self.seed,
+            "max_depth": self.max_depth,
+            "min_samples_leaf": self.min_samples_leaf,
+            "window": self.window,
+            "calibration_margin_percent": self.calibration_margin_percent,
+            "calibration_workloads": list(self.calibration_workloads),
+        }
+
+
+@dataclass
+class TrainingOutcome:
+    """A trained model plus its training report (JSON-serialisable)."""
+
+    model: LearnedModel
+    report: dict = field(default_factory=dict)
+
+
+# -- dataset -----------------------------------------------------------------
+
+
+def _per_cycle_parts(grid, workloads, vocabulary, window):
+    """Per-(design point, workload) ``(features, normalized targets)``
+    parts, in canonical grid order."""
+    from repro.dta.compiled import get_compiled_trace
+    from repro.workloads import resolve_program
+
+    parts = []
+    for point in grid.design_points():
+        design = point.build()
+        static = design.static_period_ps
+        for workload in workloads:
+            program = resolve_program(workload)
+            compiled = get_compiled_trace(
+                program, design, max_cycles=grid.max_cycles
+            )
+            features = extract_features(
+                compiled, vocabulary=vocabulary, window=window
+            )
+            parts.append(
+                (workload, features.matrix,
+                 compiled.cycle_max_delays() / static)
+            )
+    return parts
+
+
+def _stack(parts):
+    return (
+        np.concatenate([matrix for _, matrix, _ in parts]),
+        np.concatenate([target for _, _, target in parts]),
+    )
+
+
+# -- decision tree -----------------------------------------------------------
+
+
+def _best_split(matrix, target, min_leaf):
+    """Deterministic best (feature, threshold) by SSE reduction, or
+    ``None`` when no valid split exists."""
+    count = len(target)
+    best = None
+    best_sse = np.inf
+    for feature in range(matrix.shape[1]):
+        order = np.argsort(matrix[:, feature], kind="stable")
+        xs = matrix[order, feature]
+        ys = target[order]
+        prefix_sum = np.cumsum(ys)
+        prefix_sq = np.cumsum(ys * ys)
+        left = np.arange(1, count)           # left partition sizes
+        valid = (
+            (xs[1:] != xs[:-1])
+            & (left >= min_leaf)
+            & (count - left >= min_leaf)
+        )
+        if not valid.any():
+            continue
+        left_sum = prefix_sum[left - 1]
+        left_sq = prefix_sq[left - 1]
+        sse = (
+            (left_sq - left_sum ** 2 / left)
+            + ((prefix_sq[-1] - left_sq)
+               - (prefix_sum[-1] - left_sum) ** 2 / (count - left))
+        )
+        sse = np.where(valid, sse, np.inf)
+        index = int(np.argmin(sse))          # first minimum: deterministic
+        if sse[index] < best_sse - _SPLIT_TOLERANCE:
+            threshold = 0.5 * (xs[index] + xs[index + 1])
+            # the midpoint must actually separate the partitions (it
+            # always does for our integer/flag/count features)
+            if xs[index] <= threshold < xs[index + 1]:
+                best_sse = float(sse[index])
+                best = (feature, float(threshold))
+    return best
+
+
+def _fit_tree(matrix, target, max_depth, min_samples_leaf):
+    """CART envelope regressor: variance-reduction splits, leaf value =
+    max target of the partition.  Nodes are laid out in preorder."""
+    features = []
+    thresholds = []
+    lefts = []
+    rights = []
+    values = []
+
+    def build(indices, depth):
+        node = len(features)
+        node_target = target[indices]
+        features.append(-1)
+        thresholds.append(0.0)
+        lefts.append(-1)
+        rights.append(-1)
+        values.append(float(node_target.max()))
+        if (depth >= max_depth
+                or len(indices) < 2 * min_samples_leaf
+                or node_target.min() == node_target.max()):
+            return node
+        split = _best_split(matrix[indices], node_target, min_samples_leaf)
+        if split is None:
+            return node
+        feature, threshold = split
+        go_left = matrix[indices, feature] <= threshold
+        features[node] = feature
+        thresholds[node] = threshold
+        lefts[node] = build(indices[go_left], depth + 1)
+        rights[node] = build(indices[~go_left], depth + 1)
+        return node
+
+    build(np.arange(len(target)), 0)
+    return {
+        "tree_feature": np.asarray(features, dtype=np.int32),
+        "tree_threshold": np.asarray(thresholds, dtype=np.float64),
+        "tree_left": np.asarray(lefts, dtype=np.int32),
+        "tree_right": np.asarray(rights, dtype=np.int32),
+        "tree_value": np.asarray(values, dtype=np.float64),
+    }
+
+
+# -- logistic baseline -------------------------------------------------------
+
+_LOGISTIC_ITERATIONS = 200
+_LOGISTIC_RATE = 0.5
+
+
+def _fit_logistic(matrix, target):
+    """Two-level baseline: classify slow vs fast cycles (threshold at
+    the target midpoint), full-batch gradient descent, zero init —
+    deterministic by construction."""
+    slow = target > 0.5 * (target.min() + target.max())
+    mean = matrix.mean(axis=0)
+    scale = matrix.std(axis=0)
+    scale[scale == 0.0] = 1.0
+    standardized = (matrix - mean) / scale
+    weights = np.zeros(matrix.shape[1] + 1)
+    labels = slow.astype(np.float64)
+    count = len(labels)
+    for _ in range(_LOGISTIC_ITERATIONS):
+        logits = standardized @ weights[:-1] + weights[-1]
+        probabilities = 1.0 / (1.0 + np.exp(-logits))
+        error = probabilities - labels
+        weights[:-1] -= _LOGISTIC_RATE * (standardized.T @ error) / count
+        weights[-1] -= _LOGISTIC_RATE * error.mean()
+    return {
+        "weights": weights,
+        "x_mean": mean,
+        "x_scale": scale,
+        "levels": np.zeros(2),   # calibration fills these in
+    }
+
+
+# -- calibration -------------------------------------------------------------
+
+
+def _calibrate(model, matrix, target, margin_percent):
+    """Raise every leaf/level to the maximum genie target it serves
+    (times the margin) — the safety pass that makes the deployed policy
+    violation-free on every calibration trace by construction."""
+    factor = 1.0 + margin_percent / 100.0
+    if model.kind == "tree":
+        leaves = model.apply_tree(matrix)
+        values = model.tree_value.copy()
+        ceiling = np.zeros_like(values)
+        np.maximum.at(ceiling, leaves, target)
+        seen = np.zeros(len(values), dtype=bool)
+        seen[leaves] = True
+        values[seen] = ceiling[seen]
+        return replace(model, tree_value=values * factor)
+    slow = model.decision(matrix) > 0.0
+    fallback = float(target.max())
+    levels = np.array([
+        float(target[~slow].max()) if (~slow).any() else fallback,
+        float(target[slow].max()) if slow.any() else fallback,
+    ])
+    return replace(model, levels=levels * factor)
+
+
+# -- the pipeline ------------------------------------------------------------
+
+
+def train_policy(grid, config=None, *, store=None, jobs=1, progress=None):
+    """Train a learned clock policy from a scenario grid.
+
+    Parameters
+    ----------
+    grid:
+        :class:`~repro.lab.scenario.ScenarioGrid` (or a grid-file path):
+        its design points × workloads are the training corpus, and its
+        policy axis provides the recorded baselines.
+    config:
+        :class:`TrainerConfig`; defaults train the decision tree.
+    store / jobs:
+        Artifact store and worker count for the underlying sweep (and
+        trace compilation); both only affect speed, never the bytes of
+        the resulting model.
+    progress:
+        Optional callable for progress lines.
+
+    Returns a :class:`TrainingOutcome` — ``.model`` is deployable
+    immediately, ``.report`` is the JSON-serialisable training summary.
+    """
+    from repro.api import Session
+    from repro.dta.compiled import set_trace_store
+    from repro.lab.scenario import ScenarioGrid
+    from repro.workloads.suite import suite_names
+
+    if config is None:
+        config = TrainerConfig()
+    if not isinstance(grid, ScenarioGrid):
+        grid = ScenarioGrid.from_file(grid)
+
+    def note(line):
+        if progress:
+            progress(line)
+
+    session = Session(store=store, jobs=jobs)
+
+    note(f"sweeping grid '{grid.name}' "
+         f"({grid.num_evaluations} evaluations, jobs={session.jobs}) ...")
+    table = session.training_table(grid)
+    baseline_frame = table.group_by("policy", {
+        "mhz": ("effective_frequency_mhz", "mean"),
+        "speedup_p50": ("speedup_percent", "p50"),
+        "speedup_p95": ("speedup_percent", "p95"),
+        "violations": ("num_violations", "sum"),
+        "mean_normalized_period": ("normalized_period", "mean"),
+    })
+    baselines = {
+        row["policy"]: {key: row[key] for key in
+                        ("mhz", "speedup_p50", "speedup_p95",
+                         "violations", "mean_normalized_period")}
+        for row in baseline_frame.iter_rows()
+    }
+
+    vocabulary = class_vocabulary()
+    train_workloads = list(grid.workload_specs())
+    calibration = list(config.calibration_workloads) or list(suite_names())
+    # calibration covers the training workloads too: leaf maxima must
+    # see every sample the fitted partition was built from
+    calibration_workloads = train_workloads + [
+        workload for workload in calibration
+        if workload not in train_workloads
+    ]
+
+    previous = set_trace_store(session.store) if session.store else None
+    try:
+        # one extraction pass over the calibration set (which leads with
+        # the training workloads): the training rows are the same parts,
+        # never re-extracted
+        note(f"extracting features: {len(train_workloads)} training + "
+             f"{len(calibration_workloads) - len(train_workloads)} "
+             f"calibration workloads x {len(grid.design_points())} "
+             f"design points ...")
+        parts = _per_cycle_parts(
+            grid, calibration_workloads, vocabulary, config.window
+        )
+    finally:
+        if session.store:
+            set_trace_store(previous)
+
+    train_set = set(train_workloads)
+    matrix, target = _stack(
+        [part for part in parts if part[0] in train_set]
+    )
+    calib_matrix, calib_target = _stack(parts)
+    if config.model == "tree":
+        arrays = _fit_tree(
+            matrix, target, config.max_depth, config.min_samples_leaf
+        )
+    else:
+        arrays = _fit_logistic(matrix, target)
+    model = LearnedModel(
+        kind=config.model,
+        vocabulary=vocabulary,
+        window=config.window,
+        feature_names=feature_names(config.window),
+        **arrays,
+    )
+
+    note(f"calibrating against genie ground truth over "
+         f"{len(calib_target)} cycles ...")
+    model = _calibrate(
+        model, calib_matrix, calib_target,
+        config.calibration_margin_percent,
+    )
+
+    predicted = model.predict_normalized(calib_matrix)
+    metadata = {
+        "grid": grid.name,
+        "fingerprint": grid.fingerprint(),
+        "config": config.as_dict(),
+        "design_points": [point.label for point in grid.design_points()],
+        "train_workloads": train_workloads,
+        "calibration_workloads": calibration_workloads,
+        "train_rows": int(len(target)),
+        "calibration_rows": int(len(calib_target)),
+        "num_leaves": model.num_leaves,
+        "mean_normalized_period": float(predicted.mean()),
+        "max_normalized_period": float(predicted.max()),
+        "baselines": baselines,
+    }
+    model.metadata = metadata
+    report = dict(metadata)
+    report["safe_on_calibration"] = bool(
+        (predicted >= calib_target - 1e-12).all()
+    )
+    note(f"trained {config.model}: {metadata['num_leaves']} leaves, "
+         f"{metadata['train_rows']} train rows, "
+         f"mean normalized period "
+         f"{metadata['mean_normalized_period']:.4f}")
+    return TrainingOutcome(model=model, report=report)
+
+
+def get_or_train_model(store, name, grid, config=None, *, jobs=1,
+                       progress=None):
+    """Content-addressed model lookup with recompute-on-miss.
+
+    Mirrors :meth:`ArtifactStore.get_lut`: a missing or corrupt stored
+    model (corruption is counted and discarded by ``load_model``) is
+    simply retrained and written back — the store never blocks progress.
+    """
+    model = store.load_model(name)
+    if model is None:
+        outcome = train_policy(
+            grid, config, store=store, jobs=jobs, progress=progress
+        )
+        model = outcome.model
+        store.save_model(name, model)
+    return model

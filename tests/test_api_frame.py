@@ -162,6 +162,55 @@ class TestGroupBy:
         with pytest.raises(KeyError):
             simple_frame().group_by("name", {"x": ("nope", "mean")})
 
+    def test_percentiles(self):
+        """p50/p95/p99 match np.percentile (linear interpolation)."""
+        values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        frame = ResultFrame.from_rows(
+            [{"k": "g", "v": value} for value in values],
+            schema(("k", "str"), ("v", "float")),
+        )
+        out = frame.group_by("k", {
+            "p50": ("v", "p50"), "p95": ("v", "p95"), "p99": ("v", "p99"),
+        })
+        row = out.row(0)
+        assert row["p50"] == np.percentile(values, 50)
+        assert row["p95"] == np.percentile(values, 95)
+        assert row["p99"] == np.percentile(values, 99)
+        assert out.kind_of("p50") == "float"
+
+    def test_percentile_single_row_group(self):
+        out = simple_frame().group_by("name", {"p99": ("value", "p99")})
+        rows = {row["name"]: row for row in out.iter_rows()}
+        assert rows["b"]["p99"] == -0.25
+
+    def test_percentiles_on_int_column(self):
+        out = simple_frame().group_by("name", {"p50": ("count", "p50")})
+        rows = {row["name"]: row for row in out.iter_rows()}
+        assert rows["a"]["p50"] == 2.0      # median of (1, 3)
+
+    @given(st.lists(
+        st.floats(min_value=-1e9, max_value=1e9,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=40,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_percentiles_property(self, values):
+        """Percentiles are ordered, bounded by min/max, and agree with
+        np.percentile for any group content."""
+        frame = ResultFrame.from_rows(
+            [{"k": "g", "v": value} for value in values],
+            schema(("k", "str"), ("v", "float")),
+        )
+        row = frame.group_by("k", {
+            "low": ("v", "min"), "p50": ("v", "p50"),
+            "p95": ("v", "p95"), "p99": ("v", "p99"),
+            "high": ("v", "max"),
+        }).row(0)
+        assert row["low"] <= row["p50"] <= row["p95"] \
+            <= row["p99"] <= row["high"]
+        for stat, rank in (("p50", 50), ("p95", 95), ("p99", 99)):
+            assert row[stat] == np.percentile(values, rank)
+
 
 class TestDerivation:
     def test_with_column(self):

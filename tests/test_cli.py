@@ -323,3 +323,144 @@ class TestStoreGc:
         ])
         assert code == 2
         assert "invalid size" in capsys.readouterr().err
+
+
+class TestLearnedPolicyErrors:
+    """learned:<model> specs fail fast (exit 2, naming the path) before
+    any simulation or characterisation runs."""
+
+    def test_parser_accepts_learned_spec(self):
+        args = build_parser().parse_args(
+            ["evaluate", "crc32", "--policy", "learned:m.npz"]
+        )
+        assert args.policy == "learned:m.npz"
+
+    def test_parser_rejects_unknown_policy(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["evaluate", "crc32", "--policy", "warp-speed"]
+            )
+        assert "learned:<model.npz>" in capsys.readouterr().err
+
+    def test_evaluate_missing_model(self, tmp_path, capsys):
+        missing = tmp_path / "missing.npz"
+        assert main(
+            ["evaluate", "crc32", "--policy", f"learned:{missing}"]
+        ) == 2
+        captured = capsys.readouterr()
+        assert str(missing) in captured.err
+        assert "not found" in captured.err
+        assert "characterising" not in captured.err   # failed fast
+
+    def test_evaluate_corrupt_model(self, tmp_path, capsys):
+        corrupt = tmp_path / "corrupt.npz"
+        corrupt.write_bytes(b"not a model")
+        assert main(
+            ["evaluate", "crc32", "--policy", f"learned:{corrupt}"]
+        ) == 2
+        captured = capsys.readouterr()
+        assert "corrupt" in captured.err and str(corrupt) in captured.err
+        assert "characterising" not in captured.err
+
+    def test_flag_sweep_missing_model(self, tmp_path, capsys):
+        missing = tmp_path / "missing.npz"
+        assert main(
+            ["sweep", "fib", "--policy", f"learned:{missing}"]
+        ) == 2
+        assert str(missing) in capsys.readouterr().err
+
+    def test_grid_sweep_missing_model(self, tmp_path, capsys):
+        missing = tmp_path / "missing.npz"
+        grid = tmp_path / "grid.json"
+        grid.write_text(json.dumps({
+            "name": "g", "policies": [f"learned:{missing}"],
+            "workloads": ["fib"],
+        }))
+        assert main(["sweep", "--grid", str(grid)]) == 2
+        captured = capsys.readouterr()
+        assert str(missing) in captured.err
+        assert "units" not in captured.err            # never started
+
+
+class TestTrain:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["train", "--grid", "g.json"])
+        assert args.out == "model.npz"
+        assert args.model == "tree"
+        assert args.seed == 0
+        assert not args.no_eval
+
+    def test_train_end_to_end(self, tmp_path, capsys):
+        """Train on a tiny grid, write report, deploy via evaluate."""
+        grid = tmp_path / "grid.json"
+        grid.write_text(json.dumps({
+            "name": "cli-train", "policies": ["static"],
+            "workloads": ["fib"], "check_safety": True,
+        }))
+        out = tmp_path / "model.npz"
+        report = tmp_path / "BENCH_train.json"
+        code = main([
+            "train", "--grid", str(grid), "--out", str(out),
+            "--report", str(report), "--seed", "3",
+        ])
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        assert out.is_file()
+        assert "Learned vs static" in captured.out
+        document = json.loads(report.read_text())
+        assert document["train"]["grid"] == "cli-train"
+        assert document["train"]["config"]["seed"] == 3
+        assert document["eval"]["safe"] is True
+        assert document["eval"]["faster_than_static"] is True
+        assert document["eval"]["learned"]["violations"] == 0
+
+        # the written artifact deploys through the registry
+        assert main(
+            ["evaluate", "fib", "--policy", f"learned:{out}"]
+        ) == 0
+        assert "violations 0" in capsys.readouterr().out
+
+    def test_train_no_eval_skips_suite(self, tmp_path, capsys):
+        grid = tmp_path / "grid.json"
+        grid.write_text(json.dumps({
+            "name": "cli-train", "policies": ["static"],
+            "workloads": ["fib"], "check_safety": True,
+        }))
+        out = tmp_path / "model.npz"
+        report = tmp_path / "r.json"
+        code = main([
+            "train", "--grid", str(grid), "--out", str(out),
+            "--report", str(report), "--no-eval",
+        ])
+        assert code == 0
+        assert "Learned vs static" not in capsys.readouterr().out
+        assert "eval" not in json.loads(report.read_text())
+
+    def test_train_stores_model_artifact(self, tmp_path, capsys):
+        from repro.lab.store import ArtifactStore
+
+        grid = tmp_path / "grid.json"
+        grid.write_text(json.dumps({
+            "name": "cli-train", "policies": ["static"],
+            "workloads": ["fib"], "check_safety": True,
+        }))
+        store_dir = tmp_path / "store"
+        code = main([
+            "train", "--grid", str(grid),
+            "--out", str(tmp_path / "model.npz"),
+            "--store", str(store_dir), "--no-eval",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stored model artifact" in out
+        from repro.lab.scenario import ScenarioGrid
+
+        fingerprint = ScenarioGrid.from_file(grid).fingerprint()
+        name = f"train:{fingerprint}:0:tree"
+        assert ArtifactStore(store_dir).load_model(name) is not None
+
+    def test_train_bad_grid(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"policies": ["warp"]}')
+        assert main(["train", "--grid", str(bad)]) == 2
+        assert "unknown policy" in capsys.readouterr().err

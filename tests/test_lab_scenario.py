@@ -101,6 +101,53 @@ class TestValidation:
         with pytest.raises(ScenarioError, match="must be a mapping"):
             ScenarioGrid.from_json("[1, 2, 3]")
 
+    def test_learned_policy_spec_accepted(self):
+        """``learned:<model.npz>`` rides the policy axis next to the
+        registry names (the file itself is validated separately)."""
+        grid = ScenarioGrid(
+            policies=("instruction", "learned:model.npz")
+        )
+        assert grid.policies == ("instruction", "learned:model.npz")
+        labels = [spec.label for spec in grid.config_specs()]
+        assert "learned:model.npz/ideal" in labels
+
+    def test_learned_policy_spec_needs_path(self):
+        with pytest.raises(ScenarioError, match="needs a model path"):
+            ScenarioGrid(policies=("learned:",))
+
+    def test_bare_learned_rejected_with_hint(self):
+        with pytest.raises(ScenarioError,
+                           match=r"learned:<model\.npz>"):
+            ScenarioGrid(policies=("learned",))
+
+    def test_fingerprint_tracks_learned_model_content(self, tmp_path):
+        """Retraining a model at the same path must change the grid
+        fingerprint — otherwise ``--resume`` would merge checkpoints
+        evaluated under the old model with fresh units under the new
+        one."""
+        path = tmp_path / "model.npz"
+        grid = ScenarioGrid(policies=(f"learned:{path}",))
+        missing = grid.fingerprint()
+        path.write_bytes(b"model v1")
+        first = grid.fingerprint()
+        path.write_bytes(b"model v2")
+        second = grid.fingerprint()
+        assert len({missing, first, second}) == 3
+        path.write_bytes(b"model v1")
+        assert grid.fingerprint() == first      # content, not mtime
+
+    def test_fingerprint_unchanged_without_learned_policies(self):
+        """Plain grids keep their historical fingerprints (stored
+        manifests and cached sweep results stay valid)."""
+        grid = ScenarioGrid(policies=("instruction",))
+        import hashlib
+        import json as jsonlib
+
+        text = jsonlib.dumps(grid.to_dict(), sort_keys=True,
+                             separators=(",", ":"))
+        assert grid.fingerprint() == \
+            hashlib.sha256(text.encode()).hexdigest()
+
 
 class TestSerialisation:
     def test_round_trip_and_fingerprint(self):

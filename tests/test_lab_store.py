@@ -369,6 +369,63 @@ class TestCharLutRoundTrip:
             store.char_lut_path(design, fib)
 
 
+class TestModelArtifacts:
+    """Learned-policy models share the store contract of traces/LUTs:
+    content-addressed, schema-versioned, corruption → counted miss."""
+
+    @staticmethod
+    def _model(seed=0):
+        from repro.ml.features import feature_names
+        from repro.ml.model import LearnedModel
+
+        return LearnedModel(
+            kind="tree",
+            vocabulary=("<bubble>",),
+            window=8,
+            feature_names=feature_names(),
+            tree_feature=np.array([-1], dtype=np.int32),
+            tree_threshold=np.array([0.0]),
+            tree_left=np.array([-1], dtype=np.int32),
+            tree_right=np.array([-1], dtype=np.int32),
+            tree_value=np.array([1.0]),
+            metadata={"seed": seed},
+        )
+
+    def test_round_trip_and_counters(self, store):
+        assert store.load_model("m") is None
+        assert store.stats.get("model", "misses") == 1
+        model = self._model()
+        store.save_model("m", model)
+        assert store.stats.get("model", "writes") == 1
+        assert store.load_model("m") == model
+        assert store.stats.get("model", "hits") == 1
+
+    def test_names_are_content_addressed(self, store):
+        assert store.model_path("a") != store.model_path("b")
+        assert store.model_path("a").suffix == ".npz"
+        assert store.model_path("a").parent.name == "models"
+
+    def test_corruption_discards_and_misses(self, store):
+        store.save_model("m", self._model())
+        store.model_path("m").write_bytes(b"torn")
+        assert store.load_model("m") is None
+        assert store.stats.get("model", "corrupt") == 1
+        assert not store.model_path("m").exists()
+
+    def test_schema_bump_invalidates(self, store, tmp_path):
+        store.save_model("m", self._model())
+        bumped = ArtifactStore(store.root,
+                               schema_version=SCHEMA_VERSION + 1)
+        assert bumped.load_model("m") is None   # different key: a miss
+        assert bumped.stats.get("model", "misses") == 1
+
+    def test_models_are_gc_eligible(self, store):
+        store.save_model("m", self._model())
+        result = store.gc(max_bytes=0)
+        assert result.removed_files == 1
+        assert not store.model_path("m").exists()
+
+
 class TestGcStrictLru:
     def test_older_small_file_cannot_outlive_newer_large_one(self, store):
         """The first artifact that overflows the budget marks the recency

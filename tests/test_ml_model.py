@@ -1,0 +1,200 @@
+"""Learned-model artifacts: serialisation, validation, caching."""
+
+import io
+
+import numpy as np
+import pytest
+
+import repro.ml.model as model_module
+from repro.ml.features import feature_names
+from repro.ml.model import (
+    LearnedModel,
+    ModelError,
+    clear_model_cache,
+    is_learned_spec,
+    load_model,
+    load_policy_model,
+    parse_learned_spec,
+    validate_policy_specs,
+)
+
+
+def tiny_tree_model(**metadata):
+    """One split on feature 0 at 0.5: left leaf 0.7, right leaf 1.0."""
+    return LearnedModel(
+        kind="tree",
+        vocabulary=("<bubble>", "l.add(i)"),
+        window=8,
+        feature_names=feature_names(),
+        tree_feature=np.array([0, -1, -1], dtype=np.int32),
+        tree_threshold=np.array([0.5, 0.0, 0.0]),
+        tree_left=np.array([1, -1, -1], dtype=np.int32),
+        tree_right=np.array([2, -1, -1], dtype=np.int32),
+        tree_value=np.array([1.0, 0.7, 1.0]),
+        metadata=dict(metadata),
+    )
+
+
+def tiny_logistic_model():
+    weights = np.zeros(29)
+    weights[0] = 1.0        # slow iff standardized feature 0 positive
+    return LearnedModel(
+        kind="logistic",
+        vocabulary=("<bubble>",),
+        window=8,
+        feature_names=feature_names(),
+        weights=weights,
+        x_mean=np.zeros(28),
+        x_scale=np.ones(28),
+        levels=np.array([0.6, 1.0]),
+    )
+
+
+class TestPrediction:
+    def test_tree_routes_rows(self):
+        model = tiny_tree_model()
+        matrix = np.zeros((3, 28))
+        matrix[1, 0] = 2.0
+        assert model.predict_normalized(matrix).tolist() == [0.7, 1.0, 0.7]
+
+    def test_tree_single_row(self):
+        model = tiny_tree_model()
+        assert model.predict_normalized(np.zeros(28)).tolist() == [0.7]
+
+    def test_logistic_levels(self):
+        model = tiny_logistic_model()
+        matrix = np.zeros((2, 28))
+        matrix[1, 0] = 3.0
+        assert model.predict_normalized(matrix).tolist() == [0.6, 1.0]
+
+    def test_num_leaves(self):
+        assert tiny_tree_model().num_leaves == 2
+        assert tiny_logistic_model().num_leaves == 2
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ModelError, match="unknown model kind"):
+            LearnedModel(kind="forest", vocabulary=(), window=8,
+                         feature_names=())
+
+
+class TestSerialisation:
+    def test_bytes_deterministic(self):
+        model = tiny_tree_model(seed=3)
+        assert model.to_bytes() == model.to_bytes()
+        assert model.to_bytes() == tiny_tree_model(seed=3).to_bytes()
+
+    def test_metadata_changes_bytes(self):
+        assert tiny_tree_model(seed=1).to_bytes() \
+            != tiny_tree_model(seed=2).to_bytes()
+
+    def test_round_trip(self, tmp_path):
+        model = tiny_tree_model(grid="g", seed=9)
+        path = tmp_path / "m.npz"
+        model.save(path)
+        loaded = LearnedModel.from_file(path)
+        assert loaded == model
+        assert loaded.metadata == {"grid": "g", "seed": 9}
+        assert loaded.kind == "tree"
+        assert loaded.vocabulary == model.vocabulary
+
+    def test_readable_by_plain_numpy(self, tmp_path):
+        path = tmp_path / "m.npz"
+        tiny_tree_model().save(path)
+        with np.load(path, allow_pickle=False) as archive:
+            assert "header" in archive
+            assert archive["tree_value"].tolist() == [1.0, 0.7, 1.0]
+
+    def test_logistic_round_trip(self, tmp_path):
+        model = tiny_logistic_model()
+        path = tmp_path / "m.npz"
+        model.save(path)
+        assert LearnedModel.from_file(path) == model
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        path = tmp_path / "nope.npz"
+        with pytest.raises(ModelError, match=str(path)):
+            LearnedModel.from_file(path)
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"this is not a zip")
+        with pytest.raises(ModelError, match="corrupt.*bad.npz"):
+            LearnedModel.from_file(path)
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "torn.npz"
+        tiny_tree_model().save(path)
+        path.write_bytes(path.read_bytes()[:40])
+        with pytest.raises(ModelError, match="torn.npz"):
+            LearnedModel.from_file(path)
+
+    def test_schema_mismatch(self, tmp_path, monkeypatch):
+        path = tmp_path / "old.npz"
+        tiny_tree_model().save(path)
+        monkeypatch.setattr(model_module, "MODEL_SCHEMA_VERSION", 999)
+        with pytest.raises(ModelError, match="schema"):
+            LearnedModel.from_file(path)
+
+    def test_feature_spec_mismatch(self, tmp_path, monkeypatch):
+        path = tmp_path / "old.npz"
+        tiny_tree_model().save(path)
+        monkeypatch.setattr(model_module, "FEATURE_SPEC_VERSION", 999)
+        with pytest.raises(ModelError, match="feature spec"):
+            LearnedModel.from_file(path)
+
+
+class TestSpecs:
+    def test_is_learned_spec(self):
+        assert is_learned_spec("learned:m.npz")
+        assert not is_learned_spec("instruction")
+        assert not is_learned_spec(None)
+
+    def test_parse(self):
+        assert parse_learned_spec("learned:a/b.npz") == "a/b.npz"
+        with pytest.raises(ModelError, match="empty model path"):
+            parse_learned_spec("learned:")
+        with pytest.raises(ModelError, match="not a learned-policy"):
+            parse_learned_spec("instruction")
+
+    def test_validate_ignores_registry_names(self):
+        validate_policy_specs(["instruction", "genie", "static"])
+
+    def test_validate_raises_on_missing(self, tmp_path):
+        with pytest.raises(ModelError, match="missing.npz"):
+            validate_policy_specs(
+                ["instruction", f"learned:{tmp_path}/missing.npz"]
+            )
+
+    def test_validate_resolves_like_deployment(self, tmp_path,
+                                               monkeypatch):
+        """Validation and deployment resolve relative paths the same
+        way (the working directory), so a validated spec always
+        deploys."""
+        tiny_tree_model().save(tmp_path / "m.npz")
+        monkeypatch.chdir(tmp_path)
+        validate_policy_specs(["learned:m.npz"])
+        assert load_policy_model("learned:m.npz").kind == "tree"
+
+
+class TestCache:
+    def test_cached_until_file_changes(self, tmp_path):
+        clear_model_cache()
+        path = tmp_path / "m.npz"
+        tiny_tree_model(seed=1).save(path)
+        first = load_model(path)
+        assert load_model(path) is first
+        import os
+
+        tiny_tree_model(seed=2).save(path)
+        os.utime(path, ns=(1, 1))   # force a distinct stat signature
+        second = load_model(path)
+        assert second is not first
+        assert second.metadata["seed"] == 2
+
+    def test_load_policy_model(self, tmp_path):
+        path = tmp_path / "m.npz"
+        tiny_tree_model().save(path)
+        model = load_policy_model(f"learned:{path}")
+        assert model.kind == "tree"
