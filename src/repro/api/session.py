@@ -37,14 +37,17 @@ from repro.flow.evaluate import DEFAULT_MAX_CYCLES, SweepConfig
 from repro.timing.profiles import DesignVariant
 
 #: Valid evaluation engines: ``vector`` is the compiled-trace array
-#: pipeline, ``scalar`` the retained per-record reference.
-ENGINES = ("vector", "scalar")
+#: pipeline, ``lockstep`` the same pipeline with the architectural ISS
+#: pass of uncached programs batched across the whole program list
+#: (:mod:`repro.sim.lockstep`; bit-identical results), and ``scalar``
+#: the retained per-record reference.
+ENGINES = ("vector", "lockstep", "scalar")
 
 #: Default over-scaling factor ladder (paper Sec. IV-A).
 DEFAULT_OVERSCALE_FACTORS = (1.0, 0.97, 0.94, 0.91, 0.88, 0.85)
 
 #: Session engine → characterisation engine name.
-_CHAR_ENGINES = {"vector": "array", "scalar": "record"}
+_CHAR_ENGINES = {"vector": "array", "lockstep": "array", "scalar": "record"}
 
 
 def design_point_label(variant, voltage):
@@ -408,7 +411,8 @@ class Session:
                     for config in configs
                 ]
             return _evaluate._evaluate_batch(
-                programs, self.design, configs, max_cycles=self.max_cycles
+                programs, self.design, configs, max_cycles=self.max_cycles,
+                engine=self.engine,
             )
 
     def evaluate(self, programs=None, configs=None, *, policies=None,
@@ -506,17 +510,18 @@ class Session:
         :class:`~repro.lab.runner.SweepRunResult` (``.frame`` holds the
         :class:`ResultFrame`, serialisation is unchanged).
 
-        The orchestrated runner evaluates through the vector engine
-        only; a ``scalar`` session refuses to sweep rather than return
-        vector results labelled as the reference.
+        The orchestrated runner evaluates through the compiled-trace
+        array engines only (``vector`` or the batched ``lockstep``); a
+        ``scalar`` session refuses to sweep rather than return vector
+        results labelled as the reference.
         """
         from repro.lab.runner import SweepRunner
         from repro.lab.scenario import ScenarioGrid
 
-        if self.engine != "vector":
+        if self.engine == "scalar":
             raise ValueError(
-                "orchestrated sweeps run on the vector engine only; "
-                "use Session.evaluate for the scalar reference"
+                "orchestrated sweeps run on the vector/lockstep engines "
+                "only; use Session.evaluate for the scalar reference"
             )
 
         if not isinstance(grid, ScenarioGrid):
@@ -526,6 +531,7 @@ class Session:
                 grid, store=self.store, jobs=self.jobs,
                 manifest_path=manifest_path,
                 store_budget_bytes=self.store_budget_bytes,
+                engine=self.engine,
             )
         return runner._execute(resume=resume, progress=progress)
 

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.sim import predecode
 from repro.sim.trace import Stage
 from repro.timing.profiles import BUBBLE_CLASS
 
@@ -327,17 +328,31 @@ def compile_vector_run(run, excitation):
         cells map 1:1 onto fetch-stream slots; draining slots carry zero
         operands, matching the scalar ``ex_operands=(None, None)`` path.
         """
-        slots = run.ex_occ[active]
-        instructions = run.slot_instr
-        mnemonics = [instructions[slot].mnemonic for slot in slots.tolist()]
-        crit = ex_criticality_array(
-            mnemonics,
-            run.slot_kind[slots],
-            run.slot_a[slots],
-            run.slot_b[slots],
-            run.slot_pc[slots],
-            redirect[active],
+        # criticality is architectural (operands + worst patterns), so it
+        # is invariant across operating points and sweeps of the same
+        # program — memoised on the shared decode image
+        image = predecode.image_for(run.program)
+        crit_key = (
+            run.div_latency, run.num_cycles, len(active),
+            int(active[0]) if len(active) else -1,
+            int(active[-1]) if len(active) else -1,
         )
+        crit = image.crit_cache.get(crit_key)
+        if crit is None:
+            slots = run.ex_occ[active]
+            instructions = run.slot_instr
+            mnemonics = [
+                instructions[slot].mnemonic for slot in slots.tolist()
+            ]
+            crit = ex_criticality_array(
+                mnemonics,
+                run.slot_kind[slots],
+                run.slot_a[slots],
+                run.slot_b[slots],
+                run.slot_pc[slots],
+                redirect[active],
+            )
+            image.crit_cache[crit_key] = crit
         cls_rows = class_ids[active, int(Stage.EX)]
         max_ps = np.empty(len(class_names))
         spread_ps = np.empty(len(class_names))
@@ -475,6 +490,77 @@ def get_compiled_trace(program, design, max_cycles=4_000_000):
             compiled = compile_vector_run(run, design.excitation)
         if _store is not None:
             _store.save_compiled_trace(compiled, program, design, max_cycles)
+    _insert_cached(key, compiled)
+    return compiled
+
+
+def get_compiled_traces(programs, design, max_cycles=4_000_000):
+    """Batched :func:`get_compiled_trace`: one compiled trace per program.
+
+    Cache and store resolution is identical to the scalar entry point; the
+    misses run their architectural ISS pass together through
+    :mod:`repro.sim.lockstep`, so a large batch of uncached programs pays
+    one vectorized step loop instead of one Python dispatch loop each.
+    Results are bit-identical to per-program compilation (lanes the
+    lockstep engine cannot represent re-run through the per-program
+    engines), and every trace lands in the same LRU/store as always.
+    """
+    from repro.sim import lockstep, vector
+    from repro.sim.pipeline import PipelineSimulator
+
+    global _simulations
+
+    programs = list(programs)
+    design_key = _design_key(design)
+    compiled_by_key = {}
+    keys = []
+    misses = []                   # (first position, program) per unique miss
+    for position, program in enumerate(programs):
+        key = (_program_key(program), design_key, max_cycles)
+        keys.append(key)
+        if key in compiled_by_key:
+            continue
+        compiled = _cache.get(key)
+        if compiled is None and _store is not None:
+            compiled = _store.load_compiled_trace(program, design, max_cycles)
+            if compiled is not None:
+                _insert_cached(key, compiled)
+        if compiled is not None:
+            if key in _cache:
+                _cache.move_to_end(key)
+            compiled_by_key[key] = compiled
+        else:
+            misses.append((position, program))
+
+    if misses:
+        batch = lockstep.collect_batch(
+            [program for _, program in misses], max_cycles=max_cycles
+        )
+        for (position, program), data in zip(misses, batch):
+            key = keys[position]
+            if key in compiled_by_key:   # duplicate program in the batch
+                continue
+            if data is None:
+                run = vector.simulate(program, max_cycles=max_cycles)
+            else:
+                run = vector.reconstruct(program, data,
+                                         max_cycles=max_cycles)
+            _simulations += 1
+            if run is None:
+                trace = PipelineSimulator(program).run(max_cycles=max_cycles)
+                compiled = compile_trace(trace, design.excitation)
+            else:
+                compiled = compile_vector_run(run, design.excitation)
+            if _store is not None:
+                _store.save_compiled_trace(compiled, program, design,
+                                           max_cycles)
+            _insert_cached(key, compiled)
+            compiled_by_key[key] = compiled
+
+    return [compiled_by_key[key] for key in keys]
+
+
+def _insert_cached(key, compiled):
     _cache[key] = compiled
     while len(_cache) > CACHE_CAPACITY or (
         len(_cache) > 1
@@ -482,7 +568,6 @@ def get_compiled_trace(program, design, max_cycles=4_000_000):
         > CACHE_CYCLE_BUDGET
     ):
         _cache.popitem(last=False)
-    return compiled
 
 
 def clear_compiled_cache():

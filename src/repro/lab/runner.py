@@ -47,6 +47,14 @@ from repro.lab.store import ArtifactStore, StoreStats
 #: Manifest layout version (independent of the artifact-store schema).
 MANIFEST_VERSION = 1
 
+#: Pending-unit count below which a ``jobs > 1`` sweep runs in-process:
+#: spawning workers, re-importing the stack and re-attaching the store
+#: costs hundreds of milliseconds, which a handful of units never earns
+#: back (the PR-2 bench measured parallel_speedup 0.88 on an 18-unit
+#: warm sweep).  The fallback is recorded on the run result
+#: (``jobs_effective`` / ``parallel_fallback``).
+PARALLEL_MIN_UNITS = 24
+
 
 def result_to_dict(result, design_point, spec):
     """Canonical JSON row of one :class:`EvaluationResult`.
@@ -81,7 +89,7 @@ def result_to_dict(result, design_point, spec):
 _WORKER = {}
 
 
-def _worker_init(grid_dict, store_root):
+def _worker_init(grid_dict, store_root, engine="vector"):
     from repro.dta.compiled import set_trace_store, simulation_count
 
     store = ArtifactStore(store_root) if store_root else None
@@ -91,6 +99,7 @@ def _worker_init(grid_dict, store_root):
         grid=ScenarioGrid.from_dict(grid_dict),
         store=store,
         previous_store=previous,
+        engine=engine,
         contexts={},
         # baseline, not reset: simulations run before this sweep (other
         # tests, fork-inherited counters) must not be attributed to it
@@ -137,12 +146,16 @@ def _context_for(design_point):
     return context
 
 
-def _run_unit(design_point, workload):
-    """Evaluate one (design point, workload) unit against every config.
+def _run_units(design_point, workloads):
+    """Evaluate a batch of same-design-point units against every config.
 
-    Returns ``(rows, store_stats_delta, simulations_delta)`` — counters
-    are snapshotted per unit so the parent can aggregate them across any
-    number of workers.
+    One :func:`~repro.flow.evaluate._evaluate_batch` call covers every
+    workload in the batch — under the ``lockstep`` engine the uncached
+    programs share a single batched ISS pass; under ``vector`` the batch
+    degenerates to the per-program loop and is bit-identical to running
+    units one at a time.  Returns ``(rows_per_unit, store_stats_delta,
+    simulations_delta)`` — counters are snapshotted per batch so the
+    parent can aggregate them across any number of workers.
     """
     from repro.dta.compiled import simulation_count
     from repro.flow.evaluate import _evaluate_batch
@@ -150,13 +163,18 @@ def _run_unit(design_point, workload):
 
     grid = _WORKER["grid"]
     design, specs, configs = _context_for(design_point)
-    program = resolve_program(workload)
+    programs = [resolve_program(workload) for workload in workloads]
     grid_results = _evaluate_batch(
-        [program], design, configs, max_cycles=grid.max_cycles
+        [program for program in programs], design, configs,
+        max_cycles=grid.max_cycles,
+        engine=_WORKER.get("engine", "vector"),
     )
-    rows = [
-        result_to_dict(config_row[0], design_point, spec)
-        for spec, config_row in zip(specs, grid_results)
+    rows_per_unit = [
+        [
+            result_to_dict(config_row[position], design_point, spec)
+            for spec, config_row in zip(specs, grid_results)
+        ]
+        for position in range(len(programs))
     ]
     store = _WORKER["store"]
     stats = store.stats.as_dict() if store is not None else None
@@ -165,14 +183,27 @@ def _run_unit(design_point, workload):
     count = simulation_count()
     simulations = count - _WORKER["sim_baseline"]
     _WORKER["sim_baseline"] = count
-    return rows, stats, simulations
+    return rows_per_unit, stats, simulations
 
 
-def _run_unit_task(payload):
-    """Pool entry point: payload is ``(unit_id, design_point, workload)``."""
-    unit_id, design_point, workload = payload
-    rows, stats, simulations = _run_unit(design_point, workload)
-    return unit_id, rows, stats, simulations
+def _run_unit(design_point, workload):
+    """Single-unit wrapper over :func:`_run_units`."""
+    rows_per_unit, stats, simulations = _run_units(design_point, [workload])
+    return rows_per_unit[0], stats, simulations
+
+
+def _run_units_task(payload):
+    """Pool entry point: payload is
+    ``(design_point, [(unit_id, workload), ...])``."""
+    design_point, units = payload
+    rows_per_unit, stats, simulations = _run_units(
+        design_point, [workload for _, workload in units]
+    )
+    unit_rows = [
+        (unit_id, rows)
+        for (unit_id, _), rows in zip(units, rows_per_unit)
+    ]
+    return unit_rows, stats, simulations
 
 
 # -- parent side -------------------------------------------------------------
@@ -195,6 +226,13 @@ class SweepRunResult:
     units_run: int
     units_resumed: int
     simulations: int
+    #: Worker count actually used: ``jobs`` unless the small-run
+    #: in-process fallback decided process-pool spin-up would cost more
+    #: than it buys (see :data:`PARALLEL_MIN_UNITS`).
+    jobs_effective: int = None
+    #: True when ``jobs > 1`` was requested but the run executed
+    #: in-process because too few units were pending.
+    parallel_fallback: bool = False
     store_stats: StoreStats = None
     manifest_path: pathlib.Path = None
     _rows: list = field(default=None, repr=False, compare=False)
@@ -219,6 +257,11 @@ class SweepRunResult:
             "results": self.rows,
             "seconds": self.seconds,
             "jobs": self.jobs,
+            "jobs_effective": (
+                self.jobs if self.jobs_effective is None
+                else self.jobs_effective
+            ),
+            "parallel_fallback": self.parallel_fallback,
             "units": {
                 "total": self.units_total,
                 "run": self.units_run,
@@ -271,16 +314,31 @@ class SweepRunner:
     store_budget_bytes:
         Optional size budget; after each merged run the store is
         LRU-``gc``-ed down to it, so long campaigns self-limit.
+    engine:
+        Evaluation engine for the units: ``"vector"`` (per-program
+        compiled traces) or ``"lockstep"`` (uncached programs of a unit
+        batch share one batched ISS pass; bit-identical rows).
+    parallel_threshold:
+        Minimum pending-unit count before ``jobs > 1`` actually spins up
+        a process pool; below it the run falls back in-process (pool
+        startup dominates small runs).  Defaults to
+        :data:`PARALLEL_MIN_UNITS`; pass ``0`` to force the pool.
     """
 
     def __init__(self, grid, store=None, jobs=1, manifest_path=None,
-                 store_budget_bytes=None):
+                 store_budget_bytes=None, engine="vector",
+                 parallel_threshold=None):
         self.grid = grid
         if store is not None and not isinstance(store, ArtifactStore):
             store = ArtifactStore(store)
         self.store = store
         self.jobs = max(1, int(jobs))
         self.store_budget_bytes = store_budget_bytes
+        self.engine = engine
+        self.parallel_threshold = (
+            PARALLEL_MIN_UNITS if parallel_threshold is None
+            else parallel_threshold
+        )
         if manifest_path is None and store is not None:
             manifest_path = (
                 store.root / "manifests" / f"{grid.fingerprint()}.json"
@@ -409,11 +467,18 @@ class SweepRunner:
         pending = [unit for unit in units if unit[0] not in completed]
         resumed = len(units) - len(pending)
 
+        jobs_effective = self.jobs
+        parallel_fallback = False
+        if self.jobs > 1 and len(pending) < self.parallel_threshold:
+            jobs_effective = 1
+            parallel_fallback = True
+
         if progress:
             progress(
                 f"{self.grid.name}: {len(units)} units "
                 f"({resumed} resumed), {len(self.grid.config_specs())} "
                 f"configs, jobs={self.jobs}"
+                + (" (in-process: small run)" if parallel_fallback else "")
             )
 
         self.warm_luts()
@@ -422,10 +487,11 @@ class SweepRunner:
             self.store.stats.reset()
 
         if pending:
-            if self.jobs == 1:
+            if jobs_effective == 1:
                 outcomes = self._run_serial(pending, completed, progress)
             else:
-                outcomes = self._run_parallel(pending, completed, progress)
+                outcomes = self._run_parallel(pending, completed, progress,
+                                              jobs_effective)
             for unit_stats, unit_simulations in outcomes:
                 if stats is not None and unit_stats is not None:
                     stats.merge(unit_stats)
@@ -441,6 +507,8 @@ class SweepRunner:
             units_run=len(pending),
             units_resumed=resumed,
             simulations=simulations,
+            jobs_effective=jobs_effective,
+            parallel_fallback=parallel_fallback,
             store_stats=stats,
             manifest_path=self.manifest_path,
         )
@@ -454,40 +522,61 @@ class SweepRunner:
                 self.store.gc(max_bytes=self.store_budget_bytes)
         return result
 
+    @staticmethod
+    def _grouped(pending):
+        """Group pending units by design point, preserving canonical
+        order (``units()`` is design-point-major, so groups are runs)."""
+        groups = []
+        for unit_id, point, workload in pending:
+            if groups and groups[-1][0] == point:
+                groups[-1][1].append((unit_id, workload))
+            else:
+                groups.append((point, [(unit_id, workload)]))
+        return groups
+
     def _run_serial(self, pending, completed, progress):
         store_root = str(self.store.root) if self.store is not None else None
-        _worker_init(self.grid.to_dict(), store_root)
+        _worker_init(self.grid.to_dict(), store_root, self.engine)
         outcomes = []
         try:
-            for unit_id, point, workload in pending:
-                rows, unit_stats, unit_simulations = _run_unit(
-                    point, workload
+            for point, group in self._grouped(pending):
+                rows_per_unit, unit_stats, unit_simulations = _run_units(
+                    point, [workload for _, workload in group]
                 )
                 outcomes.append((unit_stats, unit_simulations))
-                self._checkpoint_unit(completed, unit_id, rows)
-                if progress:
-                    progress(f"  done {unit_id}")
+                for (unit_id, _), rows in zip(group, rows_per_unit):
+                    self._checkpoint_unit(completed, unit_id, rows)
+                    if progress:
+                        progress(f"  done {unit_id}")
         finally:
             _worker_teardown()
         return outcomes
 
-    def _run_parallel(self, pending, completed, progress):
+    def _run_parallel(self, pending, completed, progress, jobs):
         store_root = str(self.store.root) if self.store is not None else None
+        # shard each design point's units into ~jobs batches, so every
+        # worker gets one batched ISS pass per (design point, shard)
+        tasks = []
+        for point, group in self._grouped(pending):
+            chunk = max(1, -(-len(group) // jobs))
+            for index in range(0, len(group), chunk):
+                tasks.append((point, group[index:index + chunk]))
         outcomes = []
         with ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(pending)),
+            max_workers=min(jobs, len(tasks)),
             initializer=_worker_init,
-            initargs=(self.grid.to_dict(), store_root),
+            initargs=(self.grid.to_dict(), store_root, self.engine),
         ) as pool:
             futures = [
-                pool.submit(_run_unit_task, unit) for unit in pending
+                pool.submit(_run_units_task, task) for task in tasks
             ]
             for future in as_completed(futures):
-                unit_id, rows, unit_stats, unit_simulations = future.result()
+                unit_rows, unit_stats, unit_simulations = future.result()
                 outcomes.append((unit_stats, unit_simulations))
-                self._checkpoint_unit(completed, unit_id, rows)
-                if progress:
-                    progress(f"  done {unit_id}")
+                for unit_id, rows in unit_rows:
+                    self._checkpoint_unit(completed, unit_id, rows)
+                    if progress:
+                        progress(f"  done {unit_id}")
         return outcomes
 
     def _merge(self, completed):

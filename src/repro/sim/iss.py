@@ -13,7 +13,6 @@ from repro.isa.encoding import decode
 from repro.isa.opcodes import InstructionKind
 from repro.isa.registers import REG_LINK
 from repro.isa.semantics import compute, load_extract
-from repro.sim.memory import Memory
 from repro.sim.state import ArchState
 
 #: ``l.nop`` immediate that terminates simulation.
@@ -41,14 +40,21 @@ class FunctionalSimulator:
     """
 
     def __init__(self, program, memory=None, observer=None):
+        # lazy import: predecode imports this module for SimulationError
+        from repro.sim.predecode import image_for
+
         self.program = program
-        self.memory = memory if memory is not None else Memory("dmem")
-        if memory is None:
-            program.load_into(self.memory)
+        self._image = image_for(program)
+        if memory is not None:
+            self.memory = memory
+        else:
+            # the image's pristine memory snapshot replaces a per-word
+            # (per-byte, really) Python store loop on every construction
+            self.memory = self._image.memory_proto.copy()
         self.state = ArchState(entry=program.entry)
         self.halted = False
         self.retired = []            # (pc, Instruction) in retirement order
-        self._decode_cache = {}
+        self._decode_cache = {}      # memory-resident (non-text) words only
         self._pending_target = None  # branch target to apply after the slot
         self._in_delay_slot = False
         #: Optional ``observer(pc, instruction, a, b, result)`` called once
@@ -63,19 +69,24 @@ class FunctionalSimulator:
     def fetch(self, address):
         if address % 4:
             raise SimulationError(f"misaligned fetch at {address:#010x}")
+        instruction = self._image.instruction_at(address)
+        if instruction is not None:
+            return instruction
+        # text added to the program after the image was built still wins
+        # over memory content, exactly as before the shared image
+        instruction = self.program.instructions.get(address)
+        if instruction is not None:
+            return instruction
         cached = self._decode_cache.get(address)
         if cached is not None:
             return cached
-        if address in self.program.instructions:
-            instruction = self.program.instructions[address]
-        else:
-            word = self.memory.load_word(address)
-            try:
-                instruction = decode(word)
-            except Exception as err:
-                raise SimulationError(
-                    f"cannot decode word {word:#010x} at {address:#010x}: {err}"
-                ) from err
+        word = self.memory.load_word(address)
+        try:
+            instruction = decode(word)
+        except Exception as err:
+            raise SimulationError(
+                f"cannot decode word {word:#010x} at {address:#010x}: {err}"
+            ) from err
         self._decode_cache[address] = instruction
         return instruction
 

@@ -1,0 +1,595 @@
+"""Cross-program lockstep execution over pre-decoded images.
+
+The dispatch-table loop in :func:`repro.sim.predecode.collect` executes one
+program at a time; its per-step cost is a handful of Python bytecodes.  For
+fuzzing-scale batches (hundreds to thousands of random programs) even that
+is the dominant cost, and the work is embarrassingly data-parallel: every
+lane runs the same architectural step function over its own state.
+
+This module executes **many programs simultaneously** as NumPy arrays:
+
+- register files are one ``(n_lanes, 32)`` ``int64`` matrix;
+- per architectural step, each active lane fetches from a concatenated
+  slot table (its image's struct-of-arrays columns shifted by a per-lane
+  base) and the batch executes grouped by dispatch id — one masked array
+  operation per op present in the step, across the whole batch;
+- halted lanes fall out of the active set; lanes that hit any condition
+  the fast path cannot represent (fetch outside the decoded text,
+  misaligned access, control in a delay slot, uncovered mnemonic, budget
+  overrun) are *evicted* and re-run through the per-program engines,
+  which own every rare path — bit-identity by construction;
+- loads and stores are rare and run scalar per lane against each lane's
+  own :class:`~repro.sim.memory.Memory`.
+
+The collected per-lane columns are exactly the
+:class:`~repro.sim.predecode.IssData` that ``vector._reconstruct``
+consumes, so lockstep batches feed the same compiled-trace construction
+(:func:`repro.dta.compiled.compile_vector_run`) as every other engine,
+and the differential harness checks the whole stack for bit-identity.
+
+Lockstep wins when lanes are plentiful and similar in length; a lone
+program (or a suite of 18) amortises nothing and stays on the scalar
+dispatch loop.  See ARCHITECTURE.md for the selection rules.
+"""
+
+import time
+
+import numpy as np
+
+from repro.isa.registers import REG_LINK
+from repro.sim import predecode
+from repro.sim.pipeline import DEFAULT_DIV_LATENCY, DEFAULT_MAX_CYCLES
+from repro.sim.predecode import (
+    OP_ADD,
+    OP_ADDC,
+    OP_ADDI,
+    OP_AND,
+    OP_ANDI,
+    OP_BF,
+    OP_BNF,
+    OP_CMOV,
+    OP_DIV,
+    OP_DIVU,
+    OP_EXTBS,
+    OP_EXTBZ,
+    OP_EXTHS,
+    OP_EXTHZ,
+    OP_FF1,
+    OP_HALT,
+    OP_J,
+    OP_JAL,
+    OP_JALR,
+    OP_JR,
+    OP_LBS,
+    OP_LBZ,
+    OP_LHS,
+    OP_LHZ,
+    OP_LWZ,
+    OP_MOVHI,
+    OP_MUL,
+    OP_MULI,
+    OP_NOP,
+    OP_OR,
+    OP_ORI,
+    OP_ROR,
+    OP_RORI,
+    OP_SB,
+    OP_SF,
+    OP_SFI,
+    OP_SH,
+    OP_SLL,
+    OP_SLLI,
+    OP_SRA,
+    OP_SRAI,
+    OP_SRL,
+    OP_SRLI,
+    OP_SUB,
+    OP_SW,
+    OP_XOR,
+    OP_XORI,
+    image_for,
+)
+
+_MASK = np.int64(0xFFFFFFFF)
+_SIGN = np.int64(0x80000000)
+_TWO32 = np.int64(0x100000000)
+
+_LOAD_STORE_OPS = frozenset(
+    (OP_LWZ, OP_LBZ, OP_LBS, OP_LHZ, OP_LHS, OP_SW, OP_SB, OP_SH)
+)
+
+_stats = {
+    "batches": 0,
+    "lanes": 0,
+    "lane_deferrals": 0,
+    "lane_cache_hits": 0,
+    "steps": 0,
+    "lockstep_seconds": 0.0,
+}
+
+
+def stats():
+    """Copy of the batch counters (reset with :func:`reset_stats`)."""
+    return dict(_stats)
+
+
+def reset_stats():
+    for key in _stats:
+        _stats[key] = 0.0 if key.endswith("seconds") else 0
+
+
+def _signed(values):
+    """Two's-complement view of 32-bit values held in int64."""
+    return np.where(values & _SIGN != 0, values - _TWO32, values)
+
+
+def collect_batch(programs, max_cycles=DEFAULT_MAX_CYCLES):
+    """Architectural ISS pass over a batch of programs, in lockstep.
+
+    Returns one :class:`~repro.sim.predecode.IssData` per program, or
+    ``None`` for lanes that need the per-program path (the caller re-runs
+    them through :func:`repro.sim.vector.simulate`, which reproduces any
+    error the object ISS would raise).  Results are memoised on the
+    shared decode images exactly like :func:`predecode.collect`, so mixed
+    lockstep/scalar workflows never re-execute a program.
+    """
+    programs = list(programs)
+    n = len(programs)
+    results = [None] * n
+    images = [image_for(program) for program in programs]
+    _stats["batches"] += 1
+    _stats["lanes"] += n
+
+    # lanes served from the image cache, pre-deferred lanes, and lanes
+    # whose image already runs in this batch (duplicate programs)
+    lanes = []
+    lane_owner = {}               # id(image) -> batch position
+    duplicates = []               # (program index, owning batch position)
+    for i, (program, image) in enumerate(zip(programs, images)):
+        if not image.fast_ok:
+            _stats["lane_deferrals"] += 1
+            continue
+        cached = image.iss_results.get(max_cycles)
+        if cached is not None:
+            _stats["lane_cache_hits"] += 1
+            if cached is predecode._DEFERRED:
+                _stats["lane_deferrals"] += 1
+                continue
+            results[i] = predecode._clone_data(cached, program)
+            continue
+        owner = lane_owner.get(id(image))
+        if owner is not None:
+            duplicates.append((i, owner))
+            continue
+        lane_owner[id(image)] = len(lanes)
+        lanes.append(i)
+
+    if lanes:
+        start = time.perf_counter()
+        _run_lanes(programs, images, lanes, max_cycles, results)
+        _stats["lockstep_seconds"] += time.perf_counter() - start
+
+    for i, owner in duplicates:
+        image = images[i]
+        cached = image.iss_results.get(max_cycles)
+        if cached is None or cached is predecode._DEFERRED:
+            _stats["lane_deferrals"] += 1
+            continue
+        results[i] = predecode._clone_data(cached, programs[i])
+    return results
+
+
+def _run_lanes(programs, images, lanes, max_cycles, results):
+    """Execute the selected lanes in lockstep; fills ``results`` and the
+    per-image result caches (deferred lanes cache the deferral marker)."""
+    k = len(lanes)
+    imgs = [images[i] for i in lanes]
+
+    # concatenated per-lane tables: lookup (pc>>2 -> local slot) and the
+    # struct-of-arrays slot columns, with per-lane base offsets
+    lookups, col_parts = [], {}
+    names = ("op", "rd", "ra", "rb", "aux", "aux2", "bmask",
+             "b_is_reg", "is_ctrl")
+    for name in names:
+        col_parts[name] = []
+    nwords = np.empty(k, dtype=np.int64)
+    lookup_base = np.empty(k, dtype=np.int64)
+    slot_base = np.empty(k, dtype=np.int64)
+    lpos, spos = 0, 0
+    for j, image in enumerate(imgs):
+        cols = image.lockstep_columns()
+        lookups.append(cols["lookup"])
+        nwords[j] = len(cols["lookup"])
+        lookup_base[j] = lpos
+        slot_base[j] = spos
+        lpos += len(cols["lookup"])
+        spos += len(cols["op"])
+        for name in names:
+            col_parts[name].append(cols[name])
+    lookup_concat = np.concatenate(lookups)
+    opc = np.concatenate(col_parts["op"])
+    rdc = np.concatenate(col_parts["rd"])
+    rac = np.concatenate(col_parts["ra"])
+    rbc = np.concatenate(col_parts["rb"])
+    auxc = np.concatenate(col_parts["aux"])
+    aux2c = np.concatenate(col_parts["aux2"])
+    bmaskc = np.concatenate(col_parts["bmask"])
+    bregc = np.concatenate(col_parts["b_is_reg"])
+    ctrlc = np.concatenate(col_parts["is_ctrl"])
+
+    # lane state (indexed by batch position j)
+    regs = np.zeros((k, 32), dtype=np.int64)
+    flag = np.zeros(k, dtype=bool)
+    carry = np.zeros(k, dtype=bool)
+    pc = np.array([programs[i].entry for i in lanes], dtype=np.int64)
+    pending = np.zeros(k, dtype=np.int64)
+    in_ds = np.zeros(k, dtype=bool)
+    alive = np.ones(k, dtype=bool)
+    finished = np.zeros(k, dtype=bool)
+    retired_count = np.zeros(k, dtype=np.int64)
+    memories = [image.memory_proto.copy() for image in imgs]
+    store_words = [set() for _ in range(k)]
+
+    # time-major recording; re-sorted per lane at packaging
+    rec_lane, rec_slot, rec_a, rec_b = [], [], [], []
+    ctrl_lane, ctrl_idx, ctrl_tgt = [], [], []
+
+    def evict(batch_positions):
+        alive[batch_positions] = False
+
+    steps = 0
+    while True:
+        act = np.nonzero(alive)[0]
+        if not len(act):
+            break
+        if steps >= max_cycles:
+            evict(act)            # budget: the object ISS raises for these
+            break
+
+        # -- fetch: pc -> local slot index, with every deferral condition
+        lpc = pc[act]
+        word = lpc >> 2
+        ok = ((lpc & 3) == 0) & (word < nwords[act]) & (word >= 0)
+        if not ok.all():
+            evict(act[~ok])
+            act, lpc, word = act[ok], lpc[ok], word[ok]
+            if not len(act):
+                continue
+        slot = lookup_concat[lookup_base[act] + word]
+        ok = slot >= 0
+        if not ok.all():
+            evict(act[~ok])
+            act, lpc, slot = act[ok], lpc[ok], slot[ok]
+            if not len(act):
+                continue
+        gs = slot_base[act] + slot
+        op = opc[gs]
+        ctrl = ctrlc[gs]
+        ok = (op >= 0) & ~(in_ds[act] & ctrl)
+        if not ok.all():
+            evict(act[~ok])
+            act, lpc, slot = act[ok], lpc[ok], slot[ok]
+            gs, op, ctrl = gs[ok], op[ok], ctrl[ok]
+            if not len(act):
+                continue
+
+        # -- operand read and retirement record
+        aux = auxc[gs]
+        aux2 = aux2c[gs]
+        rd = rdc[gs]
+        a = regs[act, rac[gs]]
+        b = np.where(bregc[gs], regs[act, rbc[gs]], bmaskc[gs])
+        rec_lane.append(act)
+        rec_slot.append(slot)
+        rec_a.append(a)
+        rec_b.append(b)
+        retired_count[act] += 1
+        steps += 1
+        _stats["steps"] += len(act)
+
+        # -- execute, grouped by dispatch id
+        m = len(act)
+        taken = np.zeros(m, dtype=bool)
+        target = np.zeros(m, dtype=np.int64)
+        dropped = np.zeros(m, dtype=bool)
+        halted_now = op == OP_HALT
+
+        for code in np.unique(op).tolist():
+            sel = np.nonzero(op == code)[0]
+            la, lb = a[sel], b[sel]
+            val = None
+            if code == OP_ADDI or code == OP_ADD:
+                rhs = aux[sel] if code == OP_ADDI else lb
+                total = la + rhs
+                carry[act[sel]] = total > _MASK
+                val = total & _MASK
+            elif code == OP_ADDC:
+                total = la + lb + carry[act[sel]]
+                carry[act[sel]] = total > _MASK
+                val = total & _MASK
+            elif code == OP_SUB:
+                total = la - lb
+                carry[act[sel]] = total < 0
+                val = total & _MASK
+            elif code == OP_SF or code == OP_SFI:
+                sf_aux = aux[sel]
+                signed = (sf_aux & 8) != 0
+                lhs = np.where(signed, _signed(la), la)
+                if code == OP_SF:
+                    rhs = np.where(signed, _signed(lb), lb)
+                else:
+                    rhs = aux2[sel]       # pre-converted at decode
+                cond = sf_aux & 7
+                flag[act[sel]] = np.select(
+                    [cond == 0, cond == 1, cond == 2, cond == 3, cond == 4],
+                    [lhs == rhs, lhs != rhs, lhs > rhs, lhs >= rhs,
+                     lhs < rhs],
+                    default=lhs <= rhs,
+                )
+            elif code == OP_BF or code == OP_BNF:
+                branch_flag = flag[act[sel]]
+                hit = branch_flag if code == OP_BF else ~branch_flag
+                taken[sel] = hit
+                target[sel] = aux[sel]
+                ctrl_lane.append(act[sel])
+                ctrl_idx.append(retired_count[act[sel]] - 1)
+                ctrl_tgt.append(np.where(hit, aux[sel], -1))
+            elif code == OP_J or code == OP_JAL:
+                taken[sel] = True
+                target[sel] = aux[sel]
+                ctrl_lane.append(act[sel])
+                ctrl_idx.append(retired_count[act[sel]] - 1)
+                ctrl_tgt.append(aux[sel])
+                if code == OP_JAL:
+                    regs[act[sel], REG_LINK] = aux2[sel]
+            elif code == OP_JR or code == OP_JALR:
+                aligned = (lb & 3) == 0
+                if not aligned.all():
+                    bad = sel[~aligned]
+                    evict(act[bad])
+                    dropped[bad] = True
+                    sel, lb = sel[aligned], lb[aligned]
+                    if not len(sel):
+                        continue
+                taken[sel] = True
+                target[sel] = lb
+                ctrl_lane.append(act[sel])
+                ctrl_idx.append(retired_count[act[sel]] - 1)
+                ctrl_tgt.append(lb)
+                if code == OP_JALR:
+                    regs[act[sel], REG_LINK] = aux2c[gs[sel]]
+            elif code == OP_ANDI:
+                val = la & aux[sel]
+            elif code == OP_AND:
+                val = la & lb
+            elif code == OP_ORI:
+                val = la | aux[sel]
+            elif code == OP_OR:
+                val = la | lb
+            elif code == OP_XORI:
+                val = la ^ aux[sel]
+            elif code == OP_XOR:
+                val = la ^ lb
+            elif code == OP_CMOV:
+                val = np.where(flag[act[sel]], la, lb)
+            elif code == OP_SLLI or code == OP_SLL:
+                amount = aux[sel] if code == OP_SLLI else lb & 0x1F
+                val = (
+                    (la.astype(np.uint64) << amount.astype(np.uint64))
+                    & np.uint64(0xFFFFFFFF)
+                ).astype(np.int64)
+            elif code == OP_SRLI or code == OP_SRL:
+                amount = aux[sel] if code == OP_SRLI else lb & 0x1F
+                val = la >> amount
+            elif code == OP_SRAI or code == OP_SRA:
+                amount = aux[sel] if code == OP_SRAI else lb & 0x1F
+                val = (_signed(la) >> amount) & _MASK
+            elif code == OP_RORI or code == OP_ROR:
+                amount = (
+                    aux[sel] if code == OP_RORI else lb & 0x1F
+                ).astype(np.uint64)
+                ua = la.astype(np.uint64)
+                val = (
+                    ((ua >> amount) | (ua << (np.uint64(32) - amount)))
+                    & np.uint64(0xFFFFFFFF)
+                ).astype(np.int64)
+            elif code == OP_MULI or code == OP_MUL:
+                rhs = aux[sel] if code == OP_MULI else lb
+                val = (
+                    (la.astype(np.uint64) * rhs.astype(np.uint64))
+                    & np.uint64(0xFFFFFFFF)
+                ).astype(np.int64)
+            elif code == OP_DIV:
+                lhs, rhs = _signed(la), _signed(lb)
+                safe = np.where(rhs == 0, 1, rhs)
+                quotient = np.abs(lhs) // np.abs(safe)
+                quotient = np.where(
+                    (lhs < 0) != (safe < 0), -quotient, quotient
+                )
+                val = np.where(lb == 0, _MASK, quotient & _MASK)
+            elif code == OP_DIVU:
+                safe = np.where(lb == 0, 1, lb)
+                val = np.where(lb == 0, _MASK, la // safe)
+            elif code == OP_MOVHI:
+                val = aux[sel]
+            elif code == OP_EXTHS:
+                half = la & 0xFFFF
+                val = np.where(
+                    half & 0x8000, (half - 0x10000) & _MASK, half
+                )
+            elif code == OP_EXTBS:
+                byte = la & 0xFF
+                val = np.where(byte & 0x80, (byte - 0x100) & _MASK, byte)
+            elif code == OP_EXTHZ:
+                val = la & 0xFFFF
+            elif code == OP_EXTBZ:
+                val = la & 0xFF
+            elif code == OP_FF1:
+                lowbit = la & -la
+                val = np.where(
+                    la == 0,
+                    0,
+                    np.log2(np.maximum(lowbit, 1).astype(np.float64))
+                    .astype(np.int64) + 1,
+                )
+            elif code in _LOAD_STORE_OPS:
+                # rare; scalar per lane against each lane's own memory
+                for pos in sel.tolist():
+                    j = int(act[pos])
+                    address = (int(a[pos]) + int(aux[pos])) & 0xFFFFFFFF
+                    memory = memories[j]
+                    words = store_words[j]
+                    dest = int(rd[pos])
+                    if code == OP_LWZ:
+                        if address & 3:
+                            evict([j]); dropped[pos] = True; continue
+                        if dest:
+                            regs[j, dest] = memory.load(address, 4)
+                    elif code == OP_LBZ:
+                        if dest:
+                            regs[j, dest] = memory.load(address, 1)
+                    elif code == OP_LBS:
+                        byte = memory.load(address, 1)
+                        if dest:
+                            regs[j, dest] = (
+                                byte - 0x100 if byte & 0x80 else byte
+                            ) & 0xFFFFFFFF
+                    elif code == OP_LHZ:
+                        if address & 1:
+                            evict([j]); dropped[pos] = True; continue
+                        if dest:
+                            regs[j, dest] = memory.load(address, 2)
+                    elif code == OP_LHS:
+                        if address & 1:
+                            evict([j]); dropped[pos] = True; continue
+                        half = memory.load(address, 2)
+                        if dest:
+                            regs[j, dest] = (
+                                half - 0x10000 if half & 0x8000 else half
+                            ) & 0xFFFFFFFF
+                    elif code == OP_SW:
+                        if address & 3:
+                            evict([j]); dropped[pos] = True; continue
+                        memory.store(address, int(b[pos]), 4)
+                        words.add(address)
+                    elif code == OP_SB:
+                        memory.store(address, int(b[pos]) & 0xFF, 1)
+                        words.add(address & ~3)
+                    else:                 # OP_SH
+                        if address & 1:
+                            evict([j]); dropped[pos] = True; continue
+                        memory.store(address, int(b[pos]) & 0xFFFF, 2)
+                        words.add(address & ~3)
+            # OP_NOP and OP_HALT execute nothing
+
+            if val is not None:
+                writes = sel[np.asarray(rd[sel] != 0)]
+                if len(writes):
+                    regs[act[writes], rd[writes]] = val[
+                        np.nonzero(rd[sel] != 0)[0]
+                    ]
+
+        # -- program-counter update with delay-slot semantics.  Halt lanes
+        # keep their pc (matching the scalar engines); dropped lanes are
+        # already evicted and their state is discarded.
+        live = ~halted_now & ~dropped
+        if halted_now.any():
+            done = act[halted_now & ~dropped]
+            finished[done] = True
+            alive[done] = False
+        if live.any():
+            upd = np.nonzero(live)[0]
+            lanes_upd = act[upd]
+            seq = lpc[upd] + 4
+            follow = np.where(in_ds[lanes_upd], pending[lanes_upd], seq)
+            pc[lanes_upd] = np.where(ctrl[upd], seq, follow)
+            in_ds[lanes_upd] = ctrl[upd] & taken[upd]
+            took = upd[taken[upd]]
+            pending[act[took]] = target[took]
+
+    # -- package each finished lane into IssData (time-major records are
+    # re-sorted per lane; the stable sort preserves step order)
+    if rec_lane:
+        all_lane = np.concatenate(rec_lane)
+        all_slot = np.concatenate(rec_slot)
+        all_a = np.concatenate(rec_a)
+        all_b = np.concatenate(rec_b)
+        order = np.argsort(all_lane, kind="stable")
+        all_lane = all_lane[order]
+        all_slot = all_slot[order]
+        all_a = all_a[order]
+        all_b = all_b[order]
+        lane_starts = np.searchsorted(all_lane, np.arange(k))
+        lane_ends = np.searchsorted(all_lane, np.arange(k), side="right")
+    if ctrl_lane:
+        call_lane = np.concatenate(ctrl_lane)
+        call_idx = np.concatenate(ctrl_idx)
+        call_tgt = np.concatenate(ctrl_tgt)
+        corder = np.argsort(call_lane, kind="stable")
+        call_lane = call_lane[corder]
+        call_idx = call_idx[corder]
+        call_tgt = call_tgt[corder]
+        ctrl_starts = np.searchsorted(call_lane, np.arange(k))
+        ctrl_ends = np.searchsorted(call_lane, np.arange(k), side="right")
+
+    for j, i in enumerate(lanes):
+        image = imgs[j]
+        if not finished[j]:
+            _stats["lane_deferrals"] += 1
+            image.iss_results[max_cycles] = predecode._DEFERRED
+            continue
+        lo, hi = int(lane_starts[j]), int(lane_ends[j])
+        if ctrl_lane:
+            clo, chi = int(ctrl_starts[j]), int(ctrl_ends[j])
+            ctrl_rows = np.stack(
+                [call_idx[clo:chi], call_tgt[clo:chi]], axis=1
+            )
+        else:
+            ctrl_rows = np.empty((0, 2), dtype=np.int64)
+        data = predecode._package(
+            image,
+            programs[i],
+            memories[j],
+            [int(value) for value in regs[j]],
+            bool(flag[j]),
+            bool(carry[j]),
+            int(pc[j]),
+            all_slot[lo:hi],
+            all_a[lo:hi],
+            all_b[lo:hi],
+            ctrl_rows,
+            store_words[j],
+        )
+        image.iss_results[max_cycles] = data
+        results[i] = predecode._clone_data(data, programs[i])
+
+
+def simulate_batch(programs, div_latency=DEFAULT_DIV_LATENCY,
+                   max_cycles=DEFAULT_MAX_CYCLES):
+    """Batched pipeline simulation: lockstep ISS + per-lane reconstruction.
+
+    Returns one :class:`~repro.sim.vector.VectorPipelineRun` per program,
+    or ``None`` for programs that need the scalar engine — the same
+    contract as :func:`repro.sim.vector.simulate`, applied element-wise.
+    Deferred lanes re-run through ``vector.simulate`` (which owns every
+    rare path and raises exactly where the scalar engines would).
+    """
+    from repro.sim import vector
+
+    batch = collect_batch(programs, max_cycles=max_cycles)
+    runs = []
+    for program, data in zip(programs, batch):
+        if data is None:
+            runs.append(
+                vector.simulate(
+                    program, div_latency=div_latency, max_cycles=max_cycles
+                )
+            )
+        else:
+            runs.append(
+                vector.reconstruct(
+                    program, data, div_latency=div_latency,
+                    max_cycles=max_cycles,
+                )
+            )
+    return runs

@@ -1,0 +1,862 @@
+"""Pre-decoded program images and a dispatch-table ISS fast path.
+
+The object-layer :class:`~repro.sim.iss.FunctionalSimulator` pays for every
+retired instruction: a ``spec_for`` dict lookup per ``Instruction`` property,
+a :func:`~repro.isa.semantics.compute` call with its mnemonic string
+comparisons, and a ``ComputeResult`` allocation.  Profiling a cold sweep puts
+that object layer at ~65 % of ``vector.simulate``.
+
+This module removes it from the hot path:
+
+- :class:`DecodedImage` decodes a program **once** into a dense
+  struct-of-arrays image: per text word a dispatch id, register indices,
+  pre-substituted immediates (``l.andi`` masks, ``l.xori`` sign-extension,
+  shift amounts) and — because the fetch address is known at decode time —
+  precomputed branch targets and link values.  Metadata needed by the
+  vectorized pipeline reconstruction (timing-class id, kind code, hazard
+  ports) is stored as NumPy columns, gathered per run by fancy indexing.
+  Images live in a per-program-content LRU shared by every simulator
+  instance, replacing the per-instance decode caches.
+
+- :func:`collect` is a dispatch-table step loop over the image: plain int
+  compares on the dispatch id, list-indexed register file, no ``isa``
+  object attribute ever touched.  It produces the exact
+  :class:`IssData` that ``vector._reconstruct`` consumes.  Any condition
+  the object ISS would turn into an error or that the image cannot
+  represent (fetch outside the decoded text, misaligned access, control in
+  a delay slot, budget overrun) makes :func:`collect` return ``None`` and
+  the caller re-runs the object-layer ISS, which owns all rare paths —
+  bit-identity by construction.
+
+The same image feeds :mod:`repro.sim.lockstep`, which executes many
+programs' images as batched NumPy arrays.
+"""
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.isa.opcodes import SPECS, InstructionKind, KIND_CODE
+from repro.isa.registers import REG_LINK
+from repro.sim.memory import Memory
+from repro.sim.state import ArchState
+from repro.utils.bitops import sign_extend, to_signed32
+
+_MASK = 0xFFFFFFFF
+_HALT_NOP_CODE = 0x1          # matches repro.sim.iss.HALT_NOP_CODE
+
+#: Largest text word index served by the dense address -> slot table.
+_MAX_DENSE_WORDS = 1 << 20
+
+# -- dispatch ids -------------------------------------------------------------
+# Grouped so the step loop can order its chain by dynamic frequency; the ids
+# themselves carry no meaning beyond identity.
+OP_ADDI = 0
+OP_ADD = 1
+OP_ADDC = 2
+OP_SUB = 3
+OP_ANDI = 4
+OP_AND = 5
+OP_ORI = 6
+OP_OR = 7
+OP_XORI = 8
+OP_XOR = 9
+OP_CMOV = 10
+OP_SLLI = 11
+OP_SLL = 12
+OP_SRLI = 13
+OP_SRL = 14
+OP_SRAI = 15
+OP_SRA = 16
+OP_RORI = 17
+OP_ROR = 18
+OP_MULI = 19
+OP_MUL = 20                   # l.mul and l.mulu: identical low-32 product
+OP_DIV = 21
+OP_DIVU = 22
+OP_MOVHI = 23
+OP_EXTHS = 24
+OP_EXTBS = 25
+OP_EXTHZ = 26
+OP_EXTBZ = 27
+OP_FF1 = 28
+OP_SF = 29                    # register compare; aux = cond | signed << 3
+OP_SFI = 30                   # immediate compare; aux2 = converted rhs
+OP_LWZ = 31
+OP_LBZ = 32
+OP_LBS = 33
+OP_LHZ = 34
+OP_LHS = 35
+OP_SW = 36
+OP_SB = 37
+OP_SH = 38
+OP_J = 39
+OP_JAL = 40
+OP_JR = 41
+OP_JALR = 42
+OP_BF = 43
+OP_BNF = 44
+OP_NOP = 45
+OP_HALT = 46
+
+_SF_CONDS = {"eq": 0, "ne": 1, "gt": 2, "ge": 3, "lt": 4, "le": 5}
+
+_ALU_OPS = {
+    "l.add": OP_ADD, "l.addc": OP_ADDC, "l.sub": OP_SUB, "l.and": OP_AND,
+    "l.or": OP_OR, "l.xor": OP_XOR, "l.cmov": OP_CMOV,
+}
+_SHIFT_OPS = {
+    "l.sll": OP_SLL, "l.slli": OP_SLLI, "l.srl": OP_SRL, "l.srli": OP_SRLI,
+    "l.sra": OP_SRA, "l.srai": OP_SRAI, "l.ror": OP_ROR, "l.rori": OP_RORI,
+}
+_MOVE_OPS = {
+    "l.exths": OP_EXTHS, "l.extbs": OP_EXTBS, "l.exthz": OP_EXTHZ,
+    "l.extbz": OP_EXTBZ, "l.ff1": OP_FF1,
+}
+_LOAD_OPS = {
+    "l.lwz": OP_LWZ, "l.lbz": OP_LBZ, "l.lbs": OP_LBS,
+    "l.lhz": OP_LHZ, "l.lhs": OP_LHS,
+}
+_STORE_OPS = {"l.sw": OP_SW, "l.sb": OP_SB, "l.sh": OP_SH}
+
+
+def _encode_slot(pc, instruction, spec):
+    """Canonical micro-op ``(op, rd, ra, rb, aux, aux2, bmask, is_ctrl)``.
+
+    ``aux``/``aux2`` hold pre-substituted operands (effective immediates,
+    branch targets, link values).  ``bmask`` is the static EX-datapath ``b``
+    operand (``imm & 0xFFFFFFFF``) for immediate forms and ``None`` when the
+    operand comes from ``rB`` at run time.  Returns ``None`` for mnemonics
+    the table does not cover (their fetches defer to the object ISS).
+    """
+    mnemonic = instruction.mnemonic
+    kind = spec.kind
+    rd, ra, rb, imm = instruction.rd, instruction.ra, instruction.rb, \
+        instruction.imm
+    aux = 0
+    aux2 = 0
+    if kind == InstructionKind.NOP:
+        op = OP_HALT if imm == _HALT_NOP_CODE else OP_NOP
+    elif kind == InstructionKind.ALU:
+        if mnemonic == "l.addi":
+            op, aux = OP_ADDI, imm & _MASK
+        elif mnemonic == "l.andi":
+            op, aux = OP_ANDI, imm & 0xFFFF
+        elif mnemonic == "l.ori":
+            op, aux = OP_ORI, imm & 0xFFFF
+        elif mnemonic == "l.xori":
+            op, aux = OP_XORI, sign_extend(imm, 16) & _MASK
+        else:
+            op = _ALU_OPS.get(mnemonic)
+            if op is None:
+                return None
+    elif kind == InstructionKind.SHIFT:
+        op = _SHIFT_OPS.get(mnemonic)
+        if op is None:
+            return None
+        if mnemonic.endswith("i"):
+            aux = imm & 0x1F
+    elif kind == InstructionKind.MUL:
+        if mnemonic == "l.muli":
+            op, aux = OP_MULI, imm & _MASK
+        else:
+            op = OP_MUL
+    elif kind == InstructionKind.DIV:
+        op = OP_DIV if mnemonic == "l.div" else OP_DIVU
+    elif kind == InstructionKind.MOVE:
+        if mnemonic == "l.movhi":
+            op, aux = OP_MOVHI, ((imm & 0xFFFF) << 16) & _MASK
+        else:
+            op = _MOVE_OPS.get(mnemonic)
+            if op is None:
+                return None
+    elif kind == InstructionKind.SETFLAG:
+        base = mnemonic.replace("l.sf", "")
+        immediate = spec.fmt.name == "SETFLAG_IMM"
+        if immediate and base.endswith("i"):
+            base = base[:-1]
+        signed = base.endswith("s") or base in ("eq", "ne")
+        cond = _SF_CONDS.get(base if base in ("eq", "ne") else base[:-1])
+        if cond is None:
+            return None
+        aux = cond | (8 if signed else 0)
+        if immediate:
+            op = OP_SFI
+            aux2 = to_signed32(imm) if signed else imm & _MASK
+        else:
+            op = OP_SF
+    elif kind == InstructionKind.LOAD:
+        op = _LOAD_OPS.get(mnemonic)
+        if op is None:
+            return None
+        aux = imm
+    elif kind == InstructionKind.STORE:
+        op = _STORE_OPS.get(mnemonic)
+        if op is None:
+            return None
+        aux = imm
+    elif kind == InstructionKind.JUMP:
+        op = OP_JAL if mnemonic == "l.jal" else OP_J
+        aux = (pc + (imm << 2)) & _MASK
+        aux2 = (pc + 8) & _MASK
+    elif kind == InstructionKind.JUMP_REG:
+        op = OP_JALR if mnemonic == "l.jalr" else OP_JR
+        aux2 = (pc + 8) & _MASK
+    elif kind == InstructionKind.BRANCH:
+        op = OP_BF if mnemonic == "l.bf" else OP_BNF
+        aux = (pc + (imm << 2)) & _MASK
+    else:
+        return None
+    bmask = None if spec.reads_rb else imm & _MASK
+    return (op, rd, ra, rb, aux, aux2, bmask, spec.is_control)
+
+
+class DecodedImage:
+    """Struct-of-arrays decode of one program's text section.
+
+    ``slots`` holds one micro-op tuple per text word (``None`` when the
+    mnemonic is outside the dispatch table); ``lookup`` maps ``pc >> 2`` to
+    the slot index (``-1`` for data words).  The NumPy metadata columns are
+    indexed by slot and gathered per run; timing classes are interned in
+    decode (address) order — consumers that need a canonical order re-intern
+    (``compile_vector_run`` does so in first-encounter row-major order).
+    """
+
+    __slots__ = (
+        "addrs", "instrs", "slots", "lookup", "sparse", "fast_ok",
+        "class_names", "np_pc", "np_cls", "np_kind", "np_dest", "np_src",
+        "memory_proto", "_lockstep_cols", "iss_results", "crit_cache",
+    )
+
+    def __init__(self, program):
+        addrs = sorted(program.instructions)
+        self.addrs = addrs
+        self.instrs = [program.instructions[address] for address in addrs]
+        count = len(addrs)
+        class_names = []
+        intern = {}
+        slots = []
+        np_cls = np.full(count, -1, dtype=np.int64)
+        np_kind = np.full(count, -1, dtype=np.int64)
+        np_dest = np.full(count, -1, dtype=np.int64)
+        np_src = np.zeros(count, dtype=np.int64)
+        for index, (address, instruction) in enumerate(
+            zip(addrs, self.instrs)
+        ):
+            spec = SPECS.get(instruction.mnemonic)
+            if spec is None:
+                slots.append(None)
+                continue
+            cls = spec.timing_class
+            cls_id = intern.get(cls)
+            if cls_id is None:
+                cls_id = intern[cls] = len(class_names)
+                class_names.append(cls)
+            np_cls[index] = cls_id
+            np_kind[index] = KIND_CODE[spec.kind]
+            if spec.writes_rd:
+                np_dest[index] = instruction.rd
+            source_mask = 0
+            if spec.reads_ra:
+                source_mask |= 1 << instruction.ra
+            if spec.reads_rb:
+                source_mask |= 1 << instruction.rb
+            np_src[index] = source_mask
+            slots.append(_encode_slot(address, instruction, spec))
+        self.slots = slots
+        self.class_names = class_names
+        self.np_pc = np.array(addrs, dtype=np.int64)
+        self.np_cls = np_cls
+        self.np_kind = np_kind
+        self.np_dest = np_dest
+        self.np_src = np_src
+        if count and 0 <= addrs[0] and (addrs[-1] >> 2) < _MAX_DENSE_WORDS:
+            lookup = [-1] * ((addrs[-1] >> 2) + 1)
+            for index, address in enumerate(addrs):
+                lookup[address >> 2] = index
+            self.lookup = lookup
+            self.sparse = None
+            self.fast_ok = True
+        else:
+            self.lookup = None
+            self.sparse = dict(zip(addrs, range(count)))
+            self.fast_ok = False
+        self.memory_proto = Memory("dmem")
+        program.load_into(self.memory_proto)
+        self._lockstep_cols = None
+        self.iss_results = {}     # max_cycles -> IssData | _DEFERRED
+        self.crit_cache = {}      # EX criticality arrays (dta.compiled)
+
+    def instruction_at(self, address):
+        """Text instruction at ``address``, or ``None`` for non-text words."""
+        lookup = self.lookup
+        if lookup is not None:
+            word = address >> 2
+            if 0 <= word < len(lookup):
+                index = lookup[word]
+                if index >= 0:
+                    return self.instrs[index]
+            return None
+        index = self.sparse.get(address, -1)
+        return self.instrs[index] if index >= 0 else None
+
+    def lockstep_columns(self):
+        """Per-slot NumPy columns for the batched lockstep engine."""
+        if self._lockstep_cols is None:
+            none_slot = (-1, 0, 0, 0, 0, 0, 0, False)
+            rows = [none_slot if slot is None else slot
+                    for slot in self.slots]
+            if rows:
+                op, rd, ra, rb, aux, aux2, bmask, is_ctrl = zip(*rows)
+            else:
+                op = rd = ra = rb = aux = aux2 = bmask = is_ctrl = ()
+            cols = {
+                "op": np.array(op, dtype=np.int64),
+                "rd": np.array(rd, dtype=np.int64),
+                "ra": np.array(ra, dtype=np.int64),
+                "rb": np.array(rb, dtype=np.int64),
+                "aux": np.array(aux, dtype=np.int64),
+                "aux2": np.array(aux2, dtype=np.int64),
+                "bmask": np.array(
+                    [0 if value is None else value for value in bmask],
+                    dtype=np.int64,
+                ),
+                "b_is_reg": np.array(
+                    [value is None for value in bmask], dtype=bool
+                ),
+                "is_ctrl": np.array(is_ctrl, dtype=bool),
+            }
+            cols["lookup"] = (
+                np.array(self.lookup, dtype=np.int64)
+                if self.lookup is not None
+                else np.empty(0, dtype=np.int64)
+            )
+            self._lockstep_cols = cols
+        return self._lockstep_cols
+
+
+@dataclass
+class IssData:
+    """One architectural run in the columnar form ``vector._reconstruct``
+    consumes.  ``class_names`` is owned by the receiver (victim/drain
+    interning appends to it)."""
+
+    state: ArchState
+    memory: Memory
+    retired: list
+    pcs: np.ndarray          # int64, retired program counters
+    instrs: list             # Instruction per retired slot
+    a_vals: np.ndarray       # uint64, rA operand values
+    b_vals: np.ndarray       # uint64, effective EX b operand
+    taken: np.ndarray        # bool, control-transfer outcome
+    targets: np.ndarray      # int64, target when taken else 0
+    cls: np.ndarray          # int64, timing-class ids (into class_names)
+    kind: np.ndarray         # int64, KIND_CODE values
+    dest: np.ndarray         # int64, written register or -1
+    src: np.ndarray          # int64, source-register bit mask
+    store_words: set
+    class_names: list
+
+
+# -- the shared per-content image LRU ----------------------------------------
+
+_images = OrderedDict()
+_IMAGE_CAPACITY = 4096
+
+_stats = {
+    "decode_seconds": 0.0,
+    "iss_seconds": 0.0,
+    "images_built": 0,
+    "image_hits": 0,
+    "fast_runs": 0,
+    "deferred_runs": 0,
+    "iss_hits": 0,
+}
+
+#: Sentinel cached when a program's fast pass deferred: re-running the
+#: dispatch loop would defer again, so the caller goes straight to the
+#: object-layer ISS.
+_DEFERRED = object()
+
+
+def _clone_data(data, program):
+    """Fresh :class:`IssData` view of a cached architectural result.
+
+    The ISS pass is a pure function of ``(program content, max_cycles)``,
+    so results are cached on the image; each caller gets its own copies of
+    the parts the downstream pipeline mutates or keeps (final memory,
+    architectural state, the intern list the reconstruction appends to).
+    The immutable columns — retired arrays, instruction list, store set —
+    are shared read-only.
+    """
+    state = ArchState(entry=program.entry)
+    state.regs = list(data.state.regs)
+    state.flag = data.state.flag
+    state.carry = data.state.carry
+    state.pc = data.state.pc
+    state.instret = data.state.instret
+    return IssData(
+        state=state,
+        memory=data.memory.copy(),
+        retired=data.retired,
+        pcs=data.pcs,
+        instrs=data.instrs,
+        a_vals=data.a_vals,
+        b_vals=data.b_vals,
+        taken=data.taken,
+        targets=data.targets,
+        cls=data.cls,
+        kind=data.kind,
+        dest=data.dest,
+        src=data.src,
+        store_words=data.store_words,
+        class_names=list(data.class_names),
+    )
+
+
+def stats():
+    """Copy of the decode/execution counters (see :func:`reset_stats`)."""
+    return dict(_stats)
+
+
+def reset_stats():
+    for key in _stats:
+        _stats[key] = 0.0 if key.endswith("seconds") else 0
+
+
+def clear_images():
+    """Drop every cached image (tests / memory pressure)."""
+    _images.clear()
+
+
+def _image_key(program):
+    return (
+        program.entry,
+        tuple(sorted(program.words.items())),
+        tuple(sorted(program.instructions)),
+    )
+
+
+def image_for(program):
+    """The shared :class:`DecodedImage` for ``program``, decoding at most
+    once per program content."""
+    key = _image_key(program)
+    image = _images.get(key)
+    if image is not None:
+        _images.move_to_end(key)
+        _stats["image_hits"] += 1
+        return image
+    start = time.perf_counter()
+    image = DecodedImage(program)
+    _stats["decode_seconds"] += time.perf_counter() - start
+    _stats["images_built"] += 1
+    _images[key] = image
+    while len(_images) > _IMAGE_CAPACITY:
+        _images.popitem(last=False)
+    return image
+
+
+# -- the dispatch-table step loop ---------------------------------------------
+
+
+def collect(program, max_cycles):
+    """One fast architectural pass; ``None`` defers to the object-layer ISS.
+
+    The deferral cases (fetch outside the decoded text, misaligned access,
+    control transfer in a delay slot, step budget exceeded, uncovered
+    mnemonic) are exactly the paths where the object ISS raises or where the
+    image cannot answer — the caller re-runs
+    ``FunctionalSimulator`` which reproduces the behaviour bit-exactly.
+
+    Results are memoised per ``(program content, max_cycles)`` on the
+    shared image: the architectural pass is deterministic, so repeated
+    evaluations of the same kernel (characterisation then every config of
+    a sweep) execute once and clone the columns (:func:`_clone_data`).
+    """
+    image = image_for(program)
+    if not image.fast_ok:
+        _stats["deferred_runs"] += 1
+        return None
+    cached = image.iss_results.get(max_cycles)
+    if cached is not None:
+        _stats["iss_hits"] += 1
+        if cached is _DEFERRED:
+            _stats["deferred_runs"] += 1
+            return None
+        _stats["fast_runs"] += 1
+        return _clone_data(cached, program)
+    data = _collect_impl(image, program, max_cycles)
+    if data is None:
+        image.iss_results[max_cycles] = _DEFERRED
+        return None
+    image.iss_results[max_cycles] = data
+    return _clone_data(data, program)
+
+
+def _collect_impl(image, program, max_cycles):
+    start = time.perf_counter()
+    memory = image.memory_proto.copy()
+    load = memory.load
+    store = memory.store
+    regs = [0] * 32
+    flag = False
+    carry = False
+    pc = program.entry
+    pending = 0
+    in_ds = False
+    steps = 0
+    lookup = image.lookup
+    nwords = len(lookup)
+    slots = image.slots
+    retired_idx = []
+    a_list = []
+    b_list = []
+    ctrl_rows = []            # (retired index, target when taken else -1)
+    store_words = set()
+    append_idx = retired_idx.append
+    append_a = a_list.append
+    append_b = b_list.append
+    link = REG_LINK
+
+    while True:
+        if steps >= max_cycles:
+            _stats["deferred_runs"] += 1
+            return None       # the object ISS reproduces the budget error
+        word = pc >> 2
+        if pc & 3 or word >= nwords:
+            _stats["deferred_runs"] += 1
+            return None
+        index = lookup[word]
+        if index < 0:
+            _stats["deferred_runs"] += 1
+            return None
+        slot = slots[index]
+        if slot is None:
+            _stats["deferred_runs"] += 1
+            return None
+        op, rd, ra, rb, aux, aux2, bmask, is_ctrl = slot
+        if in_ds and is_ctrl:
+            _stats["deferred_runs"] += 1
+            return None       # control in delay slot: the object ISS raises
+        a = regs[ra]
+        b = regs[rb] if bmask is None else bmask
+        append_idx(index)
+        append_a(a)
+        append_b(b)
+        steps += 1
+
+        if op == OP_ADDI:
+            total = a + aux
+            carry = total > _MASK
+            if rd:
+                regs[rd] = total & _MASK
+        elif op == OP_ADD:
+            total = a + b
+            carry = total > _MASK
+            if rd:
+                regs[rd] = total & _MASK
+        elif op == OP_SFI:
+            lhs = a - 0x100000000 if aux & 8 and a & 0x80000000 else a
+            cond = aux & 7
+            if cond == 0:
+                flag = lhs == aux2
+            elif cond == 1:
+                flag = lhs != aux2
+            elif cond == 2:
+                flag = lhs > aux2
+            elif cond == 3:
+                flag = lhs >= aux2
+            elif cond == 4:
+                flag = lhs < aux2
+            else:
+                flag = lhs <= aux2
+        elif op == OP_SF:
+            if aux & 8:
+                lhs = a - 0x100000000 if a & 0x80000000 else a
+                rhs = b - 0x100000000 if b & 0x80000000 else b
+            else:
+                lhs = a
+                rhs = b
+            cond = aux & 7
+            if cond == 0:
+                flag = lhs == rhs
+            elif cond == 1:
+                flag = lhs != rhs
+            elif cond == 2:
+                flag = lhs > rhs
+            elif cond == 3:
+                flag = lhs >= rhs
+            elif cond == 4:
+                flag = lhs < rhs
+            else:
+                flag = lhs <= rhs
+        elif op == OP_BF:
+            if flag:
+                ctrl_rows.append((steps - 1, aux))
+                pending = aux
+                in_ds = True
+            else:
+                ctrl_rows.append((steps - 1, -1))
+            pc += 4
+            continue
+        elif op == OP_BNF:
+            if flag:
+                ctrl_rows.append((steps - 1, -1))
+            else:
+                ctrl_rows.append((steps - 1, aux))
+                pending = aux
+                in_ds = True
+            pc += 4
+            continue
+        elif op == OP_LWZ:
+            addr = (a + aux) & _MASK
+            if addr & 3:
+                _stats["deferred_runs"] += 1
+                return None
+            if rd:
+                regs[rd] = load(addr, 4)
+        elif op == OP_SW:
+            addr = (a + aux) & _MASK
+            if addr & 3:
+                _stats["deferred_runs"] += 1
+                return None
+            store(addr, b, 4)
+            store_words.add(addr)
+        elif op == OP_NOP:
+            pass
+        elif op == OP_HALT:
+            break
+        elif op == OP_J:
+            ctrl_rows.append((steps - 1, aux))
+            pending = aux
+            in_ds = True
+            pc += 4
+            continue
+        elif op == OP_JAL:
+            ctrl_rows.append((steps - 1, aux))
+            regs[link] = aux2
+            pending = aux
+            in_ds = True
+            pc += 4
+            continue
+        elif op == OP_JR:
+            if b & 3:
+                _stats["deferred_runs"] += 1
+                return None
+            ctrl_rows.append((steps - 1, b))
+            pending = b
+            in_ds = True
+            pc += 4
+            continue
+        elif op == OP_JALR:
+            if b & 3:
+                _stats["deferred_runs"] += 1
+                return None
+            ctrl_rows.append((steps - 1, b))
+            regs[link] = aux2
+            pending = b
+            in_ds = True
+            pc += 4
+            continue
+        elif op == OP_SUB:
+            total = a - b
+            carry = total < 0
+            if rd:
+                regs[rd] = total & _MASK
+        elif op == OP_ADDC:
+            total = a + b + (1 if carry else 0)
+            carry = total > _MASK
+            if rd:
+                regs[rd] = total & _MASK
+        elif op == OP_ANDI:
+            if rd:
+                regs[rd] = a & aux
+        elif op == OP_AND:
+            if rd:
+                regs[rd] = a & b
+        elif op == OP_ORI:
+            if rd:
+                regs[rd] = a | aux
+        elif op == OP_OR:
+            if rd:
+                regs[rd] = a | b
+        elif op == OP_XORI:
+            if rd:
+                regs[rd] = a ^ aux
+        elif op == OP_XOR:
+            if rd:
+                regs[rd] = a ^ b
+        elif op == OP_CMOV:
+            if rd:
+                regs[rd] = a if flag else b
+        elif op == OP_SLLI:
+            if rd:
+                regs[rd] = (a << aux) & _MASK
+        elif op == OP_SLL:
+            if rd:
+                regs[rd] = (a << (b & 0x1F)) & _MASK
+        elif op == OP_SRLI:
+            if rd:
+                regs[rd] = a >> aux
+        elif op == OP_SRL:
+            if rd:
+                regs[rd] = a >> (b & 0x1F)
+        elif op == OP_SRAI:
+            if rd:
+                regs[rd] = (
+                    ((a - 0x100000000 if a & 0x80000000 else a) >> aux)
+                    & _MASK
+                )
+        elif op == OP_SRA:
+            if rd:
+                regs[rd] = (
+                    ((a - 0x100000000 if a & 0x80000000 else a)
+                     >> (b & 0x1F)) & _MASK
+                )
+        elif op == OP_RORI:
+            if rd:
+                regs[rd] = (
+                    ((a >> aux) | (a << (32 - aux))) & _MASK if aux else a
+                )
+        elif op == OP_ROR:
+            amount = b & 0x1F
+            if rd:
+                regs[rd] = (
+                    ((a >> amount) | (a << (32 - amount))) & _MASK
+                    if amount else a
+                )
+        elif op == OP_MULI:
+            if rd:
+                regs[rd] = (a * aux) & _MASK
+        elif op == OP_MUL:
+            if rd:
+                regs[rd] = (a * b) & _MASK
+        elif op == OP_DIV:
+            if rd:
+                if b == 0:
+                    regs[rd] = _MASK
+                else:
+                    lhs = a - 0x100000000 if a & 0x80000000 else a
+                    rhs = b - 0x100000000 if b & 0x80000000 else b
+                    quotient = abs(lhs) // abs(rhs)
+                    if (lhs < 0) != (rhs < 0):
+                        quotient = -quotient
+                    regs[rd] = quotient & _MASK
+        elif op == OP_DIVU:
+            if rd:
+                regs[rd] = _MASK if b == 0 else a // b
+        elif op == OP_MOVHI:
+            if rd:
+                regs[rd] = aux
+        elif op == OP_EXTHS:
+            if rd:
+                half = a & 0xFFFF
+                regs[rd] = (half - 0x10000 if half & 0x8000 else half) & _MASK
+        elif op == OP_EXTBS:
+            if rd:
+                byte = a & 0xFF
+                regs[rd] = (byte - 0x100 if byte & 0x80 else byte) & _MASK
+        elif op == OP_EXTHZ:
+            if rd:
+                regs[rd] = a & 0xFFFF
+        elif op == OP_EXTBZ:
+            if rd:
+                regs[rd] = a & 0xFF
+        elif op == OP_FF1:
+            if rd:
+                regs[rd] = (a & -a).bit_length() if a else 0
+        elif op == OP_LBZ:
+            if rd:
+                regs[rd] = load((a + aux) & _MASK, 1)
+        elif op == OP_LBS:
+            byte = load((a + aux) & _MASK, 1)
+            if rd:
+                regs[rd] = (byte - 0x100 if byte & 0x80 else byte) & _MASK
+        elif op == OP_LHZ:
+            addr = (a + aux) & _MASK
+            if addr & 1:
+                _stats["deferred_runs"] += 1
+                return None
+            if rd:
+                regs[rd] = load(addr, 2)
+        elif op == OP_LHS:
+            addr = (a + aux) & _MASK
+            if addr & 1:
+                _stats["deferred_runs"] += 1
+                return None
+            half = load(addr, 2)
+            if rd:
+                regs[rd] = (half - 0x10000 if half & 0x8000 else half) & _MASK
+        elif op == OP_SB:
+            store((a + aux) & _MASK, b & 0xFF, 1)
+            store_words.add(((a + aux) & _MASK) & ~3)
+        elif op == OP_SH:
+            addr = (a + aux) & _MASK
+            if addr & 1:
+                _stats["deferred_runs"] += 1
+                return None
+            store(addr, b & 0xFFFF, 2)
+            store_words.add(addr & ~3)
+        else:
+            _stats["deferred_runs"] += 1
+            return None       # unreachable: every op id is handled above
+
+        if in_ds:
+            pc = pending
+            in_ds = False
+        else:
+            pc += 4
+
+    _stats["iss_seconds"] += time.perf_counter() - start
+    _stats["fast_runs"] += 1
+    return _package(
+        image, program, memory, regs, flag, carry, pc,
+        retired_idx, a_list, b_list, ctrl_rows, store_words,
+    )
+
+
+def _package(image, program, memory, regs, flag, carry, pc,
+             retired_idx, a_list, b_list, ctrl_rows, store_words):
+    count = len(retired_idx)
+    if isinstance(retired_idx, np.ndarray):
+        index = retired_idx
+        idx_list = retired_idx.tolist()
+    else:
+        index = np.array(retired_idx, dtype=np.int64)
+        idx_list = retired_idx
+    pcs = image.np_pc[index]
+    taken = np.zeros(count, dtype=bool)
+    targets = np.zeros(count, dtype=np.int64)
+    if len(ctrl_rows):      # list (scalar loop) or (k, 2) array (lockstep)
+        rows = np.array(ctrl_rows, dtype=np.int64)
+        where = rows[:, 0]
+        target = rows[:, 1]
+        taken[where] = target >= 0
+        targets[where] = np.maximum(target, 0)
+    image_instrs = image.instrs
+    instrs = [image_instrs[i] for i in idx_list]
+    state = ArchState(entry=program.entry)
+    state.regs = regs
+    state.flag = flag
+    state.carry = carry
+    state.pc = pc
+    state.instret = count
+    return IssData(
+        state=state,
+        memory=memory,
+        retired=list(zip(pcs.tolist(), instrs)),
+        pcs=pcs,
+        instrs=instrs,
+        a_vals=np.array(a_list, dtype=np.uint64),
+        b_vals=np.array(b_list, dtype=np.uint64),
+        taken=taken,
+        targets=targets,
+        cls=image.np_cls[index],
+        kind=image.np_kind[index],
+        dest=image.np_dest[index],
+        src=image.np_src[index],
+        store_words=store_words,
+        class_names=list(image.class_names),
+    )

@@ -41,7 +41,9 @@ import numpy as np
 
 from repro.isa.encoding import EncodingError, decode
 from repro.isa.opcodes import KIND_CODE, InstructionKind
+from repro.sim import predecode
 from repro.sim.iss import HALT_NOP_CODE, FunctionalSimulator, SimulationError
+from repro.sim.predecode import IssData
 from repro.sim.pipeline import DEFAULT_DIV_LATENCY, DEFAULT_MAX_CYCLES
 from repro.sim.trace import (
     BUBBLE_VIEW,
@@ -272,7 +274,12 @@ def simulate(program, div_latency=DEFAULT_DIV_LATENCY,
 
 
 def _collect_iss(program, max_cycles):
-    """Run the functional simulator once, collecting per-instruction data.
+    """Run the object-layer functional simulator, collecting columnar data.
+
+    This is the slow-path twin of :func:`repro.sim.predecode.collect`: it
+    owns every rare case the pre-decoded loop defers (fetches outside the
+    decoded text, semantics errors, budget overruns) and produces the same
+    :class:`~repro.sim.predecode.IssData`.
 
     The step cap equals the cycle budget: the pipeline retires at most one
     instruction per cycle, so an ISS overrunning ``max_cycles`` steps
@@ -341,27 +348,70 @@ def _collect_iss(program, max_cycles):
         except Exception as error:   # scalar engine reproduces the error
             raise _Fallback(f"ISS error: {error}") from error
         steps += 1
-    return (simulator, pcs, instrs, a_vals, b_vals, takens, targets, metas,
-            store_words, class_names)
+    meta_matrix = np.array(metas, dtype=np.int64)       # (N, 6)
+    return IssData(
+        state=simulator.state,
+        memory=simulator.memory,
+        retired=list(simulator.retired),
+        pcs=np.array(pcs, dtype=np.int64),
+        instrs=instrs,
+        a_vals=np.array(a_vals, dtype=np.uint64),
+        b_vals=np.array(b_vals, dtype=np.uint64),
+        taken=np.array(takens, dtype=bool),
+        targets=np.array(targets, dtype=np.int64),
+        cls=meta_matrix[:, 0],
+        kind=meta_matrix[:, 1],
+        dest=meta_matrix[:, 2],
+        src=meta_matrix[:, 3],
+        store_words=store_words,
+        class_names=class_names,
+    )
 
 
 # -- phase 2: array reconstruction -------------------------------------------
 
 
 def _simulate(program, div_latency, max_cycles):
-    (iss, pcs, instrs, a_vals, b_vals, takens, targets, metas,
-     store_words, class_names) = _collect_iss(program, max_cycles)
+    data = predecode.collect(program, max_cycles)
+    if data is None:
+        data = _collect_iss(program, max_cycles)
+    return _reconstruct(program, div_latency, max_cycles, data)
 
-    num_retired = len(pcs)
-    meta_matrix = np.array(metas, dtype=np.int64)       # (N, 6)
-    retired_cls = meta_matrix[:, 0]
-    retired_kind = meta_matrix[:, 1]
-    retired_dest = meta_matrix[:, 2]
-    retired_src = meta_matrix[:, 3]
-    retired_pc = np.array(pcs, dtype=np.int64)
-    retired_a = np.array(a_vals, dtype=np.uint64)
-    retired_b = np.array(b_vals, dtype=np.uint64)
-    taken = np.array(takens, dtype=bool)
+
+def reconstruct(program, data, div_latency=DEFAULT_DIV_LATENCY,
+                max_cycles=DEFAULT_MAX_CYCLES):
+    """Pipeline run from an externally collected ISS pass.
+
+    This is the entry point the lockstep engine uses: it hands each lane's
+    :class:`~repro.sim.predecode.IssData` to the same array reconstruction
+    that :func:`simulate` runs, with identical fallback semantics
+    (``None`` when the program needs the scalar engine).
+    """
+    if div_latency < 1:
+        raise ValueError("div_latency must be at least 1 cycle")
+    try:
+        return _reconstruct(program, div_latency, max_cycles, data)
+    except _Fallback as fallback:
+        _fallbacks["count"] += 1
+        _fallbacks["reason"] = str(fallback)
+        return None
+
+
+def _reconstruct(program, div_latency, max_cycles, data):
+    instrs = data.instrs
+    targets = data.targets
+    store_words = data.store_words
+    class_names = data.class_names
+
+    num_retired = len(data.pcs)
+    retired_cls = data.cls
+    retired_kind = data.kind
+    retired_dest = data.dest
+    retired_src = data.src
+    retired_pc = data.pcs
+    retired_a = data.a_vals
+    retired_b = data.b_vals
+    taken = data.taken
 
     # -- fetch-stream layout: retired instructions in program order, plus
     # one squashed wrong-path word two positions after every taken
@@ -562,9 +612,9 @@ def _simulate(program, div_latency, max_cycles):
     run = VectorPipelineRun(
         program=program,
         div_latency=div_latency,
-        state=iss.state,
-        memory=iss.memory,
-        retired=list(iss.retired),
+        state=data.state,
+        memory=data.memory,
+        retired=data.retired,
     )
     run.num_cycles = num_cycles
     run.num_slots = num_slots

@@ -60,12 +60,27 @@ def build_design(variant=DesignVariant.CRITICAL_RANGE,
     """
     if isinstance(variant, str):
         variant = DesignVariant(variant)
+    key = (variant, voltage, seed)
+    design = _designs.get(key)
+    if design is not None:
+        return design
     profile = load_profile(variant)
     library = CellLibrary.at(voltage)
-    return ProcessorDesign(
+    design = ProcessorDesign(
         variant=variant,
         profile=profile,
         netlist=SyntheticNetlist(profile, seed=seed),
         library=library,
         excitation=ExcitationModel(profile, library=library),
     )
+    if len(_designs) >= _DESIGN_CAPACITY:
+        _designs.clear()
+    _designs[key] = design
+    return design
+
+
+#: Built designs are deterministic in ``(variant, voltage, seed)`` and
+#: immutable once constructed, so the synthetic path population (the
+#: expensive part) is shared per process.
+_designs = {}
+_DESIGN_CAPACITY = 64

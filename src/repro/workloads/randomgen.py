@@ -12,6 +12,8 @@ accesses) and guaranteed-taken control transfers of every kind.
 The generated program is plain OR1K assembly and runs on both simulators.
 """
 
+from functools import lru_cache
+
 from repro.asm import assemble
 from repro.utils.rng import RngStream
 
@@ -259,8 +261,14 @@ def generate_characterization_source(seed=1, length=1200, repeats=3):
     return out.source()
 
 
+@lru_cache(maxsize=64)
 def generate_characterization_program(seed=1, length=1200, repeats=3):
-    """Generate and assemble a characterisation program."""
+    """Generate and assemble a characterisation program.
+
+    Generation is deterministic in its arguments, so the assembled
+    ``Program`` is memoised per process — the same sharing contract as
+    ``Kernel.program()`` (callers must not mutate the image).
+    """
     source = generate_characterization_source(
         seed=seed, length=length, repeats=repeats
     )

@@ -295,12 +295,12 @@ class TestEvaluateAxes:
         assert labels[1].endswith("margin=10%")
 
     def test_scalar_session_refuses_to_sweep(self, design, lut):
-        """The orchestrated runner is vector-only: a scalar session must
-        not return vector results labelled as the reference."""
+        """The orchestrated runner is array-engine-only: a scalar session
+        must not return vector results labelled as the reference."""
         scalar = Session.for_design(design, lut=lut, engine="scalar")
-        with pytest.raises(ValueError, match="vector engine only"):
+        with pytest.raises(ValueError, match="vector/lockstep engines"):
             scalar.sweep(GRID)
-        with pytest.raises(ValueError, match="vector engine only"):
+        with pytest.raises(ValueError, match="vector/lockstep engines"):
             scalar.training_table(GRID)
 
 
