@@ -1,0 +1,183 @@
+"""Perf bench — observability overhead: disabled guard and enabled cost.
+
+The ``repro.obs`` contract is that tracing is *free when off*: every
+span site goes through one module-global check and a shared no-op
+context manager, so a telemetry-disabled sweep must be indistinguishable
+from a build without the instrumentation.  This bench pins that:
+
+- **disabled guard**: the per-call cost of a disabled span site,
+  measured directly, extrapolated over the span sites an enabled sweep
+  actually hits — gated at <2% of the sweep's wall time;
+- **enabled cost**: the same warm-store sweep with ``telemetry=True``,
+  reported (not gated — enabled tracing is allowed to cost something);
+- **purity**: both runs must produce bit-identical result rows.
+
+Writes ``BENCH_obs.json`` at the repository root (CI artifact, tracked
+PR over PR).
+
+Runs standalone (``python benchmarks/bench_obs_overhead.py``) and under
+pytest (``pytest benchmarks/bench_obs_overhead.py``).
+"""
+
+import json
+import pathlib
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from conftest import publish  # noqa: E402
+
+from repro.api import Session  # noqa: E402
+from repro.dta.compiled import clear_compiled_cache  # noqa: E402
+from repro.lab import ArtifactStore, ScenarioGrid  # noqa: E402
+from repro.obs import trace as obs_trace  # noqa: E402
+from repro.obs.host import host_metadata  # noqa: E402
+from repro.utils.tables import format_table  # noqa: E402
+
+BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_obs.json"
+
+#: The gate: with tracing disabled, the span guards hit during a sweep
+#: may cost at most this fraction of the sweep's wall time.
+DISABLED_OVERHEAD_BUDGET_PERCENT = 2.0
+
+#: Calls used to measure the disabled span guard (module lookup + no-op
+#: context manager enter/exit).
+GUARD_CALLS = 200_000
+
+#: Warm-sweep trials per mode; the min filters scheduler noise.
+TRIALS = 3
+
+GRID = ScenarioGrid(
+    name="bench-obs-overhead",
+    policies=("instruction", "two-class", "genie"),
+    margins=(0.0, 5.0, 10.0),
+    check_safety=True,
+)                           # workloads=() -> the full Fig. 8 suite
+
+
+def _disabled_guard_ns():
+    """Per-call cost of a span site when no tracer is installed."""
+    previous = obs_trace.set_tracer(None)
+    try:
+        span = obs_trace.span
+        start = time.perf_counter()
+        for _ in range(GUARD_CALLS):
+            with span("bench.noop"):
+                pass
+        seconds = time.perf_counter() - start
+    finally:
+        obs_trace.set_tracer(previous)
+    return seconds / GUARD_CALLS * 1e9
+
+
+def _timed_sweep(store_root, telemetry):
+    """One warm-store sweep; returns (outcome, seconds, span_count)."""
+    clear_compiled_cache()
+    session = Session(store=ArtifactStore(store_root), telemetry=telemetry)
+    start = time.perf_counter()
+    outcome = session.sweep(GRID)
+    seconds = time.perf_counter() - start
+    spans = len(session.telemetry.snapshot()) if telemetry else 0
+    return outcome, seconds, spans
+
+
+def run_overhead_comparison(store_root=None):
+    """Measure guard cost + warm sweep both ways; returns metrics."""
+    owns_root = store_root is None
+    if owns_root:
+        store_root = tempfile.mkdtemp(prefix="repro-bench-obs-")
+    try:
+        # one cold run populates the store; everything timed is warm
+        _timed_sweep(store_root, telemetry=False)
+
+        disabled_seconds = enabled_seconds = float("inf")
+        disabled_rows = enabled_rows = None
+        span_count = 0
+        for _ in range(TRIALS):
+            outcome, seconds, _ = _timed_sweep(store_root, telemetry=False)
+            disabled_seconds = min(disabled_seconds, seconds)
+            disabled_rows = outcome.rows
+            outcome, seconds, spans = _timed_sweep(store_root,
+                                                   telemetry=True)
+            enabled_seconds = min(enabled_seconds, seconds)
+            enabled_rows = outcome.rows
+            span_count = spans
+
+        guard_ns = _disabled_guard_ns()
+        # every recorded span is one guard hit the disabled run also
+        # pays (the spans *not* recorded when disabled are the same
+        # sites, so the enabled span count is the guard-hit count)
+        guard_seconds = span_count * guard_ns / 1e9
+        disabled_overhead_percent = round(
+            guard_seconds / disabled_seconds * 100, 3
+        )
+
+        mismatches = sum(
+            1 for row, expected in zip(enabled_rows, disabled_rows)
+            if row != expected
+        )
+        return {
+            "evaluations": GRID.num_evaluations,
+            "warm_disabled_seconds": round(disabled_seconds, 4),
+            "warm_enabled_seconds": round(enabled_seconds, 4),
+            "enabled_overhead_percent": round(
+                (enabled_seconds - disabled_seconds)
+                / disabled_seconds * 100, 1
+            ),
+            "spans_per_sweep": span_count,
+            "disabled_guard_ns_per_call": round(guard_ns, 1),
+            "disabled_overhead_percent": disabled_overhead_percent,
+            "disabled_overhead_budget_percent":
+                DISABLED_OVERHEAD_BUDGET_PERCENT,
+            "mismatches": mismatches,
+            "host": host_metadata(engine="vector"),
+        }
+    finally:
+        if owns_root:
+            shutil.rmtree(store_root, ignore_errors=True)
+
+
+def report(metrics):
+    table = format_table(
+        ["Measurement", "Value", "Notes"],
+        [
+            ("warm sweep, telemetry off",
+             f"{metrics['warm_disabled_seconds']:.3f} s",
+             f"{metrics['evaluations']} evaluations"),
+            ("warm sweep, telemetry on",
+             f"{metrics['warm_enabled_seconds']:.3f} s",
+             f"{metrics['spans_per_sweep']} spans, "
+             f"{metrics['enabled_overhead_percent']:+.1f}%"),
+            ("disabled span guard",
+             f"{metrics['disabled_guard_ns_per_call']:.0f} ns/call",
+             f"{metrics['disabled_overhead_percent']:.3f}% of sweep "
+             f"(budget {metrics['disabled_overhead_budget_percent']:.0f}%)"),
+        ],
+        title="Perf — observability overhead",
+    )
+    BENCH_JSON.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")
+    publish("obs_overhead", table + f"\n  wrote {BENCH_JSON.name}")
+    return table
+
+
+def test_obs_overhead():
+    metrics = run_overhead_comparison()
+    report(metrics)
+    # telemetry is pure observation: identical rows either way
+    assert metrics["mismatches"] == 0, metrics
+    # the tentpole bar: tracing-disabled overhead under 2%
+    assert (metrics["disabled_overhead_percent"]
+            < metrics["disabled_overhead_budget_percent"]), metrics
+
+
+if __name__ == "__main__":
+    metrics = run_overhead_comparison()
+    report(metrics)
+    failed = (
+        metrics["mismatches"]
+        or metrics["disabled_overhead_percent"]
+        >= metrics["disabled_overhead_budget_percent"]
+    )
+    sys.exit(1 if failed else 0)

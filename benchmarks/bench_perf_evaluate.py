@@ -27,6 +27,7 @@ from repro.dta.compiled import (  # noqa: E402
 )
 from repro.flow.characterize import CharacterizationResult  # noqa: E402
 from repro.flow.evaluate import SweepConfig  # noqa: E402
+from repro.obs.host import host_metadata  # noqa: E402
 from repro.utils.tables import format_table  # noqa: E402
 from repro.workloads.suite import benchmark_suite  # noqa: E402
 
@@ -99,6 +100,7 @@ def run_perf_comparison(design, lut):
         "batch_seconds": round(batch_seconds, 3),
         "speedup": round(scalar_seconds / batch_seconds, 2),
         "mismatches": mismatches,
+        "host": host_metadata(),
     }
 
 

@@ -38,6 +38,7 @@ from repro.dta.compiled import (  # noqa: E402
     set_trace_store,
 )
 from repro.lab import ArtifactStore, ScenarioGrid  # noqa: E402
+from repro.obs.host import host_metadata  # noqa: E402
 from repro.sim import lockstep, predecode  # noqa: E402
 from repro.utils.tables import format_table  # noqa: E402
 
@@ -228,6 +229,7 @@ def run_sweep_comparison(store_root=None):
             "warm_trace_misses": warm_stats.get("trace", "misses"),
             "warm_lut_misses": warm_stats.get("lut", "misses"),
             "mismatches": mismatches,
+            "host": host_metadata(engine="vector"),
         }
     finally:
         if owns_root:

@@ -65,6 +65,7 @@ from repro.api.frame import (
     ADAPT_SCHEMA,
     EVALUATION_SCHEMA,
     OVERSCALING_SCHEMA,
+    TELEMETRY_SCHEMA,
     TRAINING_SCHEMA,
     Column,
     ResultFrame,
@@ -87,6 +88,7 @@ __all__ = [
     "ADAPT_SCHEMA",
     "OVERSCALING_SCHEMA",
     "TRAINING_SCHEMA",
+    "TELEMETRY_SCHEMA",
     "ENGINES",
     "DEFAULT_OVERSCALE_FACTORS",
     "design_point_label",

@@ -138,6 +138,23 @@ TRAINING_SCHEMA = EVALUATION_SCHEMA + schema(
     ("normalized_period", "float"),
 )
 
+#: Schema of one telemetry span (:meth:`Session.telemetry_frame`): the
+#: span records of :class:`repro.obs.Tracer`, one row per completed
+#: span, so traces ride the same frame/store machinery as results.
+#: Telemetry frames are observation only — they are never folded into
+#: result fingerprints or result bytes.
+TELEMETRY_SCHEMA = schema(
+    ("span", "str"),
+    ("category", "str"),
+    ("worker", "str"),
+    ("pid", "int"),
+    ("depth", "int"),
+    ("start_us", "float"),
+    ("duration_us", "float"),
+    ("cpu_us", "float"),
+    ("attrs", "json"),
+)
+
 
 def _coerce(values, kind):
     """Coerce a value sequence to the canonical array of a kind."""

@@ -32,6 +32,8 @@ from repro.api.frame import (
     TRAINING_SCHEMA,
     ResultFrame,
 )
+from repro.obs import trace as obs_trace
+from repro.obs.trace import span as obs_span
 from repro.dta.extraction import DEFAULT_MIN_OCCURRENCES
 from repro.flow.evaluate import DEFAULT_MAX_CYCLES, SweepConfig
 from repro.timing.profiles import DesignVariant
@@ -159,6 +161,16 @@ class Session:
         so long campaigns self-limit.
     seed:
         Root seed of the synthetic netlist (``design`` construction).
+    telemetry:
+        ``True`` to collect spans on a fresh
+        :class:`~repro.obs.trace.Tracer`, or a ``Tracer`` to share one
+        across sessions.  While a session method runs, the tracer is the
+        process-wide ambient tracer, so every layer (evaluate, compile,
+        ISS, store) records onto the session's timeline — including
+        spans shipped back from sweep/characterisation worker processes.
+        Telemetry never changes results, fingerprints or stored bytes;
+        read it back with :meth:`telemetry_frame` or export via
+        :mod:`repro.obs.export`.  Default off (near-zero overhead).
     """
 
     def __init__(self, variant=DesignVariant.CRITICAL_RANGE.value,
@@ -166,7 +178,7 @@ class Session:
                  characterization=None, store=None, engine="vector",
                  jobs=1, max_cycles=DEFAULT_MAX_CYCLES,
                  min_occurrences=DEFAULT_MIN_OCCURRENCES,
-                 store_budget_bytes=None, seed=None):
+                 store_budget_bytes=None, seed=None, telemetry=None):
         if engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {engine!r}; choose from {ENGINES}"
@@ -193,6 +205,11 @@ class Session:
             if not isinstance(store, ArtifactStore):
                 store = ArtifactStore(store)
         self.store = store
+        if telemetry is True:
+            telemetry = obs_trace.Tracer(label="session")
+        elif telemetry is False:
+            telemetry = None
+        self.telemetry = telemetry
 
     @classmethod
     def for_design(cls, design, **kwargs):
@@ -259,6 +276,32 @@ class Session:
             ),
             characterization=self.characterization,
         )
+
+    @contextmanager
+    def _scope(self, name, **attrs):
+        """Install the session tracer (if any) for the duration of one
+        workflow call and record it as a ``session.*`` span."""
+        if self.telemetry is None:
+            with obs_span(name, **attrs):
+                yield
+            return
+        previous = obs_trace.set_tracer(self.telemetry)
+        try:
+            with obs_span(name, **attrs):
+                yield
+        finally:
+            obs_trace.set_tracer(previous)
+
+    def telemetry_frame(self):
+        """The collected spans as a :data:`TELEMETRY_SCHEMA` ResultFrame
+        (requires a session constructed with ``telemetry=``)."""
+        if self.telemetry is None:
+            raise ValueError(
+                "session has no telemetry; construct with telemetry=True"
+            )
+        from repro.obs.export import telemetry_frame as _telemetry_frame
+
+        return _telemetry_frame(self.telemetry.snapshot())
 
     @contextmanager
     def _attached_store(self):
@@ -333,20 +376,23 @@ class Session:
                 self.store is not None and programs is None
                 and sim_period_ps is None and not keep_runs
             )
-        if via_store:
-            lut = self.store.get_lut(
-                self.design, min_occurrences=min_occurrences,
-                jobs=self.jobs,
-            )
-            result = CharacterizationResult(design=self.design, lut=lut)
-        else:
-            result = _characterize_impl(
-                self.design, programs=programs,
-                min_occurrences=min_occurrences,
-                sim_period_ps=sim_period_ps, keep_runs=keep_runs,
-                engine=engine or _CHAR_ENGINES[self.engine],
-                jobs=self.jobs, store=self.store,
-            )
+        with self._scope("session.characterize",
+                         design_point=self.design_point):
+            if via_store:
+                lut = self.store.get_lut(
+                    self.design, min_occurrences=min_occurrences,
+                    jobs=self.jobs,
+                )
+                result = CharacterizationResult(design=self.design,
+                                                lut=lut)
+            else:
+                result = _characterize_impl(
+                    self.design, programs=programs,
+                    min_occurrences=min_occurrences,
+                    sim_period_ps=sim_period_ps, keep_runs=keep_runs,
+                    engine=engine or _CHAR_ENGINES[self.engine],
+                    jobs=self.jobs, store=self.store,
+                )
         if default_call:
             self._characterization = result
         return result
@@ -395,7 +441,12 @@ class Session:
         """
         from repro.flow import evaluate as _evaluate
 
-        with self._attached_store():
+        programs = list(programs)
+        configs = list(configs)
+        with self._scope("session.evaluate_results",
+                         programs=len(programs),
+                         configs=len(configs)), \
+                self._attached_store():
             if self.engine == "scalar":
                 return [
                     [
@@ -502,13 +553,17 @@ class Session:
     # -- orchestrated sweeps -------------------------------------------------
 
     def sweep(self, grid, *, resume=False, progress=None, runner=None,
-              manifest_path=None):
+              manifest_path=None, on_unit=None):
         """Run a scenario grid through the parallel sweep runner.
 
         The runner inherits the session's store, worker count and store
         budget; the merged outcome is a frame-backed
         :class:`~repro.lab.runner.SweepRunResult` (``.frame`` holds the
         :class:`ResultFrame`, serialisation is unchanged).
+
+        ``on_unit(done, total)`` is called as units complete (once up
+        front with the resumed count) — the hook behind
+        ``repro sweep --progress``.
 
         The orchestrated runner evaluates through the compiled-trace
         array engines only (``vector`` or the batched ``lockstep``); a
@@ -533,7 +588,10 @@ class Session:
                 store_budget_bytes=self.store_budget_bytes,
                 engine=self.engine,
             )
-        return runner._execute(resume=resume, progress=progress)
+        with self._scope("session.sweep", grid=grid.name,
+                         jobs=self.jobs):
+            return runner._execute(resume=resume, progress=progress,
+                                   on_unit=on_unit)
 
     def training_table(self, grid, *, resume=False, progress=None):
         """Policy-training data generator: one flat table over the grid.
@@ -594,8 +652,12 @@ class Session:
 
         if schemes is None:
             schemes = _online.SCHEMES
+        programs = list(programs)
+        schemes = list(schemes)
         results = []
-        with self._attached_store():
+        with self._scope("session.adapt", programs=len(programs),
+                         schemes=len(schemes)), \
+                self._attached_store():
             for program in programs:
                 for scheme in schemes:
                     results.append(_online._evaluate_with_drift_impl(
@@ -647,9 +709,12 @@ class Session:
 
         if factors is None:
             factors = DEFAULT_OVERSCALE_FACTORS
+        factors = list(factors)
         if max_cycles is None:
             max_cycles = self.max_cycles
-        with self._attached_store():
+        with self._scope("session.overscaling", program=program.name,
+                         factors=len(factors)), \
+                self._attached_store():
             if self.engine == "scalar":
                 return [
                     _violations.evaluate_overscaling_scalar(

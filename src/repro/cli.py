@@ -11,6 +11,7 @@ Exposes the main flows as subcommands::
     python -m repro table2 [--lut lut.json]    # Table II view of a LUT
     python -m repro store gc --store DIR --max-size 500M [--dry-run]
     python -m repro train --grid grid.json -o model.npz   # learn a policy
+    python -m repro profile grid.json --jobs 4            # where time goes
 
 ``train`` fits a learned clock policy (ML-DFS, see :mod:`repro.ml`) on
 a scenario grid's per-cycle genie ground truth, calibrates it for
@@ -39,6 +40,26 @@ A warm store skips pipeline simulation and characterisation entirely;
 ``--resume`` continues an interrupted run from its manifest;
 ``--store-max-size 500M`` LRU-evicts the store down to a budget after
 the merge, so long campaigns self-limit.
+
+Observability (:mod:`repro.obs`): ``sweep --grid ... --trace out.json``
+records spans from every layer — session, evaluate, compile, ISS, store,
+including worker processes — into a Chrome trace-event file (open it at
+``ui.perfetto.dev``); ``--progress`` renders a per-unit progress line
+with an ETA on stderr (auto-disabled when stderr is not a TTY).
+``profile`` runs a grid with tracing on and prints the per-phase
+time/cache breakdown instead of the result table::
+
+    python -m repro profile grid.json --jobs 4 --store .repro-store
+
+    Span                  Count  Wall [ms]  CPU [ms]  Mean [ms]
+    session.sweep             1     191.43     82.11    191.430
+    sweep.unit_batch          6     180.02     71.40     30.003
+    dta.compile_batch         3     161.77     60.91     53.923
+    iss.collect              12     120.45     52.00     10.038
+    ...
+    counters:
+      sim.simulations = 12
+      store.trace.hit = 24
 
 Programs may be given as a bundled kernel name or a path to an assembly
 file.
@@ -207,9 +228,10 @@ def _parse_store_budget(args):
 def cmd_sweep(args):
     if args.grid:
         return _run_grid_sweep(args)
-    if args.resume or args.jobs != 1 or args.json:
-        print("--resume/--jobs/--json require a scenario grid (--grid)",
-              file=sys.stderr)
+    if (args.resume or args.jobs != 1 or args.json or args.trace
+            or args.progress):
+        print("--resume/--jobs/--json/--trace/--progress require a "
+              "scenario grid (--grid)", file=sys.stderr)
         return 2
 
     if args.programs:
@@ -268,6 +290,64 @@ def _run_flag_sweep(args, session, programs):
     return 1 if (args.check_safety and unsafe) else 0
 
 
+def _write_trace(path, session, label):
+    """Export the session's telemetry as a Chrome trace-event file."""
+    from repro.obs import metrics as obs_metrics
+    from repro.obs.export import write_chrome_trace
+
+    spans = session.telemetry.snapshot()
+    write_chrome_trace(path, spans, counters=obs_metrics.gather(),
+                       label=label)
+    print(f"wrote {path} ({len(spans)} spans)")
+
+
+def cmd_profile(args):
+    """Run a scenario grid with tracing on; print where the time went.
+
+    The per-span table aggregates the merged timeline (parent process
+    plus any sweep workers); counters come from the unified
+    :mod:`repro.obs.metrics` registry, so cache hits and simulation
+    counts reflect the whole run even under ``--jobs``.
+    """
+    from repro.lab.scenario import ScenarioError, ScenarioGrid
+    from repro.obs import metrics as obs_metrics
+    from repro.obs.export import summary_rows
+    from repro.utils.tables import format_table
+
+    try:
+        grid = ScenarioGrid.from_file(args.grid)
+    except ScenarioError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    validate_policy_specs(grid.policies)
+    session = Session(
+        store=args.store or None, jobs=args.jobs, telemetry=True,
+    )
+    result = session.sweep(grid, resume=args.resume)
+    spans = session.telemetry.snapshot()
+    table_rows = [
+        (row["span"], f"{row['count']}", f"{row['wall_ms']:.2f}",
+         f"{row['cpu_ms']:.2f}", f"{row['mean_ms']:.3f}")
+        for row in summary_rows(spans)
+    ]
+    print(format_table(
+        ["Span", "Count", "Wall [ms]", "CPU [ms]", "Mean [ms]"],
+        table_rows,
+        title=(f"Profile '{grid.name}': {result.units_total} units in "
+               f"{result.seconds:.2f} s, jobs={result.jobs}"),
+    ))
+    counters = obs_metrics.gather()
+    if counters:
+        print("counters:")
+        for name in sorted(counters):
+            print(f"  {name} = {counters[name]}")
+    if result.store_stats is not None:
+        print(f"store: {result.store_stats.summary()}")
+    if args.trace:
+        _write_trace(args.trace, session, grid.name)
+    return 0
+
+
 def _run_grid_sweep(args):
     """Scenario-grid mode: the parallel runner + artifact store."""
     from repro.lab.scenario import ScenarioError, ScenarioGrid
@@ -296,12 +376,31 @@ def _run_grid_sweep(args):
     session = Session(
         store=args.store or None, jobs=args.jobs,
         store_budget_bytes=budget,
+        telemetry=bool(args.trace),
     )
-    result = session.sweep(
-        grid,
-        resume=args.resume,
-        progress=lambda line: print(line, file=sys.stderr),
-    )
+    unit_progress = None
+    on_unit = None
+    per_unit_lines = lambda line: print(line, file=sys.stderr)  # noqa: E731
+    if args.progress:
+        from repro.obs.progress import UnitProgress
+
+        unit_progress = UnitProgress(0, stream=sys.stderr,
+                                     label=f"sweep {grid.name}")
+        on_unit = unit_progress.update
+        if unit_progress.enabled:
+            per_unit_lines = None   # one line, not one per unit
+    try:
+        result = session.sweep(
+            grid,
+            resume=args.resume,
+            progress=per_unit_lines,
+            on_unit=on_unit,
+        )
+    finally:
+        if unit_progress is not None:
+            unit_progress.finish()
+    if args.trace:
+        _write_trace(args.trace, session, grid.name)
 
     summary = result.frame.group_by(["design_point", "config"], {
         "mhz": ("effective_frequency_mhz", "mean"),
@@ -382,7 +481,9 @@ def cmd_train(args):
     print(f"wrote {out} ({model.kind}, {model.num_leaves} leaves, "
           f"{outcome.report['train_rows']} training rows, seed "
           f"{config.seed})")
-    report = {"train": outcome.report}
+    from repro.obs.host import host_metadata
+
+    report = {"train": outcome.report, "host": host_metadata()}
     if store:
         from repro.lab.store import ArtifactStore
 
@@ -595,7 +696,30 @@ def build_parser():
     sub.add_argument("--store-max-size",
                      help="store size budget (e.g. 500M): LRU-evict the "
                           "artifact store down to it after the run")
+    sub.add_argument("--trace",
+                     help="write a Chrome trace-event JSON of the run "
+                          "(--grid mode; open in ui.perfetto.dev)")
+    sub.add_argument("--progress", action="store_true",
+                     help="per-unit progress line with ETA on stderr "
+                          "(--grid mode; auto-disabled when not a TTY)")
     sub.set_defaults(func=cmd_sweep)
+
+    sub = subparsers.add_parser(
+        "profile",
+        help="run a scenario grid with tracing and print the per-phase "
+             "time/cache breakdown",
+    )
+    sub.add_argument("grid", help="scenario grid file (.json/.toml)")
+    sub.add_argument("--jobs", type=int, default=1,
+                     help="worker processes (default: 1)")
+    sub.add_argument("--store",
+                     help="artifact-store directory (cache effects show "
+                          "up in the counters)")
+    sub.add_argument("--resume", action="store_true",
+                     help="reuse completed units from the run manifest")
+    sub.add_argument("--trace",
+                     help="also write the Chrome trace-event JSON")
+    sub.set_defaults(func=cmd_profile)
 
     sub = subparsers.add_parser(
         "train",

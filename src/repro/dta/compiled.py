@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.trace import span as obs_span
 from repro.sim import predecode
 from repro.sim.trace import Stage
 from repro.timing.profiles import BUBBLE_CLASS
@@ -481,13 +482,14 @@ def get_compiled_trace(program, design, max_cycles=4_000_000):
     if _store is not None:
         compiled = _store.load_compiled_trace(program, design, max_cycles)
     if compiled is None:
-        run = vector.simulate(program, max_cycles=max_cycles)
-        _simulations += 1
-        if run is None:
-            trace = PipelineSimulator(program).run(max_cycles=max_cycles)
-            compiled = compile_trace(trace, design.excitation)
-        else:
-            compiled = compile_vector_run(run, design.excitation)
+        with obs_span("dta.compile", program=program.name):
+            run = vector.simulate(program, max_cycles=max_cycles)
+            _simulations += 1
+            if run is None:
+                trace = PipelineSimulator(program).run(max_cycles=max_cycles)
+                compiled = compile_trace(trace, design.excitation)
+            else:
+                compiled = compile_vector_run(run, design.excitation)
         if _store is not None:
             _store.save_compiled_trace(compiled, program, design, max_cycles)
     _insert_cached(key, compiled)
@@ -533,29 +535,33 @@ def get_compiled_traces(programs, design, max_cycles=4_000_000):
             misses.append((position, program))
 
     if misses:
-        batch = lockstep.collect_batch(
-            [program for _, program in misses], max_cycles=max_cycles
-        )
-        for (position, program), data in zip(misses, batch):
-            key = keys[position]
-            if key in compiled_by_key:   # duplicate program in the batch
-                continue
-            if data is None:
-                run = vector.simulate(program, max_cycles=max_cycles)
-            else:
-                run = vector.reconstruct(program, data,
-                                         max_cycles=max_cycles)
-            _simulations += 1
-            if run is None:
-                trace = PipelineSimulator(program).run(max_cycles=max_cycles)
-                compiled = compile_trace(trace, design.excitation)
-            else:
-                compiled = compile_vector_run(run, design.excitation)
-            if _store is not None:
-                _store.save_compiled_trace(compiled, program, design,
-                                           max_cycles)
-            _insert_cached(key, compiled)
-            compiled_by_key[key] = compiled
+        with obs_span("dta.compile_batch", misses=len(misses)):
+            batch = lockstep.collect_batch(
+                [program for _, program in misses], max_cycles=max_cycles
+            )
+            for (position, program), data in zip(misses, batch):
+                key = keys[position]
+                if key in compiled_by_key:  # duplicate program in the batch
+                    continue
+                with obs_span("dta.compile", program=program.name):
+                    if data is None:
+                        run = vector.simulate(program, max_cycles=max_cycles)
+                    else:
+                        run = vector.reconstruct(program, data,
+                                                 max_cycles=max_cycles)
+                    _simulations += 1
+                    if run is None:
+                        trace = PipelineSimulator(program).run(
+                            max_cycles=max_cycles
+                        )
+                        compiled = compile_trace(trace, design.excitation)
+                    else:
+                        compiled = compile_vector_run(run, design.excitation)
+                if _store is not None:
+                    _store.save_compiled_trace(compiled, program, design,
+                                               max_cycles)
+                _insert_cached(key, compiled)
+                compiled_by_key[key] = compiled
 
     return [compiled_by_key[key] for key in keys]
 

@@ -26,6 +26,9 @@ serial in-process result.
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.trace import span as obs_span
 from repro.dta.analyzer import analyze_event_log
 from repro.dta.extraction import (
     DEFAULT_MIN_OCCURRENCES,
@@ -82,6 +85,16 @@ def characterize_program(program, design,
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown characterisation engine {engine!r}")
+    with obs_span("characterize.program", program=program.name,
+                  engine=engine):
+        return _characterize_program_impl(
+            program, design, min_occurrences, sim_period_ps, engine,
+            keep_run,
+        )
+
+
+def _characterize_program_impl(program, design, min_occurrences,
+                               sim_period_ps, engine, keep_run):
     gatesim = GateLevelSimulator(program, design, sim_period_ps=sim_period_ps)
     if engine == "array":
         dta, compiled = gatesim.run_dta()
@@ -137,12 +150,22 @@ def _cached_program_lut(program, design, min_occurrences, sim_period_ps,
 def _shard_worker(payload):
     """Pool entry point: characterise one program in a worker process.
 
-    Returns the worker-side store counters too, so the parent's stats
-    reflect sharded activity exactly like a serial run's."""
+    Returns the worker-side store counters and an observability payload
+    (counter deltas + spans when the parent traces), so the parent's
+    stats and telemetry reflect sharded activity exactly like a serial
+    run's."""
     (index, program, variant_value, voltage, min_occurrences,
-     sim_period_ps, engine, store_root) = payload
+     sim_period_ps, engine, store_root, telemetry) = payload
     from repro.timing.design import build_design
     from repro.timing.profiles import DesignVariant
+
+    if telemetry:
+        # always a fresh per-worker tracer: under fork the child inherits
+        # the parent's, and recording onto it would mislabel worker spans
+        import os
+
+        obs_trace.set_tracer(obs_trace.Tracer(label=f"worker-{os.getpid()}"))
+    baseline = obs_metrics.gather()
 
     design = build_design(DesignVariant(variant_value), voltage=voltage)
     store = None
@@ -154,7 +177,12 @@ def _shard_worker(payload):
         program, design, min_occurrences, sim_period_ps, engine, store
     )
     stats = store.stats.as_dict() if store is not None else None
-    return index, lut.to_json(), num_cycles, stats
+    tracer = obs_trace.get_tracer()
+    obs = {
+        "counters": obs_metrics.delta_since(baseline),
+        "spans": tracer.drain() if tracer is not None else [],
+    }
+    return index, lut.to_json(), num_cycles, stats, obs
 
 
 def _characterize_impl(design, programs=None,
@@ -210,21 +238,24 @@ def _characterize_impl(design, programs=None,
         from repro.dta.lut import DelayLUT
 
         store_root = str(store.root) if store is not None else None
+        telemetry = obs_trace.is_enabled()
         payloads = [
             (index, program, design.variant.value, design.library.voltage,
-             min_occurrences, sim_period_ps, engine, store_root)
+             min_occurrences, sim_period_ps, engine, store_root, telemetry)
             for index, program in enumerate(programs)
         ]
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(programs))
         ) as pool:
-            for index, lut_json, num_cycles, stats in pool.map(
+            for index, lut_json, num_cycles, stats, obs in pool.map(
                 _shard_worker, payloads
             ):
                 luts[index] = DelayLUT.from_json(lut_json)
                 cycle_counts[index] = num_cycles
                 if store is not None and stats is not None:
                     store.stats.merge(stats)
+                obs_metrics.merge(obs["counters"])
+                obs_trace.merge_worker_spans(obs["spans"])
     else:
         for index, program in enumerate(programs):
             if keep_runs:
@@ -244,7 +275,8 @@ def _characterize_impl(design, programs=None,
 
     total_cycles = sum(cycle_counts)
     # canonical suite-order merge: bit-identical however the batches ran
-    merged = merge_luts(luts)
+    with obs_span("characterize.merge", programs=len(programs)):
+        merged = merge_luts(luts)
     merged.source = f"{len(programs)} programs / {total_cycles} cycles"
     return CharacterizationResult(
         design=design, lut=merged, runs=runs, total_cycles=total_cycles

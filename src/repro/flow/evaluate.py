@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.clocking.controller import ClockAdjustmentController
 from repro.dta.compiled import get_compiled_trace, get_compiled_traces
+from repro.obs.trace import span as obs_span
 from repro.sim.pipeline import PipelineSimulator
 from repro.sim.trace import Stage
 from repro.utils.units import ps_to_mhz
@@ -200,27 +201,31 @@ def _evaluate_batch(programs, design, configs,
     """
     programs = list(programs)
     configs = list(configs)
-    if engine == "lockstep":
-        compiled = get_compiled_traces(programs, design,
-                                       max_cycles=max_cycles)
-    else:
-        compiled = [
-            get_compiled_trace(program, design, max_cycles=max_cycles)
-            for program in programs
-        ]
-    results = []
-    for config in configs:
-        row = []
-        for trace in compiled:
-            row.append(
-                evaluate_compiled(
-                    trace, design, config.make_policy(),
-                    generator=config.make_generator(),
-                    margin_percent=config.margin_percent,
-                    check_safety=config.check_safety,
-                )
-            )
-        results.append(row)
+    with obs_span("evaluate.batch", programs=len(programs),
+                  configs=len(configs), engine=engine):
+        if engine == "lockstep":
+            compiled = get_compiled_traces(programs, design,
+                                           max_cycles=max_cycles)
+        else:
+            compiled = [
+                get_compiled_trace(program, design, max_cycles=max_cycles)
+                for program in programs
+            ]
+        results = []
+        for index, config in enumerate(configs):
+            row = []
+            with obs_span("evaluate.config",
+                          label=config.label or f"config-{index}"):
+                for trace in compiled:
+                    row.append(
+                        evaluate_compiled(
+                            trace, design, config.make_policy(),
+                            generator=config.make_generator(),
+                            margin_percent=config.margin_percent,
+                            check_safety=config.check_safety,
+                        )
+                    )
+            results.append(row)
     return results
 
 

@@ -43,6 +43,9 @@ from dataclasses import dataclass, field
 from repro.api.frame import EVALUATION_SCHEMA, ResultFrame
 from repro.lab.scenario import ScenarioGrid
 from repro.lab.store import ArtifactStore, StoreStats
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.trace import span as obs_span
 
 #: Manifest layout version (independent of the artifact-store schema).
 MANIFEST_VERSION = 1
@@ -89,9 +92,17 @@ def result_to_dict(result, design_point, spec):
 _WORKER = {}
 
 
-def _worker_init(grid_dict, store_root, engine="vector"):
+def _worker_init(grid_dict, store_root, engine="vector", telemetry=False,
+                 ship_obs=False):
     from repro.dta.compiled import set_trace_store, simulation_count
 
+    if telemetry:
+        # subprocess shard of a traced sweep: record spans locally and
+        # ship them back with each result batch (the parent merges them
+        # onto its timeline as a per-worker track).  Always a fresh
+        # tracer — under fork the child inherits the parent's, and
+        # recording onto it would mislabel worker spans as the parent's.
+        obs_trace.set_tracer(obs_trace.Tracer(label=f"worker-{os.getpid()}"))
     store = ArtifactStore(store_root) if store_root else None
     previous = set_trace_store(store) if store is not None else None
     _WORKER.clear()
@@ -104,6 +115,12 @@ def _worker_init(grid_dict, store_root, engine="vector"):
         # baseline, not reset: simulations run before this sweep (other
         # tests, fork-inherited counters) must not be attributed to it
         sim_baseline=simulation_count(),
+        # ship_obs marks a subprocess shard: counter deltas (and spans)
+        # ride back through the result channel.  Serial in-process runs
+        # leave it off — their increments land in the parent's ambient
+        # registry/tracer directly, so shipping would double count.
+        ship_obs=ship_obs,
+        obs_baseline=obs_metrics.gather() if ship_obs else None,
     )
 
 
@@ -154,28 +171,32 @@ def _run_units(design_point, workloads):
     programs share a single batched ISS pass; under ``vector`` the batch
     degenerates to the per-program loop and is bit-identical to running
     units one at a time.  Returns ``(rows_per_unit, store_stats_delta,
-    simulations_delta)`` — counters are snapshotted per batch so the
-    parent can aggregate them across any number of workers.
+    simulations_delta, obs_delta)`` — counters are snapshotted per batch
+    so the parent can aggregate them across any number of workers;
+    ``obs_delta`` is ``None`` except in subprocess shards, where it
+    carries the worker's registry counter deltas and span buffer.
     """
     from repro.dta.compiled import simulation_count
     from repro.flow.evaluate import _evaluate_batch
     from repro.workloads import resolve_program
 
     grid = _WORKER["grid"]
-    design, specs, configs = _context_for(design_point)
-    programs = [resolve_program(workload) for workload in workloads]
-    grid_results = _evaluate_batch(
-        [program for program in programs], design, configs,
-        max_cycles=grid.max_cycles,
-        engine=_WORKER.get("engine", "vector"),
-    )
-    rows_per_unit = [
-        [
-            result_to_dict(config_row[position], design_point, spec)
-            for spec, config_row in zip(specs, grid_results)
+    with obs_span("sweep.unit_batch", design_point=str(design_point.key),
+                  units=len(workloads)):
+        design, specs, configs = _context_for(design_point)
+        programs = [resolve_program(workload) for workload in workloads]
+        grid_results = _evaluate_batch(
+            [program for program in programs], design, configs,
+            max_cycles=grid.max_cycles,
+            engine=_WORKER.get("engine", "vector"),
+        )
+        rows_per_unit = [
+            [
+                result_to_dict(config_row[position], design_point, spec)
+                for spec, config_row in zip(specs, grid_results)
+            ]
+            for position in range(len(programs))
         ]
-        for position in range(len(programs))
-    ]
     store = _WORKER["store"]
     stats = store.stats.as_dict() if store is not None else None
     if store is not None:
@@ -183,12 +204,22 @@ def _run_units(design_point, workloads):
     count = simulation_count()
     simulations = count - _WORKER["sim_baseline"]
     _WORKER["sim_baseline"] = count
-    return rows_per_unit, stats, simulations
+    obs = None
+    if _WORKER.get("ship_obs"):
+        tracer = obs_trace.get_tracer()
+        obs = {
+            "counters": obs_metrics.delta_since(_WORKER["obs_baseline"]),
+            "spans": tracer.drain() if tracer is not None else [],
+        }
+        _WORKER["obs_baseline"] = obs_metrics.gather()
+    return rows_per_unit, stats, simulations, obs
 
 
 def _run_unit(design_point, workload):
     """Single-unit wrapper over :func:`_run_units`."""
-    rows_per_unit, stats, simulations = _run_units(design_point, [workload])
+    rows_per_unit, stats, simulations, _ = _run_units(
+        design_point, [workload]
+    )
     return rows_per_unit[0], stats, simulations
 
 
@@ -196,14 +227,14 @@ def _run_units_task(payload):
     """Pool entry point: payload is
     ``(design_point, [(unit_id, workload), ...])``."""
     design_point, units = payload
-    rows_per_unit, stats, simulations = _run_units(
+    rows_per_unit, stats, simulations, obs = _run_units(
         design_point, [workload for _, workload in units]
     )
     unit_rows = [
         (unit_id, rows)
         for (unit_id, _), rows in zip(units, rows_per_unit)
     ]
-    return unit_rows, stats, simulations
+    return unit_rows, stats, simulations, obs
 
 
 # -- parent side -------------------------------------------------------------
@@ -430,8 +461,10 @@ class SweepRunner:
         only the missing batches."""
         if self.store is None:
             return
-        for point in self.grid.design_points():
-            self.store.get_lut(point.build(), jobs=self.jobs)
+        with obs_span("sweep.warm_luts",
+                      design_points=len(self.grid.design_points())):
+            for point in self.grid.design_points():
+                self.store.get_lut(point.build(), jobs=self.jobs)
 
     def run(self, resume=False, progress=None):
         """Execute the grid; returns a :class:`SweepRunResult`.
@@ -455,9 +488,14 @@ class SweepRunner:
             self.grid, resume=resume, progress=progress, runner=self
         )
 
-    def _execute(self, resume=False, progress=None):
+    def _execute(self, resume=False, progress=None, on_unit=None):
         """The execution engine behind :meth:`run` /
-        :meth:`repro.api.Session.sweep`."""
+        :meth:`repro.api.Session.sweep`.
+
+        ``on_unit(done, total)`` is called after every completed unit
+        (and once up front with the resumed count) — the hook behind
+        ``repro sweep --progress``.
+        """
         start = time.perf_counter()
         stats = StoreStats() if self.store is not None else None
         simulations = 0
@@ -469,7 +507,11 @@ class SweepRunner:
 
         jobs_effective = self.jobs
         parallel_fallback = False
-        if self.jobs > 1 and len(pending) < self.parallel_threshold:
+        if (self.jobs > 1 and len(pending) < self.parallel_threshold
+                and not obs_trace.is_enabled()):
+            # a traced parallel sweep must show actual parallel execution
+            # (per-worker tracks), so tracing bypasses the small-run
+            # in-process fallback; untraced runs keep the perf heuristic
             jobs_effective = 1
             parallel_fallback = True
 
@@ -480,6 +522,8 @@ class SweepRunner:
                 f"configs, jobs={self.jobs}"
                 + (" (in-process: small run)" if parallel_fallback else "")
             )
+        if on_unit:
+            on_unit(resumed, len(units))
 
         self.warm_luts()
         if stats is not None:
@@ -487,17 +531,33 @@ class SweepRunner:
             self.store.stats.reset()
 
         if pending:
+            done_state = {"done": resumed, "total": len(units)}
+
+            def unit_done():
+                done_state["done"] += 1
+                if on_unit:
+                    on_unit(done_state["done"], done_state["total"])
+
             if jobs_effective == 1:
-                outcomes = self._run_serial(pending, completed, progress)
+                outcomes = self._run_serial(pending, completed, progress,
+                                            unit_done)
             else:
                 outcomes = self._run_parallel(pending, completed, progress,
-                                              jobs_effective)
-            for unit_stats, unit_simulations in outcomes:
+                                              jobs_effective, unit_done)
+            for unit_stats, unit_simulations, obs in outcomes:
                 if stats is not None and unit_stats is not None:
                     stats.merge(unit_stats)
                 simulations += unit_simulations
+                if obs is not None:
+                    # subprocess shard: fold the worker's counter deltas
+                    # into the parent registry (the historical fix for
+                    # counters vanishing in --jobs N sweeps) and its
+                    # spans onto the parent timeline
+                    obs_metrics.merge(obs["counters"])
+                    obs_trace.merge_worker_spans(obs["spans"])
 
-        rows = self._merge(completed)
+        with obs_span("sweep.merge", units=len(units)):
+            rows = self._merge(completed)
         result = SweepRunResult.from_rows(
             rows,
             grid=self.grid,
@@ -534,25 +594,28 @@ class SweepRunner:
                 groups.append((point, [(unit_id, workload)]))
         return groups
 
-    def _run_serial(self, pending, completed, progress):
+    def _run_serial(self, pending, completed, progress, unit_done=None):
         store_root = str(self.store.root) if self.store is not None else None
         _worker_init(self.grid.to_dict(), store_root, self.engine)
         outcomes = []
         try:
             for point, group in self._grouped(pending):
-                rows_per_unit, unit_stats, unit_simulations = _run_units(
-                    point, [workload for _, workload in group]
+                rows_per_unit, unit_stats, unit_simulations, obs = (
+                    _run_units(point, [workload for _, workload in group])
                 )
-                outcomes.append((unit_stats, unit_simulations))
+                outcomes.append((unit_stats, unit_simulations, obs))
                 for (unit_id, _), rows in zip(group, rows_per_unit):
                     self._checkpoint_unit(completed, unit_id, rows)
                     if progress:
                         progress(f"  done {unit_id}")
+                    if unit_done:
+                        unit_done()
         finally:
             _worker_teardown()
         return outcomes
 
-    def _run_parallel(self, pending, completed, progress, jobs):
+    def _run_parallel(self, pending, completed, progress, jobs,
+                      unit_done=None):
         store_root = str(self.store.root) if self.store is not None else None
         # shard each design point's units into ~jobs batches, so every
         # worker gets one batched ISS pass per (design point, shard)
@@ -565,18 +628,23 @@ class SweepRunner:
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(tasks)),
             initializer=_worker_init,
-            initargs=(self.grid.to_dict(), store_root, self.engine),
+            initargs=(self.grid.to_dict(), store_root, self.engine,
+                      obs_trace.is_enabled(), True),
         ) as pool:
             futures = [
                 pool.submit(_run_units_task, task) for task in tasks
             ]
             for future in as_completed(futures):
-                unit_rows, unit_stats, unit_simulations = future.result()
-                outcomes.append((unit_stats, unit_simulations))
+                unit_rows, unit_stats, unit_simulations, obs = (
+                    future.result()
+                )
+                outcomes.append((unit_stats, unit_simulations, obs))
                 for unit_id, rows in unit_rows:
                     self._checkpoint_unit(completed, unit_id, rows)
                     if progress:
                         progress(f"  done {unit_id}")
+                    if unit_done:
+                        unit_done()
         return outcomes
 
     def _merge(self, completed):

@@ -33,6 +33,8 @@ import numpy as np
 from repro.dta.compiled import CompiledTrace
 from repro.dta.extraction import DEFAULT_MIN_OCCURRENCES
 from repro.dta.lut import DelayLUT
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span as obs_span
 
 #: Bump when anything that *computes* an artifact changes — on-disk
 #: layout, the timing model (profiles/excitation/library scaling), the
@@ -91,6 +93,11 @@ class StoreStats:
 
     def record(self, kind, event):
         self.counts[kind][event] += 1
+        # mirror into the process-wide registry: per-store objects come
+        # and go (workers, sessions), the registry view survives them.
+        # merge() deliberately does NOT mirror — merged worker counters
+        # reach the parent registry through the obs delta channel.
+        obs_metrics.inc(f"store.{kind}.{event}")
 
     def get(self, kind, event):
         return self.counts[kind][event]
@@ -196,6 +203,11 @@ class ArtifactStore:
     def save_compiled_trace(self, compiled, program, design, max_cycles):
         """Persist a compiled trace (delays are materialised first)."""
         path = self.trace_path(program, design, max_cycles)
+        with obs_span("store.trace.save", program=compiled.program_name):
+            self._save_compiled_trace(path, compiled)
+        self.stats.record("trace", "writes")
+
+    def _save_compiled_trace(self, path, compiled):
         delays = compiled.delays   # force the lazy matrix before freezing
         payload = {
             "schema": np.int64(self.schema_version),
@@ -213,7 +225,6 @@ class ArtifactStore:
             "delays": delays,
         }
         self._write_atomic(path, lambda tmp: np.savez(tmp, **payload))
-        self.stats.record("trace", "writes")
 
     def load_compiled_trace(self, program, design, max_cycles):
         """Rehydrate a compiled trace, or ``None`` on miss/corruption.
@@ -228,7 +239,8 @@ class ArtifactStore:
             self.stats.record("trace", "misses")
             return None
         try:
-            compiled = self._read_trace(path)
+            with obs_span("store.trace.load", program=program.name):
+                compiled = self._read_trace(path)
         except StoreCorruption:
             self.stats.record("trace", "corrupt")
             self.stats.record("trace", "misses")
@@ -288,15 +300,16 @@ class ArtifactStore:
 
     def save_lut(self, lut, design, min_occurrences=DEFAULT_MIN_OCCURRENCES):
         path = self.lut_path(design, min_occurrences)
-        document = json.dumps({
-            "schema": self.schema_version,
-            "variant": design.variant.value,
-            "voltage": design.library.voltage,
-            "lut": json.loads(lut.to_json()),
-        }, indent=2, sort_keys=True)
-        self._write_atomic(
-            path, lambda tmp: pathlib.Path(tmp).write_text(document)
-        )
+        with obs_span("store.lut.save"):
+            document = json.dumps({
+                "schema": self.schema_version,
+                "variant": design.variant.value,
+                "voltage": design.library.voltage,
+                "lut": json.loads(lut.to_json()),
+            }, indent=2, sort_keys=True)
+            self._write_atomic(
+                path, lambda tmp: pathlib.Path(tmp).write_text(document)
+            )
         self.stats.record("lut", "writes")
 
     def load_lut(self, design, min_occurrences=DEFAULT_MIN_OCCURRENCES):
@@ -305,10 +318,11 @@ class ArtifactStore:
             self.stats.record("lut", "misses")
             return None
         try:
-            payload = json.loads(path.read_text())
-            if payload.get("schema") != self.schema_version:
-                raise StoreCorruption("schema mismatch")
-            lut = DelayLUT.from_json(json.dumps(payload["lut"]))
+            with obs_span("store.lut.load"):
+                payload = json.loads(path.read_text())
+                if payload.get("schema") != self.schema_version:
+                    raise StoreCorruption("schema mismatch")
+                lut = DelayLUT.from_json(json.dumps(payload["lut"]))
         except (StoreCorruption, KeyError, TypeError, ValueError, OSError):
             self.stats.record("lut", "corrupt")
             self.stats.record("lut", "misses")
@@ -365,15 +379,16 @@ class ArtifactStore:
         path = self.char_lut_path(
             design, program, min_occurrences, sim_period_ps
         )
-        document = json.dumps({
-            "schema": self.schema_version,
-            "program": program.name,
-            "num_cycles": num_cycles,
-            "lut": json.loads(lut.to_json()),
-        }, indent=2, sort_keys=True)
-        self._write_atomic(
-            path, lambda tmp: pathlib.Path(tmp).write_text(document)
-        )
+        with obs_span("store.charlut.save", program=program.name):
+            document = json.dumps({
+                "schema": self.schema_version,
+                "program": program.name,
+                "num_cycles": num_cycles,
+                "lut": json.loads(lut.to_json()),
+            }, indent=2, sort_keys=True)
+            self._write_atomic(
+                path, lambda tmp: pathlib.Path(tmp).write_text(document)
+            )
         self.stats.record("charlut", "writes")
 
     def load_char_lut(self, design, program,
@@ -388,11 +403,12 @@ class ArtifactStore:
             self.stats.record("charlut", "misses")
             return None
         try:
-            payload = json.loads(path.read_text())
-            if payload.get("schema") != self.schema_version:
-                raise StoreCorruption("schema mismatch")
-            lut = DelayLUT.from_json(json.dumps(payload["lut"]))
-            num_cycles = int(payload["num_cycles"])
+            with obs_span("store.charlut.load", program=program.name):
+                payload = json.loads(path.read_text())
+                if payload.get("schema") != self.schema_version:
+                    raise StoreCorruption("schema mismatch")
+                lut = DelayLUT.from_json(json.dumps(payload["lut"]))
+                num_cycles = int(payload["num_cycles"])
         except (StoreCorruption, KeyError, TypeError, ValueError, OSError):
             self.stats.record("charlut", "corrupt")
             self.stats.record("charlut", "misses")

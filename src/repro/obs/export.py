@@ -1,0 +1,179 @@
+"""Telemetry exporters: Chrome trace-event JSON, flat summaries, frames.
+
+Three consumers, three shapes:
+
+- :func:`chrome_trace` / :func:`write_chrome_trace` — the Trace Event
+  Format understood by Perfetto and ``chrome://tracing``: one complete
+  (``"ph": "X"``) event per span on a per-process track, so a
+  ``--jobs N`` sweep renders as the parent plus one lane per worker.
+- :func:`summary_rows` — per-span-name aggregates (count, wall, CPU)
+  behind ``repro profile``'s breakdown table and the JSON/CSV summary.
+- :func:`telemetry_frame` — spans as a ``TELEMETRY``
+  :class:`~repro.api.frame.ResultFrame`, riding the existing columnar
+  frame/store machinery.
+
+:func:`validate_chrome_trace` is the schema check the ``obs-smoke`` CI
+job and the test suite run against emitted traces.
+"""
+
+import json
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "summary_rows",
+    "summary_csv",
+    "telemetry_frame",
+]
+
+
+def _track_order(spans):
+    """(pid, worker) pairs in first-seen order → stable track layout."""
+    seen = {}
+    for record in spans:
+        seen.setdefault((record["pid"], record["worker"]))
+    return list(seen)
+
+
+def chrome_trace(spans, counters=None, label="repro"):
+    """Build a Chrome trace-event document from span records.
+
+    Each distinct span ``pid`` becomes its own process track (workers of
+    a parallel sweep land on distinct tracks); counters ride along under
+    ``otherData`` so one file carries the whole telemetry picture.
+    """
+    events = []
+    for pid, worker in _track_order(spans):
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": f"{label}:{worker}"},
+        })
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": worker},
+        })
+    for record in sorted(
+        spans, key=lambda r: (r["pid"], r["start_us"], -r["depth"])
+    ):
+        events.append({
+            "name": record["span"],
+            "cat": record["category"],
+            "ph": "X",
+            "ts": record["start_us"],
+            "dur": record["duration_us"],
+            "pid": record["pid"],
+            "tid": 0,
+            "args": {**record["attrs"], "cpu_us": record["cpu_us"]},
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"counters": dict(counters or {})},
+    }
+
+
+def write_chrome_trace(path, spans, counters=None, label="repro"):
+    """Write :func:`chrome_trace` output to ``path``; returns the doc."""
+    payload = chrome_trace(spans, counters=counters, label=label)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def validate_chrome_trace(payload):
+    """Check ``payload`` against the trace-event schema we emit.
+
+    Raises ``ValueError`` on the first violation; returns the set of
+    span categories present (useful for coverage assertions).
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("trace payload must be a JSON object")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace payload is missing the traceEvents list")
+    categories = set()
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{index}] is not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                raise ValueError(
+                    f"traceEvents[{index}] is missing {key!r}"
+                )
+        phase = event["ph"]
+        if phase == "M":
+            continue
+        if phase != "X":
+            raise ValueError(
+                f"traceEvents[{index}] has unexpected phase {phase!r}"
+            )
+        for key in ("ts", "dur", "cat"):
+            if key not in event:
+                raise ValueError(
+                    f"traceEvents[{index}] is missing {key!r}"
+                )
+        if not isinstance(event["ts"], (int, float)):
+            raise ValueError(f"traceEvents[{index}].ts is not numeric")
+        if not isinstance(event["dur"], (int, float)):
+            raise ValueError(f"traceEvents[{index}].dur is not numeric")
+        if event["dur"] < 0:
+            raise ValueError(f"traceEvents[{index}].dur is negative")
+        categories.add(event["cat"])
+    return categories
+
+
+def summary_rows(spans):
+    """Aggregate spans per name: count, total/mean wall ms, CPU ms.
+
+    Rows come back sorted by total wall time, descending — the
+    ``repro profile`` breakdown order.
+    """
+    totals = {}
+    for record in spans:
+        entry = totals.setdefault(
+            record["span"],
+            {"span": record["span"], "category": record["category"],
+             "count": 0, "wall_ms": 0.0, "cpu_ms": 0.0},
+        )
+        entry["count"] += 1
+        entry["wall_ms"] += record["duration_us"] / 1e3
+        entry["cpu_ms"] += record["cpu_us"] / 1e3
+    rows = sorted(
+        totals.values(), key=lambda r: (-r["wall_ms"], r["span"])
+    )
+    for row in rows:
+        row["mean_ms"] = row["wall_ms"] / row["count"]
+    return rows
+
+
+def summary_csv(spans):
+    """The :func:`summary_rows` aggregate as CSV text."""
+    lines = ["span,category,count,wall_ms,cpu_ms,mean_ms"]
+    for row in summary_rows(spans):
+        lines.append(
+            f"{row['span']},{row['category']},{row['count']},"
+            f"{row['wall_ms']:.3f},{row['cpu_ms']:.3f},"
+            f"{row['mean_ms']:.3f}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def telemetry_frame(spans):
+    """Spans as a ``TELEMETRY`` :class:`~repro.api.frame.ResultFrame`."""
+    from repro.api.frame import TELEMETRY_SCHEMA, ResultFrame
+
+    return ResultFrame.from_rows(
+        [
+            {
+                "span": r["span"], "category": r["category"],
+                "worker": r["worker"], "pid": r["pid"],
+                "depth": r["depth"], "start_us": r["start_us"],
+                "duration_us": r["duration_us"], "cpu_us": r["cpu_us"],
+                "attrs": r["attrs"],
+            }
+            for r in spans
+        ],
+        TELEMETRY_SCHEMA,
+    )

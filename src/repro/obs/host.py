@@ -1,0 +1,44 @@
+"""Host metadata for benchmark artifacts.
+
+``BENCH_*.json`` numbers are only interpretable PR over PR when the
+hardware and toolchain behind them are recorded alongside: a 0.19 s
+cold sweep on a 2-core CI runner and on a 16-core workstation are
+different facts.  :func:`host_metadata` captures the pieces that move
+benchmark numbers — usable cores, Python/NumPy versions, platform —
+with no dependencies beyond the standard library and NumPy.
+"""
+
+import os
+import platform
+import sys
+
+__all__ = ["host_metadata"]
+
+
+def host_metadata(engine=None):
+    """Dict of host facts for embedding in ``BENCH_*.json`` documents."""
+    try:
+        cores_usable = len(os.sched_getaffinity(0))
+    except AttributeError:                           # pragma: no cover
+        cores_usable = os.cpu_count() or 1
+    import numpy
+
+    meta = {
+        "cores_usable": cores_usable,
+        "cores_total": os.cpu_count() or 1,
+        "python_version": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "numpy_version": numpy.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+    if engine is not None:
+        meta["engine"] = engine
+    return meta
+
+
+if __name__ == "__main__":                           # pragma: no cover
+    import json
+
+    json.dump(host_metadata(), sys.stdout, indent=2, sort_keys=True)
+    print()

@@ -1,0 +1,69 @@
+"""Per-unit progress reporting for sweeps (``repro sweep --progress``).
+
+A :class:`UnitProgress` renders a single self-overwriting line on
+stderr::
+
+    sweep 7/18 units (38%) eta 0.4s
+
+The ETA extrapolates the completed-unit rate from the run's own
+timeline (elapsed / units done so far), which is the same signal the
+span stream carries.  Rendering auto-disables when the stream is not a
+TTY (CI logs stay clean), and everything here is presentation only —
+progress never touches results or artifacts.
+"""
+
+import sys
+import time
+
+__all__ = ["UnitProgress"]
+
+
+class UnitProgress:
+    """Renders ``done/total`` unit progress with an ETA on one line."""
+
+    def __init__(self, total, stream=None, enabled=None,
+                 clock=time.perf_counter, label="sweep"):
+        self.total = max(int(total), 0)
+        self.stream = sys.stderr if stream is None else stream
+        if enabled is None:
+            isatty = getattr(self.stream, "isatty", lambda: False)
+            enabled = bool(isatty())
+        self.enabled = enabled
+        self.label = label
+        self._clock = clock
+        self._start = None
+        self._start_done = 0
+        self._rendered = False
+
+    def update(self, done, total=None):
+        """Render progress after ``done`` of ``total`` units finished."""
+        if total is not None:
+            self.total = max(int(total), 0)
+        if not self.enabled:
+            return
+        now = self._clock()
+        if self._start is None:
+            # first callback: resumed units arrive pre-completed, so the
+            # rate is measured from here, not from zero
+            self._start = now
+            self._start_done = done
+        line = self._format(done, now)
+        self.stream.write("\r" + line + "\x1b[K")
+        self.stream.flush()
+        self._rendered = True
+
+    def _format(self, done, now):
+        total = self.total
+        percent = (100.0 * done / total) if total else 100.0
+        line = f"{self.label} {done}/{total} units ({percent:.0f}%)"
+        progressed = done - self._start_done
+        if progressed > 0 and done < total:
+            rate = (now - self._start) / progressed
+            line += f" eta {rate * (total - done):.1f}s"
+        return line
+
+    def finish(self):
+        """Terminate the progress line (newline) if anything rendered."""
+        if self.enabled and self._rendered:
+            self.stream.write("\n")
+            self.stream.flush()

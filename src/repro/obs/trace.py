@@ -1,0 +1,184 @@
+"""Span-based tracer: nested wall/CPU-timed spans with a no-op fast path.
+
+The engine is instrumented with *guarded call sites*::
+
+    from repro.obs import trace
+
+    with trace.span("iss.collect", program=program.name):
+        ...
+
+When no tracer is installed (the default), :func:`span` returns a
+module-level singleton whose ``__enter__``/``__exit__`` do nothing — the
+cost of a disabled site is one global read, one ``is None`` test and two
+empty method calls, which :mod:`benchmarks.bench_obs_overhead` gates at
+under 2 % of a sweep.
+
+When a :class:`Tracer` is installed (``Session(telemetry=...)`` or
+:func:`set_tracer`), each ``span(...)`` context manager records a plain
+dict per span::
+
+    {"span": name, "category": name-prefix, "worker": tracer label,
+     "pid": os.getpid(), "depth": nesting depth,
+     "start_us": absolute unix microseconds,
+     "duration_us": wall, "cpu_us": process CPU, "attrs": {...}}
+
+Absolute timestamps come from a ``time.time()`` epoch captured at
+tracer construction plus ``perf_counter`` offsets, so spans recorded in
+*different processes* (multiprocessing sweep shards) line up on one
+timeline when the parent merges them (:func:`merge_worker_spans`).
+
+Timing data never feeds fingerprints or stored artifact bytes — the
+tracer is pure observation (``tests/test_obs_telemetry.py`` pins this).
+"""
+
+import os
+import time
+
+__all__ = [
+    "Tracer",
+    "span",
+    "set_tracer",
+    "get_tracer",
+    "is_enabled",
+    "merge_worker_spans",
+]
+
+
+class _NullSpan:
+    """Do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span: records wall + CPU time between enter and exit."""
+
+    __slots__ = ("_tracer", "_record", "_start_perf", "_start_cpu")
+
+    def __init__(self, tracer, name, attrs):
+        self._tracer = tracer
+        self._record = {
+            "span": name,
+            "category": name.split(".", 1)[0],
+            "worker": tracer.label,
+            "pid": tracer.pid,
+            "depth": 0,
+            "start_us": 0.0,
+            "duration_us": 0.0,
+            "cpu_us": 0.0,
+            "attrs": attrs,
+        }
+
+    def __enter__(self):
+        tracer = self._tracer
+        record = self._record
+        record["depth"] = len(tracer._stack)
+        tracer._stack.append(record["span"])
+        self._start_perf = time.perf_counter()
+        self._start_cpu = time.process_time()
+        record["start_us"] = (
+            tracer._epoch_unix_us
+            + (self._start_perf - tracer._epoch_perf) * 1e6
+        )
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        end_perf = time.perf_counter()
+        end_cpu = time.process_time()
+        record = self._record
+        record["duration_us"] = (end_perf - self._start_perf) * 1e6
+        record["cpu_us"] = (end_cpu - self._start_cpu) * 1e6
+        tracer = self._tracer
+        tracer._stack.pop()
+        tracer.spans.append(record)
+        return False
+
+
+class Tracer:
+    """Collects spans for one process.
+
+    Parameters
+    ----------
+    label:
+        Human-readable track name ("session", "worker", ...) used for
+        the Chrome-trace thread label and the TELEMETRY ``worker``
+        column.
+    """
+
+    def __init__(self, label="session"):
+        self.label = label
+        self.pid = os.getpid()
+        self.spans = []
+        self._stack = []
+        # time.time() and perf_counter() sampled back to back: absolute
+        # span timestamps are epoch + perf offsets, which keeps them
+        # monotonic within the process and comparable across processes.
+        self._epoch_unix_us = time.time() * 1e6
+        self._epoch_perf = time.perf_counter()
+
+    def span(self, name, **attrs):
+        """Context manager recording one nested span."""
+        return _Span(self, name, attrs)
+
+    def drain(self):
+        """Return all completed spans and clear the buffer (the shard →
+        parent shipping primitive)."""
+        spans, self.spans = self.spans, []
+        return spans
+
+    def snapshot(self):
+        """Copy of the completed spans recorded so far."""
+        return list(self.spans)
+
+    def absorb(self, spans):
+        """Append externally recorded span dicts (e.g. shipped back from
+        a multiprocessing worker) onto this tracer's buffer."""
+        self.spans.extend(spans)
+
+
+#: The process-wide active tracer; ``None`` means tracing is disabled.
+_tracer = None
+
+
+def span(name, **attrs):
+    """Module-level guarded span: no-op unless a tracer is installed."""
+    tracer = _tracer
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def set_tracer(tracer):
+    """Install ``tracer`` (or ``None`` to disable); returns the previous
+    one so callers can restore it."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer
+    return previous
+
+
+def get_tracer():
+    """The currently installed :class:`Tracer`, or ``None``."""
+    return _tracer
+
+
+def is_enabled():
+    """True when a tracer is installed in this process."""
+    return _tracer is not None
+
+
+def merge_worker_spans(spans):
+    """Merge spans shipped back from a worker process onto the active
+    tracer's timeline; silently dropped when tracing is disabled."""
+    tracer = _tracer
+    if tracer is not None and spans:
+        tracer.absorb(spans)

@@ -37,6 +37,7 @@ import time
 import numpy as np
 
 from repro.isa.registers import REG_LINK
+from repro.obs.trace import span as obs_span
 from repro.sim import predecode
 from repro.sim.pipeline import DEFAULT_DIV_LATENCY, DEFAULT_MAX_CYCLES
 from repro.sim.predecode import (
@@ -166,7 +167,8 @@ def collect_batch(programs, max_cycles=DEFAULT_MAX_CYCLES):
 
     if lanes:
         start = time.perf_counter()
-        _run_lanes(programs, images, lanes, max_cycles, results)
+        with obs_span("iss.lockstep", lanes=len(lanes)):
+            _run_lanes(programs, images, lanes, max_cycles, results)
         _stats["lockstep_seconds"] += time.perf_counter() - start
 
     for i, owner in duplicates:

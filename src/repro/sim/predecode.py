@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.isa.opcodes import SPECS, InstructionKind, KIND_CODE
 from repro.isa.registers import REG_LINK
+from repro.obs.trace import span as obs_span
 from repro.sim.memory import Memory
 from repro.sim.state import ArchState
 from repro.utils.bitops import sign_extend, to_signed32
@@ -449,7 +450,8 @@ def image_for(program):
         _stats["image_hits"] += 1
         return image
     start = time.perf_counter()
-    image = DecodedImage(program)
+    with obs_span("iss.decode", program=program.name):
+        image = DecodedImage(program)
     _stats["decode_seconds"] += time.perf_counter() - start
     _stats["images_built"] += 1
     _images[key] = image
@@ -487,7 +489,8 @@ def collect(program, max_cycles):
             return None
         _stats["fast_runs"] += 1
         return _clone_data(cached, program)
-    data = _collect_impl(image, program, max_cycles)
+    with obs_span("iss.collect", program=program.name):
+        data = _collect_impl(image, program, max_cycles)
     if data is None:
         image.iss_results[max_cycles] = _DEFERRED
         return None

@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.isa.encoding import EncodingError, decode
 from repro.isa.opcodes import KIND_CODE, InstructionKind
+from repro.obs.trace import span as obs_span
 from repro.sim import predecode
 from repro.sim.iss import HALT_NOP_CODE, FunctionalSimulator, SimulationError
 from repro.sim.predecode import IssData
@@ -263,7 +264,8 @@ def simulate(program, div_latency=DEFAULT_DIV_LATENCY,
     if div_latency < 1:
         raise ValueError("div_latency must be at least 1 cycle")
     try:
-        return _simulate(program, div_latency, max_cycles)
+        with obs_span("sim.vector", program=program.name):
+            return _simulate(program, div_latency, max_cycles)
     except _Fallback as fallback:
         _fallbacks["count"] += 1
         _fallbacks["reason"] = str(fallback)
@@ -374,7 +376,8 @@ def _collect_iss(program, max_cycles):
 def _simulate(program, div_latency, max_cycles):
     data = predecode.collect(program, max_cycles)
     if data is None:
-        data = _collect_iss(program, max_cycles)
+        with obs_span("iss.object", program=program.name):
+            data = _collect_iss(program, max_cycles)
     return _reconstruct(program, div_latency, max_cycles, data)
 
 

@@ -17,6 +17,7 @@ EXPECTED_ALL = [
     "ADAPT_SCHEMA",
     "OVERSCALING_SCHEMA",
     "TRAINING_SCHEMA",
+    "TELEMETRY_SCHEMA",
     "ENGINES",
     "DEFAULT_OVERSCALE_FACTORS",
     "design_point_label",
@@ -31,7 +32,7 @@ EXPECTED_SESSION_SIGNATURES = {
         "(self, variant='critical_range', voltage=0.7, *, design=None, "
         "lut=None, characterization=None, store=None, engine='vector', "
         "jobs=1, max_cycles=4000000, min_occurrences=30, "
-        "store_budget_bytes=None, seed=None)"
+        "store_budget_bytes=None, seed=None, telemetry=None)"
     ),
     "for_design": "(cls, design, **kwargs)",
     "characterize": (
@@ -46,8 +47,9 @@ EXPECTED_SESSION_SIGNATURES = {
     "evaluate_results": "(self, programs, configs)",
     "sweep": (
         "(self, grid, *, resume=False, progress=None, runner=None, "
-        "manifest_path=None)"
+        "manifest_path=None, on_unit=None)"
     ),
+    "telemetry_frame": "(self)",
     "training_table": "(self, grid, *, resume=False, progress=None)",
     "adapt": (
         "(self, programs, environment, *, schemes=None, "

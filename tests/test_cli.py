@@ -464,3 +464,101 @@ class TestTrain:
         bad.write_text('{"policies": ["warp"]}')
         assert main(["train", "--grid", str(bad)]) == 2
         assert "unknown policy" in capsys.readouterr().err
+
+
+class TestObservability:
+    """--trace / --progress / the profile subcommand."""
+
+    @staticmethod
+    def _seeded(tmp_path, design, lut):
+        from repro.lab.store import ArtifactStore
+
+        store_dir = tmp_path / "store"
+        ArtifactStore(store_dir).save_lut(lut, design)
+        grid_path = tmp_path / "grid.json"
+        grid_path.write_text(json.dumps({
+            "name": "cli-obs",
+            "policies": ["instruction"],
+            "workloads": ["fib", "crc16"],
+            "check_safety": True,
+        }))
+        return store_dir, grid_path
+
+    def test_parser_accepts_trace_and_progress(self):
+        args = build_parser().parse_args(
+            ["sweep", "--grid", "g.json", "--trace", "t.json",
+             "--progress"]
+        )
+        assert args.trace == "t.json" and args.progress
+
+    def test_parser_profile_defaults(self):
+        args = build_parser().parse_args(["profile", "g.json"])
+        assert args.grid == "g.json"
+        assert args.jobs == 1 and args.store is None
+        assert args.trace is None and not args.resume
+
+    def test_trace_and_progress_require_grid(self, capsys):
+        assert main(["sweep", "--trace", "t.json"]) == 2
+        assert "--trace" in capsys.readouterr().err
+        assert main(["sweep", "--progress"]) == 2
+        assert "--progress" in capsys.readouterr().err
+
+    def test_sweep_trace_writes_valid_chrome_trace(self, tmp_path, capsys,
+                                                   design, lut):
+        from repro.dta.compiled import clear_compiled_cache
+        from repro.obs.export import validate_chrome_trace
+
+        store_dir, grid_path = self._seeded(tmp_path, design, lut)
+        trace_path = tmp_path / "trace.json"
+        clear_compiled_cache()
+        assert main([
+            "sweep", "--grid", str(grid_path), "--store", str(store_dir),
+            "--trace", str(trace_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"wrote {trace_path}" in out
+        payload = json.loads(trace_path.read_text())
+        categories = validate_chrome_trace(payload)
+        assert {"session", "sweep", "evaluate", "store"} <= categories
+        assert payload["otherData"]["counters"]
+
+    def test_sweep_progress_silent_off_tty(self, tmp_path, capsys, design,
+                                           lut):
+        store_dir, grid_path = self._seeded(tmp_path, design, lut)
+        assert main([
+            "sweep", "--grid", str(grid_path), "--store", str(store_dir),
+            "--progress",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "cli-obs" in captured.out
+        assert "\r" not in captured.err   # non-TTY: line never renders
+
+    def test_profile_end_to_end(self, tmp_path, capsys, design, lut):
+        from repro.dta.compiled import clear_compiled_cache
+
+        store_dir, grid_path = self._seeded(tmp_path, design, lut)
+        clear_compiled_cache()
+        assert main([
+            "profile", str(grid_path), "--store", str(store_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Profile 'cli-obs'" in out
+        assert "session.sweep" in out
+        assert "counters:" in out
+        assert "store:" in out
+
+    def test_profile_with_trace_export(self, tmp_path, capsys, design,
+                                       lut):
+        from repro.obs.export import validate_chrome_trace
+
+        store_dir, grid_path = self._seeded(tmp_path, design, lut)
+        trace_path = tmp_path / "profile-trace.json"
+        assert main([
+            "profile", str(grid_path), "--store", str(store_dir),
+            "--trace", str(trace_path),
+        ]) == 0
+        validate_chrome_trace(json.loads(trace_path.read_text()))
+
+    def test_profile_bad_grid(self, tmp_path, capsys):
+        assert main(["profile", str(tmp_path / "nope.json")]) == 2
+        assert "not found" in capsys.readouterr().err

@@ -1,0 +1,103 @@
+"""Unified counter registry: mirroring, gathering, delta shipping."""
+
+import pytest
+
+from repro.lab.store import ArtifactStore, StoreStats
+from repro.obs import metrics as obs_metrics
+
+
+@pytest.fixture(autouse=True)
+def _restore_registry():
+    """Registry is process-global; put back what the test found."""
+    saved = obs_metrics.snapshot()
+    obs_metrics.reset()
+    yield
+    obs_metrics.reset()
+    obs_metrics.merge(saved)
+
+
+class TestRegistry:
+    def test_inc_get_snapshot(self):
+        assert obs_metrics.get("nope") == 0
+        assert obs_metrics.get("nope", default=7) == 7
+        obs_metrics.inc("a.b")
+        obs_metrics.inc("a.b", 4)
+        assert obs_metrics.get("a.b") == 5
+        assert obs_metrics.snapshot()["a.b"] == 5
+
+    def test_reset(self):
+        obs_metrics.inc("x")
+        obs_metrics.reset()
+        assert obs_metrics.snapshot() == {}
+
+    def test_merge_folds_deltas(self):
+        obs_metrics.inc("shared", 2)
+        obs_metrics.merge({"shared": 3, "fresh": 1})
+        assert obs_metrics.get("shared") == 5
+        assert obs_metrics.get("fresh") == 1
+        obs_metrics.merge({})               # no-op, must not raise
+
+    def test_gather_includes_registry_and_module_counters(self):
+        obs_metrics.inc("custom.counter", 9)
+        gathered = obs_metrics.gather()
+        assert gathered["custom.counter"] == 9
+        # module-owned counters appear under their namespaces (values
+        # depend on what ran before; only the namespacing is pinned here)
+        for name in gathered:
+            assert isinstance(name, str) and name
+
+    def test_delta_since_reports_only_changes(self):
+        baseline = obs_metrics.gather()
+        obs_metrics.inc("delta.test", 2)
+        delta = obs_metrics.delta_since(baseline)
+        assert delta["delta.test"] == 2
+        # unchanged counters are dropped from the shipped payload
+        assert all(value != 0 for value in delta.values())
+
+    def test_delta_then_merge_round_trip(self):
+        baseline = obs_metrics.gather()
+        obs_metrics.inc("trip.count", 3)
+        delta = obs_metrics.delta_since(baseline)
+        obs_metrics.reset()
+        obs_metrics.merge(delta)
+        assert obs_metrics.get("trip.count") == 3
+
+
+class TestStoreMirroring:
+    def test_store_stats_record_mirrors_into_registry(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        before = obs_metrics.get("store.trace.misses")
+        assert store.load_compiled_trace(_FakeProgram(), _FakeDesign(),
+                                         4_000_000) is None
+        assert obs_metrics.get("store.trace.misses") == before + 1
+        assert store.stats.as_dict()["trace"]["misses"] == 1
+
+    def test_store_stats_merge_does_not_double_mirror(self):
+        """Worker deltas arrive via obs_metrics.merge; StoreStats.merge
+        folding them into the registry again would double count."""
+        stats = StoreStats()
+        stats.record("trace", "hits")
+        before = obs_metrics.get("store.trace.hits")
+        other = StoreStats()
+        other.merge(stats)
+        assert other.as_dict()["trace"]["hits"] == 1
+        assert obs_metrics.get("store.trace.hits") == before
+
+
+class _FakeProgram:
+    name = "fake"
+    entry = 0
+    words = {}
+
+
+class _FakeVariant:
+    value = "fake-variant"
+
+
+class _FakeLibrary:
+    voltage = 0.7
+
+
+class _FakeDesign:
+    variant = _FakeVariant()
+    library = _FakeLibrary()
