@@ -593,7 +593,42 @@ class Session:
             return runner._execute(resume=resume, progress=progress,
                                    on_unit=on_unit)
 
-    def training_table(self, grid, *, resume=False, progress=None):
+    def sweep_frame(self, grid, *, cache_name=None, resume=False,
+                    on_unit=None):
+        """Sweep a grid with a store-level result cache → ``(frame,
+        cached)``.
+
+        Looks the grid up in the session store's frame cache first
+        (``cache_name`` defaults to ``"sweep-frame:<fingerprint>"``, so
+        any byte-identical grid — same axes, same learned-model bytes —
+        hits the same entry).  On a hit the stored
+        :class:`ResultFrame` is returned with zero simulation; on a
+        miss the grid is swept via :meth:`sweep` and the frame saved
+        back.  This is the unit of work behind the ``repro.serve``
+        sweep service, where the cache dedups across tenants and across
+        server processes sharing one store root.
+        """
+        from repro.lab.scenario import ScenarioGrid
+
+        if not isinstance(grid, ScenarioGrid):
+            grid = ScenarioGrid.from_file(grid)
+        if self.store is not None:
+            if cache_name is None:
+                cache_name = f"sweep-frame:{grid.fingerprint()}"
+            frame = self.store.load_frame(cache_name)
+            if frame is not None:
+                if on_unit is not None:
+                    total = len(frame)
+                    on_unit(total, total)
+                return frame, True
+        result = self.sweep(grid, resume=resume, on_unit=on_unit)
+        frame = result.frame
+        if self.store is not None:
+            self.store.save_frame(cache_name, frame)
+        return frame, False
+
+    def training_table(self, grid, *, resume=False, progress=None,
+                       on_unit=None):
         """Policy-training data generator: one flat table over the grid.
 
         Sweeps margins × voltages × variants × policies × workloads and
@@ -621,7 +656,8 @@ class Session:
             grid = ScenarioGrid.from_dict(
                 {**grid.to_dict(), "check_safety": True}
             )
-        result = self.sweep(grid, resume=resume, progress=progress)
+        result = self.sweep(grid, resume=resume, progress=progress,
+                            on_unit=on_unit)
         frame = result.frame
         num_cycles = frame["num_cycles"]
         safe = (frame["num_violations"] == 0).astype(int)

@@ -12,6 +12,8 @@ Exposes the main flows as subcommands::
     python -m repro store gc --store DIR --max-size 500M [--dry-run]
     python -m repro train --grid grid.json -o model.npz   # learn a policy
     python -m repro profile grid.json --jobs 4            # where time goes
+    python -m repro serve --store .repro-store --port 8787  # sweep service
+    python -m repro submit --grid grid.json --wait --tenant alice
 
 ``train`` fits a learned clock policy (ML-DFS, see :mod:`repro.ml`) on
 a scenario grid's per-cycle genie ground truth, calibrates it for
@@ -60,6 +62,21 @@ time/cache breakdown instead of the result table::
     counters:
       sim.simulations = 12
       store.trace.hit = 24
+
+The sweep service (:mod:`repro.serve`) turns the same grid files into a
+multi-tenant HTTP service over one shared store: ``serve`` starts it,
+``submit`` sends a grid and (with ``--wait``) streams progress until the
+result frame comes back::
+
+    python -m repro serve --store .repro-store --workers 2 \\
+        --queue-limit 16 --tenant-budget 100M
+    python -m repro submit --grid grid.json --tenant alice --wait \\
+        --json result.json
+
+Two clients submitting the same grid (any tenants) share one
+computation — the server dedups by grid fingerprint — and a repeat
+submission of a finished grid is served from the store's frame cache
+with zero re-simulation (``"cached": true`` in the job snapshot).
 
 Programs may be given as a bundled kernel name or a path to an assembly
 file.
@@ -610,6 +627,97 @@ def cmd_store_gc(args):
     return 0
 
 
+def cmd_serve(args):
+    """Start the multi-tenant sweep service (:mod:`repro.serve`).
+
+    Serves sweep/evaluate/train jobs over HTTP on one shared artifact
+    store; identical grids are deduplicated by fingerprint and finished
+    results are cached as frames.  Runs until SIGINT/SIGTERM or a
+    ``POST /v1/shutdown``.
+    """
+    from repro.serve import ServeConfig, SweepServer
+
+    try:
+        tenant_budget = (parse_size(args.tenant_budget)
+                         if args.tenant_budget else None)
+        store_budget = (parse_size(args.store_max_size)
+                        if args.store_max_size else None)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    config = ServeConfig(
+        store_root=args.store,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        sweep_jobs=args.jobs,
+        queue_limit=args.queue_limit,
+        tenant_budget_bytes=tenant_budget,
+        store_budget_bytes=store_budget,
+        telemetry=args.telemetry,
+    )
+    return SweepServer(config).run()
+
+
+def cmd_submit(args):
+    """Submit a scenario grid to a running sweep service.
+
+    Prints the job snapshot; with ``--wait`` streams progress events on
+    stderr until the job finishes, then writes/prints the result frame.
+    A cached or deduplicated submission is visible in the snapshot
+    (``"cached": true`` / ``"deduped": true``).
+    """
+    from repro.lab.scenario import ScenarioError, ScenarioGrid
+    from repro.serve import ServeClient
+    from repro.serve.client import ServeError
+
+    try:
+        grid = ScenarioGrid.from_file(args.grid)
+    except ScenarioError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    client = ServeClient(args.url)
+    try:
+        job = client.submit(grid, kind=args.kind, tenant=args.tenant)
+    except ServeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1 if error.status == 429 else 2
+    except OSError as error:
+        print(f"error: cannot reach {args.url}: {error}", file=sys.stderr)
+        return 2
+    flags = []
+    if job.get("cached"):
+        flags.append("cached")
+    if job.get("deduped"):
+        flags.append("deduped")
+    note = f" ({', '.join(flags)})" if flags else ""
+    print(f"job {job['id']}: {job['state']}{note} "
+          f"[grid {job['grid']!r}, tenant {job['tenant']!r}]")
+    if not args.wait:
+        return 0
+    try:
+        if job["state"] not in ("done", "failed"):
+            for event in client.events(job["id"]):
+                if event.get("event") == "progress":
+                    print(f"  {event['done']}/{event['total']} units",
+                          file=sys.stderr)
+        snapshot = client.wait(job["id"], timeout=args.timeout)
+        if snapshot["state"] == "failed":
+            print(f"error: job failed: {snapshot['error']}",
+                  file=sys.stderr)
+            return 1
+        body = client.result_bytes(job["id"])
+    except (ServeError, TimeoutError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        pathlib.Path(args.json).write_bytes(body)
+        print(f"wrote {args.json} ({len(body)} bytes)")
+    else:
+        sys.stdout.write(body.decode())
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -754,6 +862,58 @@ def build_parser():
     sub.add_argument("--no-eval", action="store_true",
                      help="skip the learned-vs-static self-evaluation")
     sub.set_defaults(func=cmd_train)
+
+    sub = subparsers.add_parser(
+        "serve",
+        help="start the multi-tenant sweep service over a shared store",
+    )
+    sub.add_argument("--store", required=True,
+                     help="shared artifact-store directory (the service's "
+                          "cache and dedup fabric)")
+    sub.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default: 127.0.0.1)")
+    sub.add_argument("--port", type=int, default=8787,
+                     help="bind port; 0 picks a free one (default: 8787)")
+    sub.add_argument("--workers", type=int, default=2,
+                     help="concurrent job worker processes (default: 2)")
+    sub.add_argument("--jobs", type=int, default=1,
+                     help="shard workers inside each job's sweep "
+                          "(default: 1)")
+    sub.add_argument("--queue-limit", type=int, default=16,
+                     help="active-job bound; submissions past it get "
+                          "HTTP 429 (default: 16)")
+    sub.add_argument("--tenant-budget",
+                     help="per-tenant cached-frame budget (e.g. 100M): "
+                          "LRU-evict a tenant's results past it")
+    sub.add_argument("--store-max-size",
+                     help="whole-store size budget (e.g. 2G), LRU-gc'd "
+                          "after every completed job")
+    sub.add_argument("--telemetry", action="store_true",
+                     help="record serve.job spans (plus worker spans) on "
+                          "the server tracer")
+    sub.set_defaults(func=cmd_serve)
+
+    sub = subparsers.add_parser(
+        "submit",
+        help="submit a scenario grid to a running sweep service",
+    )
+    sub.add_argument("--grid", required=True,
+                     help="scenario grid file (.json/.toml)")
+    sub.add_argument("--url", default="http://127.0.0.1:8787",
+                     help="service URL (default: http://127.0.0.1:8787)")
+    sub.add_argument("--kind", default="sweep",
+                     choices=["sweep", "evaluate", "train"],
+                     help="job kind (default: sweep)")
+    sub.add_argument("--tenant", default="anonymous",
+                     help="tenant name for budget accounting")
+    sub.add_argument("--wait", action="store_true",
+                     help="stream progress and fetch the result frame")
+    sub.add_argument("--timeout", type=float, default=600.0,
+                     help="--wait timeout in seconds (default: 600)")
+    sub.add_argument("--json",
+                     help="with --wait: write the result frame JSON here "
+                          "instead of stdout")
+    sub.set_defaults(func=cmd_submit)
 
     sub = subparsers.add_parser("table2", help="render a LUT (Table II)")
     _add_design_arguments(sub)

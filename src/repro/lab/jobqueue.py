@@ -1,0 +1,140 @@
+"""Process-safe work distribution, extracted from the sweep runner.
+
+Two building blocks shared by :class:`~repro.lab.runner.SweepRunner`
+and the multi-tenant sweep service (:mod:`repro.serve`):
+
+- :class:`ShardPool` — fan picklable tasks out to a
+  ``ProcessPoolExecutor`` and stream results back as they complete.
+  This is the shard engine that used to live inline in
+  ``SweepRunner._run_parallel``; the runner now consumes it, and any
+  other orchestrator (the sweep service's per-job workers, future batch
+  frontends) gets the same pool discipline — worker initialisation,
+  worker-count capping, completion-order streaming, eager error
+  propagation — without re-implementing it.
+- :class:`BoundedJobQueue` — a thread-safe bounded FIFO with
+  fingerprint-keyed deduplication.  The admission-control half of the
+  service: submitting a key already queued or running returns the
+  existing entry instead of enqueueing twice (two tenants submitting
+  the same grid share one computation), and submissions past the bound
+  raise :class:`QueueFull` (the HTTP layer turns that into 429
+  backpressure).
+
+Both are engine-agnostic: nothing here imports the simulator stack, so
+the queue discipline is testable without characterising anything.
+"""
+
+import threading
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, as_completed
+
+__all__ = ["BoundedJobQueue", "QueueFull", "ShardPool"]
+
+
+class ShardPool:
+    """Stream task results from a process pool in completion order.
+
+    Parameters
+    ----------
+    jobs:
+        Maximum worker processes; the pool is additionally capped at the
+        task count, so tiny batches never spawn idle workers.
+    initializer / initargs:
+        Per-worker-process initialisation (e.g. attach the shared
+        artifact store), exactly as ``ProcessPoolExecutor`` takes them.
+    """
+
+    def __init__(self, jobs, initializer=None, initargs=()):
+        self.jobs = max(1, int(jobs))
+        self.initializer = initializer
+        self.initargs = initargs
+
+    def run(self, fn, tasks):
+        """Yield ``fn(task)`` results as workers finish them.
+
+        The generator owns the pool: exhausting it (or closing it on an
+        error) shuts the executor down.  A task that raises re-raises
+        here on first observation — remaining futures are cancelled by
+        the executor's shutdown.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return
+        with ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(tasks)),
+            initializer=self.initializer,
+            initargs=self.initargs,
+        ) as pool:
+            futures = [pool.submit(fn, task) for task in tasks]
+            for future in as_completed(futures):
+                yield future.result()
+
+
+class QueueFull(Exception):
+    """The bounded queue is at capacity — apply backpressure."""
+
+
+class BoundedJobQueue:
+    """Thread-safe bounded FIFO with fingerprint deduplication.
+
+    Entries are arbitrary objects filed under a caller-chosen ``key``
+    (the service uses ``kind:grid-fingerprint``).  An entry stays
+    "active" — and keeps deduplicating new submissions onto itself —
+    from :meth:`submit` until :meth:`finish`; :meth:`claim` hands queued
+    entries to workers in FIFO order without ending their dedup window.
+    """
+
+    def __init__(self, limit):
+        if limit < 1:
+            raise ValueError("queue limit must be at least 1")
+        self.limit = int(limit)
+        self._lock = threading.Lock()
+        self._active = OrderedDict()        # key -> entry (queued/running)
+        self._pending = OrderedDict()       # key -> entry (queued only)
+
+    def submit(self, key, make_entry):
+        """File ``make_entry()`` under ``key``; returns
+        ``(entry, deduped)``.
+
+        A submission whose key is already active returns the existing
+        entry with ``deduped=True`` and consumes no capacity.  A fresh
+        submission past the bound raises :class:`QueueFull`.
+        """
+        with self._lock:
+            existing = self._active.get(key)
+            if existing is not None:
+                return existing, True
+            if len(self._active) >= self.limit:
+                raise QueueFull(
+                    f"job queue is full ({self.limit} active jobs)"
+                )
+            entry = make_entry()
+            self._active[key] = entry
+            self._pending[key] = entry
+            return entry, False
+
+    def claim(self):
+        """Pop the oldest queued entry for execution (``None`` when no
+        entry is waiting).  The entry stays active — still deduplicating
+        — until :meth:`finish`."""
+        with self._lock:
+            if not self._pending:
+                return None
+            _, entry = self._pending.popitem(last=False)
+            return entry
+
+    def finish(self, key):
+        """Retire ``key``: frees its capacity and ends its dedup window
+        (later submissions of the same key create a fresh entry)."""
+        with self._lock:
+            self._pending.pop(key, None)
+            return self._active.pop(key, None)
+
+    def __len__(self):
+        with self._lock:
+            return len(self._active)
+
+    @property
+    def queued(self):
+        """Entries waiting to be claimed."""
+        with self._lock:
+            return len(self._pending)

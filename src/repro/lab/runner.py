@@ -37,10 +37,10 @@ import json
 import os
 import pathlib
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 
 from repro.api.frame import EVALUATION_SCHEMA, ResultFrame
+from repro.lab.jobqueue import ShardPool
 from repro.lab.scenario import ScenarioGrid
 from repro.lab.store import ArtifactStore, StoreStats
 from repro.obs import metrics as obs_metrics
@@ -624,27 +624,22 @@ class SweepRunner:
             chunk = max(1, -(-len(group) // jobs))
             for index in range(0, len(group), chunk):
                 tasks.append((point, group[index:index + chunk]))
-        outcomes = []
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(tasks)),
+        pool = ShardPool(
+            jobs,
             initializer=_worker_init,
             initargs=(self.grid.to_dict(), store_root, self.engine,
                       obs_trace.is_enabled(), True),
-        ) as pool:
-            futures = [
-                pool.submit(_run_units_task, task) for task in tasks
-            ]
-            for future in as_completed(futures):
-                unit_rows, unit_stats, unit_simulations, obs = (
-                    future.result()
-                )
-                outcomes.append((unit_stats, unit_simulations, obs))
-                for unit_id, rows in unit_rows:
-                    self._checkpoint_unit(completed, unit_id, rows)
-                    if progress:
-                        progress(f"  done {unit_id}")
-                    if unit_done:
-                        unit_done()
+        )
+        outcomes = []
+        for unit_rows, unit_stats, unit_simulations, obs in pool.run(
+                _run_units_task, tasks):
+            outcomes.append((unit_stats, unit_simulations, obs))
+            for unit_id, rows in unit_rows:
+                self._checkpoint_unit(completed, unit_id, rows)
+                if progress:
+                    progress(f"  done {unit_id}")
+                if unit_done:
+                    unit_done()
         return outcomes
 
     def _merge(self, completed):

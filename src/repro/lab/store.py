@@ -25,7 +25,9 @@ import hashlib
 import json
 import os
 import pathlib
+import stat as statmod
 import tempfile
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -65,19 +67,41 @@ class StoreCorruption(Exception):
 
 @dataclass
 class GcResult:
-    """Outcome of one :meth:`ArtifactStore.gc` pass."""
+    """Outcome of one :meth:`ArtifactStore.gc` pass.
+
+    ``removed_*`` counts only *successful* unlinks.  Files another
+    process evicted mid-scan (gone between scan and unlink) land in
+    ``vanished_files``; unlinks that failed for any other reason (the
+    file still exists but could not be removed) land in
+    ``failed_files`` — the budget may still be exceeded when that is
+    nonzero.
+    """
 
     scanned_files: int = 0
     kept_files: int = 0
     kept_bytes: int = 0
     removed_files: int = 0
     removed_bytes: int = 0
+    vanished_files: int = 0
+    failed_files: int = 0
 
     def summary(self):
-        return (
+        text = (
             f"kept {self.kept_files} files ({self.kept_bytes} B), "
             f"removed {self.removed_files} files ({self.removed_bytes} B)"
         )
+        if self.vanished_files:
+            text += f", {self.vanished_files} vanished"
+        if self.failed_files:
+            text += f", {self.failed_files} FAILED to remove"
+        return text
+
+
+#: One lock for every :class:`StoreStats` instance: a module-level lock
+#: keeps the objects picklable (they cross the multiprocessing result
+#: channel as part of ``SweepRunResult``) and the counters are far too
+#: cold for contention to matter.
+_STATS_LOCK = threading.Lock()
 
 
 class StoreStats:
@@ -86,13 +110,18 @@ class StoreStats:
     These counters are the observable proof of the store's contract: a
     warm full-suite sweep must show zero ``trace``/``lut`` misses (and
     :func:`repro.dta.compiled.simulation_count` must stay zero).
+
+    Thread-safe: the sweep service shares one store (and therefore one
+    stats object) between its event loop, job-watcher threads and the
+    span-merge path, so the ``+=`` updates must not lose increments.
     """
 
     def __init__(self):
         self.counts = {kind: dict.fromkeys(EVENTS, 0) for kind in KINDS}
 
     def record(self, kind, event):
-        self.counts[kind][event] += 1
+        with _STATS_LOCK:
+            self.counts[kind][event] += 1
         # mirror into the process-wide registry: per-store objects come
         # and go (workers, sessions), the registry view survives them.
         # merge() deliberately does NOT mirror — merged worker counters
@@ -103,19 +132,26 @@ class StoreStats:
         return self.counts[kind][event]
 
     def reset(self):
-        for kind in KINDS:
-            for event in EVENTS:
-                self.counts[kind][event] = 0
+        with _STATS_LOCK:
+            for kind in KINDS:
+                for event in EVENTS:
+                    self.counts[kind][event] = 0
 
     def as_dict(self):
-        return {kind: dict(events) for kind, events in self.counts.items()}
+        with _STATS_LOCK:
+            return {
+                kind: dict(events) for kind, events in self.counts.items()
+            }
 
     def merge(self, other):
         """Accumulate counters from another stats object or its dict."""
-        counts = other.counts if isinstance(other, StoreStats) else other
-        for kind, events in counts.items():
-            for event, value in events.items():
-                self.counts[kind][event] += value
+        counts = (
+            other.as_dict() if isinstance(other, StoreStats) else other
+        )
+        with _STATS_LOCK:
+            for kind, events in counts.items():
+                for event, value in events.items():
+                    self.counts[kind][event] += value
 
     def summary(self):
         return "; ".join(
@@ -282,11 +318,24 @@ class ArtifactStore:
         except Exception as error:   # zip damage, missing keys, bad dtypes
             raise StoreCorruption(str(error)) from error
 
+    #: Discard outcomes (see :meth:`_discard`).
+    _REMOVED, _VANISHED, _FAILED = "removed", "vanished", "failed"
+
     def _discard(self, path):
+        """Best-effort unlink; reports what actually happened so callers
+        (:meth:`gc`) never count a failed removal as an eviction.
+
+        Returns ``_REMOVED`` when this call deleted the file,
+        ``_VANISHED`` when another process got there first, and
+        ``_FAILED`` when the file persists but could not be removed.
+        """
         try:
             path.unlink()
+        except FileNotFoundError:
+            return self._VANISHED
         except OSError:
-            pass
+            return self._FAILED
+        return self._REMOVED
 
     def _touch(self, path):
         """Refresh an artifact's mtime on hit, making mtime an LRU clock
@@ -422,7 +471,17 @@ class ArtifactStore:
 
     # -- garbage collection --------------------------------------------------
 
-    def gc(self, max_bytes, dry_run=False):
+    @staticmethod
+    def _is_temp(path):
+        """True for :meth:`_write_atomic` scratch files (``mkstemp``
+        names carry a ``.tmp`` component before the real suffix) and
+        the runner's manifest ``.tmp`` files.  GC must never touch them:
+        evicting one breaks the in-flight writer's ``os.replace``."""
+        return any(
+            suffix.startswith(".tmp") for suffix in path.suffixes
+        )
+
+    def gc(self, max_bytes, dry_run=False, paths=None):
         """Least-recently-used eviction down to a size budget.
 
         Artifact mtimes double as the LRU clock (loads refresh them via
@@ -430,23 +489,47 @@ class ArtifactStore:
         until the budget is filled evicts exactly the least recently used
         artifacts.  Everything under the store root is eligible —
         compiled traces, merged and per-program LUTs, results and run
-        manifests are all recomputable by construction.
+        manifests are all recomputable by construction — *except*
+        in-flight ``.tmp`` files from concurrent writers, which are
+        skipped entirely.
+
+        Safe against concurrent processes mutating the same store root:
+        entries that vanish between scan and ``stat``/unlink are
+        tolerated and reported (``vanished_files``), and only files this
+        pass actually unlinked count as removed.
+
+        ``paths`` restricts eligibility to an explicit iterable of files
+        (still LRU-ordered by mtime) — the hook behind per-tenant frame
+        budgets in :mod:`repro.serve`.
 
         Returns a :class:`GcResult`; ``dry_run`` reports without deleting.
         """
         if max_bytes < 0:
             raise ValueError("size budget cannot be negative")
+        if paths is None:
+            candidates = (
+                self.root.rglob("*") if self.root.is_dir() else ()
+            )
+        else:
+            candidates = (pathlib.Path(p) for p in paths)
         entries = []
-        if self.root.is_dir():
-            for path in self.root.rglob("*"):
-                if path.is_file():
-                    stat = path.stat()
-                    entries.append(
-                        (stat.st_mtime, str(path), stat.st_size, path)
-                    )
+        result = GcResult()
+        for path in candidates:
+            if self._is_temp(path):
+                continue
+            try:
+                stat = path.stat()
+            except OSError:
+                # evicted by a concurrent process between scan and stat
+                result.vanished_files += 1
+                continue
+            if statmod.S_ISREG(stat.st_mode):
+                entries.append(
+                    (stat.st_mtime, str(path), stat.st_size, path)
+                )
         # newest first; path tiebreak keeps the order deterministic
         entries.sort(key=lambda entry: (-entry[0], entry[1]))
-        result = GcResult(scanned_files=len(entries))
+        result.scanned_files = len(entries)
         kept = 0
         evicting = False
         for _, _, size, path in entries:
@@ -459,10 +542,18 @@ class ArtifactStore:
                 result.kept_bytes += size
             else:
                 evicting = True
-                result.removed_files += 1
-                result.removed_bytes += size
-                if not dry_run:
-                    self._discard(path)
+                if dry_run:
+                    result.removed_files += 1
+                    result.removed_bytes += size
+                    continue
+                outcome = self._discard(path)
+                if outcome == self._REMOVED:
+                    result.removed_files += 1
+                    result.removed_bytes += size
+                elif outcome == self._VANISHED:
+                    result.vanished_files += 1
+                else:
+                    result.failed_files += 1
         return result
 
     def save_result(self, name, payload):

@@ -1,0 +1,185 @@
+"""Stdlib client for the sweep service (``repro submit``).
+
+:class:`ServeClient` speaks the server's small HTTP/JSON surface over
+:mod:`http.client` — no third-party dependencies, mirroring the
+server's zero-dependency contract.  Typical round trip::
+
+    client = ServeClient("http://127.0.0.1:8787")
+    job = client.submit("examples/grids/quick.json", tenant="alice")
+    frame = client.wait_result(job["id"])      # a ResultFrame
+
+Errors surface as :class:`ServeError` carrying the HTTP status and the
+server's ``{"error": ...}`` message, so callers can branch on
+``error.status`` (429 → back off and retry, 410 → resubmit the grid).
+"""
+
+import json
+import time
+import urllib.parse
+from http.client import HTTPConnection
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(Exception):
+    """An HTTP-level failure from the sweep service."""
+
+    def __init__(self, status, message):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """Talk to one sweep server.
+
+    Parameters
+    ----------
+    url:
+        Server base URL, e.g. ``http://127.0.0.1:8787``.
+    timeout:
+        Per-request socket timeout in seconds (event streams use it
+        per read, so slow jobs keep streaming as long as progress
+        events keep arriving).
+    """
+
+    def __init__(self, url, timeout=60.0):
+        parsed = urllib.parse.urlsplit(url if "//" in url else f"//{url}")
+        if parsed.scheme not in ("", "http"):
+            raise ValueError(f"unsupported scheme {parsed.scheme!r}")
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 8787
+        self.timeout = timeout
+
+    # -- raw transport -------------------------------------------------------
+
+    def _request(self, method, path, payload=None):
+        """One request/response; returns ``(status, body_bytes)``."""
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode()
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    def _json(self, method, path, payload=None, ok=(200,)):
+        status, body = self._request(method, path, payload)
+        try:
+            data = json.loads(body.decode() or "null")
+        except ValueError:
+            data = None
+        if status not in ok:
+            message = (data or {}).get("error") if isinstance(data, dict) \
+                else body.decode(errors="replace")
+            raise ServeError(status, message or "unexpected response")
+        return data
+
+    # -- surface -------------------------------------------------------------
+
+    def submit(self, grid, *, kind="sweep", tenant="anonymous"):
+        """Submit a job; returns the job snapshot dict.
+
+        ``grid`` may be a :class:`~repro.lab.scenario.ScenarioGrid`, a
+        grid dict, or a path to a grid JSON file.  The snapshot's
+        ``cached`` / ``deduped`` fields say whether the service
+        answered from the frame cache or attached this submission to an
+        already-active identical job.
+        """
+        from repro.lab.scenario import ScenarioGrid
+
+        if isinstance(grid, ScenarioGrid):
+            grid_dict = grid.to_dict()
+        elif isinstance(grid, dict):
+            grid_dict = grid
+        else:
+            with open(grid, encoding="utf-8") as handle:
+                grid_dict = json.load(handle)
+        return self._json(
+            "POST", "/v1/jobs",
+            {"grid": grid_dict, "kind": kind, "tenant": tenant},
+            ok=(200, 202),
+        )
+
+    def status(self, job_id):
+        """Current snapshot of one job."""
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self):
+        """Snapshots of every job the server knows about."""
+        return self._json("GET", "/v1/jobs")["jobs"]
+
+    def result_bytes(self, job_id):
+        """The finished job's ResultFrame JSON, verbatim bytes.
+
+        Cached results are byte-identical across requests (the frame's
+        deterministic ``to_json``) — the smoke test's equality check.
+        """
+        status, body = self._request("GET", f"/v1/jobs/{job_id}/result")
+        if status != 200:
+            try:
+                message = json.loads(body.decode()).get("error")
+            except ValueError:
+                message = body.decode(errors="replace")
+            raise ServeError(status, message or "unexpected response")
+        return body
+
+    def result(self, job_id):
+        """The finished job's result as a ResultFrame."""
+        from repro.api.frame import ResultFrame
+
+        return ResultFrame.from_json(self.result_bytes(job_id).decode())
+
+    def events(self, job_id):
+        """Yield the job's ndjson progress events until it finishes."""
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                body = response.read()
+                try:
+                    message = json.loads(body.decode()).get("error")
+                except ValueError:
+                    message = body.decode(errors="replace")
+                raise ServeError(response.status, message)
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode())
+        finally:
+            conn.close()
+
+    def wait(self, job_id, timeout=300.0, poll=0.2):
+        """Block until the job is terminal; returns its snapshot."""
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.status(job_id)
+            if snapshot["state"] in ("done", "failed"):
+                return snapshot
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {snapshot['state']} after "
+                    f"{timeout:.0f}s"
+                )
+            time.sleep(poll)
+
+    def wait_result(self, job_id, timeout=300.0):
+        """Wait for the job, then fetch its ResultFrame (raises
+        :class:`ServeError` with the server's message if it failed)."""
+        self.wait(job_id, timeout=timeout)
+        return self.result(job_id)
+
+    def server_status(self):
+        """``GET /v1/status`` — queue depth, job counts, tenant usage,
+        ``serve.*`` / ``store.*`` counters."""
+        return self._json("GET", "/v1/status")
+
+    def shutdown(self):
+        """Ask the server to stop cleanly."""
+        return self._json("POST", "/v1/shutdown")

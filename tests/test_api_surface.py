@@ -50,7 +50,12 @@ EXPECTED_SESSION_SIGNATURES = {
         "manifest_path=None, on_unit=None)"
     ),
     "telemetry_frame": "(self)",
-    "training_table": "(self, grid, *, resume=False, progress=None)",
+    "sweep_frame": (
+        "(self, grid, *, cache_name=None, resume=False, on_unit=None)"
+    ),
+    "training_table": (
+        "(self, grid, *, resume=False, progress=None, on_unit=None)"
+    ),
     "adapt": (
         "(self, programs, environment, *, schemes=None, "
         "update_interval=150, tracking_margin=0.025)"

@@ -7,6 +7,7 @@ recomputed, never crashed on.
 """
 
 import json
+import pathlib
 
 import numpy as np
 import pytest
@@ -448,3 +449,135 @@ class TestGcStrictLru:
         assert not big.exists() and not small.exists()
         assert result.kept_files == 0
         assert result.removed_files == 2
+
+
+class TestGcConcurrencySemantics:
+    """GC against concurrent writers and evictors: in-flight temp files
+    are untouchable, vanished entries are tolerated and reported, and
+    ``removed_*`` never counts an unlink that did not happen."""
+
+    def test_gc_skips_inflight_temp_files(self, store):
+        store.save_result("keep", {"v": 1})
+        # what _write_atomic's mkstemp leaves while a writer is mid-flight
+        results_dir = store.result_path("keep").parent
+        tmp_npz = results_dir / "deadbeef012345ab.tmp.npz"
+        tmp_npz.write_bytes(b"x" * 10_000)
+        tmp_json = results_dir / "deadbeef012345cd.tmp.json"
+        tmp_json.write_text("{} " * 1_000)
+        manifest_tmp = results_dir / "manifest.tmp"
+        manifest_tmp.write_text("{}")
+
+        result = store.gc(max_bytes=0)
+        assert tmp_npz.exists() and tmp_json.exists()
+        assert manifest_tmp.exists()
+        assert result.scanned_files == 1          # only the real artifact
+        assert result.removed_files == 1
+
+    def test_gc_tolerates_entry_vanishing_before_stat(self, store):
+        """A path another process evicted between scan and ``stat`` is
+        reported as vanished, not raised."""
+        store.save_result("real", {"v": 1})
+        ghost = store.result_path("real").parent / "gone.json"
+        result = store.gc(
+            max_bytes=0,
+            paths=[store.result_path("real"), ghost],
+        )
+        assert result.vanished_files == 1
+        assert result.removed_files == 1
+        assert not store.result_path("real").exists()
+
+    def test_gc_counts_vanished_unlink_not_removed(self, store,
+                                                   monkeypatch):
+        """Another process unlinking the victim first must not inflate
+        ``removed_files``/``removed_bytes``."""
+        store.save_result("victim", {"v": 1})
+        original = ArtifactStore._discard
+
+        def racing_discard(self, path):
+            path.unlink(missing_ok=True)      # the "other process" wins
+            return original(self, path)
+
+        monkeypatch.setattr(ArtifactStore, "_discard", racing_discard)
+        result = store.gc(max_bytes=0)
+        assert result.removed_files == 0
+        assert result.removed_bytes == 0
+        assert result.vanished_files == 1
+
+    def test_gc_counts_failed_unlink_not_removed(self, store,
+                                                 monkeypatch):
+        """An unlink that fails (file persists) is surfaced as failed,
+        never counted as an eviction."""
+        store.save_result("stuck", {"v": 1})
+
+        def failing_discard(self, path):
+            return ArtifactStore._FAILED
+
+        monkeypatch.setattr(ArtifactStore, "_discard", failing_discard)
+        result = store.gc(max_bytes=0)
+        assert result.removed_files == 0
+        assert result.failed_files == 1
+        assert store.result_path("stuck").exists()
+        assert "FAILED" in result.summary()
+
+    def test_discard_outcomes(self, store, monkeypatch):
+        store.save_result("x", {"v": 1})
+        path = store.result_path("x")
+        assert store._discard(path) == ArtifactStore._REMOVED
+        assert store._discard(path) == ArtifactStore._VANISHED
+
+        def raise_oserror(self):
+            raise OSError("busy")
+
+        monkeypatch.setattr(pathlib.Path, "unlink", raise_oserror)
+        assert store._discard(path) == ArtifactStore._FAILED
+
+    def test_gc_paths_restricts_eligibility(self, store):
+        """``paths=`` (the per-tenant budget hook) only ever evicts the
+        named files, LRU-ordered among themselves."""
+        import os
+        import time
+
+        for index in range(3):
+            store.save_result(f"tenant-a-{index}", {"v": index})
+        store.save_result("tenant-b", {"v": 99})
+        base = time.time() - 1_000
+        tenant_a = [store.result_path(f"tenant-a-{i}") for i in range(3)]
+        for index, path in enumerate(tenant_a):
+            os.utime(path, (base + index, base + index))
+
+        result = store.gc(
+            max_bytes=tenant_a[2].stat().st_size, paths=tenant_a
+        )
+        assert store.result_path("tenant-b").exists()   # out of scope
+        assert tenant_a[2].exists()                     # newest kept
+        assert not tenant_a[0].exists() and not tenant_a[1].exists()
+        assert result.removed_files == 2
+
+
+class TestStoreStatsThreadSafety:
+    def test_concurrent_record_loses_no_increments(self, store):
+        """The sweep service hits one StoreStats from the event loop and
+        watcher threads at once; ``+=`` on the shared dict must not drop
+        updates."""
+        import threading
+
+        stats = store.stats
+        increments = 5_000
+
+        def hammer():
+            for _ in range(increments):
+                stats.record("frame", "hits")
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert stats.counts["frame"]["hits"] == 8 * increments
+
+    def test_merge_accepts_stats_and_dict(self, store, tmp_path):
+        other = ArtifactStore(tmp_path / "other")
+        other.stats.record("trace", "misses")
+        store.stats.merge(other.stats)
+        store.stats.merge({"trace": {"misses": 2}})
+        assert store.stats.counts["trace"]["misses"] == 3

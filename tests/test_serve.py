@@ -1,0 +1,362 @@
+"""The multi-tenant sweep service: dedup, caching, backpressure,
+tenant budgets.
+
+Unit layers (no HTTP, no simulation): :class:`BoundedJobQueue`
+admission discipline and :class:`JobRegistry` dedup/cache precedence.
+Integration layer: a real :class:`SweepServer` on a loopback port with
+real worker processes — the dedup proof is the unified
+``serve.simulations`` counter (pipeline simulations actually run), and
+the cache proof is byte-identical result bodies with a zero simulation
+delta.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.lab.jobqueue import BoundedJobQueue, QueueFull
+from repro.lab.store import ArtifactStore
+from repro.obs import metrics as obs_metrics
+from repro.serve import (
+    JobRegistry,
+    ServeClient,
+    ServeConfig,
+    SweepServer,
+    frame_cache_name,
+)
+from repro.serve.client import ServeError
+
+#: One-unit grid: a single (policy, margin, voltage, workload) cell, so
+#: integration jobs finish in well under a second per design point.
+GRID = {
+    "name": "serve-mini",
+    "policies": ["instruction"],
+    "margins": [0.0],
+    "voltages": [0.7],
+    "workloads": ["fib"],
+    "check_safety": True,
+}
+
+OTHER_GRID = {**GRID, "name": "serve-other", "workloads": ["crc16"]}
+
+
+def serve_counters(baseline):
+    return {
+        name: value
+        for name, value in obs_metrics.delta_since(baseline).items()
+        if name.startswith("serve.")
+    }
+
+
+class TestBoundedJobQueue:
+    def test_fifo_claim_order(self):
+        queue = BoundedJobQueue(4)
+        for key in ("a", "b", "c"):
+            queue.submit(key, lambda key=key: f"entry-{key}")
+        assert queue.claim() == "entry-a"
+        assert queue.claim() == "entry-b"
+        assert queue.claim() == "entry-c"
+        assert queue.claim() is None
+
+    def test_dedup_returns_existing_entry(self):
+        queue = BoundedJobQueue(4)
+        first, deduped = queue.submit("k", lambda: object())
+        assert not deduped
+        again, deduped = queue.submit("k", lambda: object())
+        assert deduped
+        assert again is first
+        assert len(queue) == 1                # no capacity consumed
+
+    def test_claimed_entry_still_dedups_until_finish(self):
+        queue = BoundedJobQueue(4)
+        entry, _ = queue.submit("k", lambda: "running")
+        assert queue.claim() is entry
+        again, deduped = queue.submit("k", lambda: "fresh")
+        assert deduped and again is entry
+        queue.finish("k")
+        fresh, deduped = queue.submit("k", lambda: "fresh")
+        assert not deduped and fresh == "fresh"
+
+    def test_queue_full_past_bound(self):
+        queue = BoundedJobQueue(2)
+        queue.submit("a", lambda: 1)
+        queue.submit("b", lambda: 2)
+        with pytest.raises(QueueFull):
+            queue.submit("c", lambda: 3)
+        # dedup of an active key never hits the bound
+        _, deduped = queue.submit("a", lambda: 1)
+        assert deduped
+        queue.finish("a")
+        queue.submit("c", lambda: 3)          # capacity freed
+
+    def test_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BoundedJobQueue(0)
+
+
+class TestJobRegistry:
+    @pytest.fixture
+    def store(self, tmp_path):
+        return ArtifactStore(tmp_path / "store")
+
+    def test_active_job_dedups_across_tenants(self, store):
+        registry = JobRegistry(store)
+        job, deduped, cached = registry.submit("sweep", "fp1", GRID,
+                                               "alice")
+        assert (deduped, cached) == (False, False)
+        again, deduped, cached = registry.submit("sweep", "fp1", GRID,
+                                                 "bob")
+        assert (deduped, cached) == (True, False)
+        assert again is job
+        assert job.submissions == 2
+        assert job.tenants == ["alice", "bob"]
+
+    def test_distinct_fingerprints_distinct_jobs(self, store):
+        registry = JobRegistry(store)
+        a, _, _ = registry.submit("sweep", "fp1", GRID, "alice")
+        b, _, _ = registry.submit("sweep", "fp2", OTHER_GRID, "alice")
+        c, _, _ = registry.submit("train", "fp1", GRID, "alice")
+        assert len({a.id, b.id, c.id}) == 3   # kind is part of identity
+
+    def test_cache_hit_answers_without_queueing(self, store):
+        from repro.api.frame import EVALUATION_SCHEMA, ResultFrame
+
+        store.save_frame(
+            frame_cache_name("sweep", "fp1"),
+            ResultFrame.from_rows([], EVALUATION_SCHEMA),
+        )
+        registry = JobRegistry(store)
+        job, deduped, cached = registry.submit("sweep", "fp1", GRID,
+                                               "alice")
+        assert cached and not deduped
+        assert job.state == "done" and job.cached
+        assert registry.claim() is None       # nothing to execute
+        assert len(registry.queue) == 0
+
+    def test_queue_full_raises_and_counts(self, store):
+        baseline = obs_metrics.gather()
+        registry = JobRegistry(store, queue_limit=1)
+        registry.submit("sweep", "fp1", GRID, "alice")
+        with pytest.raises(QueueFull):
+            registry.submit("sweep", "fp2", OTHER_GRID, "bob")
+        assert serve_counters(baseline).get("serve.rejected") == 1
+
+    def test_complete_retires_dedup_window(self, store):
+        registry = JobRegistry(store)
+        job, _, _ = registry.submit("sweep", "fp1", GRID, "alice")
+        assert registry.claim() is job
+        registry.complete(job, simulations=3, frame_bytes=128)
+        assert job.state == "done"
+        assert job.simulations == 3
+        fresh, deduped, cached = registry.submit("sweep", "fp1", GRID,
+                                                 "bob")
+        # no cached frame on disk → a fresh job, not a dedup
+        assert fresh is not job and not deduped and not cached
+
+    def test_fail_records_error(self, store):
+        registry = JobRegistry(store)
+        job, _, _ = registry.submit("sweep", "fp1", GRID, "alice")
+        registry.claim()
+        registry.fail(job, "worker exploded")
+        assert job.state == "failed"
+        assert job.error == "worker exploded"
+        assert job.events[-1]["event"] == "failed"
+
+    def test_tenant_budget_evicts_lru_frames(self, store):
+        from repro.api.frame import EVALUATION_SCHEMA, ResultFrame
+
+        frame = ResultFrame.from_rows([], EVALUATION_SCHEMA)
+        baseline = obs_metrics.gather()
+        registry = JobRegistry(store, tenant_budget_bytes=1)
+        job, _, _ = registry.submit("sweep", "fp1", GRID, "alice")
+        registry.claim()
+        store.save_frame(job.result_name, frame)
+        size = store.frame_path(job.result_name).stat().st_size
+        registry.complete(job, simulations=1, frame_bytes=size)
+        # a 1-byte budget cannot hold the frame: evicted immediately
+        assert not store.frame_path(job.result_name).exists()
+        assert serve_counters(baseline)["serve.tenant.evictions"] == 1
+        assert registry.tenant_usage() == {"alice": 0}
+
+    def test_tenant_budget_scoped_to_one_tenant(self, store):
+        from repro.api.frame import EVALUATION_SCHEMA, ResultFrame
+
+        frame = ResultFrame.from_rows([], EVALUATION_SCHEMA)
+        registry = JobRegistry(store, tenant_budget_bytes=1)
+        bob_job, _, _ = registry.submit("sweep", "fpB", OTHER_GRID, "bob")
+        registry.claim()
+        store.save_frame(bob_job.result_name, frame)
+        registry.complete(bob_job, frame_bytes=1)   # stays under budget?
+        # bob's frame is over his budget too, but completing *alice's*
+        # job must only ever evict alice's frames
+        store.save_frame(bob_job.result_name, frame)
+        alice_job, _, _ = registry.submit("sweep", "fpA", GRID, "alice")
+        registry.claim()
+        store.save_frame(alice_job.result_name, frame)
+        registry.complete(alice_job, frame_bytes=1)
+        assert not store.frame_path(alice_job.result_name).exists()
+        assert store.frame_path(bob_job.result_name).exists()
+
+
+@pytest.fixture
+def server(tmp_path):
+    config = ServeConfig(store_root=tmp_path / "store", port=0,
+                         workers=2)
+    server = SweepServer(config)
+    with server.running() as port:
+        yield server, ServeClient(f"http://127.0.0.1:{port}",
+                                  timeout=120.0)
+
+
+class TestServeIntegration:
+    def test_dedup_then_cache_hit(self, server):
+        """The acceptance path: two concurrent clients submitting the
+        same grid run exactly one sweep; a repeat submission after
+        completion is served from the frame cache with zero
+        re-simulation and a byte-identical body."""
+        _, client = server
+        baseline = obs_metrics.gather()
+        snapshots = [None, None]
+
+        def submit(slot, tenant):
+            snapshots[slot] = client.submit(GRID, tenant=tenant)
+
+        threads = [
+            threading.Thread(target=submit, args=(0, "alice")),
+            threading.Thread(target=submit, args=(1, "bob")),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        a, b = snapshots
+        assert a["id"] == b["id"]             # one job for both tenants
+        assert {a["deduped"], b["deduped"]} == {False, True}
+
+        done = client.wait(a["id"], timeout=120)
+        assert done["state"] == "done"
+        assert done["submissions"] == 2
+        assert sorted(done["tenants"]) == ["alice", "bob"]
+        counters = serve_counters(baseline)
+        assert counters["serve.submitted"] == 1
+        assert counters["serve.deduped"] == 1
+        simulations = counters["serve.simulations"]
+        assert simulations >= 1               # exactly one sweep ran
+        assert done["simulations"] == simulations
+        body = client.result_bytes(a["id"])
+        frame = client.result(a["id"])
+        assert len(frame) == 1                # one grid unit
+
+        # repeat submission: frame-cache hit, zero re-simulation
+        repeat = client.submit(GRID, tenant="carol")
+        assert repeat["cached"] and repeat["state"] == "done"
+        assert repeat["id"] != a["id"]
+        assert client.result_bytes(repeat["id"]) == body
+        after = serve_counters(baseline)
+        assert after["serve.simulations"] == simulations   # unchanged
+        assert after["serve.cache.hits"] == 1
+
+    def test_progress_events_stream_to_terminal(self, server):
+        _, client = server
+        job = client.submit(OTHER_GRID, tenant="alice")
+        events = list(client.events(job["id"]))
+        assert events[-1] == {"event": "done", "cached": False}
+        progress = [e for e in events if e["event"] == "progress"]
+        assert progress and progress[-1]["done"] == progress[-1]["total"]
+
+    def test_backpressure_429(self, server):
+        """With the queue pinned full, fresh grids bounce with 429 while
+        dedup submissions of the active grid still land."""
+        srv, client = server
+        srv.registry.queue.limit = 1
+        srv.pool.submit = lambda job, payload: None   # jobs never finish
+        first = client.submit(GRID, tenant="alice")
+        assert first["state"] in ("queued", "running")
+        with pytest.raises(ServeError) as excinfo:
+            client.submit(OTHER_GRID, tenant="bob")
+        assert excinfo.value.status == 429
+        deduped = client.submit(GRID, tenant="carol")
+        assert deduped["deduped"] and deduped["id"] == first["id"]
+
+    def test_bad_requests(self, server):
+        _, client = server
+        with pytest.raises(ServeError) as excinfo:
+            client.submit({"name": "broken", "policies": []},
+                          tenant="alice")
+        assert excinfo.value.status == 400
+        with pytest.raises(ServeError) as excinfo:
+            client.status("job-999")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServeError) as excinfo:
+            client.submit(GRID, kind="bogus")
+        assert excinfo.value.status == 400
+
+    def test_result_conflict_while_pending(self, server):
+        srv, client = server
+        srv.pool.submit = lambda job, payload: None   # never completes
+        job = client.submit(GRID, tenant="alice")
+        with pytest.raises(ServeError) as excinfo:
+            client.result(job["id"])
+        assert excinfo.value.status == 409
+
+    def test_status_endpoint(self, server):
+        _, client = server
+        status = client.server_status()
+        assert status["queue_limit"] == 16
+        assert status["workers"] == 2
+        assert set(status["jobs"]) == {"queued", "running", "done",
+                                       "failed"}
+
+
+class TestTenantBudgetIntegration:
+    def test_over_budget_frame_evicted_and_result_gone(self, tmp_path):
+        config = ServeConfig(store_root=tmp_path / "store", port=0,
+                             workers=1, tenant_budget_bytes=1)
+        server = SweepServer(config)
+        baseline = obs_metrics.gather()
+        with server.running() as port:
+            client = ServeClient(f"http://127.0.0.1:{port}",
+                                 timeout=120.0)
+            job = client.submit(GRID, tenant="alice")
+            done = client.wait(job["id"], timeout=120)
+            assert done["state"] == "done"
+            assert done["frame_bytes"] > 1    # it was over budget ...
+            with pytest.raises(ServeError) as excinfo:
+                client.result(job["id"])      # ... so it is gone now
+            assert excinfo.value.status == 410
+            assert client.server_status()["tenants"] == {"alice": 0}
+        assert serve_counters(baseline)["serve.tenant.evictions"] >= 1
+
+
+class TestServeKinds:
+    def test_evaluate_and_train_kinds(self, server):
+        _, client = server
+        evaluated = client.wait(
+            client.submit(GRID, kind="evaluate", tenant="alice")["id"],
+            timeout=120,
+        )
+        assert evaluated["state"] == "done"
+        eval_frame = client.result(evaluated["id"])
+        assert len(eval_frame) == 1
+        assert eval_frame.row(0)["program"] == "fib"
+
+        trained = client.wait(
+            client.submit(GRID, kind="train", tenant="alice")["id"],
+            timeout=120,
+        )
+        assert trained["state"] == "done"
+        train_frame = client.result(trained["id"])
+        assert "safe" in train_frame.column_names
+        # sweep/evaluate/train of one grid are three distinct jobs
+        assert evaluated["fingerprint"] == trained["fingerprint"]
+        assert evaluated["id"] != trained["id"]
+
+
+class TestServeJsonContract:
+    def test_job_snapshot_is_json_round_trippable(self, server):
+        _, client = server
+        job = client.submit(GRID, tenant="alice")
+        snapshot = client.status(job["id"])
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["grid"] == "serve-mini"
