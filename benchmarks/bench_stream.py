@@ -1,0 +1,197 @@
+"""Streaming engine benchmark — throughput parity and bounded memory.
+
+Two acceptance properties of ``repro.stream``:
+
+- **Throughput**: a :class:`~repro.stream.StreamingSession` over a
+  finite randomgen stream stays within 2x of the offline vector engine
+  on the same programs (same design, store detached, compilation
+  charged to both), and the frames are byte-identical.
+- **Bounded memory**: peak RSS of a 10x-longer stream stays within 10%
+  of the short stream's.  Each measurement runs in its own fresh
+  interpreter (``--rss-child``) because ``ru_maxrss`` is a
+  process-lifetime high-water mark.
+
+Writes both to ``BENCH_stream.json`` at the repository root so the
+trajectory is tracked PR over PR.  Runs standalone
+(``python benchmarks/bench_stream.py``) and under pytest.
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_stream.json"
+
+WINDOW_CYCLES = 256
+
+#: Shared randomgen stream shape (seeded — both engines see the same
+#: programs, and the RSS children regenerate them deterministically).
+STREAM = {"seed": 7, "length": 400, "repeats": 2}
+
+THROUGHPUT_PROGRAMS = 12
+RSS_SHORT = 4
+RSS_LONG = 40                      # 10x the short stream
+
+
+def _rss_child(count, lut_path):
+    """Child mode: stream ``count`` programs, print peak RSS as JSON."""
+    import resource
+
+    from repro.api import Session
+    from repro.dta.lut import DelayLUT
+    from repro.stream import StreamingSession, random_source
+
+    lut = DelayLUT.from_json(pathlib.Path(lut_path).read_text())
+    session = Session(lut=lut)
+    streaming = StreamingSession(session, window_cycles=WINDOW_CYCLES)
+    frame = streaming.evaluate(
+        random_source(count=count, **STREAM), policies=["instruction"]
+    )
+    print(json.dumps({
+        "rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "rows": len(frame),
+    }))
+
+
+def _measure_rss(count, lut_path):
+    """Peak RSS (KB) of a fresh interpreter streaming ``count``
+    programs."""
+    script = pathlib.Path(__file__).resolve()
+    env = dict(os.environ)
+    src = str(script.parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, str(script), "--rss-child", str(count),
+         str(lut_path)],
+        capture_output=True, text=True, env=env, check=True,
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+def run_stream_benchmark(design, lut, *, measure_rss=True):
+    from repro.api import Session
+    from repro.dta.compiled import clear_compiled_cache, set_trace_store
+    from repro.obs.host import host_metadata
+    from repro.stream import StreamingSession, random_source
+
+    programs = list(random_source(count=THROUGHPUT_PROGRAMS, **STREAM))
+
+    previous = set_trace_store(None)
+    try:
+        offline = Session.for_design(design, lut=lut)
+        clear_compiled_cache()
+        start = time.perf_counter()
+        offline_frame = offline.evaluate(programs,
+                                         policies=["instruction"])
+        offline_seconds = time.perf_counter() - start
+
+        streaming = StreamingSession(
+            Session.for_design(design, lut=lut),
+            window_cycles=WINDOW_CYCLES,
+        )
+        clear_compiled_cache()
+        start = time.perf_counter()
+        stream_frame = streaming.evaluate(programs,
+                                          policies=["instruction"])
+        stream_seconds = time.perf_counter() - start
+    finally:
+        set_trace_store(previous)
+
+    cycles = int(offline_frame["num_cycles"].sum())
+    metrics = {
+        "programs": len(programs),
+        "total_cycles": cycles,
+        "window_cycles": WINDOW_CYCLES,
+        "offline_seconds": round(offline_seconds, 3),
+        "stream_seconds": round(stream_seconds, 3),
+        "offline_cycles_per_s": round(cycles / offline_seconds),
+        "stream_cycles_per_s": round(cycles / stream_seconds),
+        "throughput_ratio": round(offline_seconds / stream_seconds, 3),
+        "identical": stream_frame.to_json() == offline_frame.to_json(),
+        "host": host_metadata(),
+    }
+    if measure_rss:
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".json", delete=False) as handle:
+            handle.write(lut.to_json())
+            lut_path = handle.name
+        try:
+            short = _measure_rss(RSS_SHORT, lut_path)
+            long = _measure_rss(RSS_LONG, lut_path)
+        finally:
+            os.unlink(lut_path)
+        metrics.update({
+            "rss_short_programs": RSS_SHORT,
+            "rss_long_programs": RSS_LONG,
+            "rss_short_kb": short["rss_kb"],
+            "rss_long_kb": long["rss_kb"],
+            "rss_ratio": round(long["rss_kb"] / short["rss_kb"], 4),
+        })
+    return metrics
+
+
+def report(metrics):
+    from conftest import publish
+
+    from repro.utils.tables import format_table
+
+    rows = [
+        ("offline vector engine", f"{metrics['offline_seconds']:.2f} s",
+         f"{metrics['offline_cycles_per_s']:,} cyc/s"),
+        ("streaming (window %d)" % metrics["window_cycles"],
+         f"{metrics['stream_seconds']:.2f} s",
+         f"{metrics['stream_cycles_per_s']:,} cyc/s"),
+        ("throughput ratio", f"{metrics['throughput_ratio']:.2f}x", "-"),
+    ]
+    if "rss_ratio" in metrics:
+        rows.append((
+            f"peak RSS {metrics['rss_short_programs']} -> "
+            f"{metrics['rss_long_programs']} programs",
+            f"{metrics['rss_short_kb']} -> {metrics['rss_long_kb']} KB",
+            f"{metrics['rss_ratio']:.3f}x",
+        ))
+    table = format_table(
+        ["Engine", "Wall time", "Throughput"], rows,
+        title=f"Stream — {metrics['programs']} randomgen programs, "
+              f"{metrics['total_cycles']} cycles",
+    )
+    BENCH_JSON.write_text(
+        json.dumps(metrics, indent=2, sort_keys=True) + "\n"
+    )
+    publish("stream", table + f"\n  wrote {BENCH_JSON.name}")
+    return table
+
+
+def test_stream_benchmark(design, lut):
+    metrics = run_stream_benchmark(design, lut)
+    report(metrics)
+    assert metrics["identical"], "stream frame != offline frame"
+    # acceptance: streaming within 2x of the offline vector engine
+    assert metrics["throughput_ratio"] >= 0.5, metrics
+    # acceptance: peak RSS flat as the stream grows 10x
+    assert metrics["rss_ratio"] <= 1.10, metrics
+
+
+if __name__ == "__main__":
+    if len(sys.argv) >= 3 and sys.argv[1] == "--rss-child":
+        _rss_child(int(sys.argv[2]), sys.argv[3])
+        sys.exit(0)
+    from conftest import STORE_DIR
+
+    from repro.lab.store import ArtifactStore
+    from repro.timing.design import build_design
+    from repro.timing.profiles import DesignVariant
+
+    design = build_design(DesignVariant.CRITICAL_RANGE)
+    lut = ArtifactStore(STORE_DIR).get_lut(design)
+    metrics = run_stream_benchmark(design, lut)
+    print(report(metrics))
+    ok = (metrics["identical"] and metrics["throughput_ratio"] >= 0.5
+          and metrics["rss_ratio"] <= 1.10)
+    sys.exit(0 if ok else 1)

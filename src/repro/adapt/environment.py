@@ -70,12 +70,15 @@ class EnvironmentModel:
         aging = self.aging_total * min(cycle / self.horizon_cycles, 1.0)
         return 1.0 + temperature + droop + aging
 
-    def drift_array(self, num_cycles):
-        """Per-cycle drift factors ``[drift(0) .. drift(num_cycles-1)]``.
+    def drift_array(self, num_cycles, start=0):
+        """Per-cycle drift factors ``[drift(start) .. drift(start+num_cycles-1)]``.
 
         Bit-identical to calling :meth:`drift` per cycle — the same
         ``math`` operations run per element; only the loop-invariant phase
-        hash is hoisted (it dominates the per-call cost).
+        hash is hoisted (it dominates the per-call cost).  The ``start``
+        offset lets windowed/streaming evaluation reproduce a slice of the
+        offline profile exactly: ``drift_array(n)[a:b]`` equals
+        ``drift_array(b - a, start=a)``.
         """
         import numpy as np
 
@@ -85,7 +88,7 @@ class EnvironmentModel:
         period = self.temperature_period_cycles
         droop_on = self.droop_amplitude > 0 and self.droop_every_cycles > 0
         values = np.empty(num_cycles, dtype=float)
-        for cycle in range(num_cycles):
+        for cycle in range(start, start + num_cycles):
             temperature = amplitude * math.sin(
                 two_pi * cycle / period + phase
             )
@@ -99,7 +102,7 @@ class EnvironmentModel:
                         )
                     )
             aging = self.aging_total * min(cycle / self.horizon_cycles, 1.0)
-            values[cycle] = 1.0 + temperature + droop + aging
+            values[cycle - start] = 1.0 + temperature + droop + aging
         return values
 
     def max_drift(self, num_cycles):

@@ -676,7 +676,7 @@ def cmd_submit(args):
     except ScenarioError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    client = ServeClient(args.url)
+    client = ServeClient(args.url, timeout=args.timeout)
     try:
         job = client.submit(grid, kind=args.kind, tenant=args.tenant)
     except ServeError as error:
@@ -701,6 +701,165 @@ def cmd_submit(args):
                 if event.get("event") == "progress":
                     print(f"  {event['done']}/{event['total']} units",
                           file=sys.stderr)
+        snapshot = client.wait(job["id"], timeout=args.timeout)
+        if snapshot["state"] == "failed":
+            print(f"error: job failed: {snapshot['error']}",
+                  file=sys.stderr)
+            return 1
+        body = client.result_bytes(job["id"])
+    except (ServeError, TimeoutError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        pathlib.Path(args.json).write_bytes(body)
+        print(f"wrote {args.json} ({len(body)} bytes)")
+    else:
+        sys.stdout.write(body.decode())
+    return 0
+
+
+def _print_window(update, file=sys.stderr):
+    """One rolling-result line per window (local streaming mode)."""
+    rows = update.frame.to_rows()
+    best = max(rows, key=lambda row: row["effective_frequency_mhz"])
+    violations = sum(int(row["num_violations"]) for row in rows)
+    print(f"  {update.program} window {update.index} "
+          f"[{update.start_cycle}..{update.start_cycle + update.num_cycles}) "
+          f"stream={update.stream_cycles} cyc: "
+          f"best {best['config']} {best['effective_frequency_mhz']:.0f} MHz, "
+          f"{violations} violations", file=file)
+
+
+def cmd_stream(args):
+    """Streaming (windowed) evaluation — local or against the service.
+
+    Local mode drives a :class:`repro.stream.StreamingSession` over the
+    named programs (or the seeded random program stream), printing one
+    rolling-result line per window; remote mode (``--url``) submits a
+    ``stream`` job and follows its per-window events off ``/events``.
+    An unbounded local stream runs until Ctrl-C.
+    """
+    if args.url:
+        return _remote_stream(args)
+    from repro.stream import StreamingSession, kernel_source, random_source
+
+    validate_policy_specs(args.policy or [])
+    if args.programs:
+        if args.source == "randomgen":
+            print("error: give programs or --source randomgen, not both",
+                  file=sys.stderr)
+            return 2
+        source = kernel_source(args.programs)
+        unbounded = False
+    elif args.source == "randomgen":
+        source = random_source(
+            seed=args.seed, length=args.length, repeats=args.repeats,
+            unique=args.unique, count=args.count,
+        )
+        unbounded = args.count is None
+    else:
+        print("error: name programs to stream or pass --source randomgen",
+              file=sys.stderr)
+        return 2
+    session = _session(args, store=args.store or None)
+    streaming = StreamingSession(
+        session, window_cycles=args.window_cycles,
+        max_windows=args.max_windows,
+    )
+    if unbounded:
+        print("unbounded stream (no --count): Ctrl-C to stop",
+              file=sys.stderr)
+    on_window = None if args.quiet else _print_window
+    try:
+        frame = streaming.evaluate(
+            source,
+            policies=args.policy or ["instruction"],
+            generators=args.generator or ["ideal"],
+            margins=args.margin if args.margin else [0.0],
+            check_safety=True,
+            on_window=on_window,
+        )
+    except KeyboardInterrupt:
+        print("stream interrupted", file=sys.stderr)
+        return 130
+    if args.json:
+        pathlib.Path(args.json).write_text(frame.to_json())
+        print(f"wrote {args.json} ({len(frame)} rows)")
+        return 0
+    from repro.utils.tables import format_table
+
+    summary = frame.group_by("config", {
+        "mhz": ("effective_frequency_mhz", "mean"),
+        "violations": ("num_violations", "sum"),
+    })
+    table_rows = [
+        (row["config"], f"{row['mhz']:.0f}", f"{int(row['violations'])}")
+        for row in summary.iter_rows()
+    ]
+    num_programs = len(frame.distinct("program"))
+    print(format_table(
+        ["Configuration", "Avg. [MHz]", "Violations"],
+        table_rows,
+        title=f"Stream: {num_programs} programs x {len(summary)} configs "
+              f"@ {args.voltage:.2f} V, window {args.window_cycles} cyc",
+    ))
+    return 0
+
+
+def _remote_stream(args):
+    """``repro stream --url``: submit a ``stream`` job and follow its
+    rolling window events over the service's ndjson channel."""
+    from repro.lab.scenario import ScenarioError, ScenarioGrid
+    from repro.serve import ServeClient
+    from repro.serve.client import ServeError
+
+    if not args.grid:
+        print("error: --url needs --grid (the config axes of the stream "
+              "job)", file=sys.stderr)
+        return 2
+    try:
+        grid = ScenarioGrid.from_file(args.grid)
+    except ScenarioError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    options = {
+        "window_cycles": args.window_cycles,
+        "max_windows": args.max_windows,
+        "source": args.source,
+        "seed": args.seed,
+        "count": args.count,
+        "length": args.length,
+        "repeats": args.repeats,
+        "unique": args.unique,
+    }
+    client = ServeClient(args.url, timeout=args.timeout)
+    try:
+        job = client.submit(grid, kind="stream", tenant=args.tenant,
+                            stream=options)
+    except ServeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1 if error.status == 429 else 2
+    except OSError as error:
+        print(f"error: cannot reach {args.url}: {error}", file=sys.stderr)
+        return 2
+    note = " (cached)" if job.get("cached") else ""
+    print(f"job {job['id']}: {job['state']}{note} "
+          f"[grid {job['grid']!r}, tenant {job['tenant']!r}]")
+    try:
+        if job["state"] not in ("done", "failed"):
+            for event in client.events(job["id"]):
+                if event.get("event") == "window" and not args.quiet:
+                    best = max(
+                        event["rows"],
+                        key=lambda row: row["effective_frequency_mhz"],
+                    )
+                    violations = sum(int(row["num_violations"])
+                                     for row in event["rows"])
+                    print(f"  {event['design_point']} {event['program']} "
+                          f"window {event['window']}: best "
+                          f"{best['config']} "
+                          f"{best['effective_frequency_mhz']:.0f} MHz, "
+                          f"{violations} violations", file=sys.stderr)
         snapshot = client.wait(job["id"], timeout=args.timeout)
         if snapshot["state"] == "failed":
             print(f"error: job failed: {snapshot['error']}",
@@ -902,18 +1061,77 @@ def build_parser():
     sub.add_argument("--url", default="http://127.0.0.1:8787",
                      help="service URL (default: http://127.0.0.1:8787)")
     sub.add_argument("--kind", default="sweep",
-                     choices=["sweep", "evaluate", "train"],
+                     choices=["sweep", "evaluate", "train", "stream"],
                      help="job kind (default: sweep)")
     sub.add_argument("--tenant", default="anonymous",
                      help="tenant name for budget accounting")
     sub.add_argument("--wait", action="store_true",
                      help="stream progress and fetch the result frame")
     sub.add_argument("--timeout", type=float, default=600.0,
-                     help="--wait timeout in seconds (default: 600)")
+                     help="per-request socket timeout and --wait "
+                          "deadline in seconds (default: 600)")
     sub.add_argument("--json",
                      help="with --wait: write the result frame JSON here "
                           "instead of stdout")
     sub.set_defaults(func=cmd_submit)
+
+    sub = subparsers.add_parser(
+        "stream",
+        help="streaming (windowed) evaluation — local or via the service",
+    )
+    sub.add_argument("programs", nargs="*",
+                     help="kernel names or .s files to stream in order "
+                          "(default: --source randomgen)")
+    _add_design_arguments(sub)
+    sub.add_argument("--policy", action="append",
+                     help="clock policy (repeatable; also "
+                          "'learned:<model.npz>'; default: instruction)")
+    sub.add_argument("--generator", action="append",
+                     help="clock generator model (repeatable; "
+                          "default: ideal)")
+    sub.add_argument("--margin", action="append", type=float,
+                     help="safety margin in percent (repeatable; "
+                          "default: 0)")
+    sub.add_argument("--window-cycles", type=int, default=1024,
+                     help="cycles per trace window (default: 1024)")
+    sub.add_argument("--max-windows", type=int, default=8,
+                     help="windows kept in memory (default: 8)")
+    sub.add_argument("--source", default="workloads",
+                     choices=["workloads", "randomgen"],
+                     help="program source when no programs are named "
+                          "(default: workloads)")
+    sub.add_argument("--seed", type=int, default=1,
+                     help="randomgen stream seed (default: 1)")
+    sub.add_argument("--count", type=int, default=None,
+                     help="stop the randomgen stream after N programs "
+                          "(default: unbounded locally; required "
+                          "remotely)")
+    sub.add_argument("--length", type=int, default=1200,
+                     help="randomgen program length (default: 1200)")
+    sub.add_argument("--repeats", type=int, default=3,
+                     help="randomgen loop repeats (default: 3)")
+    sub.add_argument("--unique", type=int, default=None,
+                     help="loop over N unique randomgen programs")
+    sub.add_argument("--store",
+                     help="artifact-store directory (reuses compiled "
+                          "traces and LUTs)")
+    sub.add_argument("--lut", help="reuse a LUT JSON file")
+    sub.add_argument("--quiet", action="store_true",
+                     help="suppress per-window rolling lines")
+    sub.add_argument("--json",
+                     help="write the final result frame JSON here")
+    sub.add_argument("--url",
+                     help="submit to a running sweep service instead of "
+                          "evaluating locally (needs --grid)")
+    sub.add_argument("--grid",
+                     help="scenario grid file for --url mode (config "
+                          "axes of the stream job)")
+    sub.add_argument("--tenant", default="anonymous",
+                     help="tenant name for --url mode")
+    sub.add_argument("--timeout", type=float, default=300.0,
+                     help="per-request socket timeout and wait deadline "
+                          "for --url mode (default: 300)")
+    sub.set_defaults(func=cmd_stream)
 
     sub = subparsers.add_parser("table2", help="render a LUT (Table II)")
     _add_design_arguments(sub)

@@ -579,3 +579,20 @@ def _insert_cached(key, compiled):
 def clear_compiled_cache():
     """Drop every cached compiled trace (tests, memory pressure)."""
     _cache.clear()
+
+
+def is_trace_cached(program, design, max_cycles=4_000_000):
+    """Whether the in-memory LRU currently holds this compiled trace."""
+    key = (_program_key(program), _design_key(design), max_cycles)
+    return key in _cache
+
+
+def discard_compiled_trace(program, design, max_cycles=4_000_000):
+    """Evict one compiled trace from the in-memory LRU (no-op when
+    absent); returns whether an entry was dropped.
+
+    The streaming engine uses this to keep unbounded program streams at
+    O(1) memory: a stream of unique programs would otherwise pin up to
+    the whole :data:`CACHE_CYCLE_BUDGET` of already-evaluated traces."""
+    key = (_program_key(program), _design_key(design), max_cycles)
+    return _cache.pop(key, None) is not None

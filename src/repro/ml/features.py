@@ -185,6 +185,78 @@ def extract_features(compiled, vocabulary=None, window=DEFAULT_WINDOW):
     return FeatureMatrix(matrix, feature_names(window))
 
 
+class WindowedFeatureExtractor:
+    """Vectorized feature extraction over trace windows with carried state.
+
+    Feeding the consecutive windows of one trace (any window sizes)
+    produces rows bit-identical to one :func:`extract_features` call over
+    the whole trace: all columns except the recent-window counts are
+    cycle-local, and the counts are integer sums over at most ``window``
+    previous cycles, so carrying the trailing ``window`` EX-mul/div and
+    redirect flags across window boundaries reproduces them exactly.
+    Stateful — build one extractor per program and :meth:`reset` between
+    programs.
+    """
+
+    def __init__(self, vocabulary=None, window=DEFAULT_WINDOW):
+        if vocabulary is None:
+            vocabulary = class_vocabulary()
+        self.vocabulary = tuple(vocabulary)
+        self.window = _validate_window(window)
+        self._group_lookup = group_ids(self.vocabulary)
+        self.reset()
+
+    def reset(self):
+        self._muldiv_tail = np.zeros(0, dtype=np.int64)
+        self._redirect_tail = np.zeros(0, dtype=np.int64)
+
+    def _count_and_carry(self, tail, flags):
+        # With a tail of min(window, cycles_so_far) flags, the local
+        # lower-bound clamp in rolling_prev_count coincides with the
+        # whole-trace one, so the counts over the new rows are exact.
+        combined = np.concatenate(
+            [tail, np.asarray(flags).astype(np.int64)]
+        )
+        counts = rolling_prev_count(combined, self.window)[len(tail):]
+        carry = combined[max(0, len(combined) - self.window):]
+        return counts, carry
+
+    def extract(self, compiled):
+        """Feature matrix of one window (a ``CompiledTrace`` or any
+        object with the same cycle-matrix surface, e.g. a
+        ``repro.stream.TraceWindow``)."""
+        ids = compiled.vocab_ids(self.vocabulary)
+        groups = self._group_lookup[ids]
+        num_cycles = compiled.num_cycles
+
+        ex_muldiv = (
+            (groups[:, Stage.EX] == _MULDIV_GROUP_ID)
+            & ~compiled.bubble[:, Stage.EX]
+        )
+
+        columns = [ids.astype(np.float64), groups.astype(np.float64)]
+        flags = np.empty((num_cycles, 2 * len(Stage)), dtype=np.float64)
+        for stage in Stage:
+            flags[:, 2 * int(stage)] = compiled.bubble[:, stage]
+            flags[:, 2 * int(stage) + 1] = compiled.held[:, stage]
+        columns.append(flags)
+        columns.append(
+            np.column_stack([
+                compiled.stall.astype(np.float64),
+                compiled.redirect.astype(np.float64),
+            ])
+        )
+        muldiv_counts, self._muldiv_tail = self._count_and_carry(
+            self._muldiv_tail, ex_muldiv
+        )
+        redirect_counts, self._redirect_tail = self._count_and_carry(
+            self._redirect_tail, compiled.redirect
+        )
+        columns.append(np.column_stack([muldiv_counts, redirect_counts]))
+        matrix = np.concatenate(columns, axis=1)
+        return FeatureMatrix(matrix, feature_names(self.window))
+
+
 class OnlineFeatureExtractor:
     """Scalar (per-record) feature extraction with shift-register state.
 

@@ -82,11 +82,14 @@ class ServeClient:
 
     # -- surface -------------------------------------------------------------
 
-    def submit(self, grid, *, kind="sweep", tenant="anonymous"):
+    def submit(self, grid, *, kind="sweep", tenant="anonymous",
+               stream=None):
         """Submit a job; returns the job snapshot dict.
 
         ``grid`` may be a :class:`~repro.lab.scenario.ScenarioGrid`, a
-        grid dict, or a path to a grid JSON file.  The snapshot's
+        grid dict, or a path to a grid JSON file.  ``stream`` carries
+        the stream-options dict for ``kind="stream"`` jobs (see
+        :func:`repro.stream.validate_stream_options`).  The snapshot's
         ``cached`` / ``deduped`` fields say whether the service
         answered from the frame cache or attached this submission to an
         already-active identical job.
@@ -100,11 +103,10 @@ class ServeClient:
         else:
             with open(grid, encoding="utf-8") as handle:
                 grid_dict = json.load(handle)
-        return self._json(
-            "POST", "/v1/jobs",
-            {"grid": grid_dict, "kind": kind, "tenant": tenant},
-            ok=(200, 202),
-        )
+        payload = {"grid": grid_dict, "kind": kind, "tenant": tenant}
+        if stream is not None:
+            payload["stream"] = stream
+        return self._json("POST", "/v1/jobs", payload, ok=(200, 202))
 
     def status(self, job_id):
         """Current snapshot of one job."""

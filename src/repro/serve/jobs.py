@@ -37,8 +37,10 @@ __all__ = [
 
 #: Service job kinds: ``sweep`` runs the orchestrated grid runner,
 #: ``evaluate`` the in-process evaluation per design point, ``train``
-#: the training-table generator (:meth:`Session.training_table`).
-JOB_KINDS = ("sweep", "evaluate", "train")
+#: the training-table generator (:meth:`Session.training_table`), and
+#: ``stream`` the windowed streaming evaluation
+#: (:class:`repro.stream.StreamingSession`) with per-window events.
+JOB_KINDS = ("sweep", "evaluate", "train", "stream")
 
 #: Job lifecycle states.
 QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
@@ -78,6 +80,9 @@ class Job:
     frame_bytes: int = 0
     result_name: str = None
     error: str = None
+    #: Canonical stream options (``stream`` kind only; part of the
+    #: fingerprint, shipped to the worker in the job payload).
+    options: dict = None
     #: Progress/terminal events for the streaming endpoint.
     events: list = field(default_factory=list)
 
@@ -150,7 +155,8 @@ class JobRegistry:
 
     # -- submission ----------------------------------------------------------
 
-    def _new_job(self, kind, key, fingerprint, grid_dict, tenant):
+    def _new_job(self, kind, key, fingerprint, grid_dict, tenant,
+                 options=None):
         job = Job(
             id=f"job-{next(self._ids)}",
             kind=kind,
@@ -159,10 +165,11 @@ class JobRegistry:
             grid=grid_dict,
             grid_name=grid_dict.get("name", "sweep"),
             tenant=tenant,
+            options=options,
         )
         return job
 
-    def submit(self, kind, fingerprint, grid_dict, tenant):
+    def submit(self, kind, fingerprint, grid_dict, tenant, options=None):
         """Admit one submission; returns ``(job, deduped, cached)``.
 
         Order of precedence: an *active* job with the same key dedups
@@ -198,7 +205,7 @@ class JobRegistry:
                 return job, True, False
             if frame is not None:
                 job = self._new_job(kind, key, fingerprint, grid_dict,
-                                    tenant)
+                                    tenant, options)
                 job.state = DONE
                 job.cached = True
                 job.finished = time.time()
@@ -210,7 +217,7 @@ class JobRegistry:
             # fresh work: consumes queue capacity (429 past the bound)
             def make():
                 return self._new_job(kind, key, fingerprint, grid_dict,
-                                     tenant)
+                                     tenant, options)
 
             try:
                 job, deduped = self.queue.submit(key, make)
@@ -244,6 +251,13 @@ class JobRegistry:
                 {"event": "progress", "done": int(done),
                  "total": int(total)}
             )
+        self._changed(job)
+
+    def window_event(self, job, info):
+        """Append one rolling-window event (``stream`` jobs) for the
+        streaming endpoint."""
+        with self._lock:
+            job.events.append({"event": "window", **dict(info)})
         self._changed(job)
 
     def complete(self, job, *, simulations=0, frame_bytes=0, cached=False):

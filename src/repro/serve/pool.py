@@ -15,7 +15,10 @@ call — ``serve`` really is a thin layer over the Session facade:
   store frame cache double-checked worker-side so two *servers* on one
   store root dedup too);
 - ``evaluate`` → :meth:`Session.evaluate` per design point;
-- ``train``    → :meth:`Session.training_table`.
+- ``train``    → :meth:`Session.training_table`;
+- ``stream``   → :meth:`repro.stream.StreamingSession.evaluate` per
+  design point, relaying per-window ``("window", info)`` events so the
+  server can stream rolling results over ``/events``.
 
 Every worker attaches the one shared :class:`ArtifactStore`, so
 compiled traces and LUTs are computed at most once across the whole
@@ -48,10 +51,11 @@ def job_payload(job, config):
         "jobs": config.sweep_jobs,
         "engine": config.engine,
         "telemetry": bool(config.telemetry),
+        "options": job.options,
     }
 
 
-def execute_job(payload, on_progress):
+def execute_job(payload, on_progress, on_window=None):
     """Run one job (inside the worker process).
 
     Returns ``(frame, meta)`` where ``meta`` carries the dedup proof
@@ -81,6 +85,8 @@ def execute_job(payload, on_progress):
         frame = session.training_table(grid, on_unit=on_progress)
     elif kind == "evaluate":
         frame = _evaluate_grid(grid, payload, on_progress)
+    elif kind == "stream":
+        frame = _stream_grid(grid, payload, on_progress, on_window)
     else:
         raise ValueError(f"unknown job kind {kind!r}")
     meta = {
@@ -115,6 +121,67 @@ def _evaluate_grid(grid, payload, on_progress):
     return ResultFrame.from_rows(rows, EVALUATION_SCHEMA)
 
 
+def _window_event(update, point):
+    """Compact JSON-ready summary of one rolling window (full rows stay
+    in the final cached frame; events must stay small)."""
+    return {
+        "design_point": point.label,
+        "program": update.program,
+        "window": update.index,
+        "global_window": update.global_index,
+        "start_cycle": update.start_cycle,
+        "cycles": update.num_cycles,
+        "stream_cycles": update.stream_cycles,
+        "rows": [
+            {
+                "config": row["config"],
+                "effective_frequency_mhz": row["effective_frequency_mhz"],
+                "num_violations": row["num_violations"],
+            }
+            for row in update.frame.to_rows()
+        ],
+    }
+
+
+def _stream_grid(grid, payload, on_progress, on_window):
+    """``stream`` kind: windowed streaming evaluation per design point,
+    relaying each rolling window to the server as it lands."""
+    from repro.api import Session
+    from repro.api.frame import EVALUATION_SCHEMA, ResultFrame
+    from repro.stream import (
+        StreamingSession,
+        stream_source_for,
+        validate_stream_options,
+    )
+
+    options = validate_stream_options(payload.get("options"))
+    points = grid.design_points()
+    specs = grid.config_specs()
+    rows = []
+    on_progress(0, len(points))
+    for index, point in enumerate(points):
+        session = Session(
+            variant=point.variant, voltage=point.voltage,
+            store=payload["store_root"], jobs=payload["jobs"],
+            engine=payload["engine"], max_cycles=grid.max_cycles,
+        )
+        streaming = StreamingSession(
+            session, window_cycles=options["window_cycles"],
+            max_windows=options["max_windows"],
+        )
+        emit = None
+        if on_window is not None:
+            emit = (lambda update, _point=point:
+                    on_window(_window_event(update, _point)))
+        frame = streaming.evaluate(
+            stream_source_for(grid, options), configs=specs,
+            on_window=emit,
+        )
+        rows.extend(frame.to_rows())
+        on_progress(index + 1, len(points))
+    return ResultFrame.from_rows(rows, EVALUATION_SCHEMA)
+
+
 def _job_main(conn, payload):
     """Worker-process entry point: execute, stream events, never leak
     an exception past the pipe."""
@@ -132,6 +199,7 @@ def _job_main(conn, payload):
             on_progress=lambda done, total: conn.send(
                 ("progress", done, total)
             ),
+            on_window=lambda info: conn.send(("window", info)),
         )
         tracer = obs_trace.get_tracer()
         if tracer is not None:

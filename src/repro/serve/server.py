@@ -238,6 +238,8 @@ class SweepServer:
         kind = message[0]
         if kind == "progress":
             self.registry.progress(job, message[1], message[2])
+        elif kind == "window":
+            self.registry.window_event(job, message[1])
         elif kind == "done":
             self._job_done(job, frame_dict=message[1], meta=message[2])
         elif kind == "error":
@@ -412,11 +414,25 @@ class SweepServer:
             grid = ScenarioGrid.from_dict(payload["grid"])
         except ScenarioError as error:
             raise _HttpError(400, f"invalid grid: {error}") from None
-        fingerprint = grid.fingerprint()
+        options = None
+        if kind == "stream":
+            from repro.stream import stream_fingerprint, validate_stream_options
+
+            try:
+                options = validate_stream_options(
+                    payload.get("stream"), require_finite=True
+                )
+            except ValueError as error:
+                raise _HttpError(
+                    400, f"invalid stream options: {error}"
+                ) from None
+            fingerprint = stream_fingerprint(grid, options)
+        else:
+            fingerprint = grid.fingerprint()
         try:
             job, deduped, cached = await asyncio.to_thread(
                 self.registry.submit, kind, fingerprint, grid.to_dict(),
-                tenant,
+                tenant, options,
             )
         except QueueFull as error:
             raise _HttpError(429, str(error)) from None

@@ -432,6 +432,19 @@ def clear_images():
     _images.clear()
 
 
+def is_image_cached(program):
+    """Whether the image cache currently holds ``program``'s decode."""
+    return _image_key(program) in _images
+
+
+def discard_image(program):
+    """Evict one decoded image (no-op when absent); returns whether an
+    entry was dropped.  The streaming engine uses this to keep unbounded
+    program streams at O(1) memory — a decoded image pins every
+    instruction object plus the ISS result arrays for the program."""
+    return _images.pop(_image_key(program), None) is not None
+
+
 def _image_key(program):
     return (
         program.entry,

@@ -1,0 +1,47 @@
+"""repro.stream — windowed compiled traces and online evaluation.
+
+The streaming counterpart of :mod:`repro.api`: evaluate unbounded
+program streams window by window, with bounded memory and rolling
+:class:`~repro.api.frame.ResultFrame` telemetry, bit-identical to the
+offline engine on any finite prefix.  See
+:class:`~repro.stream.session.StreamingSession` for the contract and
+ARCHITECTURE.md ("Streaming mode") for the design.
+"""
+
+from repro.stream.session import (
+    DEFAULT_MAX_WINDOWS,
+    DEFAULT_WINDOW_CYCLES,
+    StreamingSession,
+    WindowUpdate,
+)
+from repro.stream.sources import (
+    kernel_source,
+    ndjson_source,
+    program_from_record,
+    random_source,
+)
+from repro.stream.options import (
+    STREAM_SOURCES,
+    stream_fingerprint,
+    stream_source_for,
+    validate_stream_options,
+)
+from repro.stream.windows import TraceWindow, iter_windows, windows_from_sizes
+
+__all__ = [
+    "StreamingSession",
+    "WindowUpdate",
+    "TraceWindow",
+    "iter_windows",
+    "windows_from_sizes",
+    "kernel_source",
+    "random_source",
+    "ndjson_source",
+    "program_from_record",
+    "validate_stream_options",
+    "stream_fingerprint",
+    "stream_source_for",
+    "STREAM_SOURCES",
+    "DEFAULT_WINDOW_CYCLES",
+    "DEFAULT_MAX_WINDOWS",
+]

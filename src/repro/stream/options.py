@@ -1,0 +1,102 @@
+"""Stream-job options shared by the CLI and the sweep service.
+
+A stream job is a :class:`~repro.lab.scenario.ScenarioGrid` (the config
+axes) plus a stream-options dict (window length and program source).
+``ScenarioGrid.from_dict`` deliberately rejects unknown fields, so the
+options ride next to the grid — in the service's POST body and in the
+worker payload — and are folded into the job fingerprint here.
+"""
+
+import hashlib
+import json
+
+from repro.stream.session import DEFAULT_MAX_WINDOWS, DEFAULT_WINDOW_CYCLES
+
+#: Valid stream sources: the grid's workloads (finite replay) or the
+#: seeded random program stream.
+STREAM_SOURCES = ("workloads", "randomgen")
+
+
+def validate_stream_options(options, *, require_finite=False):
+    """Normalise a stream-options dict to its canonical, fully-defaulted
+    form (raises ``ValueError`` on unknown keys or bad values).
+
+    ``require_finite`` rejects unbounded sources — the sweep service
+    caches one result frame per job, so service streams must end.
+    """
+    options = dict(options or {})
+    known = {
+        "window_cycles", "max_windows", "source", "seed", "count",
+        "length", "repeats", "unique",
+    }
+    unknown = sorted(set(options) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown stream option(s) {unknown}; known: {sorted(known)}"
+        )
+    window_cycles = int(options.get("window_cycles", DEFAULT_WINDOW_CYCLES))
+    if window_cycles < 1:
+        raise ValueError(f"window_cycles must be >= 1, got {window_cycles}")
+    max_windows = int(options.get("max_windows", DEFAULT_MAX_WINDOWS))
+    if max_windows < 1:
+        raise ValueError(f"max_windows must be >= 1, got {max_windows}")
+    source = options.get("source", "workloads")
+    if source not in STREAM_SOURCES:
+        raise ValueError(
+            f"unknown stream source {source!r}; choose from {STREAM_SOURCES}"
+        )
+    count = options.get("count")
+    count = None if count is None else int(count)
+    if count is not None and count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    unique = options.get("unique")
+    unique = None if unique is None else int(unique)
+    if unique is not None and unique < 1:
+        raise ValueError(f"unique must be >= 1, got {unique}")
+    if require_finite and source == "randomgen" and count is None:
+        raise ValueError(
+            "stream jobs need a finite source: pass count with "
+            "source='randomgen'"
+        )
+    return {
+        "window_cycles": window_cycles,
+        "max_windows": max_windows,
+        "source": source,
+        "seed": int(options.get("seed", 1)),
+        "count": count,
+        "length": int(options.get("length", 1200)),
+        "repeats": int(options.get("repeats", 3)),
+        "unique": unique,
+    }
+
+
+def stream_fingerprint(grid, options):
+    """Job identity of (grid, stream options): SHA-256 over the grid
+    fingerprint and the canonical options JSON."""
+    digest = hashlib.sha256()
+    digest.update(grid.fingerprint().encode("ascii"))
+    digest.update(b"\x00stream\x00")
+    digest.update(json.dumps(
+        validate_stream_options(options), sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8"))
+    return digest.hexdigest()
+
+
+def stream_source_for(grid, options):
+    """The program source a (grid, options) stream job evaluates."""
+    options = validate_stream_options(options)
+    if options["source"] == "randomgen":
+        from repro.stream.sources import random_source
+
+        return random_source(
+            seed=options["seed"], length=options["length"],
+            repeats=options["repeats"], unique=options["unique"],
+            count=options["count"],
+        )
+    from repro.stream.sources import kernel_source
+
+    specs = grid.workload_specs()
+    if options["count"] is not None:
+        specs = specs[:options["count"]]
+    return kernel_source(specs)

@@ -1,0 +1,82 @@
+"""Program sources for streaming evaluation.
+
+A stream source is any iterable of Program objects or kernel-name /
+assembly-path strings — :class:`~repro.stream.session.StreamingSession`
+resolves strings lazily, one program at a time, so sources can be
+unbounded generators.  This module provides the three bundled kinds:
+
+- :func:`kernel_source` — replay of named kernels / assembly files;
+- :func:`random_source` — the seeded (infinite or looping)
+  :func:`repro.workloads.program_stream` generator;
+- :func:`ndjson_source` — an ndjson feed: any iterable of lines (a file
+  object, a socket's ``makefile()``, a subprocess pipe), one JSON record
+  per line describing the next program.
+"""
+
+import json
+
+from repro.workloads import WorkloadError, resolve_program
+from repro.workloads.randomgen import (
+    generate_characterization_program,
+    program_stream,
+)
+
+
+def kernel_source(names):
+    """Programs from kernel names or assembly-file paths, in order."""
+    for name in names:
+        yield resolve_program(name) if isinstance(name, str) else name
+
+
+def random_source(seed=1, *, length=1200, repeats=3, unique=None,
+                  count=None):
+    """The seeded random program stream (see
+    :func:`repro.workloads.program_stream`)."""
+    return program_stream(
+        seed=seed, length=length, repeats=repeats, unique=unique,
+        count=count,
+    )
+
+
+def program_from_record(record):
+    """One program from one ndjson record.
+
+    Record shapes::
+
+        {"kernel": "crc32"}                  # bundled kernel / .s path
+        {"asm": "...", "name": "mine"}       # inline assembly
+        {"randomgen": {"seed": 3, "length": 600, "repeats": 2}}
+    """
+    if not isinstance(record, dict):
+        raise WorkloadError(
+            f"ndjson record must be an object, got {type(record).__name__}"
+        )
+    if "kernel" in record:
+        return resolve_program(record["kernel"])
+    if "asm" in record:
+        from repro.asm import assemble
+
+        return assemble(record["asm"], name=record.get("name", "ndjson"))
+    if "randomgen" in record:
+        options = dict(record["randomgen"] or {})
+        return generate_characterization_program(
+            seed=int(options.get("seed", 1)),
+            length=int(options.get("length", 1200)),
+            repeats=int(options.get("repeats", 3)),
+        )
+    raise WorkloadError(
+        "ndjson record needs one of 'kernel', 'asm' or 'randomgen', "
+        f"got keys {sorted(record)}"
+    )
+
+
+def ndjson_source(lines):
+    """Programs from an ndjson feed (iterable of lines; blank lines are
+    skipped).  Works directly on sockets via ``socket.makefile('r')``."""
+    for line in lines:
+        if isinstance(line, bytes):
+            line = line.decode("utf-8")
+        line = line.strip()
+        if not line:
+            continue
+        yield program_from_record(json.loads(line))

@@ -18,7 +18,10 @@ kernels with the same instruction-mix characteristics (see DESIGN.md):
 import pathlib
 
 from repro.workloads.kernels import Kernel, all_kernels, get_kernel
-from repro.workloads.randomgen import generate_characterization_program
+from repro.workloads.randomgen import (
+    generate_characterization_program,
+    program_stream,
+)
 from repro.workloads.suite import (
     benchmark_suite,
     characterization_suite,
@@ -70,6 +73,7 @@ __all__ = [
     "get_kernel",
     "resolve_program",
     "generate_characterization_program",
+    "program_stream",
     "benchmark_suite",
     "characterization_suite",
     "suite_names",

@@ -273,3 +273,57 @@ def generate_characterization_program(seed=1, length=1200, repeats=3):
         seed=seed, length=length, repeats=repeats
     )
     return assemble(source, name=f"chargen-{seed}")
+
+
+def stream_seed(seed, index):
+    """Per-segment seed for :func:`program_stream` (deterministic, stable).
+
+    A splitmix-style integer mix so consecutive stream indices land on
+    well-separated generator seeds instead of ``seed + index`` (which would
+    alias neighbouring streams).
+    """
+    z = (int(seed) * 0x9E3779B97F4A7C15 + int(index) + 1) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return (z ^ (z >> 31)) & 0x7FFFFFFF
+
+
+def program_stream(seed=1, *, length=1200, repeats=3, unique=None, count=None):
+    """Seeded stream of assembled characterisation programs.
+
+    Yields ``generate_characterization_program`` outputs whose segment
+    seeds are derived deterministically from ``(seed, index)`` — the same
+    ``seed`` always produces the same program sequence, so streaming runs
+    are replayable and a finite prefix can be re-materialised for
+    offline-equivalence checks.
+
+    Parameters
+    ----------
+    seed:
+        Stream seed; every segment seed derives from it via
+        :func:`stream_seed`.
+    length / repeats:
+        Forwarded to :func:`generate_characterization_program`.
+    unique:
+        When set, only ``unique`` distinct programs are generated and the
+        stream loops over them (``index % unique``) — multi-million-cycle
+        workloads without unbounded assembly work, and all segments stay
+        inside the memoisation caches.  ``None`` draws a fresh program
+        per segment, bypassing the ``lru_cache`` entirely: an unbounded
+        stream of unique programs must not accumulate cache entries.
+    count:
+        Total number of programs to yield; ``None`` streams forever.
+    """
+    if unique is not None and unique < 1:
+        raise ValueError("unique must be >= 1")
+    if count is not None and count < 0:
+        raise ValueError("count must be >= 0")
+    index = 0
+    generate = (generate_characterization_program if unique is not None
+                else generate_characterization_program.__wrapped__)
+    while count is None or index < count:
+        position = index if unique is None else index % unique
+        yield generate(
+            seed=stream_seed(seed, position), length=length, repeats=repeats
+        )
+        index += 1

@@ -265,6 +265,47 @@ class TestServeIntegration:
         progress = [e for e in events if e["event"] == "progress"]
         assert progress and progress[-1]["done"] == progress[-1]["total"]
 
+    def test_stream_job_windows_and_identity(self, server):
+        """A ``stream`` job emits per-window events on ``/events`` and
+        its cached frame is byte-identical to the offline evaluation of
+        the same grid."""
+        from repro.api import Session
+        from repro.lab.scenario import ScenarioGrid
+
+        _, client = server
+        job = client.submit(GRID, kind="stream", tenant="alice",
+                            stream={"window_cycles": 64})
+        events = list(client.events(job["id"]))
+        windows = [e for e in events if e["event"] == "window"]
+        assert windows, "stream job emitted no window events"
+        assert events[-1]["event"] == "done"
+        first = windows[0]
+        assert first["program"] == "fib"
+        assert first["cycles"] == 64
+        assert first["rows"][0]["config"] == "instruction/ideal"
+        grid = ScenarioGrid.from_dict(GRID)
+        point = grid.design_points()[0]
+        session = Session(variant=point.variant, voltage=point.voltage)
+        offline = session.evaluate(
+            list(grid.workload_specs()), configs=grid.config_specs()
+        )
+        assert client.result_bytes(job["id"]).decode() \
+            == offline.to_json()
+        # options are part of the identity: same grid, other window
+        other = client.submit(GRID, kind="stream", tenant="alice",
+                              stream={"window_cycles": 32})
+        assert other["id"] != job["id"] and not other["cached"]
+
+    def test_stream_job_rejects_bad_options(self, server):
+        _, client = server
+        with pytest.raises(ServeError) as excinfo:
+            client.submit(GRID, kind="stream", stream={"bogus": 1})
+        assert excinfo.value.status == 400
+        with pytest.raises(ServeError) as excinfo:
+            client.submit(GRID, kind="stream",
+                          stream={"source": "randomgen"})
+        assert excinfo.value.status == 400   # unbounded source
+
     def test_backpressure_429(self, server):
         """With the queue pinned full, fresh grids bounce with 429 while
         dedup submissions of the active grid still land."""
