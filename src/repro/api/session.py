@@ -36,6 +36,7 @@ from repro.obs import trace as obs_trace
 from repro.obs.trace import span as obs_span
 from repro.dta.extraction import DEFAULT_MIN_OCCURRENCES
 from repro.flow.evaluate import DEFAULT_MAX_CYCLES, SweepConfig
+from repro.sim.spec import DEFAULT_SPEC, get_pipeline_spec
 from repro.timing.profiles import DesignVariant
 
 #: Valid evaluation engines: ``vector`` is the compiled-trace array
@@ -52,22 +53,30 @@ DEFAULT_OVERSCALE_FACTORS = (1.0, 0.97, 0.94, 0.91, 0.88, 0.85)
 _CHAR_ENGINES = {"vector": "array", "lockstep": "array", "scalar": "record"}
 
 
-def design_point_label(variant, voltage):
+def design_point_label(variant, voltage, pipeline_spec=None):
     """Display label of an operating point (matches
-    :attr:`repro.lab.scenario.DesignPoint.label`)."""
-    return f"{variant}@{voltage:.2f}V"
+    :attr:`repro.lab.scenario.DesignPoint.label`).  ``pipeline_spec``
+    (a preset name) is appended when non-default; the default spec is
+    omitted so pre-spec labels are unchanged."""
+    label = f"{variant}@{voltage:.2f}V"
+    if pipeline_spec and pipeline_spec != DEFAULT_SPEC.name:
+        label += f"/{pipeline_spec}"
+    return label
 
 
 def evaluation_row(result, *, variant, voltage, config_label, policy,
-                   generator, margin_percent):
+                   generator, margin_percent, pipeline_spec=None):
     """One :data:`EVALUATION_SCHEMA` row from an ``EvaluationResult``.
 
     Field-for-field the sweep runner's canonical JSON row
     (:func:`repro.lab.runner.result_to_dict`), so Session evaluations and
-    orchestrated sweep documents share one layout.
+    orchestrated sweep documents share one layout.  ``pipeline_spec``
+    distinguishes the ``design_point`` cell of non-default
+    microarchitectures so spec axes never merge in group-bys.
     """
     return {
-        "design_point": design_point_label(variant, voltage),
+        "design_point": design_point_label(variant, voltage,
+                                           pipeline_spec),
         "variant": variant,
         "voltage": voltage,
         "config": config_label,
@@ -161,6 +170,14 @@ class Session:
         so long campaigns self-limit.
     seed:
         Root seed of the synthetic netlist (``design`` construction).
+    pipeline_spec:
+        Microarchitecture of the simulated pipeline — a
+        :class:`~repro.sim.spec.PipelineSpec`, a registered preset name
+        (``"shallow5"``, ``"deep7"``, ...), or ``None`` for the default
+        six-stage machine.  Non-default specs key their own compiled
+        traces, LUTs and store artifacts, and require an array engine
+        (``vector``/``lockstep``).  Ignored when ``design`` is given
+        (the design carries its spec).
     telemetry:
         ``True`` to collect spans on a fresh
         :class:`~repro.obs.trace.Tracer`, or a ``Tracer`` to share one
@@ -178,7 +195,8 @@ class Session:
                  characterization=None, store=None, engine="vector",
                  jobs=1, max_cycles=DEFAULT_MAX_CYCLES,
                  min_occurrences=DEFAULT_MIN_OCCURRENCES,
-                 store_budget_bytes=None, seed=None, telemetry=None):
+                 store_budget_bytes=None, seed=None, telemetry=None,
+                 pipeline_spec=None):
         if engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {engine!r}; choose from {ENGINES}"
@@ -186,10 +204,20 @@ class Session:
         if design is not None:
             variant = design.variant.value
             voltage = design.library.voltage
+            pipeline_spec = design.pipeline_spec
         elif isinstance(variant, DesignVariant):
             variant = variant.value
+        pipeline_spec = get_pipeline_spec(pipeline_spec)
+        if engine == "scalar" and not pipeline_spec.is_default:
+            raise ValueError(
+                "the scalar engine's record path (per-record policies, "
+                "event-log characterisation) assumes the default pipeline "
+                f"layout; spec {pipeline_spec.name!r} needs the vector or "
+                "lockstep engine"
+            )
         self.variant = variant
         self.voltage = float(voltage)
+        self.pipeline_spec = pipeline_spec
         self.engine = engine
         self.jobs = max(1, int(jobs))
         self.max_cycles = int(max_cycles)
@@ -226,13 +254,14 @@ class Session:
 
             self._design = build_design(
                 DesignVariant(self.variant), voltage=self.voltage,
-                seed=self.seed,
+                seed=self.seed, pipeline_spec=self.pipeline_spec,
             )
         return self._design
 
     @property
     def design_point(self):
-        return design_point_label(self.variant, self.voltage)
+        return design_point_label(self.variant, self.voltage,
+                                  self.pipeline_spec.name)
 
     @property
     def static_period_ps(self):
@@ -527,6 +556,7 @@ class Session:
                             else result.policy_name),
                     generator=generator,
                     margin_percent=config.margin_percent,
+                    pipeline_spec=self.pipeline_spec.name,
                 ))
         return ResultFrame.from_rows(rows, EVALUATION_SCHEMA)
 

@@ -81,6 +81,16 @@ with zero re-simulation (``"cached": true`` in the job snapshot).
 Programs may be given as a bundled kernel name or a path to an assembly
 file.
 
+Design-point commands (``sta``, ``characterize``, ``evaluate``,
+``sweep``, ``stream``, ``table2``; also ``run``) accept
+``--pipeline-spec`` to select a registered pipeline microarchitecture
+preset (:data:`repro.sim.spec.PIPELINE_VARIANTS`)::
+
+    python -m repro evaluate crc32 --pipeline-spec shallow5
+
+Non-default specs key their own compiled traces, LUTs and store
+artifacts; grid files instead declare a ``pipeline_specs`` axis.
+
 Every pipeline command is a thin call into :class:`repro.api.Session`
 (the public facade); the CLI only parses arguments and formats output.
 """
@@ -100,6 +110,7 @@ from repro.ml.model import (
 )
 from repro.sim.iss import FunctionalSimulator
 from repro.sim.pipeline import PipelineSimulator
+from repro.sim.spec import PIPELINE_VARIANTS, get_pipeline_spec
 from repro.timing.design import build_design
 from repro.timing.profiles import DesignVariant
 from repro.timing.sta import run_sta
@@ -119,7 +130,12 @@ def _load_program(spec):
 
 
 def _build(args):
-    return build_design(DesignVariant(args.variant), voltage=args.voltage)
+    """Design at the (variant, voltage, pipeline-spec) point named on
+    the command line."""
+    return build_design(
+        DesignVariant(args.variant), voltage=args.voltage,
+        pipeline_spec=getattr(args, "pipeline_spec", None),
+    )
 
 
 def _session(args, store=None, announce=True, **kwargs):
@@ -136,7 +152,31 @@ def _session(args, store=None, announce=True, **kwargs):
               file=sys.stderr)
     return Session(
         variant=args.variant, voltage=args.voltage, lut=lut, store=store,
+        pipeline_spec=getattr(args, "pipeline_spec", None),
         **kwargs,
+    )
+
+
+def _pipeline_spec_arg(value):
+    """Argparse type for ``--pipeline-spec``: a registered preset name
+    (see :data:`repro.sim.spec.PIPELINE_VARIANTS`)."""
+    try:
+        get_pipeline_spec(value)
+    except (TypeError, ValueError):
+        raise argparse.ArgumentTypeError(
+            f"unknown pipeline spec {value!r} "
+            f"(choose from {', '.join(sorted(PIPELINE_VARIANTS))})"
+        ) from None
+    return value
+
+
+def _add_pipeline_spec_argument(parser):
+    parser.add_argument(
+        "--pipeline-spec", default=None, type=_pipeline_spec_arg,
+        metavar="SPEC",
+        help="pipeline microarchitecture preset "
+             f"(choices: {', '.join(sorted(PIPELINE_VARIANTS))}; "
+             "default: baseline6)",
     )
 
 
@@ -150,9 +190,11 @@ def _add_design_arguments(parser):
         "--voltage", type=float, default=0.70,
         help="supply voltage in volts (default: 0.70)",
     )
+    _add_pipeline_spec_argument(parser)
 
 
 def cmd_kernels(args):
+    """List the bundled workload kernels (name, category, description)."""
     print(f"{'name':14s} {'category':8s} description")
     for kernel in all_kernels():
         print(f"{kernel.name:14s} {kernel.category:8s} {kernel.description}")
@@ -160,6 +202,7 @@ def cmd_kernels(args):
 
 
 def cmd_asm(args):
+    """Assemble a program and print its disassembly listing."""
     program = _load_program(args.program)
     print(f"# {program.name}: {program.size_words} words, "
           f"entry {program.entry:#x}")
@@ -168,10 +211,15 @@ def cmd_asm(args):
 
 
 def cmd_run(args):
+    """Run a program on the ISS and the cycle-accurate pipeline and
+    cross-check their architectural state (exit 1 on divergence)."""
     program = _load_program(args.program)
     iss = FunctionalSimulator(program)
     iss.run()
-    pipe = PipelineSimulator(program)
+    pipe = PipelineSimulator(
+        program, spec=get_pipeline_spec(getattr(args, "pipeline_spec",
+                                                None))
+    )
     pipe.run()
     if iss.state.regs != pipe.state.regs:
         print("ERROR: ISS and pipeline disagree", file=sys.stderr)
@@ -189,6 +237,8 @@ def cmd_run(args):
 
 
 def cmd_sta(args):
+    """Static timing analysis of the design's synthetic netlist: the
+    critical path, the per-stage wall profile and the clock bound."""
     design = _build(args)
     report = run_sta(design.netlist)
     print(report.summary())
@@ -200,6 +250,8 @@ def cmd_sta(args):
 
 
 def cmd_characterize(args):
+    """Characterise the design point and print or write the delay LUT
+    (gate-sim substitute + DTA + extraction over the standard suite)."""
     session = _session(args, announce=False)
     print(f"characterising {session.design.name} ...", file=sys.stderr)
     result = session.characterize()
@@ -214,6 +266,8 @@ def cmd_characterize(args):
 
 
 def cmd_evaluate(args):
+    """Evaluate one program under one clock policy with ground-truth
+    safety replay; exit 1 when any timing violation is recorded."""
     program = _load_program(args.program)   # fail fast on a bad spec
     validate_policy_specs([args.policy])    # ... and on a bad model file
     session = _session(args)
@@ -243,6 +297,8 @@ def _parse_store_budget(args):
 
 
 def cmd_sweep(args):
+    """Batch-evaluate programs under many configurations: flag-driven
+    axes by default, or the parallel grid runner with ``--grid``."""
     if args.grid:
         return _run_grid_sweep(args)
     if (args.resume or args.jobs != 1 or args.json or args.trace
@@ -372,11 +428,12 @@ def _run_grid_sweep(args):
 
     if (args.programs or args.policy or args.generator or args.margin
             or args.check_safety or args.lut
-            or args.variant != "critical_range" or args.voltage != 0.70):
+            or args.variant != "critical_range" or args.voltage != 0.70
+            or args.pipeline_spec is not None):
         print("--grid mode takes every axis from the grid file; drop the "
               "positional programs and the --policy/--generator/--margin/"
-              "--check-safety/--lut/--variant/--voltage flags",
-              file=sys.stderr)
+              "--check-safety/--lut/--variant/--voltage/--pipeline-spec "
+              "flags", file=sys.stderr)
         return 2
     try:
         grid = ScenarioGrid.from_file(args.grid)
@@ -453,6 +510,8 @@ def _run_grid_sweep(args):
 
 
 def cmd_table2(args):
+    """Render the characterised delay LUT in the paper's Table II
+    layout (per-class, per-stage-group delays)."""
     session = _session(args)
     print(session.lut.render())
     return 0
@@ -897,6 +956,7 @@ def build_parser():
     sub.add_argument("program")
     sub.add_argument("--regs", action="store_true",
                      help="dump the full register file")
+    _add_pipeline_spec_argument(sub)
     sub.set_defaults(func=cmd_run)
 
     sub = subparsers.add_parser("sta", help="static timing analysis")

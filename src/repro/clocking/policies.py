@@ -97,7 +97,8 @@ class ExOnlyLutPolicy:
         )
 
     def periods_for(self, compiled_trace):
-        ex_ids = compiled_trace.class_ids[:, Stage.EX]
+        ex = getattr(compiled_trace, "ex_column", int(Stage.EX))
+        ex_ids = compiled_trace.class_ids[:, ex]
         ex_table = compiled_trace.class_column(
             lambda cls: self.lut.entry(cls, Stage.EX)
         )
@@ -236,13 +237,17 @@ class GeniePolicy:
 
     def _same_operating_point(self, compiled_trace):
         """Excitation models are pure functions of (variant, voltage), so
-        equal operating points yield identical delay matrices.  The
+        equal operating points yield identical delay matrices.  Pipeline
+        specs extend the trace's operating point with a digest but do not
+        change the excitation, so only the first two elements matter:
+        the genie reads the trace's own ground-truth matrix.  The
         comparison uses the trace's recorded operating point, so traces
         rehydrated from the artifact store (which carry a delay matrix but
         no live excitation model) validate the same way."""
         if compiled_trace.excitation is self.excitation:
             return True
-        return compiled_trace.operating_point == (
+        point = compiled_trace.operating_point
+        return point is not None and tuple(point[:2]) == (
             self.excitation.profile.variant.value,
             self.excitation.library.voltage,
         )

@@ -89,11 +89,11 @@ class DynamicClockAdjustment:
             # trained ML-DFS predictor: "learned:<model.npz>" deploys a
             # serialized model (see repro.ml); loading is cached, and a
             # missing/corrupt file raises ModelError (friendly CLI exit)
-            from repro.ml.model import load_policy_model
+            from repro.ml.model import load_policy_model, validate_model_spec
 
-            return LearnedPolicy(
-                load_policy_model(name), self.design.static_period_ps
-            )
+            model = load_policy_model(name)
+            validate_model_spec(model, self.design)
+            return LearnedPolicy(model, self.design.static_period_ps)
         raise ValueError(f"unknown policy {name!r}")
 
     def make_generator(self, name=None):

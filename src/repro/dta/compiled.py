@@ -29,10 +29,13 @@ import numpy as np
 
 from repro.obs.trace import span as obs_span
 from repro.sim import predecode
+from repro.sim.spec import DEFAULT_SPEC, get_pipeline_spec
 from repro.sim.trace import Stage
 from repro.timing.profiles import BUBBLE_CLASS
 
-#: Number of pipeline stage groups (columns of the compiled matrices).
+#: Number of canonical pipeline stage groups.  Matrices of the default
+#: spec are exactly this wide; other specs carry ``spec.num_stages``
+#: columns, one per stage, each mapped onto a canonical group.
 NUM_STAGES = len(Stage)
 
 #: Column indices [0..NUM_STAGES), used for fancy-indexing stage tables.
@@ -77,18 +80,34 @@ class CompiledTrace:
     #: Excitation model used to materialise :attr:`delays` on demand
     #: (``None`` for store-rehydrated traces, whose delays are pre-baked).
     excitation: object
-    #: ``(variant_value, voltage)`` the delays were computed at; lets the
-    #: genie policy validate a trace without a live excitation model.
+    #: ``(variant_value, voltage)`` the delays were computed at — extended
+    #: with the pipeline-spec digest for non-default microarchitectures;
+    #: lets the genie policy validate a trace without a live excitation
+    #: model.
     operating_point: tuple = None
     #: Optional vectorized EX-cell builder ``f(active_cycles) -> delays``
     #: installed by :func:`compile_vector_run`; replaces the per-record
     #: replay loop with array math (bit-identical results).
     ex_replay: object = field(default=None, repr=False)
+    #: The :class:`~repro.sim.spec.PipelineSpec` the trace was simulated
+    #: under (``None`` means the default spec; column count and group
+    #: mapping of every matrix follow it).
+    spec: object = None
     _delays: np.ndarray = field(default=None, repr=False)
 
     @property
     def num_classes(self):
         return len(self.class_names)
+
+    @property
+    def pipeline_spec(self):
+        """Resolved spec (``None`` normalises to the default machine)."""
+        return self.spec if self.spec is not None else DEFAULT_SPEC
+
+    @property
+    def ex_column(self):
+        """Matrix column of the EX stage (``Stage.EX`` for the default)."""
+        return self.pipeline_spec.ex_index
 
     @property
     def delays(self):
@@ -110,48 +129,53 @@ class CompiledTrace:
         return self._delays
 
     def _compute_delays(self):
+        spec = self.pipeline_spec
+        ex = spec.ex_index
         tables = self.excitation.group_tables(self.class_names)
-        delays = np.empty((self.num_cycles, NUM_STAGES), dtype=float)
+        delays = np.empty((self.num_cycles, spec.num_stages), dtype=float)
 
-        for stage in (Stage.FE, Stage.DC, Stage.CTRL, Stage.WB):
-            column = tables["stage"][stage][self.class_ids[:, stage]]
-            column = np.where(self.held[:, stage], tables["hold"], column)
+        for index, group in enumerate(spec.group_of):
+            stage = Stage(group)
+            if stage in (Stage.ADR, Stage.EX):
+                continue
+            column = tables["stage"][stage][self.class_ids[:, index]]
+            column = np.where(self.held[:, index], tables["hold"], column)
             # a bubble wins over a hold, as in ExcitationModel.group_delay
             column = np.where(
-                self.bubble[:, stage], tables["bubble"][stage], column
+                self.bubble[:, index], tables["bubble"][stage], column
             )
-            delays[:, stage] = column
+            delays[:, index] = column
 
         # ADR: redirect path for taken transfers, sequential otherwise;
         # the EX occupant drives it, a stalled front end re-presents.
         adr = np.where(
             self.redirect,
-            tables["adr_redirect"][self.class_ids[:, Stage.ADR]],
+            tables["adr_redirect"][self.class_ids[:, 0]],
             tables["adr_seq"],
         )
-        adr = np.where(self.bubble[:, Stage.EX], tables["adr_seq"], adr)
+        adr = np.where(self.bubble[:, ex], tables["adr_seq"], adr)
         adr = np.where(self.stall, tables["hold"], adr)
-        delays[:, Stage.ADR] = adr
+        delays[:, 0] = adr
 
         # EX: operand-dependent — replay the excitation model only where
         # an instruction actually computes this cycle.
-        ex = np.where(
-            self.bubble[:, Stage.EX],
+        ex_column = np.where(
+            self.bubble[:, ex],
             tables["bubble"][Stage.EX],
-            np.where(self.held[:, Stage.EX], tables["hold"], 0.0),
+            np.where(self.held[:, ex], tables["hold"], 0.0),
         )
-        delays[:, Stage.EX] = ex
+        delays[:, ex] = ex_column
         active = np.nonzero(
-            ~(self.bubble[:, Stage.EX] | self.held[:, Stage.EX])
+            ~(self.bubble[:, ex] | self.held[:, ex])
         )[0]
         if self.ex_replay is not None:
-            delays[active, Stage.EX] = self.ex_replay(active)
+            delays[active, ex] = self.ex_replay(active)
         else:
-            group_delay = self.excitation.group_delay
+            column_delay = self.excitation.column_delay
             records = self.trace.records
             for index in active:
-                delays[index, Stage.EX] = group_delay(
-                    records[index], Stage.EX
+                delays[index, ex] = column_delay(
+                    records[index], ex, spec
                 ).delay_ps
         return delays
 
@@ -160,9 +184,14 @@ class CompiledTrace:
         return worst_per_cycle(self.delays)[0]
 
     def class_table(self, entry):
-        """``(num_classes, NUM_STAGES)`` table of ``entry(cls, stage)``."""
+        """``(num_classes, num_stages)`` table of ``entry(cls, stage)``.
+
+        One column per spec stage; each is filled from its canonical
+        :class:`Stage` group, so ``entry`` never needs to know the spec.
+        """
+        groups = [Stage(group) for group in self.pipeline_spec.group_of]
         return np.array([
-            [entry(cls, stage) for stage in Stage]
+            [entry(cls, stage) for stage in groups]
             for cls in self.class_names
         ], dtype=float)
 
@@ -174,7 +203,7 @@ class CompiledTrace:
         """Gather a class×stage ``table`` along the trace: element
         ``[t, s]`` is the table entry of the class driving stage ``s`` in
         cycle ``t``."""
-        return table[self.class_ids, STAGE_COLUMNS]
+        return table[self.class_ids, np.arange(self.class_ids.shape[1])]
 
     def class_name_at(self, cycle, stage):
         """Driver class of one (cycle, stage) cell — for violation reports."""
@@ -201,29 +230,41 @@ class CompiledTrace:
         return remap[self.class_ids]
 
 
-def compile_trace(trace, excitation):
+def _operating_point(excitation, spec):
+    """Operating-point tuple of a compiled trace — two elements for the
+    default machine (historical key shape), spec digest appended for any
+    other microarchitecture."""
+    base = (excitation.profile.variant.value, excitation.library.voltage)
+    if spec.is_default:
+        return base
+    return base + (spec.digest,)
+
+
+def compile_trace(trace, excitation, spec=None):
     """Compile one pipeline trace against one excitation model.
 
     The class attribution is the inlined equivalent of
     :func:`~repro.dta.extraction.attribute_cycle` (ADR keys on the EX
     occupant, ``None`` timing classes are bubbles); the per-slot state
-    flags feed the vectorized delay-matrix construction.
+    flags feed the vectorized delay-matrix construction.  ``spec`` is the
+    pipeline spec the trace was simulated under and sets the column count.
     """
+    spec = get_pipeline_spec(spec)
+    num_columns = spec.num_stages
     num_cycles = trace.num_cycles
-    class_ids = np.empty((num_cycles, NUM_STAGES), dtype=np.int32)
-    bubble = np.empty((num_cycles, NUM_STAGES), dtype=bool)
-    held = np.empty((num_cycles, NUM_STAGES), dtype=bool)
+    class_ids = np.empty((num_cycles, num_columns), dtype=np.int32)
+    bubble = np.empty((num_cycles, num_columns), dtype=bool)
+    held = np.empty((num_cycles, num_columns), dtype=bool)
     stall = np.empty(num_cycles, dtype=bool)
     redirect = np.empty(num_cycles, dtype=bool)
     intern = {}
     names = []
-    ex_index = int(Stage.EX)
-    adr_index = int(Stage.ADR)
+    ex_index = spec.ex_index
     for index, record in enumerate(trace.records):
         slots = record.slots
         ex_view = slots[ex_index]
-        for stage in range(NUM_STAGES):
-            view = ex_view if stage == adr_index else slots[stage]
+        for stage in range(num_columns):
+            view = ex_view if stage == 0 else slots[stage]
             cls = view.timing_class
             if cls is None:
                 cls = BUBBLE_CLASS
@@ -248,9 +289,8 @@ def compile_trace(trace, excitation):
         redirect=redirect,
         trace=trace,
         excitation=excitation,
-        operating_point=(
-            excitation.profile.variant.value, excitation.library.voltage
-        ),
+        operating_point=_operating_point(excitation, spec),
+        spec=None if spec.is_default else spec,
     )
 
 
@@ -284,16 +324,19 @@ def compile_vector_run(run, excitation):
     from repro.timing.excitation import ex_criticality_array
     from repro.utils.rounding import round3_array
 
+    pspec = run.spec
+    num_columns = pspec.num_stages
+    ex_index = pspec.ex_index
     occupancy = run.stage_occupancy()
     num_cycles = run.num_cycles
     local_names = run.class_names
     bubble_code = len(local_names)
     slot_class = run.slot_class
 
-    codes = np.empty((num_cycles, NUM_STAGES), dtype=np.int64)
-    bubble = np.empty((num_cycles, NUM_STAGES), dtype=bool)
-    held = np.empty((num_cycles, NUM_STAGES), dtype=bool)
-    for stage in Stage:
+    codes = np.empty((num_cycles, num_columns), dtype=np.int64)
+    bubble = np.empty((num_cycles, num_columns), dtype=bool)
+    held = np.empty((num_cycles, num_columns), dtype=bool)
+    for stage in range(num_columns):
         occupant, stage_bubble, stage_held = occupancy[stage]
         codes[:, stage] = np.where(
             stage_bubble, bubble_code,
@@ -302,9 +345,9 @@ def compile_vector_run(run, excitation):
         bubble[:, stage] = stage_bubble
         held[:, stage] = stage_held
     # the ADR group is driven by the EX occupant (attribute_cycle)
-    codes[:, Stage.ADR] = codes[:, Stage.EX]
-    bubble[:, Stage.ADR] = bubble[:, Stage.EX]
-    held[:, Stage.ADR] = held[:, Stage.EX]
+    codes[:, 0] = codes[:, ex_index]
+    bubble[:, 0] = bubble[:, ex_index]
+    held[:, 0] = held[:, ex_index]
 
     # intern in first-encounter order over the row-major class matrix —
     # exactly the order compile_trace's per-record walk produces
@@ -334,6 +377,7 @@ def compile_vector_run(run, excitation):
         # program — memoised on the shared decode image
         image = predecode.image_for(run.program)
         crit_key = (
+            None if pspec.is_default else pspec.digest,
             run.div_latency, run.num_cycles, len(active),
             int(active[0]) if len(active) else -1,
             int(active[-1]) if len(active) else -1,
@@ -354,7 +398,7 @@ def compile_vector_run(run, excitation):
                 redirect[active],
             )
             image.crit_cache[crit_key] = crit
-        cls_rows = class_ids[active, int(Stage.EX)]
+        cls_rows = class_ids[active, ex_index]
         max_ps = np.empty(len(class_names))
         spread_ps = np.empty(len(class_names))
         for index, cls in enumerate(class_names):
@@ -379,9 +423,8 @@ def compile_vector_run(run, excitation):
         redirect=redirect.copy(),
         trace=_LazyTraceProxy(run),
         excitation=excitation,
-        operating_point=(
-            excitation.profile.variant.value, excitation.library.voltage
-        ),
+        operating_point=_operating_point(excitation, pspec),
+        spec=None if pspec.is_default else pspec,
         ex_replay=ex_replay,
     )
 
@@ -452,8 +495,10 @@ def _program_key(program):
 
 def _design_key(design):
     """Operating point: the excitation model (and therefore the compiled
-    delays) is fully determined by variant + supply voltage."""
-    return (design.variant.value, design.library.voltage)
+    delays) is fully determined by variant + supply voltage — plus the
+    pipeline spec for non-default microarchitectures (the default keeps
+    the historical two-tuple, so warm caches and stores stay valid)."""
+    return design.operating_point
 
 
 def get_compiled_trace(program, design, max_cycles=4_000_000):
@@ -482,12 +527,15 @@ def get_compiled_trace(program, design, max_cycles=4_000_000):
     if _store is not None:
         compiled = _store.load_compiled_trace(program, design, max_cycles)
     if compiled is None:
+        spec = design.pipeline_spec
         with obs_span("dta.compile", program=program.name):
-            run = vector.simulate(program, max_cycles=max_cycles)
+            run = vector.simulate(program, max_cycles=max_cycles, spec=spec)
             _simulations += 1
             if run is None:
-                trace = PipelineSimulator(program).run(max_cycles=max_cycles)
-                compiled = compile_trace(trace, design.excitation)
+                trace = PipelineSimulator(program, spec=spec).run(
+                    max_cycles=max_cycles
+                )
+                compiled = compile_trace(trace, design.excitation, spec=spec)
             else:
                 compiled = compile_vector_run(run, design.excitation)
         if _store is not None:
@@ -535,6 +583,7 @@ def get_compiled_traces(programs, design, max_cycles=4_000_000):
             misses.append((position, program))
 
     if misses:
+        spec = design.pipeline_spec
         with obs_span("dta.compile_batch", misses=len(misses)):
             batch = lockstep.collect_batch(
                 [program for _, program in misses], max_cycles=max_cycles
@@ -545,16 +594,19 @@ def get_compiled_traces(programs, design, max_cycles=4_000_000):
                     continue
                 with obs_span("dta.compile", program=program.name):
                     if data is None:
-                        run = vector.simulate(program, max_cycles=max_cycles)
+                        run = vector.simulate(program, max_cycles=max_cycles,
+                                              spec=spec)
                     else:
                         run = vector.reconstruct(program, data,
-                                                 max_cycles=max_cycles)
+                                                 max_cycles=max_cycles,
+                                                 spec=spec)
                     _simulations += 1
                     if run is None:
-                        trace = PipelineSimulator(program).run(
+                        trace = PipelineSimulator(program, spec=spec).run(
                             max_cycles=max_cycles
                         )
-                        compiled = compile_trace(trace, design.excitation)
+                        compiled = compile_trace(trace, design.excitation,
+                                                 spec=spec)
                     else:
                         compiled = compile_vector_run(run, design.excitation)
                 if _store is not None:

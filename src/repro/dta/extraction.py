@@ -102,6 +102,11 @@ def extract_lut_arrays(dta_result, compiled, static_period_ps,
     occurrence counts to a ``bincount``.  Produces a LUT equal to the
     record-path one — same entries, occurrences, characterized set — for
     the same DTA data.
+
+    Non-default pipeline specs fold their columns onto the six canonical
+    :class:`Stage` groups (several decode stages all accumulate into the
+    ``DC`` maxima); groups a spec does not implement stay unobserved and
+    fall back to the static period, so the LUT schema is spec-invariant.
     """
     import numpy as np
 
@@ -111,18 +116,19 @@ def extract_lut_arrays(dta_result, compiled, static_period_ps,
             f"{compiled.num_cycles}"
         )
 
+    spec = compiled.pipeline_spec
     class_names = compiled.class_names
     num_classes = len(class_names)
     maxima = np.zeros((num_classes, len(Stage)), dtype=float)
-    for stage in Stage:
+    for column, group in enumerate(spec.group_of):
         np.maximum.at(
-            maxima[:, stage],
-            compiled.class_ids[:, stage],
-            np.asarray(dta_result.stage_delays[stage], dtype=float),
+            maxima[:, group],
+            compiled.class_ids[:, column],
+            np.asarray(dta_result.stage_delays[column], dtype=float),
         )
 
     ex_counts_array = np.bincount(
-        compiled.class_ids[:, Stage.EX], minlength=num_classes
+        compiled.class_ids[:, spec.ex_index], minlength=num_classes
     )
     # every class in the compiled intern table was observed in some stage
     entries = {}

@@ -76,7 +76,19 @@ class GateLevelSimulator:
         self.max_cycles = max_cycles
 
     def run(self):
-        """Simulate and emit the event log."""
+        """Simulate and emit the event log.
+
+        The event-log path registers one endpoint set per canonical stage
+        group, so it models the default six-stage machine only; other
+        pipeline specs characterise through the array path
+        (:meth:`run_dta`), which keys delays per spec column.
+        """
+        spec = self.design.pipeline_spec
+        if not spec.is_default:
+            raise ValueError(
+                "event-log characterisation supports the default pipeline "
+                f"spec only; spec {spec.name!r} must use run_dta()"
+            )
         simulator = PipelineSimulator(self.program)
         trace = simulator.run(max_cycles=self.max_cycles)
 
@@ -145,12 +157,15 @@ class GateLevelSimulator:
         )
         from repro.sim import vector
 
-        run = vector.simulate(self.program, max_cycles=self.max_cycles)
-        if run is None:   # self-modifying fetch stream: scalar reference
-            trace = PipelineSimulator(self.program).run(
+        spec = self.design.pipeline_spec
+        run = vector.simulate(self.program, max_cycles=self.max_cycles,
+                              spec=spec)
+        if run is None:   # spec or program needs the scalar reference
+            trace = PipelineSimulator(self.program, spec=spec).run(
                 max_cycles=self.max_cycles
             )
-            compiled = compile_trace(trace, self.design.excitation)
+            compiled = compile_trace(trace, self.design.excitation,
+                                     spec=spec)
         else:
             compiled = compile_vector_run(run, self.design.excitation)
 
@@ -162,7 +177,8 @@ class GateLevelSimulator:
             sim_period_ps=self.sim_period_ps,
             num_cycles=compiled.num_cycles,
             stage_delays={
-                stage: recovered[:, stage] for stage in Stage
+                column: recovered[:, column]
+                for column in range(spec.num_stages)
             },
             cycle_max=cycle_max,
             limiting_stage=limiting,
@@ -182,16 +198,19 @@ def recovered_stage_delays(delays, design, sim_period_ps):
     noise of the timestamps, which is why extraction must run on *this*
     matrix to stay bit-identical to the event-log reference path.
     """
+    spec = design.pipeline_spec
     num_cycles = len(delays)
+    num_columns = delays.shape[1] if num_cycles else spec.num_stages
     period = sim_period_ps
     t0 = np.arange(num_cycles, dtype=float) * period
-    recovered = np.zeros((num_cycles, len(Stage)), dtype=float)
-    for stage in Stage:
+    recovered = np.zeros((num_cycles, num_columns), dtype=float)
+    for index in range(num_columns):
+        stage = Stage(spec.group_of[index])
         column = np.zeros(num_cycles, dtype=float)
         for endpoint, fraction in zip(
             design.netlist.endpoints_for(stage), _TRAILING_FRACTIONS
         ):
-            delay = delays[:, stage] * fraction
+            delay = delays[:, index] * fraction
             t_data = round3_array(
                 t0 + delay - endpoint.setup_ps + endpoint.skew_ps
             )
@@ -206,7 +225,7 @@ def recovered_stage_delays(delays, design, sim_period_ps):
             column = np.maximum(
                 column, period - (t_clock - t_data - endpoint.setup_ps)
             )
-        recovered[:, stage] = column
+        recovered[:, index] = column
     return recovered
 
 

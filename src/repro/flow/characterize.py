@@ -154,8 +154,9 @@ def _shard_worker(payload):
     (counter deltas + spans when the parent traces), so the parent's
     stats and telemetry reflect sharded activity exactly like a serial
     run's."""
-    (index, program, variant_value, voltage, min_occurrences,
+    (index, program, variant_value, voltage, spec_dict, min_occurrences,
      sim_period_ps, engine, store_root, telemetry) = payload
+    from repro.sim.spec import PipelineSpec
     from repro.timing.design import build_design
     from repro.timing.profiles import DesignVariant
 
@@ -167,7 +168,13 @@ def _shard_worker(payload):
         obs_trace.set_tracer(obs_trace.Tracer(label=f"worker-{os.getpid()}"))
     baseline = obs_metrics.gather()
 
-    design = build_design(DesignVariant(variant_value), voltage=voltage)
+    design = build_design(
+        DesignVariant(variant_value), voltage=voltage,
+        pipeline_spec=(
+            PipelineSpec.from_dict(spec_dict)
+            if spec_dict is not None else None
+        ),
+    )
     store = None
     if store_root is not None:
         from repro.lab.store import ArtifactStore
@@ -239,9 +246,12 @@ def _characterize_impl(design, programs=None,
 
         store_root = str(store.root) if store is not None else None
         telemetry = obs_trace.is_enabled()
+        spec = design.pipeline_spec
+        spec_dict = None if spec.is_default else spec.to_dict()
         payloads = [
             (index, program, design.variant.value, design.library.voltage,
-             min_occurrences, sim_period_ps, engine, store_root, telemetry)
+             spec_dict, min_occurrences, sim_period_ps, engine, store_root,
+             telemetry)
             for index, program in enumerate(programs)
         ]
         with ProcessPoolExecutor(

@@ -150,6 +150,7 @@ def evaluate_compiled(compiled, design, policy, generator=None,
     violations = []
     if check_safety:
         delays = compiled.delays
+        spec = compiled.pipeline_spec
         mask = delays > periods[:, None] + VIOLATION_TOLERANCE_PS
         if mask.any():
             for cycle, stage in np.argwhere(mask):
@@ -158,7 +159,7 @@ def evaluate_compiled(compiled, design, policy, generator=None,
                 violations.append(
                     TimingViolation(
                         cycle=cycle,
-                        stage=Stage(stage),
+                        stage=spec.stage_label(stage),
                         applied_period_ps=float(periods[cycle]),
                         excited_delay_ps=float(delays[cycle, stage]),
                         driver_class=compiled.class_name_at(cycle, stage),
@@ -303,8 +304,14 @@ def evaluate_program_scalar(program, design, policy, generator=None,
 
     Kept as the compatibility path and as the semantics the batch engine
     must reproduce bit-identically (see ``tests/test_batch_equivalence``).
+
+    The safety replay is spec-aware (one excitation sample per spec
+    column); record-path *policies* assume the default six-slot layout,
+    so non-default specs pair this loop with layout-independent policies
+    (e.g. static) or use the batch engine.
     """
-    simulator = PipelineSimulator(program)
+    spec = design.pipeline_spec
+    simulator = PipelineSimulator(program, spec=spec)
     trace = simulator.run(max_cycles=max_cycles)
 
     controller = ClockAdjustmentController(
@@ -315,13 +322,13 @@ def evaluate_program_scalar(program, design, policy, generator=None,
     for record in trace.records:
         period = controller.period_for(record)
         if check_safety:
-            for stage in Stage:
-                excited = excitation.group_delay(record, stage)
+            for column in range(spec.num_stages):
+                excited = excitation.column_delay(record, column, spec)
                 if excited.delay_ps > period + VIOLATION_TOLERANCE_PS:
                     violations.append(
                         TimingViolation(
                             cycle=record.cycle,
-                            stage=stage,
+                            stage=spec.stage_label(column),
                             applied_period_ps=period,
                             excited_delay_ps=excited.delay_ps,
                             driver_class=excited.driver_class,

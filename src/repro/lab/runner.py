@@ -79,6 +79,7 @@ def result_to_dict(result, design_point, spec):
         policy=spec.policy,
         generator=spec.generator,
         margin_percent=spec.margin_percent,
+        pipeline_spec=design_point.pipeline_spec,
     )
 
 

@@ -1,7 +1,8 @@
 """Declarative sweep scenarios.
 
 A :class:`ScenarioGrid` names every axis of a sweep — policies,
-generators, safety margins, supply voltages, design variants, workloads —
+generators, safety margins, supply voltages, design variants, pipeline
+specs, workloads —
 and expands the cross product into the structures the engine consumes:
 :class:`DesignPoint` operating points (one evaluation context each) and
 :class:`ConfigSpec` rows (one ``SweepConfig`` each, materialised against
@@ -28,6 +29,7 @@ from dataclasses import dataclass
 
 from repro.flow.evaluate import DEFAULT_MAX_CYCLES, SweepConfig
 from repro.ml.model import LEARNED_PREFIX, is_learned_spec
+from repro.sim.spec import DEFAULT_SPEC, get_pipeline_spec
 from repro.timing.profiles import DesignVariant
 
 #: Policy names understood by ``DynamicClockAdjustment.make_policy``.
@@ -49,30 +51,48 @@ class ScenarioError(ValueError):
 
 @dataclass(frozen=True)
 class DesignPoint:
-    """One operating point of the processor: variant × supply voltage."""
+    """One operating point of the processor: variant × supply voltage
+    (× pipeline spec, for non-default microarchitectures)."""
 
     variant: str
     voltage: float
+    pipeline_spec: str = DEFAULT_SPEC.name
+
+    @property
+    def _is_default_spec(self):
+        return self.pipeline_spec == DEFAULT_SPEC.name
 
     @property
     def label(self):
         """Display label; rounds the voltage for readability."""
-        return f"{self.variant}@{self.voltage:.2f}V"
+        label = f"{self.variant}@{self.voltage:.2f}V"
+        if not self._is_default_spec:
+            label += f"/{self.pipeline_spec}"
+        return label
 
     @property
     def key(self):
         """Exact identity for unit ids and manifests — ``repr`` keeps
-        full float precision, so nearly-equal voltages never collide."""
-        return f"{self.variant}@{self.voltage!r}"
+        full float precision, so nearly-equal voltages never collide.
+        The default pipeline spec is omitted, so pre-spec unit ids are
+        unchanged."""
+        key = f"{self.variant}@{self.voltage!r}"
+        if not self._is_default_spec:
+            key += f"/{self.pipeline_spec}"
+        return key
 
     def build(self):
         from repro.timing.design import build_design
 
         return build_design(DesignVariant(self.variant),
-                            voltage=self.voltage)
+                            voltage=self.voltage,
+                            pipeline_spec=self.pipeline_spec)
 
     def as_dict(self):
-        return {"variant": self.variant, "voltage": self.voltage}
+        payload = {"variant": self.variant, "voltage": self.voltage}
+        if not self._is_default_spec:
+            payload["pipeline_spec"] = self.pipeline_spec
+        return payload
 
 
 @dataclass(frozen=True)
@@ -126,6 +146,9 @@ class ScenarioGrid:
     workloads: tuple = ()
     check_safety: bool = False
     max_cycles: int = DEFAULT_MAX_CYCLES
+    #: Registered pipeline-spec preset names (``repro.sim.spec``); the
+    #: default single-entry axis keeps grid fingerprints unchanged.
+    pipeline_specs: tuple = (DEFAULT_SPEC.name,)
 
     def __post_init__(self):
         self.policies = tuple(self.policies)
@@ -134,6 +157,7 @@ class ScenarioGrid:
         self.variants = tuple(self.variants)
         self.voltages = tuple(float(v) for v in self.voltages)
         self.workloads = tuple(self.workloads)
+        self.pipeline_specs = tuple(self.pipeline_specs)
         self.validate()
 
     # -- validation ----------------------------------------------------------
@@ -175,16 +199,26 @@ class ScenarioGrid:
             raise ScenarioError("voltages must be positive")
         if self.max_cycles <= 0:
             raise ScenarioError("max_cycles must be positive")
+        if not self.pipeline_specs:
+            raise ScenarioError("grid axis 'pipeline_specs' is empty")
+        for name in self.pipeline_specs:
+            try:
+                get_pipeline_spec(name)
+            except (TypeError, ValueError) as error:
+                raise ScenarioError(str(error)) from None
         return self
 
     # -- expansion -----------------------------------------------------------
 
     def design_points(self):
-        """Operating points, variant-major then voltage, in spec order."""
+        """Operating points, variant-major then voltage then pipeline
+        spec, in spec order."""
         return [
-            DesignPoint(variant=variant, voltage=voltage)
+            DesignPoint(variant=variant, voltage=voltage,
+                        pipeline_spec=spec)
             for variant in self.variants
             for voltage in self.voltages
+            for spec in self.pipeline_specs
         ]
 
     def config_specs(self):
@@ -224,7 +258,7 @@ class ScenarioGrid:
     # -- serialisation -------------------------------------------------------
 
     def to_dict(self):
-        return {
+        payload = {
             "name": self.name,
             "policies": list(self.policies),
             "generators": list(self.generators),
@@ -235,6 +269,11 @@ class ScenarioGrid:
             "check_safety": self.check_safety,
             "max_cycles": self.max_cycles,
         }
+        # the default axis is omitted so pre-spec grid fingerprints
+        # (and cached sweep manifests) stay stable
+        if self.pipeline_specs != (DEFAULT_SPEC.name,):
+            payload["pipeline_specs"] = list(self.pipeline_specs)
+        return payload
 
     def fingerprint(self):
         """SHA-256 over the canonical dict — the identity of the

@@ -179,8 +179,18 @@ def program_fingerprint(program):
 
 
 def design_fingerprint(design):
-    """Operating-point hash (variant, supply voltage)."""
-    return _digest([design.variant.value, design.library.voltage])
+    """Operating-point hash (variant, supply voltage, pipeline spec).
+
+    The default pipeline spec is omitted from the payload, so every
+    artifact keyed before specs existed keeps its fingerprint byte for
+    byte; any other microarchitecture appends its spec digest and gets
+    distinct trace/LUT/model keys for free.
+    """
+    payload = [design.variant.value, design.library.voltage]
+    spec = getattr(design, "pipeline_spec", None)
+    if spec is not None and not spec.is_default:
+        payload.append(spec.digest)
+    return _digest(payload)
 
 
 class ArtifactStore:
@@ -260,6 +270,10 @@ class ArtifactStore:
             "redirect": compiled.redirect,
             "delays": delays,
         }
+        if compiled.spec is not None:   # default-spec payloads stay as-is
+            payload["pipeline_spec"] = np.str_(
+                json.dumps(compiled.spec.to_dict(), sort_keys=True)
+            )
         self._write_atomic(path, lambda tmp: np.savez(tmp, **payload))
 
     def load_compiled_trace(self, program, design, max_cycles):
@@ -296,6 +310,15 @@ class ArtifactStore:
                 for name in _TRACE_ARRAYS:
                     if arrays[name].shape[0] != num_cycles:
                         raise StoreCorruption(f"truncated array {name}")
+                spec = None
+                point = (str(data["variant"]), float(data["voltage"]))
+                if "pipeline_spec" in data.files:
+                    from repro.sim.spec import PipelineSpec
+
+                    spec = PipelineSpec.from_dict(
+                        json.loads(str(data["pipeline_spec"]))
+                    )
+                    point = point + (spec.digest,)
                 return CompiledTrace(
                     program_name=str(data["program_name"]),
                     num_cycles=num_cycles,
@@ -308,9 +331,8 @@ class ArtifactStore:
                     redirect=arrays["redirect"],
                     trace=None,
                     excitation=None,
-                    operating_point=(
-                        str(data["variant"]), float(data["voltage"])
-                    ),
+                    operating_point=point,
+                    spec=spec,
                     _delays=arrays["delays"],
                 )
         except StoreCorruption:

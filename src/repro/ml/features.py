@@ -112,6 +112,34 @@ def _validate_window(window):
     return window
 
 
+def _canonical_cycle_arrays(compiled, ids, vocabulary):
+    """Project a trace's per-column arrays onto the six canonical stage
+    groups, keeping :data:`NUM_FEATURES` fixed across pipeline specs.
+
+    Default-spec traces pass through untouched (bit-identical features).
+    For other specs each canonical group reads its representative
+    column (:meth:`~repro.sim.spec.PipelineSpec.canonical_column`);
+    groups the spec has no stage for (e.g. FE in a five-stage machine)
+    read as permanent bubbles.
+    """
+    spec = compiled.pipeline_spec
+    if spec.is_default:
+        return ids, compiled.bubble, compiled.held
+    num_cycles = compiled.num_cycles
+    bubble_id = vocabulary.index(BUBBLE_CLASS)
+    out_ids = np.full((num_cycles, len(Stage)), bubble_id, dtype=ids.dtype)
+    bubble = np.ones((num_cycles, len(Stage)), dtype=bool)
+    held = np.zeros((num_cycles, len(Stage)), dtype=bool)
+    for stage in Stage:
+        column = spec.canonical_column(stage)
+        if column is None:
+            continue
+        out_ids[:, stage] = ids[:, column]
+        bubble[:, stage] = compiled.bubble[:, column]
+        held[:, stage] = compiled.held[:, column]
+    return out_ids, bubble, held
+
+
 def rolling_prev_count(flags, window):
     """Causal rolling count: element ``t`` is the number of set flags in
     cycles ``[t - window, t - 1]`` — the current cycle never counts
@@ -149,25 +177,29 @@ def extract_features(compiled, vocabulary=None, window=DEFAULT_WINDOW):
     The class-id columns use the trace's
     :meth:`~repro.dta.compiled.CompiledTrace.vocab_ids` remap, so two
     traces interning classes in different orders produce identical
-    features for identical pipeline states.
+    features for identical pipeline states.  Non-default pipeline specs
+    project onto the canonical six-group layout
+    (:func:`_canonical_cycle_arrays`), so the feature width is
+    spec-invariant.
     """
     window = _validate_window(window)
     if vocabulary is None:
         vocabulary = class_vocabulary()
     ids = compiled.vocab_ids(vocabulary)
+    ids, bubble, held = _canonical_cycle_arrays(compiled, ids, vocabulary)
     groups = group_ids(vocabulary)[ids]
     num_cycles = compiled.num_cycles
 
     ex_muldiv = (
         (groups[:, Stage.EX] == _MULDIV_GROUP_ID)
-        & ~compiled.bubble[:, Stage.EX]
+        & ~bubble[:, Stage.EX]
     )
 
     columns = [ids.astype(np.float64), groups.astype(np.float64)]
     flags = np.empty((num_cycles, 2 * len(Stage)), dtype=np.float64)
     for stage in Stage:
-        flags[:, 2 * int(stage)] = compiled.bubble[:, stage]
-        flags[:, 2 * int(stage) + 1] = compiled.held[:, stage]
+        flags[:, 2 * int(stage)] = bubble[:, stage]
+        flags[:, 2 * int(stage) + 1] = held[:, stage]
     columns.append(flags)
     columns.append(
         np.column_stack([
@@ -226,19 +258,22 @@ class WindowedFeatureExtractor:
         object with the same cycle-matrix surface, e.g. a
         ``repro.stream.TraceWindow``)."""
         ids = compiled.vocab_ids(self.vocabulary)
+        ids, bubble, held = _canonical_cycle_arrays(
+            compiled, ids, self.vocabulary
+        )
         groups = self._group_lookup[ids]
         num_cycles = compiled.num_cycles
 
         ex_muldiv = (
             (groups[:, Stage.EX] == _MULDIV_GROUP_ID)
-            & ~compiled.bubble[:, Stage.EX]
+            & ~bubble[:, Stage.EX]
         )
 
         columns = [ids.astype(np.float64), groups.astype(np.float64)]
         flags = np.empty((num_cycles, 2 * len(Stage)), dtype=np.float64)
         for stage in Stage:
-            flags[:, 2 * int(stage)] = compiled.bubble[:, stage]
-            flags[:, 2 * int(stage) + 1] = compiled.held[:, stage]
+            flags[:, 2 * int(stage)] = bubble[:, stage]
+            flags[:, 2 * int(stage) + 1] = held[:, stage]
         columns.append(flags)
         columns.append(
             np.column_stack([
@@ -264,6 +299,10 @@ class OnlineFeatureExtractor:
     same trace record by record — the reference semantics of a learned
     policy's hardware monitor.  Stateful: the recent-window counters see
     only cycles already presented, so build one extractor per program.
+
+    Record-path extraction assumes the default six-slot record layout
+    (non-default pipeline specs evaluate through the array engines,
+    which :class:`repro.api.Session` enforces).
     """
 
     def __init__(self, vocabulary=None, window=DEFAULT_WINDOW):

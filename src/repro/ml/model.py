@@ -307,6 +307,34 @@ def load_policy_model(spec):
     return load_model(parse_learned_spec(spec))
 
 
+def validate_model_spec(model, design):
+    """Refuse deploying a model on a microarchitecture it was not
+    trained for.
+
+    Models record the pipeline-spec digests of their training grid
+    (``metadata["pipeline_spec_digests"]``); the deploying design's
+    spec digest must be among them.  Artifacts from before spec-aware
+    training carry no digest list and deploy on the default spec only.
+    """
+    spec = design.pipeline_spec
+    trained = model.metadata.get("pipeline_spec_digests")
+    if trained is None:
+        if spec.is_default:
+            return
+        raise ModelError(
+            "learned-policy model carries no pipeline-spec metadata "
+            f"(pre-spec artifact); it cannot deploy on spec "
+            f"{spec.name!r} — retrain it on that spec"
+        )
+    if spec.digest not in trained:
+        names = model.metadata.get("pipeline_specs", trained)
+        raise ModelError(
+            f"learned-policy model was trained on pipeline spec(s) "
+            f"{', '.join(names)} and cannot deploy on spec "
+            f"{spec.name!r} — retrain it on that spec"
+        )
+
+
 def validate_policy_specs(names):
     """Eagerly load every ``learned:`` spec in ``names``.
 

@@ -394,11 +394,23 @@ def train_policy(grid, config=None, *, store=None, jobs=1, progress=None):
     )
 
     predicted = model.predict_normalized(calib_matrix)
+    from repro.sim.spec import get_pipeline_spec
+
+    spec_names = sorted({
+        point.pipeline_spec for point in grid.design_points()
+    })
     metadata = {
         "grid": grid.name,
         "fingerprint": grid.fingerprint(),
         "config": config.as_dict(),
         "design_points": [point.label for point in grid.design_points()],
+        # microarchitectures the model was fitted/calibrated on; deploy
+        # validation (repro.ml.model.validate_model_spec) refuses any
+        # other spec
+        "pipeline_specs": spec_names,
+        "pipeline_spec_digests": sorted({
+            get_pipeline_spec(name).digest for name in spec_names
+        }),
         "train_workloads": train_workloads,
         "calibration_workloads": calibration_workloads,
         "train_rows": int(len(target)),

@@ -39,7 +39,7 @@ import numpy as np
 from repro.isa.registers import REG_LINK
 from repro.obs.trace import span as obs_span
 from repro.sim import predecode
-from repro.sim.pipeline import DEFAULT_DIV_LATENCY, DEFAULT_MAX_CYCLES
+from repro.sim.pipeline import DEFAULT_MAX_CYCLES
 from repro.sim.predecode import (
     OP_ADD,
     OP_ADDC,
@@ -566,8 +566,8 @@ def _run_lanes(programs, images, lanes, max_cycles, results):
         results[i] = predecode._clone_data(data, programs[i])
 
 
-def simulate_batch(programs, div_latency=DEFAULT_DIV_LATENCY,
-                   max_cycles=DEFAULT_MAX_CYCLES):
+def simulate_batch(programs, div_latency=None, max_cycles=DEFAULT_MAX_CYCLES,
+                   spec=None):
     """Batched pipeline simulation: lockstep ISS + per-lane reconstruction.
 
     Returns one :class:`~repro.sim.vector.VectorPipelineRun` per program,
@@ -575,6 +575,10 @@ def simulate_batch(programs, div_latency=DEFAULT_DIV_LATENCY,
     contract as :func:`repro.sim.vector.simulate`, applied element-wise.
     Deferred lanes re-run through ``vector.simulate`` (which owns every
     rare path and raises exactly where the scalar engines would).
+
+    The architectural ISS pass is spec-invariant, so one lockstep batch
+    serves every :class:`~repro.sim.spec.PipelineSpec`; ``spec`` only
+    parameterises the per-lane cycle-timing reconstruction.
     """
     from repro.sim import vector
 
@@ -584,14 +588,15 @@ def simulate_batch(programs, div_latency=DEFAULT_DIV_LATENCY,
         if data is None:
             runs.append(
                 vector.simulate(
-                    program, div_latency=div_latency, max_cycles=max_cycles
+                    program, div_latency=div_latency, max_cycles=max_cycles,
+                    spec=spec,
                 )
             )
         else:
             runs.append(
                 vector.reconstruct(
                     program, data, div_latency=div_latency,
-                    max_cycles=max_cycles,
+                    max_cycles=max_cycles, spec=spec,
                 )
             )
     return runs

@@ -1,8 +1,10 @@
-"""Cycle-accurate 6-stage in-order pipeline (customised mor1kx, paper Fig. 4).
+"""Cycle-accurate in-order pipeline (customised mor1kx, paper Fig. 4).
 
-Microarchitecture specification (this is *our* documented core; the paper's
-clocking technique only depends on the per-cycle stage occupancy, which this
-model produces faithfully for the events below):
+The machine's *shape* is a parameter: a
+:class:`~repro.sim.spec.PipelineSpec` supplies the stage columns (each
+mapped onto one of the six canonical path groups), the forwarding and
+load-use policy, and the mul/div EX latencies.  The default spec is the
+paper's documented six-stage core:
 
 - Stages: ``ADR`` (next-pc computation, instruction-memory address
   presentation), ``FE`` (instruction SRAM read), ``DC`` (decode + register
@@ -18,11 +20,17 @@ model produces faithfully for the events below):
 - Control transfers resolve in EX.  OR1K delay-slot semantics: the next
   sequential instruction always executes.  On a taken transfer the redirect
   reaches the instruction-memory address register within the same cycle, so
-  exactly one wrong-path word (the one being read in FE) is squashed:
-  a taken jump/branch costs one bubble.
-- ``l.div``/``l.divu`` occupy EX for ``div_latency`` cycles (serial divider),
-  stalling the front end.
+  the wrong-path words behind the delay slot (one per front stage between
+  ADR and the delay slot — exactly one in the default machine) are
+  squashed.
+- ``l.div``/``l.divu`` occupy EX for ``div_latency`` cycles (serial
+  divider), stalling the front end; specs may give multiplies a
+  multi-cycle EX residency the same way.
 - Halt convention: ``l.nop 0x1`` terminates the run when it retires.
+
+Non-default hazard policies (forwarding off, multi-cycle load-use
+penalties) are documented on :mod:`repro.sim.spec`; this scalar engine is
+the reference implementation for every spec.
 """
 
 from dataclasses import dataclass
@@ -33,12 +41,12 @@ from repro.isa.registers import REG_LINK
 from repro.isa.semantics import compute, load_extract
 from repro.sim.iss import HALT_NOP_CODE, SimulationError
 from repro.sim.memory import Memory
+from repro.sim.spec import get_pipeline_spec
 from repro.sim.state import ArchState
 from repro.sim.trace import (
     BUBBLE_VIEW,
     CycleRecord,
     PipelineTrace,
-    Stage,
     StageView,
 )
 
@@ -59,7 +67,7 @@ class _Slot:
     a: int = None                # EX operand values
     b: int = None
     result: object = None        # ComputeResult, filled in EX
-    div_remaining: int = -1      # -1 -> divide not started
+    ex_remaining: int = -1       # -1 -> multi-cycle EX op not started
     held: bool = False
 
     @property
@@ -90,15 +98,23 @@ class PipelineSimulator:
     program:
         Assembled :class:`~repro.asm.program.Program`.
     div_latency:
-        EX occupancy of serial divides, in cycles (>= 1).
+        EX occupancy of serial divides, in cycles (>= 1); defaults to the
+        spec's divider latency.
     memory:
         Optional pre-initialised memory (defaults to the program image).
+    spec:
+        :class:`~repro.sim.spec.PipelineSpec`, preset name, or ``None``
+        for the default six-stage machine.
     """
 
-    def __init__(self, program, div_latency=DEFAULT_DIV_LATENCY, memory=None):
+    def __init__(self, program, div_latency=None, memory=None, spec=None):
+        spec = get_pipeline_spec(spec)
+        if div_latency is None:
+            div_latency = spec.div_latency
         if div_latency < 1:
             raise ValueError("div_latency must be at least 1 cycle")
         self.program = program
+        self.spec = spec
         self.memory = memory if memory is not None else Memory("mem")
         if memory is None:
             program.load_into(self.memory)
@@ -109,7 +125,13 @@ class PipelineSimulator:
         self.trace = PipelineTrace(program_name=program.name)
 
         self._fetch_pc = program.entry
-        self._slots = {stage: _bubble() for stage in Stage}
+        self._num_stages = spec.num_stages
+        self._ex = spec.ex_index          # EX column == first back boundary
+        self._nf = spec.num_front
+        self._forwarding = spec.forwarding
+        self._load_use_penalty = spec.load_use_penalty
+        self._mul_latency = spec.mul_latency
+        self._slots = [_bubble() for _ in range(self._num_stages)]
         self._seq = 0
         self._halt_in_flight = False
         self._draining = False        # halt has executed; EX is inert
@@ -158,55 +180,66 @@ class PipelineSimulator:
 
     # ------------------------------------------------------------------ step
 
+    def _ex_latency(self, instruction):
+        """EX residency of one instruction under this spec."""
+        kind = instruction.kind
+        if kind == InstructionKind.DIV:
+            return self.div_latency
+        if kind == InstructionKind.MUL:
+            return self._mul_latency
+        return 1
+
     def step(self):
         """Advance the pipeline by one clock cycle; returns the CycleRecord."""
         if self.halted:
             raise SimulationError("pipeline is halted")
         slots = self._slots
-        for slot in slots.values():
+        ex = self._ex
+        last = self._num_stages - 1
+        for slot in slots:
             slot.held = False
 
         # -- stall conditions, evaluated on the current (pre-advance) state
-        ex_slot = slots[Stage.EX]
-        div_busy = (
+        ex_slot = slots[ex]
+        ex_busy = (
             ex_slot.instruction is not None
-            and ex_slot.instruction.kind == InstructionKind.DIV
-            and ex_slot.div_remaining != 0
+            and ex_slot.ex_remaining != 0
+            and self._ex_latency(ex_slot.instruction) > 1
         )
-        load_use = not div_busy and self._load_use_interlock()
-        front_stall = div_busy or load_use
+        interlock = not ex_busy and self._hazard_interlock()
+        front_stall = ex_busy or interlock
 
         # -- advance pipeline registers (oldest first)
-        slots[Stage.WB] = slots[Stage.CTRL]
-        if div_busy:
-            slots[Stage.CTRL] = _bubble()
-            slots[Stage.EX].held = True
+        for index in range(last, ex + 1, -1):
+            slots[index] = slots[index - 1]
+        if ex_busy:
+            slots[ex + 1] = _bubble()
+            slots[ex].held = True
         else:
-            slots[Stage.CTRL] = slots[Stage.EX]
-            if load_use:
-                slots[Stage.EX] = _bubble()
+            slots[ex + 1] = slots[ex]
+            if interlock:
+                slots[ex] = _bubble()
             else:
-                slots[Stage.EX] = slots[Stage.DC]
-                slots[Stage.DC] = slots[Stage.FE]
-                slots[Stage.FE] = slots[Stage.ADR]
-                slots[Stage.ADR] = None   # filled after EX processing
+                for index in range(ex, 0, -1):
+                    slots[index] = slots[index - 1]
+                slots[0] = None   # filled after EX processing
         if front_stall:
-            for stage in (Stage.ADR, Stage.FE, Stage.DC):
-                slots[stage].held = True
+            for index in range(self._nf):
+                slots[index].held = True
 
         # -- stage actions, oldest to youngest
-        self._process_ctrl(slots[Stage.CTRL])
-        redirect = self._process_ex(slots[Stage.EX])
+        self._process_ctrl(slots[ex + 1])
+        redirect = self._process_ex(slots[ex])
 
         # -- fill the address stage (sees this cycle's redirect)
-        if slots[Stage.ADR] is None:
-            slots[Stage.ADR] = self._fetch_slot()
+        if slots[0] is None:
+            slots[0] = self._fetch_slot()
 
         # -- record the cycle
-        ex_now = slots[Stage.EX]
+        ex_now = slots[ex]
         record = CycleRecord(
             cycle=self.cycle,
-            slots=tuple(slots[stage].view() for stage in Stage),
+            slots=tuple(slot.view() for slot in slots),
             ex_operands=(
                 (ex_now.a, ex_now.b) if ex_now.instruction is not None
                 else None
@@ -218,22 +251,58 @@ class PipelineSimulator:
         self.cycle += 1
 
         # -- retire the writeback-stage instruction at the end of its cycle
-        self._retire(slots[Stage.WB])
-        slots[Stage.WB] = _bubble()
+        self._retire(slots[last])
+        slots[last] = _bubble()
         return record
 
-    def _load_use_interlock(self):
-        """True when the DC instruction needs the result of a load in EX."""
-        consumer = self._slots[Stage.DC].instruction
-        producer = self._slots[Stage.EX].instruction
-        if consumer is None or producer is None:
+    def _hazard_interlock(self):
+        """Front-end interlock, evaluated on the pre-advance state.
+
+        Forwarding machines stall only on load-use: walking the producer
+        window youngest-first (EX onward, ``load_use_penalty`` stages
+        deep), the first in-flight producer of one of the consumer's
+        source registers decides — a load stalls the consumer, anything
+        younger than the load has already forwarded past it.
+
+        Non-forwarding machines stall while *any* producer of a consumer
+        source occupies EX..the stage before write-back (write-through
+        register file: a value is readable the cycle its producer sits in
+        the final stage).  Squashed and drained slots are bubbles /
+        inert instructions respectively, but drained producers still
+        interlock — the hazard logic keys on stage contents, not on
+        architectural liveness.
+        """
+        consumer = self._slots[self._nf - 1].instruction
+        if consumer is None:
             return False
-        if producer.kind != InstructionKind.LOAD:
+        sources = consumer.source_registers()
+        if not sources:
             return False
-        dest = producer.destination_register()
-        if dest is None or dest == 0:
+        ex = self._ex
+        if self._forwarding:
+            decided = set()
+            for index in range(ex, min(ex + self._load_use_penalty,
+                                       self._num_stages - 1)):
+                producer = self._slots[index].instruction
+                if producer is None:
+                    continue
+                dest = producer.destination_register()
+                if dest is None or dest == 0 or dest in decided:
+                    continue
+                if dest in sources and (
+                    producer.kind == InstructionKind.LOAD
+                ):
+                    return True
+                decided.add(dest)
             return False
-        return dest in consumer.source_registers()
+        for index in range(ex, self._num_stages - 1):
+            producer = self._slots[index].instruction
+            if producer is None:
+                continue
+            dest = producer.destination_register()
+            if dest is not None and dest != 0 and dest in sources:
+                return True
+        return False
 
     def _process_ex(self, slot):
         """Execute-stage actions; returns True if fetch was redirected."""
@@ -246,19 +315,25 @@ class PipelineSimulator:
             return False
         state = self.state
 
-        if instruction.kind == InstructionKind.DIV:
-            if slot.div_remaining < 0:
-                # first EX cycle of the divide: read operands, start counting
+        if self._ex_latency(instruction) > 1:
+            if slot.ex_remaining < 0:
+                # first EX cycle of a multi-cycle op: read operands, start
+                # counting down
                 slot.a = state.read_reg(instruction.ra)
-                slot.b = state.read_reg(instruction.rb)
+                rb_value = state.read_reg(instruction.rb)
                 slot.result = compute(
-                    instruction, slot.a, slot.b, state.flag, state.carry,
+                    instruction, slot.a, rb_value, state.flag, state.carry,
                     slot.pc,
                 )
-                slot.div_remaining = self.div_latency - 1
+                if instruction.spec.reads_rb:
+                    slot.b = rb_value
+                else:
+                    slot.b = instruction.imm & 0xFFFFFFFF
+                slot.ex_remaining = self._ex_latency(instruction) - 1
             else:
-                slot.div_remaining -= 1
-            if slot.div_remaining == 0:
+                slot.ex_remaining -= 1
+            if slot.ex_remaining == 0:
+                # multi-cycle EX ops (mul/div) write only rd
                 state.write_reg(instruction.rd, slot.result.value)
             self._consume_delay_slot_marker(instruction, slot)
             return False
@@ -301,11 +376,13 @@ class PipelineSimulator:
                 )
             if result.branch_taken:
                 # Redirect: the target address is presented to the
-                # instruction memory within this cycle; squash the single
-                # wrong-path word currently being read in FE.  The delay
-                # slot (in DC) proceeds.
+                # instruction memory within this cycle; squash the
+                # wrong-path words behind the delay slot (every front
+                # slot between ADR and the consumer).  The delay slot
+                # itself proceeds.
                 self._fetch_pc = result.branch_target
-                self._slots[Stage.FE] = _bubble()
+                for index in range(1, self._nf - 1):
+                    self._slots[index] = _bubble()
                 self._in_delay_slot = True
                 return True
             return False
@@ -313,7 +390,7 @@ class PipelineSimulator:
         return False
 
     def _consume_delay_slot_marker(self, instruction, slot):
-        if self._in_delay_slot and slot.div_remaining <= 0:
+        if self._in_delay_slot and slot.ex_remaining <= 0:
             self._in_delay_slot = False
 
     def _process_ctrl(self, slot):
@@ -355,9 +432,9 @@ class PipelineSimulator:
         return self.trace
 
 
-def run_pipeline(program, div_latency=DEFAULT_DIV_LATENCY,
-                 max_cycles=DEFAULT_MAX_CYCLES):
+def run_pipeline(program, div_latency=None, max_cycles=DEFAULT_MAX_CYCLES,
+                 spec=None):
     """Convenience helper: run a program on the pipeline, return the simulator."""
-    simulator = PipelineSimulator(program, div_latency=div_latency)
+    simulator = PipelineSimulator(program, div_latency=div_latency, spec=spec)
     simulator.run(max_cycles=max_cycles)
     return simulator

@@ -80,7 +80,8 @@ class CycleRecord:
     cycle:
         Cycle index, starting at 0.
     slots:
-        Tuple of six :class:`StageView`, indexed by :class:`Stage`.
+        Tuple of per-column :class:`StageView` (one per pipeline-spec
+        stage; six for the default machine, indexed by :class:`Stage`).
     ex_operands:
         ``(a, b)`` operand values of the EX-stage instruction (``None`` for
         bubbles); used by the data-dependent excitation model.

@@ -46,6 +46,7 @@ from repro.sim import predecode
 from repro.sim.iss import HALT_NOP_CODE, FunctionalSimulator, SimulationError
 from repro.sim.predecode import IssData
 from repro.sim.pipeline import DEFAULT_DIV_LATENCY, DEFAULT_MAX_CYCLES
+from repro.sim.spec import get_pipeline_spec
 from repro.sim.trace import (
     BUBBLE_VIEW,
     CycleRecord,
@@ -55,6 +56,7 @@ from repro.sim.trace import (
 )
 
 _DIV_CODE = KIND_CODE[InstructionKind.DIV]
+_MUL_CODE = KIND_CODE[InstructionKind.MUL]
 _LOAD_CODE = KIND_CODE[InstructionKind.LOAD]
 _STORE_CODE = KIND_CODE[InstructionKind.STORE]
 
@@ -97,14 +99,17 @@ class VectorPipelineRun:
       never had a fetch identity, e.g. startup and load-use bubbles).
 
     ``slot_squashed`` slots (wrong-path words killed by a taken transfer)
-    carry their fetched identity — they are visible in ``ADR`` only and
-    flow as bubbles afterwards; ``~slot_is_instr`` slots (undecodable
-    wrong-path words past the halt) are bubbles everywhere.
+    carry their fetched identity — they are visible in the front columns
+    until their branch resolves (``slot_squash_cycle``) and flow as
+    bubbles afterwards; ``~slot_is_instr`` slots (undecodable wrong-path
+    words past the halt) are bubbles everywhere.
     """
 
-    def __init__(self, program, div_latency, state, memory, retired):
+    def __init__(self, program, div_latency, state, memory, retired,
+                 spec=None):
         self.program = program
         self.div_latency = div_latency
+        self.spec = get_pipeline_spec(spec)
         self.state = state
         self.memory = memory
         self.retired = retired
@@ -147,6 +152,8 @@ class VectorPipelineRun:
     def _build_trace(self):
         plain, held_views = self._views_for_slots()
         post_bubble = self.slot_post_bubble
+        is_instr = self.slot_is_instr
+        squash_cycle = self.slot_squash_cycle
         has_ops = self.slot_has_ops
         a_vals = self.slot_a
         b_vals = self.slot_b
@@ -154,36 +161,31 @@ class VectorPipelineRun:
         redirect = self.redirect
         ex_occ = self.ex_occ
         ex_held = self.ex_held
-        ctrl_occ = self.ctrl_occ
-        wb_occ = self.wb_occ
-        adr_idx = self.adr_idx
-        fe_idx = self.fe_idx
-        dc_idx = self.dc_idx
+        front = self.front_idx
+        back = self.back_occ
+        num_front = self.spec.num_front
         records = []
         for cycle in range(self.num_cycles):
             stalled = bool(stall[cycle])
+            views = []
 
-            adr_slot = int(adr_idx[cycle])
-            adr_view = held_views[adr_slot] if stalled else plain[adr_slot]
+            adr_slot = int(front[0][cycle])
+            views.append(held_views[adr_slot] if stalled else plain[adr_slot])
 
-            fe_slot = int(fe_idx[cycle])
-            if fe_slot < 0 or post_bubble[fe_slot]:
-                fe_view = BUBBLE_VIEW
-            else:
-                fe_view = held_views[fe_slot] if stalled else plain[fe_slot]
-
-            dc_slot = int(dc_idx[cycle])
-            if dc_slot < 0 or post_bubble[dc_slot]:
-                dc_view = BUBBLE_VIEW
-            else:
-                dc_view = held_views[dc_slot] if stalled else plain[dc_slot]
+            for column in range(1, num_front):
+                slot = int(front[column][cycle])
+                if slot < 0 or not is_instr[slot] \
+                        or squash_cycle[slot] <= cycle:
+                    views.append(BUBBLE_VIEW)
+                else:
+                    views.append(held_views[slot] if stalled else plain[slot])
 
             ex_slot = int(ex_occ[cycle])
             operands = None
             if ex_slot < 0 or post_bubble[ex_slot]:
-                ex_view = BUBBLE_VIEW
+                views.append(BUBBLE_VIEW)
             else:
-                ex_view = (
+                views.append(
                     held_views[ex_slot] if ex_held[cycle] else plain[ex_slot]
                 )
                 if has_ops[ex_slot]:
@@ -191,23 +193,17 @@ class VectorPipelineRun:
                 else:
                     operands = (None, None)
 
-            ctrl_slot = int(ctrl_occ[cycle])
-            if ctrl_slot < 0 or post_bubble[ctrl_slot]:
-                ctrl_view = BUBBLE_VIEW
-            else:
-                ctrl_view = plain[ctrl_slot]
-
-            wb_slot = int(wb_occ[cycle])
-            if wb_slot < 0 or post_bubble[wb_slot]:
-                wb_view = BUBBLE_VIEW
-            else:
-                wb_view = plain[wb_slot]
+            for occ in back:
+                slot = int(occ[cycle])
+                if slot < 0 or post_bubble[slot]:
+                    views.append(BUBBLE_VIEW)
+                else:
+                    views.append(plain[slot])
 
             records.append(
                 CycleRecord(
                     cycle=cycle,
-                    slots=(adr_view, fe_view, dc_view, ex_view, ctrl_view,
-                           wb_view),
+                    slots=tuple(views),
                     ex_operands=operands,
                     redirect=bool(redirect[cycle]),
                     stall=stalled,
@@ -221,51 +217,65 @@ class VectorPipelineRun:
     # -- array views consumed by the compiled-trace engine -------------------
 
     def stage_occupancy(self):
-        """Per-stage ``(occupant, bubble, held)`` cycle columns.
+        """Per-column ``(occupant, bubble, held)`` cycle arrays.
 
-        Occupants are fetch-stream indices (``-1`` for identity-less
-        bubbles); ``bubble`` is the *displayed* bubble state (squashed and
-        undecodable slots show as bubbles from FE on).  The ADR column
-        holds the true fetch-stage occupant — callers that need the paper's
-        driver mapping (ADR keyed on EX) substitute the EX column
-        themselves.
+        Keyed by column index (``Stage`` members resolve against the
+        default spec's six columns — ``IntEnum`` keys hash as plain
+        ints).  Occupants are fetch-stream indices (``-1`` for
+        identity-less bubbles); ``bubble`` is the *displayed* bubble
+        state (squashed and undecodable slots show as bubbles past the
+        fetch column).  Column 0 holds the true fetch-stage occupant —
+        callers that need the paper's driver mapping (ADR keyed on EX)
+        substitute the EX column themselves.
         """
         post_bubble = self.slot_post_bubble
-        adr_bubble = ~self.slot_is_instr[self.adr_idx]
-        fe_valid = self.fe_idx >= 0
-        fe_bubble = ~fe_valid | post_bubble[np.maximum(self.fe_idx, 0)]
-        dc_valid = self.dc_idx >= 0
-        dc_bubble = ~dc_valid | post_bubble[np.maximum(self.dc_idx, 0)]
-        ex_bubble = (self.ex_occ < 0) | post_bubble[np.maximum(self.ex_occ, 0)]
-        ctrl_bubble = (
-            (self.ctrl_occ < 0) | post_bubble[np.maximum(self.ctrl_occ, 0)]
+        occupancy = {}
+        adr_bubble = ~self.slot_is_instr[self.front_idx[0]]
+        occupancy[0] = (
+            self.front_idx[0], adr_bubble, self.stall & ~adr_bubble
         )
-        wb_bubble = (self.wb_occ < 0) | post_bubble[np.maximum(self.wb_occ, 0)]
+        cycles = np.arange(self.num_cycles, dtype=np.int64)
+        for column in range(1, self.spec.num_front):
+            idx = self.front_idx[column]
+            clipped = np.maximum(idx, 0)
+            bubble = (
+                (idx < 0)
+                | ~self.slot_is_instr[clipped]
+                | (self.slot_squash_cycle[clipped] <= cycles)
+            )
+            occupancy[column] = (idx, bubble, self.stall & ~bubble)
+        ex = self.spec.ex_index
+        ex_bubble = (self.ex_occ < 0) | post_bubble[np.maximum(self.ex_occ, 0)]
+        occupancy[ex] = (self.ex_occ, ex_bubble, self.ex_held)
         false = np.zeros(self.num_cycles, dtype=bool)
-        return {
-            Stage.ADR: (self.adr_idx, adr_bubble, self.stall & ~adr_bubble),
-            Stage.FE: (self.fe_idx, fe_bubble, self.stall & ~fe_bubble),
-            Stage.DC: (self.dc_idx, dc_bubble, self.stall & ~dc_bubble),
-            Stage.EX: (self.ex_occ, ex_bubble, self.ex_held),
-            Stage.CTRL: (self.ctrl_occ, ctrl_bubble, false),
-            Stage.WB: (self.wb_occ, wb_bubble, false),
-        }
+        for offset, occ in enumerate(self.back_occ):
+            bubble = (occ < 0) | post_bubble[np.maximum(occ, 0)]
+            occupancy[ex + 1 + offset] = (occ, bubble, false)
+        return occupancy
 
 
-def simulate(program, div_latency=DEFAULT_DIV_LATENCY,
-             max_cycles=DEFAULT_MAX_CYCLES):
+def simulate(program, div_latency=None, max_cycles=DEFAULT_MAX_CYCLES,
+             spec=None):
     """Vectorized pipeline run, or ``None`` when the program needs the
-    scalar engine (self-modifying fetch stream, ISS error — the caller
-    falls back to :class:`~repro.sim.pipeline.PipelineSimulator`).
+    scalar engine (self-modifying fetch stream, ISS error, or a pipeline
+    spec outside the cumsum fast path — the caller falls back to
+    :class:`~repro.sim.pipeline.PipelineSimulator`).
 
     Raises :class:`SimulationError` exactly where the scalar engine would
     (undecodable pre-halt wrong-path word, cycle budget exceeded).
     """
+    spec = get_pipeline_spec(spec)
+    if div_latency is None:
+        div_latency = spec.div_latency
     if div_latency < 1:
         raise ValueError("div_latency must be at least 1 cycle")
     try:
+        if not spec.fast_path:
+            raise _Fallback(
+                f"spec {spec.name!r} hazards need the scalar engine"
+            )
         with obs_span("sim.vector", program=program.name):
-            return _simulate(program, div_latency, max_cycles)
+            return _simulate(program, div_latency, max_cycles, spec)
     except _Fallback as fallback:
         _fallbacks["count"] += 1
         _fallbacks["reason"] = str(fallback)
@@ -373,16 +383,16 @@ def _collect_iss(program, max_cycles):
 # -- phase 2: array reconstruction -------------------------------------------
 
 
-def _simulate(program, div_latency, max_cycles):
+def _simulate(program, div_latency, max_cycles, spec):
     data = predecode.collect(program, max_cycles)
     if data is None:
         with obs_span("iss.object", program=program.name):
             data = _collect_iss(program, max_cycles)
-    return _reconstruct(program, div_latency, max_cycles, data)
+    return _reconstruct(program, div_latency, max_cycles, data, spec)
 
 
-def reconstruct(program, data, div_latency=DEFAULT_DIV_LATENCY,
-                max_cycles=DEFAULT_MAX_CYCLES):
+def reconstruct(program, data, div_latency=None,
+                max_cycles=DEFAULT_MAX_CYCLES, spec=None):
     """Pipeline run from an externally collected ISS pass.
 
     This is the entry point the lockstep engine uses: it hands each lane's
@@ -390,21 +400,33 @@ def reconstruct(program, data, div_latency=DEFAULT_DIV_LATENCY,
     that :func:`simulate` runs, with identical fallback semantics
     (``None`` when the program needs the scalar engine).
     """
+    spec = get_pipeline_spec(spec)
+    if div_latency is None:
+        div_latency = spec.div_latency
     if div_latency < 1:
         raise ValueError("div_latency must be at least 1 cycle")
     try:
-        return _reconstruct(program, div_latency, max_cycles, data)
+        if not spec.fast_path:
+            raise _Fallback(
+                f"spec {spec.name!r} hazards need the scalar engine"
+            )
+        return _reconstruct(program, div_latency, max_cycles, data, spec)
     except _Fallback as fallback:
         _fallbacks["count"] += 1
         _fallbacks["reason"] = str(fallback)
         return None
 
 
-def _reconstruct(program, div_latency, max_cycles, data):
+def _reconstruct(program, div_latency, max_cycles, data, spec):
     instrs = data.instrs
     targets = data.targets
     store_words = data.store_words
     class_names = data.class_names
+
+    num_front = spec.num_front
+    num_back = spec.num_back
+    squash = spec.squash_count
+    mul_latency = spec.mul_latency
 
     num_retired = len(data.pcs)
     retired_cls = data.cls
@@ -417,16 +439,19 @@ def _reconstruct(program, div_latency, max_cycles, data):
     taken = data.taken
 
     # -- fetch-stream layout: retired instructions in program order, plus
-    # one squashed wrong-path word two positions after every taken
-    # transfer (branch, delay slot, victim, target, ...)
+    # ``squash`` wrong-path words starting two positions after every taken
+    # transfer (branch, delay slot, victims..., target, ...)
     taken_count = np.cumsum(taken)
     offsets = np.zeros(num_retired, dtype=np.int64)
     if num_retired > 2:
-        offsets[2:] = taken_count[:-2]
+        offsets[2:] = squash * taken_count[:-2]
     stream_pos = np.arange(num_retired, dtype=np.int64) + offsets
-    victim_of = np.nonzero(taken)[0]                    # retired indices
-    victim_pos = stream_pos[victim_of] + 2
-    victim_pc = retired_pc[victim_of] + 8
+    taken_idx = np.nonzero(taken)[0]                    # retired indices
+    victim_of = np.repeat(taken_idx, squash)
+    victim_slot = np.tile(np.arange(squash, dtype=np.int64),
+                          len(taken_idx))
+    victim_pos = stream_pos[victim_of] + 2 + victim_slot
+    victim_pc = retired_pc[victim_of] + 8 + 4 * victim_slot
 
     num_main = num_retired + len(victim_of)
     halt_pos = int(stream_pos[-1])
@@ -488,13 +513,13 @@ def _reconstruct(program, div_latency, max_cycles, data):
                 halt_fetch_pos = min(halt_fetch_pos, position)
 
     # EX occupancy and entry cycles over the main stream:
-    #   L   — EX residency (div_latency for divides, 1 otherwise)
+    #   L   — EX residency (div/mul latencies per the spec, 1 otherwise)
     #   lu  — one-cycle load-use bubble in front of the consumer
-    lat = np.ones(num_main, dtype=np.int64)
-    lat[slot_is_instr & ~slot_squashed & (slot_kind == _DIV_CODE)] = (
-        div_latency
-    )
     live = slot_is_instr & ~slot_squashed
+    lat = np.ones(num_main, dtype=np.int64)
+    lat[live & (slot_kind == _DIV_CODE)] = div_latency
+    if mul_latency != 1:
+        lat[live & (slot_kind == _MUL_CODE)] = mul_latency
     lu = np.zeros(num_main, dtype=bool)
     if num_main > 1:
         producer_load = live[:-1] & (slot_kind[:-1] == _LOAD_CODE)
@@ -508,12 +533,12 @@ def _reconstruct(program, div_latency, max_cycles, data):
     lu_int = lu.astype(np.int64)
 
     entry = np.empty(num_main, dtype=np.int64)
-    entry[0] = 3
+    entry[0] = num_front
     if num_main > 1:
-        entry[1:] = 3 + np.cumsum(lat[:-1])
+        entry[1:] = num_front + np.cumsum(lat[:-1])
     entry += np.cumsum(lu_int)
 
-    num_cycles = int(entry[halt_pos]) + 3
+    num_cycles = int(entry[halt_pos]) + num_back + 1
     if num_cycles > max_cycles:
         raise SimulationError(
             f"exceeded {max_cycles} cycles without halting "
@@ -527,7 +552,7 @@ def _reconstruct(program, div_latency, max_cycles, data):
     drain = _generate_drain(
         program, decode_cache, fetched,
         continuation=_drain_continuation(
-            slot_squashed, num_main, victim_of, targets, retired_pc
+            stream_pos, squash, num_main, taken_idx, targets, retired_pc
         ),
         start_index=num_main,
         prev_live=bool(live[-1]),
@@ -537,6 +562,7 @@ def _reconstruct(program, div_latency, max_cycles, data):
         stall_total=main_stalls,
         num_cycles=num_cycles,
         div_latency=div_latency,
+        mul_latency=mul_latency,
         class_names=class_names,
     )
 
@@ -568,8 +594,8 @@ def _reconstruct(program, div_latency, max_cycles, data):
 
     num_slots = len(slot_pc)
 
-    # -- EX timeline: 3 startup bubbles, then per slot an optional
-    # load-use bubble followed by its (clipped) EX residency
+    # -- EX timeline: one startup bubble per front stage, then per slot an
+    # optional load-use bubble followed by its (clipped) EX residency
     residency = np.clip(
         np.minimum(lat, num_cycles - entry), 0, None
     )
@@ -585,31 +611,39 @@ def _reconstruct(program, div_latency, max_cycles, data):
 
     timeline_occ = np.repeat(segment_occ, segment_cnt)
     timeline_lu = np.repeat(segment_lu, segment_cnt)
-    body = num_cycles - 3
+    body = num_cycles - num_front
     if len(timeline_occ) < body:
         raise _Fallback("EX timeline underrun")   # engine bug guard
     ex_occ = np.concatenate(
-        [np.full(3, -1, dtype=np.int64), timeline_occ[:body]]
+        [np.full(num_front, -1, dtype=np.int64), timeline_occ[:body]]
     )
     ex_is_lu = np.concatenate(
-        [np.zeros(3, dtype=bool), timeline_lu[:body]]
+        [np.zeros(num_front, dtype=bool), timeline_lu[:body]]
     )
     previous_occ = np.concatenate([[np.int64(-1)], ex_occ[:-1]])
     ex_held = (ex_occ == previous_occ) & (ex_occ >= 0)
     stall = ex_held | ex_is_lu
 
     redirect = np.zeros(num_cycles, dtype=bool)
-    if len(victim_of):
-        redirect[entry[stream_pos[victim_of]]] = True
+    # victims stay visible in the front columns until their branch
+    # resolves in EX and squashes them (relevant when the spec squashes
+    # more than one word: the older victim flows one column deep first)
+    squash_cycle = np.full(num_slots, np.iinfo(np.int64).max,
+                           dtype=np.int64)
+    if len(taken_idx):
+        redirect[entry[stream_pos[taken_idx]]] = True
+        squash_cycle[victim_pos] = entry[stream_pos[victim_of]]
 
-    ctrl_occ = np.where(previous_occ != ex_occ, previous_occ, -1)
-    wb_occ = np.concatenate([[np.int64(-1)], ctrl_occ[:-1]])
+    # back columns: the "left EX" event ripples one column per cycle
+    back_occ = [np.where(previous_occ != ex_occ, previous_occ, -1)]
+    for _ in range(1, num_back):
+        back_occ.append(
+            np.concatenate([[np.int64(-1)], back_occ[-1][:-1]])
+        )
 
     fetch_count = np.cumsum(~stall)
-    adr_idx = fetch_count - 1
-    fe_idx = adr_idx - 1
-    dc_idx = adr_idx - 2
-    if int(adr_idx[-1]) != num_slots - 1:
+    front_idx = [fetch_count - 1 - column for column in range(num_front)]
+    if int(front_idx[0][-1]) != num_slots - 1:
         raise _Fallback("fetch accounting mismatch")   # engine bug guard
 
     run = VectorPipelineRun(
@@ -618,6 +652,7 @@ def _reconstruct(program, div_latency, max_cycles, data):
         state=data.state,
         memory=data.memory,
         retired=data.retired,
+        spec=spec,
     )
     run.num_cycles = num_cycles
     run.num_slots = num_slots
@@ -633,15 +668,20 @@ def _reconstruct(program, div_latency, max_cycles, data):
     run.slot_squashed = slot_squashed
     run.slot_has_ops = slot_has_ops
     run.slot_post_bubble = ~slot_is_instr | slot_squashed
+    run.slot_squash_cycle = squash_cycle
     run.stall = stall
     run.redirect = redirect
     run.ex_occ = ex_occ
     run.ex_held = ex_held
-    run.ctrl_occ = ctrl_occ
-    run.wb_occ = wb_occ
-    run.adr_idx = adr_idx
-    run.fe_idx = fe_idx
-    run.dc_idx = dc_idx
+    run.front_idx = front_idx
+    run.back_occ = back_occ
+    # canonical aliases of the default six-stage layout (also valid for
+    # any spec with >= 3 front / 2 back stages)
+    run.adr_idx = front_idx[0]
+    run.fe_idx = front_idx[1]
+    run.dc_idx = front_idx[2] if num_front > 2 else None
+    run.ctrl_occ = back_occ[0]
+    run.wb_occ = back_occ[1]
     return run
 
 
@@ -688,12 +728,16 @@ def _decode_fetch(program, address, decode_cache, halt_in_flight):
     return instruction
 
 
-def _drain_continuation(slot_squashed, num_main, victim_of, targets,
+def _drain_continuation(stream_pos, squash, num_main, taken_idx, targets,
                         retired_pc):
     """First post-halt fetch address: the last redirect's target when the
-    stream ends on a squashed slot, sequential after the halt otherwise."""
-    if num_main and slot_squashed[num_main - 1]:
-        return int(targets[victim_of[-1]])
+    stream ends right behind the last taken transfer's delay slot (and
+    its squashed victims, when the spec fetches any), sequential after
+    the halt otherwise."""
+    if len(taken_idx):
+        last_taken = int(taken_idx[-1])
+        if int(stream_pos[last_taken]) + 1 + squash == num_main - 1:
+            return int(targets[last_taken])
     return int(retired_pc[-1]) + 4
 
 
@@ -719,11 +763,12 @@ class _Drain:
 def _generate_drain(program, decode_cache, fetched, continuation,
                     start_index, prev_live, prev_kind, prev_dest,
                     entry_next, stall_total, num_cycles, div_latency,
-                    class_names):
+                    mul_latency, class_names):
     """Scalar tail: the few post-halt slots still fetched before the trace
     ends.  One slot is fetched per non-stall cycle, so slot ``k`` exists
     iff ``num_cycles - stall_total >= k + 1``; each appended slot may add
-    its own stalls (drain divides never finish and stall to the end)."""
+    its own stalls (drain multi-cycle EX ops never finish and stall to
+    the end)."""
     drain = _Drain()
     address = continuation
     index = start_index
@@ -733,7 +778,10 @@ def _generate_drain(program, decode_cache, fetched, continuation,
         )
         fetched.add(address)
         live = instruction is not None
-        is_div = live and instruction.kind == InstructionKind.DIV
+        is_multi = live and (
+            (instruction.kind == InstructionKind.DIV and div_latency > 1)
+            or (instruction.kind == InstructionKind.MUL and mul_latency > 1)
+        )
         is_lu = False
         if live and prev_live and prev_kind == _LOAD_CODE and prev_dest > 0:
             if prev_dest in instruction.source_registers():
@@ -741,9 +789,9 @@ def _generate_drain(program, decode_cache, fetched, continuation,
         entry_here = entry_next + (1 if is_lu else 0)
         if is_lu and entry_here - 1 <= num_cycles - 1:
             stall_total += 1
-        if is_div:
-            # a draining divide is never processed, so it stays "busy"
-            # (div_remaining == -1) and stalls the machine to the end
+        if is_multi:
+            # a draining multi-cycle op is never processed, so it stays
+            # "busy" (ex_remaining == -1) and stalls the machine to the end
             if entry_here <= num_cycles - 2:
                 stall_total += (num_cycles - 1) - entry_here
             lat_here = max(num_cycles - entry_here, 1)

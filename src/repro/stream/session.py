@@ -53,7 +53,6 @@ from repro.flow.evaluate import (
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span as obs_span
 from repro.sim import predecode
-from repro.sim.trace import Stage
 from repro.stream.windows import iter_windows
 
 #: Default window length, in cycles.
@@ -389,7 +388,7 @@ class StreamingSession:
                 stage = int(stage)
                 into.append(TimingViolation(
                     cycle=window.start_cycle + cycle,
-                    stage=Stage(stage),
+                    stage=window.pipeline_spec.stage_label(stage),
                     applied_period_ps=float(periods[cycle]),
                     excited_delay_ps=float(delays[cycle, stage]),
                     driver_class=window.class_name_at(cycle, stage),
@@ -410,6 +409,7 @@ class StreamingSession:
                     else result.policy_name),
             generator=generator,
             margin_percent=config.margin_percent,
+            pipeline_spec=session.pipeline_spec.name,
         )
 
     def _rolling_frame(self, compiled, specs, concrete, controllers,

@@ -19,7 +19,7 @@ cross-cycle state (``learned:`` recent-window counts) streams through
 
 import numpy as np
 
-from repro.dta.compiled import STAGE_COLUMNS, worst_per_cycle
+from repro.dta.compiled import worst_per_cycle
 
 
 class TraceWindow:
@@ -72,6 +72,14 @@ class TraceWindow:
         return len(self.class_names)
 
     @property
+    def pipeline_spec(self):
+        return self.parent.pipeline_spec
+
+    @property
+    def ex_column(self):
+        return self.parent.ex_column
+
+    @property
     def delays(self):
         """This window's rows of the parent's ground-truth delay matrix
         (materialised lazily on the parent, shared across windows)."""
@@ -82,7 +90,8 @@ class TraceWindow:
         return worst_per_cycle(self.delays)[0]
 
     def class_table(self, entry):
-        """``(num_classes, NUM_STAGES)`` table of ``entry(cls, stage)``."""
+        """``(num_classes, num_stages)`` table of ``entry(cls, stage)``
+        with one column per pipeline-spec stage."""
         return self.parent.class_table(entry)
 
     def class_column(self, entry):
@@ -91,7 +100,7 @@ class TraceWindow:
 
     def stage_periods(self, table):
         """Gather a class×stage ``table`` along the window's cycles."""
-        return table[self.class_ids, STAGE_COLUMNS]
+        return table[self.class_ids, np.arange(self.class_ids.shape[1])]
 
     def class_name_at(self, cycle, stage):
         """Driver class of one window-local (cycle, stage) cell."""

@@ -6,8 +6,9 @@ model, the evaluation flow checks safety against the same model, and the
 benches query its STA period and overheads.
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.sim.spec import DEFAULT_SPEC, PipelineSpec, get_pipeline_spec
 from repro.timing.excitation import ExcitationModel
 from repro.timing.library import CellLibrary, REFERENCE_VOLTAGE
 from repro.timing.netlist import SyntheticNetlist
@@ -24,10 +25,27 @@ class ProcessorDesign:
     netlist: SyntheticNetlist
     library: CellLibrary
     excitation: ExcitationModel
+    #: Microarchitecture the design is implemented as.  Part of the
+    #: operating point: artifacts (traces, LUTs, models) are keyed per
+    #: spec, and the default spec keeps the historical two-tuple keys.
+    pipeline_spec: PipelineSpec = field(default_factory=lambda: DEFAULT_SPEC)
 
     @property
     def name(self):
-        return f"or1k-{self.variant.value}@{self.library.voltage:.2f}V"
+        base = f"or1k-{self.variant.value}@{self.library.voltage:.2f}V"
+        if self.pipeline_spec.is_default:
+            return base
+        return f"{base}/{self.pipeline_spec.name}"
+
+    @property
+    def operating_point(self):
+        """Hashable operating-point key: ``(variant, voltage)`` for the
+        default microarchitecture, extended with the spec digest for any
+        other — so pre-spec artifacts keep their keys byte for byte."""
+        base = (self.variant.value, self.library.voltage)
+        if self.pipeline_spec.is_default:
+            return base
+        return base + (self.pipeline_spec.digest,)
 
     @property
     def static_period_ps(self):
@@ -41,11 +59,12 @@ class ProcessorDesign:
 
     def at_voltage(self, voltage):
         """The same design characterised at another supply voltage."""
-        return build_design(self.variant, voltage=voltage)
+        return build_design(self.variant, voltage=voltage,
+                            pipeline_spec=self.pipeline_spec)
 
 
 def build_design(variant=DesignVariant.CRITICAL_RANGE,
-                 voltage=REFERENCE_VOLTAGE, seed=None):
+                 voltage=REFERENCE_VOLTAGE, seed=None, pipeline_spec=None):
     """Construct a :class:`ProcessorDesign`.
 
     Parameters
@@ -57,10 +76,15 @@ def build_design(variant=DesignVariant.CRITICAL_RANGE,
         Supply voltage; delays scale by the alpha-power law.
     seed:
         Root seed for the synthetic path population.
+    pipeline_spec:
+        Microarchitecture: a :class:`~repro.sim.spec.PipelineSpec`, a
+        preset name from :data:`~repro.sim.spec.PIPELINE_VARIANTS`, or
+        ``None`` for the default machine.
     """
     if isinstance(variant, str):
         variant = DesignVariant(variant)
-    key = (variant, voltage, seed)
+    spec = get_pipeline_spec(pipeline_spec)
+    key = (variant, voltage, seed, spec.digest)
     design = _designs.get(key)
     if design is not None:
         return design
@@ -72,6 +96,7 @@ def build_design(variant=DesignVariant.CRITICAL_RANGE,
         netlist=SyntheticNetlist(profile, seed=seed),
         library=library,
         excitation=ExcitationModel(profile, library=library),
+        pipeline_spec=spec,
     )
     if len(_designs) >= _DESIGN_CAPACITY:
         _designs.clear()

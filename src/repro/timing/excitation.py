@@ -235,9 +235,16 @@ class ExcitationModel:
     def _scale(self, delay_ps):
         return round(self.library.scale_delay(delay_ps), 3)
 
-    def group_delay(self, record, stage):
-        """Excited delay of one endpoint group in one cycle."""
-        view = driver_view(record, stage)
+    def group_delay(self, record, stage, view=None):
+        """Excited delay of one endpoint group in one cycle.
+
+        ``view`` overrides the default-layout :func:`driver_view` slot
+        lookup — the spec-aware :meth:`column_delay` passes the column's
+        occupant explicitly for machines whose stage indices differ from
+        the canonical six-column layout.
+        """
+        if view is None:
+            view = driver_view(record, stage)
 
         if stage == Stage.ADR:
             return self._adr_delay(record, view)
@@ -348,6 +355,22 @@ class ExcitationModel:
                 for stage in Stage
             },
         }
+
+    def column_delay(self, record, column, spec):
+        """Excited delay of one pipeline-spec column in one cycle.
+
+        The spec-aware :meth:`group_delay`: the column's endpoint group is
+        ``spec.group_of[column]`` and its driver view is the column's own
+        occupant — except the ADR group, which keys on the spec's EX
+        column exactly like the canonical layout.  For the default spec
+        this is bit-identical to ``group_delay(record, Stage(column))``.
+        """
+        stage = Stage(spec.group_of[column])
+        if stage == Stage.ADR:
+            view = record.slots[spec.ex_index]
+        else:
+            view = record.slots[column]
+        return self.group_delay(record, stage, view=view)
 
     def cycle_delays(self, record):
         """Excited delay of every endpoint group in this cycle."""

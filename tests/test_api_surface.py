@@ -32,7 +32,8 @@ EXPECTED_SESSION_SIGNATURES = {
         "(self, variant='critical_range', voltage=0.7, *, design=None, "
         "lut=None, characterization=None, store=None, engine='vector', "
         "jobs=1, max_cycles=4000000, min_occurrences=30, "
-        "store_budget_bytes=None, seed=None, telemetry=None)"
+        "store_budget_bytes=None, seed=None, telemetry=None, "
+        "pipeline_spec=None)"
     ),
     "for_design": "(cls, design, **kwargs)",
     "characterize": (

@@ -1,0 +1,580 @@
+"""Parameterized microarchitectures: the PipelineSpec layer.
+
+Three contracts are enforced here:
+
+- **The default spec is the identity.**  Simulating, compiling and
+  keying with :data:`~repro.sim.spec.DEFAULT_SPEC` is bit-identical to
+  never mentioning specs at all — operating points, store keys and grid
+  fingerprints do not change.
+- **Every fast-path preset is cross-engine equivalent.**  The scalar
+  engine is the reference for *all* specs; the vector and lockstep
+  engines must reproduce it bit-for-bit on every preset they accept
+  (``shallow5``, ``deep7``, ``slowmul6``) and must defer (return
+  ``None``) on the presets they cannot represent (``nofwd6``,
+  ``slowmem6``).
+- **Specs key artifacts.**  Two specs over the same program produce two
+  distinct store artifacts; corrupting one never touches the other.
+"""
+
+import numpy as np
+import pytest
+
+from repro.asm import assemble
+from repro.dta.compiled import compile_trace, compile_vector_run
+from repro.sim import lockstep, predecode, vector
+from repro.sim.pipeline import PipelineSimulator
+from repro.sim.spec import (
+    DEFAULT_SPEC,
+    PIPELINE_VARIANTS,
+    PipelineSpec,
+    StageDef,
+    get_pipeline_spec,
+    register_pipeline_spec,
+)
+from repro.sim.trace import Stage
+from repro.timing.design import build_design
+from repro.workloads.kernels import all_kernels, get_kernel
+from repro.workloads.randomgen import generate_characterization_program
+
+#: Non-default presets the vectorized engines implement.
+FAST_PRESETS = ("shallow5", "deep7", "slowmul6")
+
+#: Non-default presets that always run on the scalar reference.
+SCALAR_PRESETS = ("nofwd6", "slowmem6")
+
+
+# -- spec construction, registry, identity ------------------------------------
+
+
+class TestSpecValidation:
+    def test_default_reproduces_todays_machine(self):
+        assert DEFAULT_SPEC.num_stages == len(Stage)
+        assert DEFAULT_SPEC.ex_index == int(Stage.EX)
+        assert DEFAULT_SPEC.squash_count == 1
+        assert DEFAULT_SPEC.stage_names == tuple(s.name for s in Stage)
+        assert DEFAULT_SPEC.fast_path
+        assert DEFAULT_SPEC.is_default
+
+    @pytest.mark.parametrize("name", sorted(PIPELINE_VARIANTS))
+    def test_presets_round_trip_and_digest(self, name):
+        spec = get_pipeline_spec(name)
+        clone = PipelineSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.digest == spec.digest
+
+    def test_digest_excludes_display_name(self):
+        renamed = PipelineSpec(name="whatever")
+        assert renamed.digest == DEFAULT_SPEC.digest
+        assert renamed.is_default
+
+    def test_digests_distinct_across_presets(self):
+        digests = {spec.digest for spec in PIPELINE_VARIANTS.values()}
+        assert len(digests) == len(PIPELINE_VARIANTS)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown pipeline spec"):
+            get_pipeline_spec("warp9")
+
+    def test_unresolvable_type_rejected(self):
+        with pytest.raises(TypeError):
+            get_pipeline_spec(7)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_pipeline_spec(PipelineSpec(name="baseline6"))
+
+    @pytest.mark.parametrize("stages, message", [
+        # no EX stage at all
+        ((("ADR", Stage.ADR), ("FE", Stage.FE), ("CTRL", Stage.CTRL),
+          ("WB", Stage.WB)), "exactly one EX"),
+        # EX too early: no delay-slot stage
+        ((("ADR", Stage.ADR), ("EX", Stage.EX), ("CTRL", Stage.CTRL),
+          ("WB", Stage.WB)), "two front stages"),
+        # missing write-back behind the response stage
+        ((("ADR", Stage.ADR), ("FE", Stage.FE), ("EX", Stage.EX),
+          ("CTRL", Stage.CTRL)), "two back stages"),
+        # first stage must be the address generator
+        ((("FE", Stage.FE), ("ADR", Stage.ADR), ("EX", Stage.EX),
+          ("CTRL", Stage.CTRL), ("WB", Stage.WB)), "must be ADR"),
+        # the stage after EX must answer the data memory
+        ((("ADR", Stage.ADR), ("FE", Stage.FE), ("EX", Stage.EX),
+          ("WB", Stage.WB), ("CTRL", Stage.CTRL)), "CTRL path group"),
+        # back stage on a front path group
+        ((("ADR", Stage.ADR), ("FE", Stage.FE), ("EX", Stage.EX),
+          ("CTRL", Stage.CTRL), ("XX", Stage.DC)), "CTRL/WB"),
+    ])
+    def test_structural_constraints(self, stages, message):
+        with pytest.raises(ValueError, match=message):
+            PipelineSpec(name="bad", stages=stages)
+
+    @pytest.mark.parametrize("field, value", [
+        ("load_use_penalty", 0), ("mul_latency", 0), ("div_latency", 0),
+    ])
+    def test_latency_floors(self, field, value):
+        with pytest.raises(ValueError):
+            PipelineSpec(name="bad", **{field: value})
+
+    def test_unknown_policies_rejected(self):
+        with pytest.raises(ValueError, match="hazard policy"):
+            PipelineSpec(name="bad", hazard_policy="scoreboard")
+        with pytest.raises(ValueError, match="branch policy"):
+            PipelineSpec(name="bad", branch_policy="predict-taken")
+
+    def test_stage_names_unique(self):
+        with pytest.raises(ValueError, match="unique"):
+            PipelineSpec(name="bad", stages=(
+                StageDef("ADR", Stage.ADR), StageDef("X", Stage.FE),
+                StageDef("X", Stage.DC), StageDef("EX", Stage.EX),
+                StageDef("CTRL", Stage.CTRL), StageDef("WB", Stage.WB),
+            ))
+
+    def test_canonical_columns(self):
+        deep = get_pipeline_spec("deep7")
+        # two DC-group columns resolve to the one feeding EX
+        assert deep.canonical_column(Stage.DC) == 3
+        assert deep.canonical_column(Stage.EX) == 4
+        shallow = get_pipeline_spec("shallow5")
+        assert shallow.canonical_column(Stage.FE) is None
+        assert shallow.canonical_column(Stage.WB) == 4
+        assert DEFAULT_SPEC.canonical_column(Stage.DC) == int(Stage.DC)
+
+    def test_stage_labels_stay_canonical(self):
+        deep = get_pipeline_spec("deep7")
+        assert [deep.stage_label(c) for c in range(deep.num_stages)] == [
+            Stage.ADR, Stage.FE, Stage.DC, Stage.DC, Stage.EX,
+            Stage.CTRL, Stage.WB,
+        ]
+
+    def test_fast_path_classification(self):
+        for name in FAST_PRESETS:
+            assert get_pipeline_spec(name).fast_path, name
+        for name in SCALAR_PRESETS:
+            assert not get_pipeline_spec(name).fast_path, name
+
+
+# -- default-spec identity ----------------------------------------------------
+
+
+class TestDefaultIdentity:
+    """Passing the default spec explicitly changes nothing, anywhere."""
+
+    def test_scalar_trace_bit_identical(self):
+        program = get_kernel("fib").program()
+        implicit = PipelineSimulator(program).run()
+        explicit = PipelineSimulator(program, spec=DEFAULT_SPEC).run()
+        assert explicit.num_cycles == implicit.num_cycles
+        assert explicit.records == implicit.records
+
+    def test_operating_point_unchanged(self):
+        design = build_design(pipeline_spec=DEFAULT_SPEC)
+        assert design.operating_point == (
+            design.variant.value, design.library.voltage
+        )
+
+    def test_compiled_trace_unchanged(self, design):
+        program = get_kernel("crc16").program()
+        trace = PipelineSimulator(program).run()
+        implicit = compile_trace(trace, design.excitation)
+        explicit = compile_trace(trace, design.excitation,
+                                 spec=DEFAULT_SPEC)
+        assert implicit.spec is None
+        assert explicit.spec is None     # normalised away: keys stay stable
+        np.testing.assert_array_equal(explicit.class_ids,
+                                      implicit.class_ids)
+        assert (explicit.delays == implicit.delays).all()
+
+
+# -- cross-engine equivalence per preset --------------------------------------
+
+
+def assert_spec_equivalent(program, spec, design, check_delays=False):
+    """The vector engine must reproduce the scalar reference exactly
+    under ``spec`` (records, architectural state, compiled matrices)."""
+    scalar = PipelineSimulator(program, spec=spec)
+    scalar.run()
+    run = vector.simulate(program, spec=spec)
+    assert run is not None, (
+        f"unexpected fallback for {program.name} on {spec.name}: "
+        f"{vector.last_fallback_reason()}"
+    )
+    reference = scalar.trace
+    assert run.trace.num_cycles == reference.num_cycles
+    assert run.trace.retired == reference.retired
+    for expected, actual in zip(reference.records, run.trace.records):
+        assert actual == expected, (
+            f"{program.name} on {spec.name}: cycle {expected.cycle}\n"
+            f"  scalar: {expected}\n  vector: {actual}"
+        )
+    assert list(run.state.regs) == list(scalar.state.regs)
+    assert run.state.flag == scalar.state.flag
+    assert run.state.instret == scalar.state.instret
+
+    reference_compiled = compile_trace(reference, design.excitation,
+                                       spec=spec)
+    fast_compiled = compile_vector_run(run, design.excitation)
+    assert fast_compiled.class_names == reference_compiled.class_names
+    for field in ("class_ids", "bubble", "held", "stall", "redirect"):
+        assert np.array_equal(
+            getattr(fast_compiled, field),
+            getattr(reference_compiled, field),
+        ), f"{program.name} on {spec.name}: compiled {field} differs"
+    if check_delays:
+        assert np.array_equal(
+            fast_compiled.delays, reference_compiled.delays
+        ), f"{program.name} on {spec.name}: delay matrices differ"
+    return run
+
+
+def _directed_programs():
+    """Hazard/branch corners every spec geometry must nail."""
+    corner = "\n".join([
+        "start:",
+        "    l.movhi r20, hi(scratch)",
+        "    l.ori   r20, r20, lo(scratch)",
+        "    l.addi  r3, r0, 7",
+        "    l.sw    0(r20), r3",
+        "    l.lwz   r4, 0(r20)",
+        "    l.addi  r5, r4, 1",      # load-use interlock
+        "    l.mul   r6, r5, r3",     # multi-cycle EX under slowmul6
+        "    l.sfeqi r3, 7",
+        "    l.bf    target",
+        "    l.addi  r7, r0, 2",      # delay slot
+        "    l.addi  r8, r0, 3",      # squashed wrong-path word
+        "    l.addi  r8, r0, 4",      # second victim under deep7
+        "target:",
+        "    l.div   r9, r6, r3",     # divider drains into the halt
+        "    l.nop   0x1",
+        "    l.nop",
+        "    l.nop",
+        ".data",
+        "scratch:",
+        "    .space 32",
+    ])
+    return [
+        assemble(corner, name="spec-corners"),
+        get_kernel("fib").program(),
+        get_kernel("gcd").program(),       # div-heavy
+        get_kernel("crc16").program(),     # branch-heavy
+    ]
+
+
+@pytest.fixture(scope="module", params=FAST_PRESETS)
+def preset_context(request):
+    spec = get_pipeline_spec(request.param)
+    return spec, build_design(pipeline_spec=spec)
+
+
+class TestFastPresetEquivalence:
+    def test_directed_and_kernels(self, preset_context):
+        spec, design = preset_context
+        for program in _directed_programs():
+            assert_spec_equivalent(program, spec, design,
+                                   check_delays=True)
+
+    def test_random_programs(self, preset_context):
+        spec, design = preset_context
+        for seed in range(40):
+            program = generate_characterization_program(
+                seed=seed, length=40, repeats=1
+            )
+            assert_spec_equivalent(program, spec, design,
+                                   check_delays=(seed % 10 == 0))
+
+    def test_lockstep_matches_vector(self, preset_context):
+        spec, design = preset_context
+        programs = _directed_programs()
+        predecode.clear_images()
+        references = [
+            vector.simulate(program, spec=spec) for program in programs
+        ]
+        predecode.clear_images()
+        runs = lockstep.simulate_batch(programs, spec=spec)
+        for program, reference, candidate in zip(
+            programs, references, runs
+        ):
+            name = f"{program.name} on {spec.name}"
+            assert candidate is not None, name
+            assert candidate.num_cycles == reference.num_cycles, name
+            assert candidate.retired == reference.retired, name
+            for field in (
+                "slot_pc", "slot_class", "slot_taken", "slot_is_instr",
+                "slot_squashed", "stall", "redirect", "ex_occ", "ex_held",
+            ):
+                assert np.array_equal(
+                    getattr(candidate, field), getattr(reference, field)
+                ), f"{name}: lockstep {field} differs"
+            expected = compile_vector_run(reference, design.excitation)
+            actual = compile_vector_run(candidate, design.excitation)
+            for field in ("class_ids", "bubble", "held"):
+                assert np.array_equal(
+                    getattr(actual, field), getattr(expected, field)
+                ), f"{name}: compiled {field} differs"
+
+    def test_geometry_visible_in_trace(self, preset_context):
+        spec, design = preset_context
+        program = get_kernel("fib").program()
+        run = vector.simulate(program, spec=spec)
+        compiled = compile_vector_run(run, design.excitation)
+        assert compiled.class_ids.shape[1] == spec.num_stages
+        assert compiled.ex_column == spec.ex_index
+        assert compiled.pipeline_spec.digest == spec.digest
+
+
+class TestScalarOnlyPresets:
+    """Presets outside the cumsum fast path: the vector engine defers,
+    the scalar engine carries them with unchanged architectural
+    semantics."""
+
+    @pytest.mark.parametrize("name", SCALAR_PRESETS)
+    def test_vector_defers(self, name):
+        spec = get_pipeline_spec(name)
+        run = vector.simulate(get_kernel("fib").program(), spec=spec)
+        assert run is None
+        assert "spec" in vector.last_fallback_reason()
+
+    @pytest.mark.parametrize("name", SCALAR_PRESETS)
+    def test_architectural_state_spec_invariant(self, name):
+        spec = get_pipeline_spec(name)
+        program = get_kernel("crc16").program()
+        baseline = PipelineSimulator(program)
+        baseline.run()
+        candidate = PipelineSimulator(program, spec=spec)
+        candidate.run()
+        assert list(candidate.state.regs) == list(baseline.state.regs)
+        assert candidate.state.instret == baseline.state.instret
+        # timing must differ: more interlocks can only add cycles
+        assert candidate.trace.num_cycles > baseline.trace.num_cycles
+
+    def test_nofwd_interlocks_raw_dependences(self):
+        program = assemble("\n".join([
+            "start:",
+            "    l.addi r3, r0, 1",
+            "    l.addi r4, r3, 1",   # RAW: stalls until r3 write-back
+            "    l.addi r5, r4, 1",
+            "    l.nop  0x1",
+            "    l.nop",
+        ]), name="raw-chain")
+        fwd = PipelineSimulator(program).run()
+        nofwd = PipelineSimulator(
+            program, spec=get_pipeline_spec("nofwd6")
+        ).run()
+        assert nofwd.num_cycles > fwd.num_cycles
+
+    def test_slowmem_doubles_load_use_bubbles(self):
+        program = assemble("\n".join([
+            "start:",
+            "    l.movhi r20, hi(scratch)",
+            "    l.ori   r20, r20, lo(scratch)",
+            "    l.lwz   r4, 0(r20)",
+            "    l.addi  r5, r4, 1",   # load-use: 1 vs 2 bubbles
+            "    l.nop   0x1",
+            "    l.nop",
+            ".data",
+            "scratch:",
+            "    .space 16",
+        ]), name="load-use")
+        fast = PipelineSimulator(program).run()
+        slow = PipelineSimulator(
+            program, spec=get_pipeline_spec("slowmem6")
+        ).run()
+        assert slow.num_cycles == fast.num_cycles + 1
+
+
+# -- spec-keyed artifacts (store invalidation) --------------------------------
+
+
+MAX_CYCLES = 4_000_000
+
+
+class TestSpecKeyedStore:
+    """Same program, two specs → two artifacts; damage stays contained."""
+
+    @pytest.fixture
+    def store(self, tmp_path):
+        from repro.lab.store import ArtifactStore
+
+        return ArtifactStore(tmp_path / "store")
+
+    def _compiled(self, program, spec):
+        design = build_design(pipeline_spec=spec)
+        run = vector.simulate(program, spec=spec)
+        compiled = compile_vector_run(run, design.excitation)
+        compiled.delays    # materialise before freezing
+        return design, compiled
+
+    def test_two_specs_two_artifacts(self, store):
+        program = get_kernel("fib").program()
+        default_design, default_compiled = self._compiled(program, None)
+        deep_design, deep_compiled = self._compiled(
+            program, get_pipeline_spec("deep7")
+        )
+        default_path = store.trace_path(program, default_design,
+                                        MAX_CYCLES)
+        deep_path = store.trace_path(program, deep_design, MAX_CYCLES)
+        assert default_path != deep_path
+
+        store.save_compiled_trace(default_compiled, program,
+                                  default_design, MAX_CYCLES)
+        store.save_compiled_trace(deep_compiled, program, deep_design,
+                                  MAX_CYCLES)
+        assert default_path.exists() and deep_path.exists()
+
+        loaded_default = store.load_compiled_trace(
+            program, default_design, MAX_CYCLES
+        )
+        loaded_deep = store.load_compiled_trace(
+            program, deep_design, MAX_CYCLES
+        )
+        assert loaded_default.class_ids.shape[1] == len(Stage)
+        assert loaded_deep.class_ids.shape[1] == 7
+        assert loaded_deep.pipeline_spec.digest == \
+            get_pipeline_spec("deep7").digest
+        assert loaded_deep.operating_point == deep_design.operating_point
+
+    def test_corrupting_one_spec_leaves_the_other(self, store):
+        program = get_kernel("fib").program()
+        default_design, default_compiled = self._compiled(program, None)
+        deep_design, deep_compiled = self._compiled(
+            program, get_pipeline_spec("deep7")
+        )
+        store.save_compiled_trace(default_compiled, program,
+                                  default_design, MAX_CYCLES)
+        store.save_compiled_trace(deep_compiled, program, deep_design,
+                                  MAX_CYCLES)
+
+        deep_path = store.trace_path(program, deep_design, MAX_CYCLES)
+        deep_path.write_bytes(b"not a zip file")
+        assert store.load_compiled_trace(
+            program, deep_design, MAX_CYCLES
+        ) is None
+        assert store.stats.get("trace", "corrupt") == 1
+        assert not deep_path.exists()    # discarded for recompute
+
+        survivor = store.load_compiled_trace(
+            program, default_design, MAX_CYCLES
+        )
+        assert survivor is not None
+        assert (survivor.delays == default_compiled.delays).all()
+
+    def test_fingerprints_distinct_per_spec(self):
+        from repro.lab.store import design_fingerprint
+
+        prints = {
+            design_fingerprint(build_design(pipeline_spec=name))
+            for name in PIPELINE_VARIANTS
+        }
+        assert len(prints) == len(PIPELINE_VARIANTS)
+
+    def test_lut_keys_distinct_per_spec(self, store):
+        default_design = build_design()
+        deep_design = build_design(pipeline_spec="deep7")
+        assert store.lut_path(default_design, 10) != \
+            store.lut_path(deep_design, 10)
+
+
+# -- grid, session and deploy surfaces ----------------------------------------
+
+
+class TestScenarioGridSpecs:
+    def _grid(self, **overrides):
+        from repro.lab.scenario import ScenarioGrid
+
+        payload = {
+            "name": "spec-grid",
+            "workloads": ["fib"],
+            "variants": ["critical_range"],
+            "voltages": [0.70],
+            "policies": ["static"],
+        }
+        payload.update(overrides)
+        return ScenarioGrid.from_dict(payload)
+
+    def test_default_axis_keeps_fingerprint(self):
+        implicit = self._grid()
+        explicit = self._grid(pipeline_specs=[DEFAULT_SPEC.name])
+        assert implicit.fingerprint() == explicit.fingerprint()
+        assert "pipeline_specs" not in explicit.to_dict()
+
+    def test_spec_axis_crosses_design_points(self):
+        grid = self._grid(voltages=[0.70, 0.80],
+                          pipeline_specs=["baseline6", "deep7"])
+        points = grid.design_points()
+        assert len(points) == 4
+        assert sorted(
+            (p.voltage, p.pipeline_spec) for p in points
+        ) == [(0.70, "baseline6"), (0.70, "deep7"),
+              (0.80, "baseline6"), (0.80, "deep7")]
+        assert grid.to_dict()["pipeline_specs"] == ["baseline6", "deep7"]
+        assert grid.fingerprint() != self._grid().fingerprint()
+
+    def test_point_labels_mention_non_default_specs_only(self):
+        grid = self._grid(pipeline_specs=["baseline6", "shallow5"])
+        labels = [point.label for point in grid.design_points()]
+        assert any(label.endswith("/shallow5") for label in labels)
+        assert any("baseline6" not in label for label in labels)
+
+    def test_unknown_spec_rejected(self):
+        from repro.lab.scenario import ScenarioError
+
+        with pytest.raises(ScenarioError, match="pipeline"):
+            self._grid(pipeline_specs=["warp9"]).validate()
+
+    def test_point_builds_spec_design(self):
+        grid = self._grid(pipeline_specs=["shallow5"])
+        design = grid.design_points()[0].build()
+        assert design.pipeline_spec.name == "shallow5"
+
+
+class TestSessionSpecGate:
+    def test_scalar_engine_rejects_non_default_spec(self):
+        from repro.api import Session
+
+        with pytest.raises(ValueError, match="scalar engine"):
+            Session(engine="scalar", pipeline_spec="deep7")
+
+    def test_scalar_engine_accepts_default(self):
+        from repro.api import Session
+
+        session = Session(engine="scalar")
+        assert session.pipeline_spec.is_default
+
+    def test_design_point_carries_spec(self):
+        from repro.api import Session
+
+        session = Session(pipeline_spec="shallow5")
+        assert session.design_point.endswith("/shallow5")
+        assert session.design.pipeline_spec.name == "shallow5"
+
+
+class TestModelSpecValidation:
+    def _model(self, metadata):
+        from repro.ml.model import LearnedModel
+
+        return LearnedModel(
+            kind="logistic", vocabulary=("NOP",), window=8,
+            feature_names=("bias",),
+            weights=np.zeros(2), x_mean=np.zeros(1), x_scale=np.ones(1),
+            levels=np.ones(2), metadata=metadata,
+        )
+
+    def test_pre_spec_model_deploys_on_default_only(self):
+        from repro.ml.model import ModelError, validate_model_spec
+
+        model = self._model({})
+        validate_model_spec(model, build_design())
+        with pytest.raises(ModelError, match="pre-spec"):
+            validate_model_spec(
+                model, build_design(pipeline_spec="deep7")
+            )
+
+    def test_spec_trained_model_deploys_on_its_specs(self):
+        from repro.ml.model import ModelError, validate_model_spec
+
+        deep = get_pipeline_spec("deep7")
+        model = self._model({
+            "pipeline_specs": ["deep7"],
+            "pipeline_spec_digests": [deep.digest],
+        })
+        validate_model_spec(model, build_design(pipeline_spec=deep))
+        with pytest.raises(ModelError, match="trained on"):
+            validate_model_spec(model, build_design())
